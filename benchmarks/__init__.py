@@ -1,0 +1,5 @@
+"""Benchmark package regenerating every table/figure of the paper.
+
+Run with ``pytest benchmarks/ --benchmark-only``; each module prints the
+rows it regenerates and saves them under ``benchmarks/results/``.
+"""

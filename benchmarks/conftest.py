@@ -1,0 +1,45 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark regenerates one table/figure of the paper's evaluation
+(or one ablation from DESIGN.md), prints the rows, saves them as CSV
+under ``benchmarks/results/`` and asserts the expected qualitative
+shape.  Benchmarks run their workload exactly once
+(``benchmark.pedantic(rounds=1)``) — the interesting output is the
+table, the timing is a bonus.
+"""
+
+import os
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticConfig
+from repro.datasets.taxi import TaxiConfig
+from repro.experiments.config import ExperimentConfig
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Benchmark-scale experiment configuration: the full ε grid of Fig. 4
+#: with laptop-friendly repetition counts (crank these up to the paper's
+#: scale with the reproduce_fig4.py example).
+BENCH_CONFIG = ExperimentConfig(
+    epsilon_grid=(0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0),
+    n_trials=3,
+)
+
+BENCH_SYNTHETIC = SyntheticConfig(n_windows=500, n_history_windows=300)
+BENCH_TAXI = TaxiConfig(n_taxis=60, n_steps=180)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(table, results_dir, name):
+    """Print a result table and persist it as CSV."""
+    print()
+    print(table.render())
+    path = os.path.join(results_dir, f"{name}.csv")
+    table.write_csv(path)
+    print(f"[saved {path}]")

@@ -1,0 +1,62 @@
+"""Problem-statement dual mode: minimal ε meeting a quality requirement.
+
+Section III-B defines two optimization problems; Fig. 4 plots the first
+(quality at fixed ε).  This bench regenerates the second: the smallest
+pattern-level budget each mechanism needs to keep MRE within the data
+consumers' requirement — the dual reading of the same curves.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SYNTHETIC, emit
+from repro.datasets.synthetic import synthesize_dataset
+from repro.experiments.dual import compare_budget_needs
+from repro.utils.tables import ResultTable
+
+MAX_MRE = 0.30
+MECHANISMS = ["uniform", "adaptive", "bd", "ba", "landmark"]
+
+
+def run_dual():
+    workload = synthesize_dataset(BENCH_SYNTHETIC, rng=2023)
+    return workload, compare_budget_needs(
+        workload,
+        MECHANISMS,
+        max_mre=MAX_MRE,
+        n_trials=3,
+        precision=0.25,
+        epsilon_high=30.0,
+        rng=7,
+    )
+
+
+def test_dual_mode(benchmark, results_dir):
+    _workload, results = benchmark.pedantic(run_dual, rounds=1, iterations=1)
+
+    table = ResultTable(
+        ["mechanism", "max_mre", "min_epsilon", "achieved_mre", "feasible"],
+        title=f"dual mode: min pattern-level epsilon for MRE <= {MAX_MRE}",
+    )
+    for result in results:
+        table.add_row(
+            mechanism=result.mechanism,
+            max_mre=result.max_mre,
+            min_epsilon=result.epsilon,
+            achieved_mre=result.achieved_mre,
+            feasible=result.feasible,
+        )
+    emit(table, results_dir, "dual_mode")
+
+    by_name = {r.mechanism: r for r in results}
+    # The pattern-level PPMs meet the requirement...
+    assert by_name["uniform"].feasible
+    assert by_name["adaptive"].feasible
+    # ...and adaptive never needs more budget than uniform.
+    assert by_name["adaptive"].epsilon <= by_name["uniform"].epsilon + 0.25
+    # Every feasible baseline needs more budget than the uniform PPM.
+    for kind in ("bd", "ba", "landmark"):
+        if by_name[kind].feasible:
+            assert by_name[kind].epsilon > by_name["uniform"].epsilon
+
+    benchmark.extra_info["epsilon_uniform"] = by_name["uniform"].epsilon
+    benchmark.extra_info["epsilon_adaptive"] = by_name["adaptive"].epsilon

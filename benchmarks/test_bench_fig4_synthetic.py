@@ -1,0 +1,41 @@
+"""Fig. 4, synthetic panel: MRE vs ε for all five mechanisms.
+
+Regenerates the right-hand series of the paper's Fig. 4 on Algorithm 2
+data (averaged over independently synthesized datasets) and asserts the
+qualitative claims of Section VI-B.
+"""
+
+from benchmarks.conftest import BENCH_CONFIG, BENCH_SYNTHETIC, emit
+from repro.experiments.fig4 import run_fig4_synthetic
+from repro.experiments.reporting import fig4_wide_table
+
+N_DATASETS = 5  # the paper uses 1000; see examples/reproduce_fig4.py
+
+
+def test_fig4_synthetic(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig4_synthetic(
+            BENCH_CONFIG, BENCH_SYNTHETIC, n_datasets=N_DATASETS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig4_wide_table(result), results_dir, "fig4_synthetic")
+
+    violations = result.check_expected_shape()
+    assert violations == [], violations
+
+    # The pattern-level advantage must be substantial on synthetic data
+    # (Section VI-B: "significantly better on synthetic datasets").
+    for epsilon in BENCH_CONFIG.epsilon_grid:
+        assert result.pattern_level_advantage(epsilon) > 0.1
+
+    # Adaptive visibly beats uniform at moderate budgets.
+    gap = result.series["uniform"].mre_at(2.0) - result.series[
+        "adaptive"
+    ].mre_at(2.0)
+    assert gap > 0.02
+
+    benchmark.extra_info["mre_uniform_eps2"] = result.series["uniform"].mre_at(2.0)
+    benchmark.extra_info["mre_adaptive_eps2"] = result.series["adaptive"].mre_at(2.0)
+    benchmark.extra_info["mre_bd_eps2"] = result.series["bd"].mre_at(2.0)

@@ -1,0 +1,38 @@
+"""Fig. 4, Taxi panel: MRE vs ε for all five mechanisms.
+
+Regenerates the left-hand series of the paper's Fig. 4 on the
+T-Drive-substitute taxi workload and asserts the Section VI-B claims,
+including the compressed uniform-vs-adaptive gap specific to Taxi.
+"""
+
+from benchmarks.conftest import BENCH_CONFIG, BENCH_TAXI, emit
+from repro.experiments.fig4 import run_fig4_taxi
+from repro.experiments.reporting import fig4_wide_table
+
+
+def test_fig4_taxi(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig4_taxi(BENCH_CONFIG, BENCH_TAXI),
+        rounds=1,
+        iterations=1,
+    )
+    emit(fig4_wide_table(result), results_dir, "fig4_taxi")
+
+    violations = result.check_expected_shape()
+    assert violations == [], violations
+
+    # Pattern-level PPMs win at every ε.
+    for epsilon in BENCH_CONFIG.epsilon_grid:
+        assert result.pattern_level_advantage(epsilon) > 0.0
+
+    # Section VI-B: on Taxi "the difference between the uniform and
+    # adaptive approaches is evidently smaller".
+    for epsilon in BENCH_CONFIG.epsilon_grid:
+        gap = abs(
+            result.series["uniform"].mre_at(epsilon)
+            - result.series["adaptive"].mre_at(epsilon)
+        )
+        assert gap < 0.1
+
+    benchmark.extra_info["mre_uniform_eps2"] = result.series["uniform"].mre_at(2.0)
+    benchmark.extra_info["mre_landmark_eps2"] = result.series["landmark"].mre_at(2.0)

@@ -1,0 +1,99 @@
+"""Micro-benchmarks of the core operations.
+
+Not a paper table — these measure the throughput of the building blocks
+(perturbation, detection, CEP matching, Algorithm 1 fitting) so
+regressions in the hot paths are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cep.matcher import PatternMatcher
+from repro.cep.patterns import Pattern
+from repro.core.adaptive import AdaptivePatternPPM
+from repro.core.quality_model import AnalyticQualityEstimator
+from repro.core.uniform import UniformPatternPPM
+from repro.datasets.synthetic import SyntheticConfig, synthesize_dataset
+from repro.streams.events import Event
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+from repro.streams.stream import EventStream
+
+
+@pytest.fixture(scope="module")
+def big_stream():
+    rng = np.random.default_rng(0)
+    alphabet = EventAlphabet.numbered(20)
+    return IndicatorStream(alphabet, rng.random((10_000, 20)) < 0.4)
+
+
+@pytest.fixture(scope="module")
+def ppm():
+    return UniformPatternPPM(
+        Pattern.of_types("p", "e1", "e2", "e3"), epsilon=2.0
+    )
+
+
+def test_perturb_throughput(benchmark, big_stream, ppm):
+    """Randomized response over 10k windows x 3 protected columns."""
+    result = benchmark(lambda: ppm.perturb(big_stream, rng=1))
+    assert result.n_windows == big_stream.n_windows
+
+
+def test_detection_throughput(benchmark, big_stream):
+    """Containment detection over 10k windows."""
+    result = benchmark(
+        lambda: big_stream.detect_all(["e1", "e2", "e3"]).sum()
+    )
+    assert result >= 0
+
+
+def test_matcher_throughput(benchmark):
+    """NFA matching of a 3-step SEQ over a 2k-event stream."""
+    rng = np.random.default_rng(1)
+    symbols = [f"e{i}" for i in range(1, 9)]
+    events = EventStream(
+        [
+            Event(symbols[rng.integers(0, len(symbols))], float(i))
+            for i in range(2000)
+        ]
+    )
+    pattern = Pattern.of_types("p", "e1", "e2", "e3")
+
+    def run():
+        matcher = PatternMatcher(pattern, within=50.0, max_active_runs=500)
+        return len(matcher.feed(events))
+
+    matches = benchmark(run)
+    assert matches > 0
+
+
+def test_adaptive_fit_time(benchmark):
+    """One Algorithm 1 fit on a 300-window history."""
+    workload = synthesize_dataset(
+        SyntheticConfig(n_windows=100, n_history_windows=300), rng=5
+    )
+    pattern = workload.most_overlapping_private()
+
+    def run():
+        return AdaptivePatternPPM.fit(
+            pattern, 2.0, workload.history, workload.target_patterns
+        )
+
+    fitted = benchmark(run)
+    assert fitted.fit_result is not None
+
+
+def test_analytic_estimator_evaluate_time(benchmark):
+    """One analytic quality evaluation (the Algorithm 1 inner loop)."""
+    workload = synthesize_dataset(
+        SyntheticConfig(n_windows=100, n_history_windows=1000), rng=6
+    )
+    pattern = workload.private_patterns[0]
+    estimator = AnalyticQualityEstimator(
+        workload.history, pattern, workload.target_patterns
+    )
+    from repro.core.budget import BudgetAllocation
+
+    allocation = BudgetAllocation.uniform(2.0, len(pattern.elements))
+    quality = benchmark(lambda: estimator.evaluate(allocation))
+    assert 0.0 <= quality.q <= 1.0

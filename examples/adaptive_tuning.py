@@ -1,0 +1,83 @@
+"""Adaptive budget tuning: watching Algorithm 1 work.
+
+Fits the adaptive pattern-level PPM on historical data and inspects the
+search: the quality trace, where the budget ends up, and how the fitted
+distribution compares to the uniform split — on a workload where one
+private element is useless to the consumers (so the search should
+starve it) and two are shared with a target pattern (so the search
+should feed them).
+
+Run:  python examples/adaptive_tuning.py
+"""
+
+import numpy as np
+
+from repro import (
+    AdaptivePatternPPM,
+    AnalyticQualityEstimator,
+    EventAlphabet,
+    IndicatorStream,
+    Pattern,
+    UniformPatternPPM,
+)
+from repro.core.adaptive import default_step_size
+from repro.utils.tables import ResultTable
+
+
+def main() -> None:
+    alphabet = EventAlphabet.numbered(6)
+    rng = np.random.default_rng(11)
+    history = IndicatorStream(alphabet, rng.random((600, 6)) < 0.45)
+    evaluation = IndicatorStream(alphabet, rng.random((600, 6)) < 0.45)
+
+    # e1 is private-only; e2 and e3 also drive the target query.
+    private = Pattern.of_types("private", "e1", "e2", "e3")
+    target = Pattern.of_types("target", "e2", "e3", "e4")
+    epsilon = 3.0
+
+    print(f"private: {private.expr.render()}  target: {target.expr.render()}")
+    print(f"total budget ε = {epsilon}, paper step δε = "
+          f"{default_step_size(epsilon, private.length):.4f}\n")
+
+    adaptive = AdaptivePatternPPM.fit(
+        private, epsilon, history, [target], max_iterations=400
+    )
+    fit = adaptive.fit_result
+    print(f"Algorithm 1: {fit.iterations} committed moves, "
+          f"converged={fit.converged}")
+    print(f"quality trace: {fit.quality_trace[0]:.4f} -> "
+          f"{fit.quality_trace[-1]:.4f}\n")
+
+    table = ResultTable(
+        ["element", "uniform_eps", "adaptive_eps", "uniform_p", "adaptive_p"],
+        title="budget distribution: uniform vs Algorithm 1",
+    )
+    uniform = UniformPatternPPM(private, epsilon)
+    uniform_p = uniform.flip_probability_by_type()
+    adaptive_p = adaptive.flip_probability_by_type()
+    for index, element in enumerate(private.elements):
+        table.add_row(
+            element=element,
+            uniform_eps=uniform.allocation[index],
+            adaptive_eps=adaptive.allocation[index],
+            uniform_p=uniform_p[element],
+            adaptive_p=adaptive_p[element],
+        )
+    print(table.render())
+    print(
+        "\nnote: e1 carries no target signal, so Algorithm 1 starves it "
+        "(flip probability -> 1/2: maximal noise, zero quality cost) and "
+        "feeds e2/e3."
+    )
+
+    # Out-of-sample check on fresh evaluation windows.
+    estimator = AnalyticQualityEstimator(evaluation, private, [target])
+    q_uniform = estimator.evaluate(uniform.allocation).q
+    q_adaptive = estimator.evaluate(adaptive.allocation).q
+    print(f"\nout-of-sample quality: uniform Q={q_uniform:.4f}, "
+          f"adaptive Q={q_adaptive:.4f}")
+    print(f"same guarantee on both: pattern-level {epsilon:g}-DP")
+
+
+if __name__ == "__main__":
+    main()

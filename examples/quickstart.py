@@ -1,0 +1,72 @@
+"""Quickstart: protect a private pattern with pattern-level DP.
+
+The smallest end-to-end use of the library:
+
+1. model a windowed event stream as existence indicators;
+2. declare a private pattern (what the data subject hides) and a target
+   pattern (what the data consumer queries);
+3. protect the stream with the uniform pattern-level PPM;
+4. answer the target query on the protected stream and measure the cost;
+5. verify the delivered guarantee *exactly* (no sampling).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    AnalyticQualityEstimator,
+    EventAlphabet,
+    IndicatorStream,
+    Pattern,
+    UniformPatternPPM,
+    verify_instance_dp,
+    verify_single_event_dp,
+)
+from repro.metrics import ConfusionCounts, mean_relative_error
+
+
+def main() -> None:
+    # 1. A stream of 500 windows over six event types.  In a deployment
+    #    these indicators come from the CEP engine's window reduction;
+    #    here we synthesize them.
+    alphabet = EventAlphabet.numbered(6)
+    rng = np.random.default_rng(7)
+    stream = IndicatorStream(alphabet, rng.random((500, 6)) < 0.4)
+
+    # 2. The data subject hides `seq(e1, e2, e3)`; the consumer queries
+    #    `seq(e2, e3, e4)`.  They overlap on e2 and e3, so protection
+    #    must cost some quality — the question is how little.
+    private = Pattern.of_types("private", "e1", "e2", "e3")
+    target = Pattern.of_types("target", "e2", "e3", "e4")
+    print(f"private pattern: {private.expr.render()}")
+    print(f"target pattern:  {target.expr.render()}")
+
+    # 3. The uniform pattern-level PPM spends epsilon/m per element
+    #    (Section V-A) and touches *only* e1, e2, e3.
+    ppm = UniformPatternPPM(private, epsilon=2.0)
+    print(f"\nguarantee: {ppm.privacy_statement()}")
+    print(f"per-element budgets: {ppm.allocation}")
+    print(f"flip probabilities:  {ppm.flip_probability_by_type()}")
+
+    # 4. Answer the target query on the protected stream.
+    answers = ppm.answer(stream, target, rng=1)
+    truth = stream.detect_all(list(target.elements))
+    counts = ConfusionCounts.from_vectors(truth, answers)
+    quality = counts.precision * 0.5 + counts.recall * 0.5
+    print(f"\nprecision={counts.precision:.3f} recall={counts.recall:.3f}")
+    print(f"MRE_Q = {mean_relative_error(1.0, quality):.3f}")
+
+    # The analytic model predicts the same numbers without sampling.
+    estimator = AnalyticQualityEstimator(stream, private, [target])
+    expected = estimator.evaluate(ppm.allocation)
+    print(f"analytic expectation: {expected}")
+
+    # 5. Exact verification of Definition 4 (enumerates the output
+    #    distribution — no trust in the algebra required).
+    print(f"\nsingle-event check: {verify_single_event_dp(ppm, stream, window_index=0)}")
+    print(f"instance check:     {verify_instance_dp(ppm, stream, window_index=0)}")
+
+
+if __name__ == "__main__":
+    main()

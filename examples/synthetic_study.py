@@ -1,0 +1,76 @@
+"""Synthetic study: Algorithm 2 data and the full mechanism line-up.
+
+Synthesizes Algorithm 2 datasets, runs every mechanism the library
+implements (the Fig. 4 five plus the event-level and user-level
+reference points) at a fixed pattern-level budget, and prints the
+resulting quality table — a compact version of the paper's synthetic
+evaluation with two extra rows.
+
+Run:  python examples/synthetic_study.py
+"""
+
+from repro.datasets import SyntheticConfig, synthesize_many
+from repro.experiments import ALL_MECHANISMS, evaluate_mechanism
+from repro.metrics import summarize
+from repro.utils.rng import derive_rng
+from repro.utils.tables import ResultTable
+
+EPSILON = 2.0
+N_DATASETS = 5
+
+
+def main() -> None:
+    config = SyntheticConfig(n_windows=500, n_history_windows=300)
+    print(
+        f"Algorithm 2: {config.n_event_types} event types, "
+        f"{config.n_patterns} patterns "
+        f"({config.n_private} private / {config.n_target} target), "
+        f"{N_DATASETS} datasets\n"
+    )
+
+    per_mechanism = {kind: [] for kind in ALL_MECHANISMS}
+    for index, workload in enumerate(
+        synthesize_many(N_DATASETS, config, rng=2023)
+    ):
+        for kind in ALL_MECHANISMS:
+            result = evaluate_mechanism(
+                workload,
+                kind,
+                EPSILON,
+                n_trials=3,
+                rng=derive_rng(7, kind, index),
+            )
+            per_mechanism[kind].append(result.mre)
+
+    table = ResultTable(
+        ["mechanism", "mean_mre", "std", "ci95_low", "ci95_high"],
+        title=f"synthetic study at pattern-level epsilon = {EPSILON}",
+    )
+    for kind in ALL_MECHANISMS:
+        stats = summarize(per_mechanism[kind])
+        low, high = stats.ci95
+        table.add_row(
+            mechanism=kind,
+            mean_mre=stats.mean,
+            std=stats.std,
+            ci95_low=low,
+            ci95_high=high,
+        )
+    print(table.sort_by("mean_mre").render())
+
+    best_baseline = min(
+        summarize(per_mechanism[kind]).mean
+        for kind in ("bd", "ba", "landmark")
+    )
+    best_ours = min(
+        summarize(per_mechanism[kind]).mean
+        for kind in ("uniform", "adaptive")
+    )
+    print(
+        f"\npattern-level PPMs lead the best non-pattern-level baseline "
+        f"by {best_baseline - best_ours:.3f} MRE points"
+    )
+
+
+if __name__ == "__main__":
+    main()

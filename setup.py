@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so the package installs in offline
+environments that lack the ``wheel`` package (``pip install -e .`` needs
+it to build a PEP 660 editable wheel; ``python setup.py develop`` does
+not).
+"""
+
+from setuptools import setup
+
+setup()

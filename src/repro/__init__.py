@@ -1,0 +1,136 @@
+"""repro — pattern-level differential privacy for data streams.
+
+A complete reproduction of "Differential Privacy for Protecting Private
+Patterns in Data Streams" (Gu, Plagemann, Benndorf, Goebel, Koldehofe —
+ICDE 2023): the pattern-level ε-DP guarantee, the uniform and adaptive
+pattern-level PPMs, the CEP engine and stream substrates they run on,
+the non-pattern-level baselines they are compared against, both
+evaluation datasets, and the harness regenerating the paper's Fig. 4.
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.baselines import (
+    BudgetAbsorption,
+    BudgetConverter,
+    BudgetDistribution,
+    EventLevelRR,
+    LandmarkPrivacy,
+    UserLevelRR,
+)
+from repro.cep import (
+    AND,
+    Atom,
+    CEPEngine,
+    ContinuousQuery,
+    EventPredicate,
+    KLEENE,
+    NEG,
+    OR,
+    OnlineSession,
+    Pattern,
+    PatternMatch,
+    PatternMatcher,
+    PatternStream,
+    SEQ,
+)
+from repro.core import (
+    AdaptivePatternPPM,
+    AnalyticQualityEstimator,
+    BudgetAllocation,
+    CountingQuery,
+    EventStreamPPM,
+    MonteCarloQualityEstimator,
+    MultiPatternPPM,
+    PatternLevelGuarantee,
+    PatternLevelPPM,
+    UniformPatternPPM,
+    discover_relevant_events,
+    verify_instance_dp,
+    verify_single_event_dp,
+)
+from repro.datasets import (
+    SyntheticConfig,
+    TaxiConfig,
+    Workload,
+    build_taxi_workload,
+    synthesize_dataset,
+    synthesize_many,
+)
+from repro.experiments import (
+    ExperimentConfig,
+    run_fig4_synthetic,
+    run_fig4_taxi,
+)
+from repro.mechanisms import (
+    LaplaceMechanism,
+    PrivacyAccountant,
+    RandomizedResponse,
+)
+from repro.metrics import ConfusionCounts, DataQuality, mean_relative_error
+from repro.streams import (
+    DataStream,
+    Event,
+    EventAlphabet,
+    EventStream,
+    IndicatorStream,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AND",
+    "AdaptivePatternPPM",
+    "AnalyticQualityEstimator",
+    "Atom",
+    "BudgetAbsorption",
+    "BudgetAllocation",
+    "BudgetConverter",
+    "BudgetDistribution",
+    "CEPEngine",
+    "ConfusionCounts",
+    "ContinuousQuery",
+    "CountingQuery",
+    "DataQuality",
+    "DataStream",
+    "Event",
+    "EventAlphabet",
+    "EventLevelRR",
+    "EventPredicate",
+    "EventStream",
+    "EventStreamPPM",
+    "ExperimentConfig",
+    "IndicatorStream",
+    "KLEENE",
+    "LandmarkPrivacy",
+    "LaplaceMechanism",
+    "MonteCarloQualityEstimator",
+    "MultiPatternPPM",
+    "NEG",
+    "OR",
+    "OnlineSession",
+    "Pattern",
+    "PatternLevelGuarantee",
+    "PatternLevelPPM",
+    "PatternMatch",
+    "PatternMatcher",
+    "PatternStream",
+    "PrivacyAccountant",
+    "RandomizedResponse",
+    "SEQ",
+    "SyntheticConfig",
+    "TaxiConfig",
+    "UniformPatternPPM",
+    "UserLevelRR",
+    "Workload",
+    "build_taxi_workload",
+    "discover_relevant_events",
+    "mean_relative_error",
+    "run_fig4_synthetic",
+    "run_fig4_taxi",
+    "synthesize_dataset",
+    "synthesize_many",
+    "verify_instance_dp",
+    "verify_single_event_dp",
+]

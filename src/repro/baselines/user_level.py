@@ -1,0 +1,43 @@
+"""User-level DP baseline (Dwork et al., STOC 2010).
+
+User-level privacy protects *all* events of one data subject at once.
+Over an infinite stream this admits no finite-budget mechanism; over a
+finite horizon of ``n`` windows the budget must cover every indicator
+the subject contributes, so with sequential composition each of the
+``n × K`` bits receives ``ε / (n × K)`` — the noise this forces is the
+reason the stronger-than-needed guarantee destroys data quality, which
+is exactly the paper's motivation for pattern-level granularity.
+Included as a reference point beyond the paper's Fig. 4 set.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import StreamMechanism
+from repro.mechanisms.randomized_response import epsilon_to_flip_probability
+from repro.streams.indicator import IndicatorStream
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class UserLevelRR(StreamMechanism):
+    """Randomized response with the budget split across the whole stream."""
+
+    mechanism_name = "user-level"
+
+    def perturb(
+        self, stream: IndicatorStream, *, rng: RngLike = None
+    ) -> IndicatorStream:
+        generator = ensure_rng(rng)
+        matrix = stream.matrix()
+        bits = matrix.size
+        if bits == 0:
+            return stream.with_matrix(matrix)
+        per_bit_epsilon = self.epsilon / bits
+        p = epsilon_to_flip_probability(per_bit_epsilon)
+        flips = generator.random(matrix.shape) < p
+        return stream.with_matrix(matrix ^ flips)
+
+    def per_bit_epsilon(self, stream: IndicatorStream) -> float:
+        """The budget each indicator receives on this stream."""
+        if stream.matrix_view().size == 0:
+            raise ValueError("stream has no indicators")
+        return self.epsilon / stream.matrix_view().size

@@ -1,0 +1,50 @@
+"""Complex event processing engine.
+
+The trusted middleware of the paper's system model (Section III-A,
+Fig. 2): data subjects register *private* patterns, data consumers
+register *target* queries, and the engine answers continuous binary
+queries ("was the pattern detected?") with a privacy-preserving
+mechanism interposed.
+
+The pattern language covers the operators common in CEP systems — SEQ,
+AND (conjunction), OR (disjunction), NEG (absence between sequence
+steps) and KLEENE (repetition) over event predicates — compiled to a
+non-deterministic automaton with skip-till-any-match semantics and
+optional time-window (``within``) pruning.
+"""
+
+from repro.cep.engine import CEPEngine, EngineReport
+from repro.cep.matcher import PatternMatch, PatternMatcher, PatternStream
+from repro.cep.online import OnlineSession
+from repro.cep.patterns import (
+    AND,
+    KLEENE,
+    NEG,
+    OR,
+    SEQ,
+    Atom,
+    Pattern,
+    PatternExpr,
+)
+from repro.cep.predicates import EventPredicate
+from repro.cep.queries import ContinuousQuery, QueryAnswer
+
+__all__ = [
+    "AND",
+    "Atom",
+    "CEPEngine",
+    "ContinuousQuery",
+    "EngineReport",
+    "EventPredicate",
+    "KLEENE",
+    "NEG",
+    "OR",
+    "OnlineSession",
+    "Pattern",
+    "PatternExpr",
+    "PatternMatch",
+    "PatternMatcher",
+    "PatternStream",
+    "QueryAnswer",
+    "SEQ",
+]

@@ -1,0 +1,338 @@
+"""The trusted CEP engine (system model of Section III-A, Fig. 2).
+
+Setup phase: data subjects register *private* patterns (what must be
+protected); data consumers register continuous *target* queries and
+their quality requirement.  A privacy mechanism is attached (any object
+with ``perturb(IndicatorStream, rng=...) -> IndicatorStream``).
+
+Service phase: raw events are windowed, reduced to existence indicators,
+perturbed once by the mechanism, and every registered query is answered
+from the *perturbed* indicators — so the mechanism's guarantee covers
+all consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cep.matcher import PatternMatcher, PatternStream
+from repro.cep.patterns import Pattern
+from repro.cep.queries import ContinuousQuery, QueryAnswer
+from repro.mechanisms.accountant import PrivacyAccountant
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+from repro.streams.stream import EventStream
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class QualityRequirement:
+    """A data consumer's quality requirement (Section III-B).
+
+    ``alpha`` weights precision against recall in
+    ``Q = alpha * Prec + (1 - alpha) * Rec``; ``max_mre`` optionally
+    caps the acceptable quality degradation ``MRE_Q``.
+    """
+
+    alpha: float = 0.5
+    max_mre: Optional[float] = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.max_mre is not None and self.max_mre < 0:
+            raise ValueError(f"max_mre must be >= 0, got {self.max_mre}")
+
+
+@dataclass
+class EngineReport:
+    """Outcome of one service-phase run.
+
+    Attributes
+    ----------
+    answers:
+        Per-query answers computed on the *perturbed* indicators.
+    true_answers:
+        Per-query answers on the unperturbed indicators (ground truth for
+        quality evaluation; never released to consumers).
+    original, perturbed:
+        The indicator streams before and after the mechanism.
+    """
+
+    answers: Dict[str, QueryAnswer]
+    true_answers: Dict[str, QueryAnswer]
+    original: IndicatorStream
+    perturbed: IndicatorStream
+
+    def answer(self, query_name: str) -> QueryAnswer:
+        if query_name not in self.answers:
+            raise KeyError(
+                f"unknown query {query_name!r}; have {sorted(self.answers)}"
+            )
+        return self.answers[query_name]
+
+    def measured_quality(self, alpha: float = 0.5):
+        """``Q`` of the released answers against the engine-internal truth.
+
+        Micro-averaged over all queries (Section III-B).  This uses the
+        unreleased ground truth, so it is a trusted-engine diagnostic,
+        not something a consumer could compute.
+        """
+        from repro.metrics.confusion import ConfusionCounts
+        from repro.metrics.quality import DataQuality
+
+        counts = ConfusionCounts()
+        for name, released in self.answers.items():
+            counts = counts + ConfusionCounts.from_vectors(
+                self.true_answers[name].detections, released.detections
+            )
+        return DataQuality.from_confusion(counts, alpha=alpha)
+
+    def measured_mre(self, alpha: float = 0.5) -> float:
+        """``MRE_Q`` of this run (Eq. (4); ``Q_ord = 1`` in-engine)."""
+        from repro.metrics.mre import mean_relative_error
+
+        return mean_relative_error(1.0, self.measured_quality(alpha).q)
+
+    def meets_requirement(self, requirement: "QualityRequirement") -> bool:
+        """Whether this run satisfies a consumer's quality requirement.
+
+        True when the requirement sets no MRE cap, or the measured MRE
+        (under the requirement's α) stays within it.
+        """
+        if requirement.max_mre is None:
+            return True
+        return self.measured_mre(requirement.alpha) <= requirement.max_mre
+
+
+class CEPEngine:
+    """Trusted middleware between data subjects and data consumers."""
+
+    def __init__(self, alphabet: EventAlphabet):
+        if not isinstance(alphabet, EventAlphabet):
+            raise TypeError(
+                f"alphabet must be EventAlphabet, got {type(alphabet).__name__}"
+            )
+        self.alphabet = alphabet
+        self._private_patterns: Dict[str, Pattern] = {}
+        self._queries: Dict[str, ContinuousQuery] = {}
+        self._quality = QualityRequirement()
+        self._mechanism = None
+        self._accountant: Optional[PrivacyAccountant] = None
+
+    # -- setup phase -----------------------------------------------------
+
+    def register_private_pattern(self, pattern: Pattern) -> None:
+        """Data subject declares a pattern whose existence is private."""
+        self._check_pattern(pattern)
+        if pattern.name in self._private_patterns:
+            raise ValueError(f"private pattern {pattern.name!r} already registered")
+        self._private_patterns[pattern.name] = pattern
+
+    def register_query(self, query: ContinuousQuery) -> None:
+        """Data consumer registers a continuous target-pattern query."""
+        if query.name in self._queries:
+            raise ValueError(f"query {query.name!r} already registered")
+        self._check_pattern(query.pattern)
+        self._queries[query.name] = query
+
+    def set_quality_requirement(self, requirement: QualityRequirement) -> None:
+        """Data consumer declares the required output data quality."""
+        self._quality = requirement
+
+    def attach_mechanism(self, mechanism) -> None:
+        """Attach the privacy-preserving mechanism used during service.
+
+        Any object exposing ``perturb(stream, rng=...) -> IndicatorStream``
+        qualifies (the pattern-level PPMs and all baselines do).
+        """
+        if not hasattr(mechanism, "perturb"):
+            raise TypeError(
+                "mechanism must expose perturb(IndicatorStream, rng=...)"
+            )
+        self._mechanism = mechanism
+
+    def enable_accounting(self, total_epsilon: float) -> PrivacyAccountant:
+        """Cap the total budget spent across service-phase runs.
+
+        Each call to :meth:`process_indicators` releases a fresh
+        perturbation of the data, and repeated releases compose
+        sequentially; the accountant makes the cumulative spend explicit
+        and refuses runs that would exceed ``total_epsilon``.
+        """
+        check_positive("total_epsilon", total_epsilon, allow_inf=True)
+        self._accountant = PrivacyAccountant(total_epsilon)
+        return self._accountant
+
+    @property
+    def accountant(self) -> Optional[PrivacyAccountant]:
+        """The service-phase budget ledger (``None`` when not enabled)."""
+        return self._accountant
+
+    def _charge_accountant(self) -> None:
+        if self._accountant is None or self._mechanism is None:
+            return
+        # Pattern-level mechanisms expose per-pattern guarantees; other
+        # mechanisms expose a single epsilon.
+        if hasattr(self._mechanism, "guarantees"):
+            spends = [
+                (f"release:{guarantee.pattern.name}", guarantee.epsilon)
+                for guarantee in self._mechanism.guarantees()
+            ]
+        else:
+            name = getattr(self._mechanism, "name", "mechanism")
+            spends = [(f"release:{name}", self._mechanism.epsilon)]
+        total = sum(epsilon for _label, epsilon in spends)
+        if not self._accountant.can_spend(total):
+            from repro.mechanisms.accountant import BudgetExceededError
+
+            raise BudgetExceededError(
+                f"this release needs ε={total:g} but only "
+                f"{self._accountant.remaining():g} of the engine budget "
+                f"remains"
+            )
+        for label, epsilon in spends:
+            self._accountant.spend(label, epsilon)
+
+    def _check_pattern(self, pattern: Pattern) -> None:
+        if not isinstance(pattern, Pattern):
+            raise TypeError(
+                f"expected Pattern, got {type(pattern).__name__}"
+            )
+        if pattern.elements is not None:
+            missing = [
+                element
+                for element in pattern.elements
+                if element not in self.alphabet
+            ]
+            if missing:
+                raise ValueError(
+                    f"pattern {pattern.name!r} uses event types {missing} "
+                    "absent from the engine alphabet"
+                )
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def private_patterns(self) -> List[Pattern]:
+        """The registered private patterns."""
+        return list(self._private_patterns.values())
+
+    @property
+    def queries(self) -> List[ContinuousQuery]:
+        """The registered continuous queries."""
+        return list(self._queries.values())
+
+    @property
+    def quality_requirement(self) -> QualityRequirement:
+        return self._quality
+
+    @property
+    def mechanism(self):
+        return self._mechanism
+
+    # -- service phase ----------------------------------------------------
+
+    def process_indicators(
+        self, stream: IndicatorStream, *, rng: RngLike = None
+    ) -> EngineReport:
+        """Answer all registered queries over an indicator stream.
+
+        The attached mechanism perturbs the stream once; all queries are
+        answered from the perturbed stream.  Without a mechanism the
+        answers equal the ground truth (no protection).
+        """
+        if not self._queries:
+            raise RuntimeError("no queries registered; nothing to answer")
+        if stream.alphabet != self.alphabet:
+            raise ValueError("indicator stream alphabet differs from the engine's")
+        if self._mechanism is not None:
+            self._charge_accountant()
+            perturbed = self._mechanism.perturb(stream, rng=rng)
+        else:
+            perturbed = stream
+        answers: Dict[str, QueryAnswer] = {}
+        true_answers: Dict[str, QueryAnswer] = {}
+        for query in self._queries.values():
+            elements = self._query_elements(query)
+            answers[query.name] = QueryAnswer(
+                query.name, perturbed.detect_all(elements)
+            )
+            true_answers[query.name] = QueryAnswer(
+                query.name, stream.detect_all(elements)
+            )
+        return EngineReport(
+            answers=answers,
+            true_answers=true_answers,
+            original=stream,
+            perturbed=perturbed,
+        )
+
+    def _query_elements(self, query: ContinuousQuery) -> List[str]:
+        if query.pattern.elements is None:
+            raise ValueError(
+                f"query {query.name!r} uses a non-sequential pattern; the "
+                "windowed-indicator mode needs seq-of-types patterns "
+                "(use match() for full CEP semantics)"
+            )
+        return list(query.pattern.elements)
+
+    def process_events(
+        self,
+        stream: EventStream,
+        window_assigner,
+        *,
+        rng: RngLike = None,
+    ) -> EngineReport:
+        """Full service phase from raw events.
+
+        Windows the event stream with ``window_assigner`` (any assigner
+        from :mod:`repro.streams.windows`), reduces the windows to
+        existence indicators over the engine alphabet, and answers every
+        query through :meth:`process_indicators` (mechanism applied
+        once, accounting charged if enabled).
+        """
+        windows = window_assigner.assign(stream)
+        indicators = IndicatorStream.from_event_windows(
+            self.alphabet, windows, strict=False
+        )
+        return self.process_indicators(indicators, rng=rng)
+
+    def match(
+        self,
+        stream: EventStream,
+        pattern: Pattern,
+        *,
+        within: Optional[float] = None,
+        contiguity: str = "skip-till-any",
+    ) -> PatternStream:
+        """Full CEP matching of one pattern over an event stream.
+
+        This path exercises the operator algebra (SEQ/AND/OR/NEG/KLEENE)
+        directly; it carries no privacy protection and is used to build
+        pattern streams and ground truth.
+        """
+        matcher = PatternMatcher(pattern, within=within, contiguity=contiguity)
+        return matcher.feed(stream)
+
+    def detect_all_patterns(
+        self, stream: EventStream, *, within: Optional[float] = None
+    ) -> PatternStream:
+        """Match every registered pattern (private and target) over events.
+
+        Returns the merged pattern stream ``S^P`` ordered by completion
+        (detection) time.
+        """
+        all_patterns = list(self._private_patterns.values()) + [
+            query.pattern for query in self._queries.values()
+        ]
+        merged = PatternStream()
+        completions = []
+        for pattern in all_patterns:
+            for match in self.match(stream, pattern, within=within):
+                completions.append((match.end, match.pattern_name, match))
+        completions.sort(key=lambda item: (item[0], item[1]))
+        for _end, _name, match in completions:
+            merged.append(match)
+        return merged

@@ -1,0 +1,366 @@
+"""Compilation of pattern expressions to match automatons.
+
+The regex-like core (SEQ / OR / KLEENE / NEG over predicates) compiles to
+a Thompson-style NFA with epsilon transitions; run states are epsilon
+closures (frozensets of NFA states).  CEP conjunction (AND) compiles to a
+product automaton over the operand automatons, so the conjunction's
+components can interleave arbitrarily.
+
+All automatons implement the same small interface consumed by the
+matcher:
+
+``initials()``
+    the possible start states;
+``step(state, event)``
+    consuming transitions — the successor states reachable by consuming
+    ``event`` (empty when the event cannot be consumed);
+``is_accepting(state)``
+    whether a full match has been recognized;
+``forbidden_matches(state, event)``
+    whether ``event`` violates a NEG guard active in ``state`` (which
+    kills runs that *skip* the event).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.cep.patterns import (
+    Atom,
+    Conj,
+    Disj,
+    Kleene,
+    Neg,
+    PatternExpr,
+    Seq,
+    walk,
+)
+from repro.cep.predicates import EventPredicate
+from repro.streams.events import Event
+
+
+class CompileError(ValueError):
+    """Raised when an expression uses an unsupported operator nesting."""
+
+
+class _Builder:
+    """Mutable state shared by Thompson fragments during compilation."""
+
+    def __init__(self):
+        self.n_states = 0
+        self.epsilon: Dict[int, set] = defaultdict(set)
+        self.transitions: Dict[int, List[Tuple[EventPredicate, int]]] = defaultdict(list)
+        self.forbidden: Dict[int, List[EventPredicate]] = defaultdict(list)
+
+    def state(self) -> int:
+        index = self.n_states
+        self.n_states += 1
+        return index
+
+    def eps(self, src: int, dst: int) -> None:
+        self.epsilon[src].add(dst)
+
+    def edge(self, src: int, predicate: EventPredicate, dst: int) -> None:
+        self.transitions[src].append((predicate, dst))
+
+    def forbid(self, state: int, predicate: EventPredicate) -> None:
+        self.forbidden[state].append(predicate)
+
+
+class Nfa:
+    """A compiled Thompson NFA; run states are epsilon closures."""
+
+    def __init__(self, builder: _Builder, start: int, accept: int):
+        self._epsilon = {src: frozenset(dsts) for src, dsts in builder.epsilon.items()}
+        self._transitions = dict(builder.transitions)
+        self._forbidden = dict(builder.forbidden)
+        self._accept = accept
+        self._start = start
+        self._initial = self.epsilon_closure((start,))
+
+    # -- closure ---------------------------------------------------------
+
+    def epsilon_closure(self, states: Sequence[int]) -> FrozenSet[int]:
+        """All states reachable from ``states`` via epsilon transitions."""
+        stack = list(states)
+        closure = set(states)
+        while stack:
+            state = stack.pop()
+            for dst in self._epsilon.get(state, ()):
+                if dst not in closure:
+                    closure.add(dst)
+                    stack.append(dst)
+        return frozenset(closure)
+
+    # -- automaton interface ----------------------------------------------
+
+    def initials(self) -> List[FrozenSet[int]]:
+        return [self._initial]
+
+    def step(self, state: FrozenSet[int], event: Event) -> List[FrozenSet[int]]:
+        dsts = set()
+        for src in state:
+            for predicate, dst in self._transitions.get(src, ()):
+                if predicate.matches(event):
+                    dsts.add(dst)
+        if not dsts:
+            return []
+        return [self.epsilon_closure(tuple(dsts))]
+
+    def is_accepting(self, state: FrozenSet[int]) -> bool:
+        return self._accept in state
+
+    def forbidden_matches(self, state: FrozenSet[int], event: Event) -> bool:
+        for src in state:
+            for predicate in self._forbidden.get(src, ()):
+                if predicate.matches(event):
+                    return True
+        return False
+
+
+def _compile_fragment(builder: _Builder, expr: PatternExpr) -> Tuple[int, int]:
+    """Compile ``expr`` into ``builder``; return (start, accept) states."""
+    if isinstance(expr, Atom):
+        start, accept = builder.state(), builder.state()
+        builder.edge(start, expr.predicate, accept)
+        return start, accept
+
+    if isinstance(expr, Seq):
+        start = builder.state()
+        cursor = start
+        pending_guards: List[EventPredicate] = []
+        consumed_any = False
+        for child in expr.children():
+            if isinstance(child, Neg):
+                pending_guards.append(child.component.predicate)
+                continue
+            child_start, child_accept = _compile_fragment(builder, child)
+            junction = builder.state()
+            builder.eps(cursor, junction)
+            builder.eps(junction, child_start)
+            for guard in pending_guards:
+                builder.forbid(junction, guard)
+            pending_guards = []
+            cursor = child_accept
+            consumed_any = True
+        if not consumed_any:
+            raise CompileError("SEQ must contain at least one non-NEG component")
+        # Trailing NEG guards have no observable effect (acceptance is
+        # decided at the final consumption); attach them anyway so the
+        # structure is preserved for introspection.
+        if pending_guards:
+            tail = builder.state()
+            builder.eps(cursor, tail)
+            for guard in pending_guards:
+                builder.forbid(tail, guard)
+            cursor = tail
+        return start, cursor
+
+    if isinstance(expr, Disj):
+        start, accept = builder.state(), builder.state()
+        for child in expr.children():
+            child_start, child_accept = _compile_fragment(builder, child)
+            builder.eps(start, child_start)
+            builder.eps(child_accept, accept)
+        return start, accept
+
+    if isinstance(expr, Kleene):
+        copies = expr.at_most if expr.at_most is not None else expr.at_least
+        fragments = [
+            _compile_fragment(builder, expr.component) for _ in range(copies)
+        ]
+        for (_, prev_accept), (next_start, _) in zip(fragments, fragments[1:]):
+            builder.eps(prev_accept, next_start)
+        accept = builder.state()
+        for index in range(expr.at_least - 1, copies):
+            builder.eps(fragments[index][1], accept)
+        if expr.at_most is None:
+            last_start, last_accept = fragments[-1]
+            builder.eps(last_accept, last_start)
+        return fragments[0][0], accept
+
+    if isinstance(expr, Neg):
+        raise CompileError("NEG is only valid directly inside SEQ")
+    if isinstance(expr, Conj):
+        raise CompileError(
+            "AND inside this operator nesting is handled by compile_expr"
+        )
+    raise CompileError(f"unsupported expression node {type(expr).__name__}")
+
+
+def compile_to_nfa(expr: PatternExpr) -> Nfa:
+    """Compile a Conj-free expression to a Thompson NFA."""
+    builder = _Builder()
+    start, accept = _compile_fragment(builder, expr)
+    return Nfa(builder, start, accept)
+
+
+class ProductAutomaton:
+    """Conjunction (AND) as a product of operand automatons.
+
+    A consuming step advances any non-empty subset of the operands that
+    can consume the event (shared events are allowed, as in
+    skip-till-any-match CEP conjunction); the rest stay put.  The product
+    accepts when every operand accepts.
+    """
+
+    def __init__(self, children: Sequence):
+        if len(children) < 2:
+            raise ValueError("a product automaton needs >= 2 operands")
+        self._children = list(children)
+
+    def initials(self) -> List[Tuple]:
+        return [
+            tuple(combo)
+            for combo in itertools.product(
+                *(child.initials() for child in self._children)
+            )
+        ]
+
+    def step(self, state: Tuple, event: Event) -> List[Tuple]:
+        options: List[List] = []
+        any_advance = False
+        for child, child_state in zip(self._children, state):
+            successors = child.step(child_state, event)
+            if successors:
+                any_advance = True
+            options.append([("stay", child_state)] + [("go", s) for s in successors])
+        if not any_advance:
+            return []
+        results = []
+        for combo in itertools.product(*options):
+            if all(tag == "stay" for tag, _ in combo):
+                continue
+            results.append(tuple(s for _, s in combo))
+        # Deduplicate while preserving order.
+        seen = set()
+        unique = []
+        for result in results:
+            if result not in seen:
+                seen.add(result)
+                unique.append(result)
+        return unique
+
+    def is_accepting(self, state: Tuple) -> bool:
+        return all(
+            child.is_accepting(child_state)
+            for child, child_state in zip(self._children, state)
+        )
+
+    def forbidden_matches(self, state: Tuple, event: Event) -> bool:
+        return any(
+            child.forbidden_matches(child_state, event)
+            for child, child_state in zip(self._children, state)
+        )
+
+
+class SeqAutomaton:
+    """SEQ over arbitrary component automatons (used when AND nests in SEQ).
+
+    State is ``(component_index, component_state)``; when a component
+    accepts, the automaton can epsilon-advance into the next component.
+    """
+
+    def __init__(self, children: Sequence):
+        if not children:
+            raise ValueError("SEQ needs at least one component")
+        self._children = list(children)
+
+    def _cascade(self, index: int, state) -> List[Tuple[int, object]]:
+        """``(index, state)`` plus entries reachable by accept-advance."""
+        results = [(index, state)]
+        if (
+            index + 1 < len(self._children)
+            and self._children[index].is_accepting(state)
+        ):
+            for init in self._children[index + 1].initials():
+                results.extend(self._cascade(index + 1, init))
+        return results
+
+    def initials(self) -> List[Tuple[int, object]]:
+        results = []
+        for init in self._children[0].initials():
+            results.extend(self._cascade(0, init))
+        return results
+
+    def step(self, state: Tuple[int, object], event: Event) -> List[Tuple[int, object]]:
+        index, child_state = state
+        results = []
+        for successor in self._children[index].step(child_state, event):
+            results.extend(self._cascade(index, successor))
+        return results
+
+    def is_accepting(self, state: Tuple[int, object]) -> bool:
+        index, child_state = state
+        return index == len(self._children) - 1 and self._children[
+            index
+        ].is_accepting(child_state)
+
+    def forbidden_matches(self, state: Tuple[int, object], event: Event) -> bool:
+        index, child_state = state
+        return self._children[index].forbidden_matches(child_state, event)
+
+
+class DisjAutomaton:
+    """OR over arbitrary component automatons."""
+
+    def __init__(self, children: Sequence):
+        if len(children) < 2:
+            raise ValueError("OR needs >= 2 components")
+        self._children = list(children)
+
+    def initials(self) -> List[Tuple[int, object]]:
+        return [
+            (index, init)
+            for index, child in enumerate(self._children)
+            for init in child.initials()
+        ]
+
+    def step(self, state: Tuple[int, object], event: Event) -> List[Tuple[int, object]]:
+        index, child_state = state
+        return [
+            (index, successor)
+            for successor in self._children[index].step(child_state, event)
+        ]
+
+    def is_accepting(self, state: Tuple[int, object]) -> bool:
+        index, child_state = state
+        return self._children[index].is_accepting(child_state)
+
+    def forbidden_matches(self, state: Tuple[int, object], event: Event) -> bool:
+        index, child_state = state
+        return self._children[index].forbidden_matches(child_state, event)
+
+
+def _contains_conj(expr: PatternExpr) -> bool:
+    return any(isinstance(node, Conj) for node in walk(expr))
+
+
+def compile_expr(expr: PatternExpr):
+    """Compile any supported expression to a match automaton.
+
+    Conj-free expressions take the Thompson fast path.  Expressions with
+    AND are composed structurally; AND under KLEENE and NEG alongside AND
+    in the same SEQ are not supported (the paper's patterns are plain
+    sequences; these operators exist for the CEP substrate).
+    """
+    if not _contains_conj(expr):
+        return compile_to_nfa(expr)
+    if isinstance(expr, Conj):
+        return ProductAutomaton([compile_expr(child) for child in expr.children()])
+    if isinstance(expr, Seq):
+        children = []
+        for child in expr.children():
+            if isinstance(child, Neg):
+                raise CompileError(
+                    "NEG in a SEQ containing AND is not supported"
+                )
+            children.append(compile_expr(child))
+        return SeqAutomaton(children)
+    if isinstance(expr, Disj):
+        return DisjAutomaton([compile_expr(child) for child in expr.children()])
+    if isinstance(expr, Kleene):
+        raise CompileError("KLEENE over AND is not supported")
+    raise CompileError(f"unsupported expression node {type(expr).__name__}")

@@ -1,0 +1,137 @@
+"""Online (push-based) service sessions.
+
+The batch API (:meth:`~repro.cep.engine.CEPEngine.process_indicators`)
+perturbs a materialized stream; real CEP deployments consume windows as
+they close.  :class:`OnlineSession` provides that mode: push one
+window's event types, receive that window's private query answers.
+
+Two classes of mechanisms work online:
+
+- **per-window mechanisms** (the pattern-level PPMs, event/user-level
+  RR): each window's flips are independent, so the session simply draws
+  them one window at a time with the same per-type child-generator
+  derivation as the batch path — a session over the same windows and
+  seed reproduces the batch answers exactly;
+- **sequential stream mechanisms** (BD/BA) expose an
+  :class:`~repro.baselines.w_event.OnlineReleaser` whose ``step``
+  consumes one indicator vector and returns one released vector, with
+  the batch ``perturb`` implemented on top of the same stepper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.cep.engine import CEPEngine
+from repro.streams.indicator import IndicatorStream
+from repro.utils.rng import RngLike, derive_rng
+
+
+class OnlineSession:
+    """A service-phase session answering queries window by window."""
+
+    def __init__(self, engine: CEPEngine, *, rng: RngLike = None):
+        if not engine.queries:
+            raise ValueError("the engine has no registered queries")
+        self._engine = engine
+        self._mechanism = engine.mechanism
+        self._rng = rng
+        # A session is one release of the (growing) stream: charge the
+        # engine's accountant once, up front, exactly like the batch
+        # path does per process_indicators call.
+        engine._charge_accountant()
+        self._pushed = 0
+        self._releaser = None
+        self._flip_probabilities: Optional[Dict[str, float]] = None
+        self._children: Dict[str, object] = {}
+        if self._mechanism is not None:
+            if hasattr(self._mechanism, "online_releaser"):
+                self._releaser = self._mechanism.online_releaser(
+                    len(engine.alphabet), rng=derive_rng(rng, "online")
+                )
+            elif hasattr(self._mechanism, "flip_probability_by_type"):
+                self._flip_probabilities = (
+                    self._mechanism.flip_probability_by_type()
+                )
+            elif hasattr(self._mechanism, "flip_probability"):
+                # Event-level RR: one flip probability for every column.
+                probability = self._mechanism.flip_probability
+                self._flip_probabilities = {
+                    name: probability for name in engine.alphabet
+                }
+            elif hasattr(self._mechanism, "ppms"):
+                # MultiPatternPPM: combine the independent per-pattern
+                # flip maps into net per-column probabilities.
+                from repro.core.quality_model import (
+                    combine_flip_probabilities,
+                )
+
+                self._flip_probabilities = combine_flip_probabilities(
+                    [
+                        ppm.flip_probability_by_type()
+                        for ppm in self._mechanism.ppms
+                    ]
+                )
+            else:
+                raise TypeError(
+                    f"mechanism {type(self._mechanism).__name__} supports "
+                    "neither per-window flips nor an online releaser"
+                )
+        if self._flip_probabilities is not None:
+            self._children = {
+                event_type: derive_rng(rng, "rr-flip", event_type)
+                for event_type in self._flip_probabilities
+            }
+
+    @property
+    def windows_processed(self) -> int:
+        """Number of windows pushed so far."""
+        return self._pushed
+
+    def push(self, window_types: Iterable[str]) -> Dict[str, bool]:
+        """Process one closed window; return per-query binary answers."""
+        row = np.zeros(len(self._engine.alphabet), dtype=bool)
+        for name in window_types:
+            if name in self._engine.alphabet:
+                row[self._engine.alphabet.index(name)] = True
+        released = self._release(row)
+        self._pushed += 1
+        answers: Dict[str, bool] = {}
+        for query in self._engine.queries:
+            elements = query.pattern.elements
+            if elements is None:
+                raise ValueError(
+                    f"query {query.name!r} uses a non-sequential pattern"
+                )
+            columns = self._engine.alphabet.indices(list(elements))
+            answers[query.name] = bool(released[columns].all())
+        return answers
+
+    def _release(self, row: np.ndarray) -> np.ndarray:
+        if self._mechanism is None:
+            return row
+        if self._releaser is not None:
+            return self._releaser.step(row.astype(float)) >= 0.5
+        released = row.copy()
+        assert self._flip_probabilities is not None
+        for event_type, probability in self._flip_probabilities.items():
+            # The per-type child streams are the same ones the batch
+            # path consumes vectorized, so the t-th push draws the t-th
+            # decision of the batch run.
+            if float(self._children[event_type].random()) < probability:
+                column = self._engine.alphabet.index(event_type)
+                released[column] = not released[column]
+        return released
+
+    def run(self, stream: IndicatorStream) -> Dict[str, List[bool]]:
+        """Convenience: push every window of a stream, collect answers."""
+        answers: Dict[str, List[bool]] = {
+            query.name: [] for query in self._engine.queries
+        }
+        for index in range(stream.n_windows):
+            per_window = self.push(stream.window_types(index))
+            for name, value in per_window.items():
+                answers[name].append(value)
+        return answers

@@ -1,0 +1,322 @@
+"""Pattern expressions and named patterns.
+
+The paper writes patterns as ``P = seq(e_1, e_2, ..., e_m)``
+(Section III-A) — a temporal sequence of events.  This module provides
+that form (:meth:`Pattern.of_types`) plus the richer operator algebra a
+CEP engine needs:
+
+- :func:`SEQ` — components in temporal order;
+- :func:`AND` — all components, interleaved arbitrarily;
+- :func:`OR`  — any one component;
+- :func:`NEG` — absence of a matching event between adjacent SEQ steps;
+- :func:`KLEENE` — bounded/unbounded repetition.
+
+Higher-level patterns formed from lower-level ones are flattened into a
+sequence of events exactly as the paper prescribes ("any pattern can
+always be written in the form of a sequence of events").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.cep.predicates import EventPredicate
+
+
+class PatternExpr:
+    """Base class of pattern-expression AST nodes."""
+
+    def children(self) -> Tuple["PatternExpr", ...]:
+        return ()
+
+    def event_types(self) -> List[str]:
+        """All event-type symbols referenced by pure type predicates.
+
+        Best effort: composite predicates contribute nothing.  Order is
+        first appearance, duplicates preserved only once.
+        """
+        seen: dict = {}
+        for node in walk(self):
+            if isinstance(node, Atom) and node.predicate.event_type:
+                seen.setdefault(node.predicate.event_type, None)
+        return list(seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+
+class Atom(PatternExpr):
+    """A single pattern position, filled by one event."""
+
+    def __init__(self, predicate: Union[EventPredicate, str]):
+        if isinstance(predicate, str):
+            predicate = EventPredicate.of_type(predicate)
+        if not isinstance(predicate, EventPredicate):
+            raise TypeError(
+                "Atom takes an EventPredicate or an event-type string, got "
+                f"{type(predicate).__name__}"
+            )
+        self.predicate = predicate
+
+    def render(self) -> str:
+        return self.predicate.name
+
+
+class _Composite(PatternExpr):
+    _symbol = "?"
+    _min_children = 2
+
+    def __init__(self, *components: Union[PatternExpr, EventPredicate, str]):
+        if len(components) < self._min_children:
+            raise ValueError(
+                f"{type(self).__name__} needs at least "
+                f"{self._min_children} component(s), got {len(components)}"
+            )
+        self._children = tuple(as_expr(component) for component in components)
+
+    def children(self) -> Tuple[PatternExpr, ...]:
+        return self._children
+
+    def render(self) -> str:
+        inner = ", ".join(child.render() for child in self._children)
+        return f"{self._symbol}({inner})"
+
+
+class Seq(_Composite):
+    """Components matched in temporal order (events in between allowed)."""
+
+    _symbol = "SEQ"
+    _min_children = 1
+
+
+class Conj(_Composite):
+    """All components matched, in any interleaving (CEP conjunction)."""
+
+    _symbol = "AND"
+
+
+class Disj(_Composite):
+    """Any one component matched (CEP disjunction)."""
+
+    _symbol = "OR"
+
+
+class Kleene(PatternExpr):
+    """Repetition of a component between ``at_least`` and ``at_most`` times."""
+
+    def __init__(
+        self,
+        component: Union[PatternExpr, EventPredicate, str],
+        *,
+        at_least: int = 1,
+        at_most: Optional[int] = None,
+    ):
+        if at_least < 1:
+            raise ValueError(f"at_least must be >= 1, got {at_least}")
+        if at_most is not None and at_most < at_least:
+            raise ValueError(
+                f"at_most ({at_most}) must be >= at_least ({at_least})"
+            )
+        self.component = as_expr(component)
+        self.at_least = at_least
+        self.at_most = at_most
+
+    def children(self) -> Tuple[PatternExpr, ...]:
+        return (self.component,)
+
+    def render(self) -> str:
+        bound = f"{self.at_least}..{self.at_most if self.at_most else ''}"
+        return f"KLEENE({self.component.render()}, {bound})"
+
+
+class Neg(PatternExpr):
+    """Absence guard: no matching event between adjacent SEQ steps.
+
+    Only valid directly inside a :class:`Seq`; the guarded predicate must
+    be an atom.
+    """
+
+    def __init__(self, component: Union[Atom, EventPredicate, str]):
+        expr = as_expr(component)
+        if not isinstance(expr, Atom):
+            raise TypeError("NEG only guards a single predicate (Atom)")
+        self.component = expr
+
+    def children(self) -> Tuple[PatternExpr, ...]:
+        return (self.component,)
+
+    def render(self) -> str:
+        return f"NEG({self.component.render()})"
+
+
+def as_expr(value: Union[PatternExpr, EventPredicate, str]) -> PatternExpr:
+    """Coerce a predicate or event-type string into an expression."""
+    if isinstance(value, PatternExpr):
+        return value
+    if isinstance(value, (EventPredicate, str)):
+        return Atom(value)
+    raise TypeError(
+        "expected PatternExpr, EventPredicate or event-type string, got "
+        f"{type(value).__name__}"
+    )
+
+
+def walk(expr: PatternExpr) -> Iterable[PatternExpr]:
+    """Pre-order traversal of an expression tree."""
+    yield expr
+    for child in expr.children():
+        yield from walk(child)
+
+
+# Public constructor aliases matching CEP literature capitalization.
+def SEQ(*components) -> Seq:
+    """``SEQ(a, b, c)``: a then b then c, in temporal order."""
+    return Seq(*components)
+
+
+def AND(*components) -> Conj:
+    """``AND(a, b)``: both a and b, interleaved arbitrarily."""
+    return Conj(*components)
+
+
+def OR(*components) -> Disj:
+    """``OR(a, b)``: a or b."""
+    return Disj(*components)
+
+
+def NEG(component) -> Neg:
+    """``NEG(x)`` inside SEQ: no x-event between the neighbouring steps."""
+    return Neg(component)
+
+
+def KLEENE(component, at_least: int = 1, at_most: Optional[int] = None) -> Kleene:
+    """``KLEENE(a, n, m)``: a repeated between n and m times."""
+    return Kleene(component, at_least=at_least, at_most=at_most)
+
+
+class Pattern:
+    """A named pattern: an expression plus the paper-level metadata.
+
+    For the common case ``P = seq(e_1, ..., e_m)`` over plain event
+    types, :attr:`elements` exposes the ordered element types — this is
+    what the pattern-level PPMs perturb and what Theorem 1 sums over.
+    General expressions have ``elements = None`` (the engine still
+    matches them; the PPMs require sequential-of-types patterns or an
+    explicit element list).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        expr: Union[PatternExpr, EventPredicate, str],
+        *,
+        elements: Optional[Sequence[str]] = None,
+    ):
+        if not isinstance(name, str) or not name:
+            raise ValueError("pattern name must be a non-empty string")
+        self.name = name
+        self.expr = as_expr(expr)
+        if elements is not None:
+            elements = tuple(elements)
+            if not elements:
+                raise ValueError("elements must be non-empty when given")
+        else:
+            elements = self._infer_elements(self.expr)
+        self.elements: Optional[Tuple[str, ...]] = elements
+
+    @staticmethod
+    def _infer_elements(expr: PatternExpr) -> Optional[Tuple[str, ...]]:
+        """Recover ``seq(e_1..e_m)`` element types when the expression is
+        a plain sequence (or single atom) of pure type predicates."""
+        if isinstance(expr, Atom):
+            if expr.predicate.event_type:
+                return (expr.predicate.event_type,)
+            return None
+        if isinstance(expr, Seq):
+            elements: List[str] = []
+            for child in expr.children():
+                if isinstance(child, Atom) and child.predicate.event_type:
+                    elements.append(child.predicate.event_type)
+                else:
+                    return None
+            return tuple(elements)
+        return None
+
+    @classmethod
+    def of_types(cls, name: str, *event_types: str) -> "Pattern":
+        """The paper's ``P = seq(e_1, e_2, ..., e_m)`` over event types."""
+        if not event_types:
+            raise ValueError("a pattern needs at least one element")
+        if len(event_types) == 1:
+            return cls(name, Atom(event_types[0]))
+        return cls(name, Seq(*event_types))
+
+    @classmethod
+    def composed(cls, name: str, *patterns: "Pattern") -> "Pattern":
+        """Form a higher-level pattern from lower-level ones.
+
+        Per Section III-A, the constituent events of all sub-patterns are
+        collected and merged so the result is again a sequence of events.
+        Requires every sub-pattern to expose its elements.
+        """
+        if not patterns:
+            raise ValueError("at least one sub-pattern is required")
+        elements: List[str] = []
+        for pattern in patterns:
+            if pattern.elements is None:
+                raise ValueError(
+                    f"sub-pattern {pattern.name!r} has no element list; "
+                    "higher-level composition needs seq-of-types patterns"
+                )
+            elements.extend(pattern.elements)
+        return cls.of_types(name, *elements)
+
+    @property
+    def length(self) -> int:
+        """The number of elements ``m`` (requires an element list)."""
+        if self.elements is None:
+            raise ValueError(
+                f"pattern {self.name!r} is not a sequence of event types; "
+                "its length is undefined"
+            )
+        return len(self.elements)
+
+    @property
+    def is_sequence_of_types(self) -> bool:
+        """Whether the pattern is a plain ``seq`` of event types."""
+        return self.elements is not None
+
+    def element_set(self) -> frozenset:
+        """The distinct element types (requires an element list)."""
+        if self.elements is None:
+            raise ValueError(f"pattern {self.name!r} has no element list")
+        return frozenset(self.elements)
+
+    def overlaps(self, other: "Pattern") -> bool:
+        """Whether two patterns share constituent event types.
+
+        Overlapping patterns (Section III-A) are patterns whose
+        occurrences are correlated because they can contain the same
+        events.
+        """
+        if self.elements is None or other.elements is None:
+            raise ValueError("overlap test needs element lists on both patterns")
+        return bool(self.element_set() & other.element_set())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.elements == other.elements
+            and self.expr.render() == other.expr.render()
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.elements, self.expr.render()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Pattern({self.name!r}, {self.expr.render()})"

@@ -1,0 +1,114 @@
+"""Event predicates: the leaves of pattern expressions.
+
+A predicate decides whether a single event can fill a pattern position.
+Predicates compose with ``&``, ``|`` and ``~`` so pattern atoms can
+express e.g. "a region entry in the city centre during rush hour".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.streams.events import Event
+
+
+class EventPredicate:
+    """A named boolean test over events.
+
+    Parameters
+    ----------
+    test:
+        ``callable(Event) -> bool``.
+    name:
+        Human-readable label used in pattern rendering and error
+        messages.
+    event_type:
+        When the predicate is a pure type test, the type symbol is kept
+        so pattern analyses (e.g. extracting the element list of a
+        ``seq(e_1..e_m)`` pattern) can recover it.  ``None`` for
+        composite or attribute predicates.
+    """
+
+    def __init__(
+        self,
+        test: Callable[[Event], bool],
+        *,
+        name: Optional[str] = None,
+        event_type: Optional[str] = None,
+    ):
+        if not callable(test):
+            raise TypeError("test must be callable(Event) -> bool")
+        self._test = test
+        self.name = name or getattr(test, "__name__", "predicate")
+        self.event_type = event_type
+
+    def matches(self, event: Event) -> bool:
+        """Whether ``event`` satisfies this predicate."""
+        return bool(self._test(event))
+
+    def __call__(self, event: Event) -> bool:
+        return self.matches(event)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EventPredicate({self.name})"
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def of_type(cls, event_type: str) -> "EventPredicate":
+        """Match events whose ``event_type`` equals ``event_type``."""
+        if not isinstance(event_type, str) or not event_type:
+            raise ValueError("event_type must be a non-empty string")
+        return cls(
+            lambda event: event.event_type == event_type,
+            name=event_type,
+            event_type=event_type,
+        )
+
+    @classmethod
+    def any_event(cls) -> "EventPredicate":
+        """Match every event."""
+        return cls(lambda _event: True, name="*")
+
+    @classmethod
+    def where(
+        cls, test: Callable[[Event], bool], *, name: Optional[str] = None
+    ) -> "EventPredicate":
+        """Match events satisfying an arbitrary test."""
+        return cls(test, name=name)
+
+    @classmethod
+    def attr_equals(cls, key: str, value: Any) -> "EventPredicate":
+        """Match events whose attribute ``key`` equals ``value``."""
+        return cls(
+            lambda event: event.attribute(key) == value,
+            name=f"{key}=={value!r}",
+        )
+
+    @classmethod
+    def from_source(cls, source: str) -> "EventPredicate":
+        """Match events originating from one data stream / subject."""
+        return cls(lambda event: event.source == source, name=f"src:{source}")
+
+    # -- combinators -----------------------------------------------------
+
+    def __and__(self, other: "EventPredicate") -> "EventPredicate":
+        if not isinstance(other, EventPredicate):
+            return NotImplemented
+        return EventPredicate(
+            lambda event: self.matches(event) and other.matches(event),
+            name=f"({self.name} & {other.name})",
+        )
+
+    def __or__(self, other: "EventPredicate") -> "EventPredicate":
+        if not isinstance(other, EventPredicate):
+            return NotImplemented
+        return EventPredicate(
+            lambda event: self.matches(event) or other.matches(event),
+            name=f"({self.name} | {other.name})",
+        )
+
+    def __invert__(self) -> "EventPredicate":
+        return EventPredicate(
+            lambda event: not self.matches(event), name=f"!{self.name}"
+        )

@@ -1,0 +1,112 @@
+"""Pattern-level differential privacy — the paper's core contribution.
+
+- Definitions 1-3: neighbouring relations (:mod:`repro.core.neighbors`);
+- Definition 4: the guarantee object (:mod:`repro.core.guarantee`);
+- Theorem 1: budget algebra (:mod:`repro.core.budget`);
+- Section V-A: the uniform PPM (:mod:`repro.core.uniform`);
+- Section V-B / Algorithm 1: the adaptive PPM (:mod:`repro.core.adaptive`);
+- exact guarantee verification (:mod:`repro.core.verification`).
+"""
+
+from repro.core.adaptive import (
+    AdaptiveFitResult,
+    AdaptivePatternPPM,
+    default_step_size,
+    fit_allocation,
+)
+from repro.core.budget import BudgetAllocation, theorem1_epsilon
+from repro.core.correlation import (
+    CorrelationReport,
+    DiscoveredProxy,
+    augment_private_pattern,
+    discover_relevant_events,
+    event_pattern_correlations,
+    leakage_after_protection,
+    phi_coefficient,
+)
+from repro.core.extensions import (
+    CountEstimate,
+    CountingQuery,
+    debias_rate,
+    estimate_detection_count,
+)
+from repro.core.event_ppm import EventStreamPPM
+from repro.core.guarantee import PatternLevelGuarantee
+from repro.core.neighbors import (
+    are_in_pattern_neighbors,
+    are_pattern_level_neighbors,
+    are_windowed_neighbors,
+    differing_positions,
+    enumerate_in_pattern_neighbors,
+    enumerate_windowed_neighbors,
+    instance_matches_type,
+    windowed_instance_distance,
+)
+from repro.core.ppm import (
+    MultiPatternPPM,
+    PatternLevelPPM,
+    apply_randomized_response,
+    draw_flip_decisions,
+)
+from repro.core.quality_model import (
+    AnalyticQualityEstimator,
+    MonteCarloQualityEstimator,
+    QualityEstimator,
+    baseline_quality,
+    combine_flip_probabilities,
+    expected_confusion_for_flips,
+)
+from repro.core.uniform import UniformPatternPPM
+from repro.core.verification import (
+    VerificationReport,
+    empirical_flip_rates,
+    response_distribution,
+    verify_instance_dp,
+    verify_single_event_dp,
+)
+
+__all__ = [
+    "AdaptiveFitResult",
+    "AdaptivePatternPPM",
+    "AnalyticQualityEstimator",
+    "BudgetAllocation",
+    "CorrelationReport",
+    "CountEstimate",
+    "CountingQuery",
+    "DiscoveredProxy",
+    "EventStreamPPM",
+    "MonteCarloQualityEstimator",
+    "MultiPatternPPM",
+    "PatternLevelGuarantee",
+    "PatternLevelPPM",
+    "QualityEstimator",
+    "UniformPatternPPM",
+    "VerificationReport",
+    "apply_randomized_response",
+    "are_in_pattern_neighbors",
+    "are_pattern_level_neighbors",
+    "are_windowed_neighbors",
+    "augment_private_pattern",
+    "baseline_quality",
+    "combine_flip_probabilities",
+    "debias_rate",
+    "default_step_size",
+    "differing_positions",
+    "discover_relevant_events",
+    "draw_flip_decisions",
+    "empirical_flip_rates",
+    "enumerate_in_pattern_neighbors",
+    "enumerate_windowed_neighbors",
+    "estimate_detection_count",
+    "event_pattern_correlations",
+    "expected_confusion_for_flips",
+    "fit_allocation",
+    "instance_matches_type",
+    "leakage_after_protection",
+    "phi_coefficient",
+    "response_distribution",
+    "theorem1_epsilon",
+    "verify_instance_dp",
+    "verify_single_event_dp",
+    "windowed_instance_distance",
+]

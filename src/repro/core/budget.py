@@ -1,0 +1,178 @@
+"""Privacy-budget algebra for pattern-level DP (Theorem 1).
+
+A pattern ``P = seq(e_1..e_m)`` is protected by flipping each element's
+existence indicator with probability ``p_i``; each flip spends
+``ε_i = ln((1 - p_i)/p_i)`` and Theorem 1 composes them into
+``Σ_i ε_i``-pattern-level DP.  :class:`BudgetAllocation` is the vector
+``(ε_1..ε_m)`` with the invariants the PPMs rely on:
+
+- every ``ε_i`` is non-negative and finite;
+- the components sum to the total budget ``ε`` (within tolerance);
+- the flip probabilities they induce satisfy ``0 < p_i <= 1/2``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.mechanisms.randomized_response import (
+    epsilon_to_flip_probability,
+    flip_probability_to_epsilon,
+)
+from repro.utils.validation import check_positive
+
+_SUM_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class BudgetAllocation:
+    """A distribution of the total pattern-level budget over elements."""
+
+    epsilons: Tuple[float, ...]
+
+    def __init__(self, epsilons: Sequence[float]):
+        epsilons = tuple(float(value) for value in epsilons)
+        if not epsilons:
+            raise ValueError("an allocation needs at least one element")
+        for position, value in enumerate(epsilons):
+            if math.isnan(value) or math.isinf(value):
+                raise ValueError(
+                    f"epsilon_{position + 1} must be finite, got {value}"
+                )
+            if value < 0:
+                raise ValueError(
+                    f"epsilon_{position + 1} must be >= 0, got {value}"
+                )
+        object.__setattr__(self, "epsilons", epsilons)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def uniform(cls, total_epsilon: float, length: int) -> "BudgetAllocation":
+        """The uniform split ``ε_i = ε/m`` (Section V-A, Fig. 3)."""
+        check_positive("total_epsilon", total_epsilon)
+        if length <= 0:
+            raise ValueError(f"length must be positive, got {length}")
+        share = total_epsilon / length
+        return cls((share,) * length)
+
+    @classmethod
+    def from_flip_probabilities(
+        cls, probabilities: Sequence[float]
+    ) -> "BudgetAllocation":
+        """Recover the allocation spending these flip probabilities."""
+        return cls(
+            tuple(flip_probability_to_epsilon(p) for p in probabilities)
+        )
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """The pattern length ``m``."""
+        return len(self.epsilons)
+
+    @property
+    def total(self) -> float:
+        """Theorem 1's composed budget ``Σ_i ε_i``."""
+        return float(sum(self.epsilons))
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __getitem__(self, index: int) -> float:
+        return self.epsilons[index]
+
+    def __iter__(self):
+        return iter(self.epsilons)
+
+    def flip_probabilities(self) -> List[float]:
+        """The per-element flip probabilities ``p_i = 1/(1 + e^{ε_i})``.
+
+        ``ε_i = 0`` maps to ``p_i = 1/2``: that element is reported as a
+        fair coin, revealing nothing.
+        """
+        return [epsilon_to_flip_probability(value) for value in self.epsilons]
+
+    def sums_to(self, total_epsilon: float) -> bool:
+        """Whether the allocation exhausts exactly ``total_epsilon``."""
+        return abs(self.total - total_epsilon) <= max(
+            _SUM_TOLERANCE, 1e-9 * max(1.0, abs(total_epsilon))
+        )
+
+    # -- stepwise moves (Algorithm 1) ----------------------------------------
+
+    def with_move(self, index: int, step: float) -> "BudgetAllocation":
+        """One bidirectional stepwise move (Algorithm 1, line 7).
+
+        Adds ``step`` to element ``index`` and removes ``step/(m-1)``
+        from every other element, then clamps at zero and renormalizes so
+        the total budget is conserved exactly.  (The paper's pseudocode
+        divides by ``m``, which leaks budget; we keep the sum invariant —
+        see DESIGN.md.)
+        """
+        if not 0 <= index < self.length:
+            raise IndexError(
+                f"index {index} out of range for length {self.length}"
+            )
+        check_positive("step", step)
+        if self.length == 1:
+            return BudgetAllocation(self.epsilons)
+        values = list(self.epsilons)
+        compensation = step / (self.length - 1)
+        values[index] += step
+        for other in range(self.length):
+            if other != index:
+                values[other] -= compensation
+        clamped = [max(0.0, value) for value in values]
+        return self._renormalized(clamped, self.total)
+
+    @staticmethod
+    def _renormalized(values: List[float], total: float) -> "BudgetAllocation":
+        current = sum(values)
+        if current <= 0:
+            # Degenerate: everything clamped to zero; fall back to uniform.
+            length = len(values)
+            return BudgetAllocation((total / length,) * length)
+        scale = total / current
+        return BudgetAllocation(tuple(value * scale for value in values))
+
+    def normalized_to(self, total_epsilon: float) -> "BudgetAllocation":
+        """Rescale the allocation to a different total budget."""
+        check_positive("total_epsilon", total_epsilon)
+        return self._renormalized(list(self.epsilons), total_epsilon)
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def entropy(self) -> float:
+        """Shannon entropy of the normalized allocation (nats).
+
+        ``log(m)`` for the uniform split; lower values mean the adaptive
+        search has concentrated budget on few elements.
+        """
+        total = self.total
+        if total == 0:
+            return 0.0
+        entropy = 0.0
+        for value in self.epsilons:
+            if value > 0:
+                share = value / total
+                entropy -= share * math.log(share)
+        return entropy
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{value:.4f}" for value in self.epsilons)
+        return f"BudgetAllocation([{inner}], total={self.total:.4f})"
+
+
+def theorem1_epsilon(flip_probabilities: Sequence[float]) -> float:
+    """Theorem 1: the pattern-level budget of a randomized-response PPM.
+
+    ``Σ_{i: e_i ∈ P} ln((1 - p_i)/p_i)`` — the product bound of Eq. (6)
+    rewritten as a sum of per-element budgets.
+    """
+    return float(
+        sum(flip_probability_to_epsilon(p) for p in flip_probabilities)
+    )

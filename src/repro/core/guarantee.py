@@ -1,0 +1,98 @@
+"""The pattern-level ε-DP guarantee object (Definition 4).
+
+A mechanism ``M`` over pattern streams satisfies pattern-level ε-DP of a
+pattern type ``P`` iff for all pattern-level neighbours ``S, S'`` and
+response sets ``R``::
+
+    Pr[M(S) ∈ R] <= e^ε · Pr[M(S') ∈ R].
+
+:class:`PatternLevelGuarantee` carries the protected pattern and the
+budget, and knows how to check whether a randomized-response allocation
+delivers it — both for the single-event neighbouring of Definition 3
+(worst case ``max_i ε_i``) and for the whole-instance group-privacy
+reading that Theorem 1's sum bounds (``Σ_i ε_i``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cep.patterns import Pattern
+from repro.core.budget import BudgetAllocation
+from repro.utils.validation import check_positive
+
+_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class PatternLevelGuarantee:
+    """Pattern-level ε-DP of a given pattern type (Definition 4)."""
+
+    pattern: Pattern
+    epsilon: float
+
+    def __post_init__(self):
+        if not isinstance(self.pattern, Pattern):
+            raise TypeError(
+                f"pattern must be a Pattern, got {type(self.pattern).__name__}"
+            )
+        check_positive("epsilon", self.epsilon)
+
+    @property
+    def pattern_length(self) -> int:
+        """The number of protected pattern elements ``m``."""
+        return self.pattern.length
+
+    def statement(self) -> str:
+        """A human-readable statement of the guarantee."""
+        return (
+            f"pattern-level {self.epsilon:g}-DP of pattern type "
+            f"{self.pattern.name!r} ({self.pattern.expr.render()})"
+        )
+
+    # -- checks ------------------------------------------------------------
+
+    def satisfied_by(self, allocation: BudgetAllocation) -> bool:
+        """Theorem 1 check: does the allocation stay within the budget?
+
+        The randomized-response PPM with per-element budgets ``ε_i``
+        guarantees ``Σ ε_i``-pattern-level DP; the guarantee holds when
+        that sum does not exceed this object's ε.
+        """
+        if allocation.length != self.pattern_length:
+            raise ValueError(
+                f"allocation length {allocation.length} does not match "
+                f"pattern length {self.pattern_length}"
+            )
+        return allocation.total <= self.epsilon + _TOLERANCE
+
+    def worst_case_single_event_epsilon(
+        self, allocation: BudgetAllocation
+    ) -> float:
+        """The privacy loss against Definition 3 neighbours.
+
+        A single-event change touches one element, so the worst-case loss
+        is ``max_i ε_i`` — never larger than the Theorem 1 sum.
+        """
+        if allocation.length != self.pattern_length:
+            raise ValueError(
+                f"allocation length {allocation.length} does not match "
+                f"pattern length {self.pattern_length}"
+            )
+        return max(allocation.epsilons)
+
+    def max_likelihood_ratio(self) -> float:
+        """The bound ``e^ε`` on any response-probability ratio."""
+        return math.exp(self.epsilon)
+
+    def privacy_loss_of(self, flip_probabilities: Sequence[float]) -> float:
+        """Theorem 1's composed loss of given flip probabilities."""
+        allocation = BudgetAllocation.from_flip_probabilities(
+            flip_probabilities
+        )
+        return allocation.total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PatternLevelGuarantee({self.statement()})"

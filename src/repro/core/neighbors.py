@@ -1,0 +1,199 @@
+"""Neighbouring relations of pattern-level DP (Definitions 1-3).
+
+Definition 1 (*in-pattern neighbours*): two same-length patterns that
+differ in exactly one constituent event.
+
+Definition 2 (*pattern type*): the group of pattern instances identified
+by a query — here represented by :class:`~repro.cep.patterns.Pattern`
+(instances are recognized by their element types).
+
+Definition 3 (*pattern-level neighbours*): two pattern streams that are
+identical except that one instance of the protected type is replaced by
+an in-pattern neighbour.
+
+The functions operate on instances given either as
+:class:`~repro.cep.matcher.PatternMatch` objects or as plain sequences
+of event-type symbols; the windowed-model helpers generate neighbouring
+:class:`~repro.streams.indicator.IndicatorStream` objects by flipping a
+single existence indicator of a pattern element.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.cep.matcher import PatternMatch
+from repro.cep.patterns import Pattern
+from repro.streams.indicator import IndicatorStream
+
+Instance = Union[PatternMatch, Sequence[str]]
+
+
+def _element_types(instance: Instance) -> Tuple[str, ...]:
+    if isinstance(instance, PatternMatch):
+        return instance.element_types()
+    return tuple(instance)
+
+
+def differing_positions(first: Instance, second: Instance) -> List[int]:
+    """Positions at which two same-length instances differ."""
+    first_types = _element_types(first)
+    second_types = _element_types(second)
+    if len(first_types) != len(second_types):
+        raise ValueError(
+            f"instances have different lengths "
+            f"({len(first_types)} vs {len(second_types)})"
+        )
+    return [
+        position
+        for position, (a, b) in enumerate(zip(first_types, second_types))
+        if a != b
+    ]
+
+
+def are_in_pattern_neighbors(first: Instance, second: Instance) -> bool:
+    """Definition 1: same length, exactly one differing element.
+
+    Instances of different lengths are simply *not* neighbours (rather
+    than an error) when compared through
+    :func:`are_pattern_level_neighbors`; called directly, a length
+    mismatch raises to surface bugs early.
+    """
+    return len(differing_positions(first, second)) == 1
+
+
+def instance_matches_type(instance: Instance, pattern: Pattern) -> bool:
+    """Definition 2 membership test: is ``instance`` of type ``pattern``?
+
+    In the windowed/sequential model an instance belongs to the type when
+    its element types equal the pattern's element sequence.
+    """
+    if pattern.elements is None:
+        raise ValueError(
+            f"pattern {pattern.name!r} has no element list; "
+            "membership in the windowed model is undefined"
+        )
+    return _element_types(instance) == tuple(pattern.elements)
+
+
+def are_pattern_level_neighbors(
+    first_stream: Sequence[Instance],
+    second_stream: Sequence[Instance],
+    pattern: Pattern,
+) -> bool:
+    """Definition 3: the streams differ in exactly one instance of
+    ``pattern``, and that instance differs by exactly one element."""
+    if len(first_stream) != len(second_stream):
+        return False
+    differing: List[int] = []
+    for position, (first, second) in enumerate(zip(first_stream, second_stream)):
+        first_types = _element_types(first)
+        second_types = _element_types(second)
+        if len(first_types) != len(second_types):
+            return False
+        if first_types != second_types:
+            differing.append(position)
+    if len(differing) != 1:
+        return False
+    position = differing[0]
+    if not instance_matches_type(first_stream[position], pattern) and not (
+        instance_matches_type(second_stream[position], pattern)
+    ):
+        # The differing instance must belong to the protected type on at
+        # least one side (an instance stops being of the type once an
+        # element is replaced).
+        return False
+    return are_in_pattern_neighbors(
+        first_stream[position], second_stream[position]
+    )
+
+
+def enumerate_in_pattern_neighbors(
+    instance: Instance, alphabet: Iterable[str]
+) -> Iterator[Tuple[str, ...]]:
+    """All in-pattern neighbours of ``instance`` over ``alphabet``.
+
+    Yields every same-length sequence obtained by replacing exactly one
+    element with a different symbol.
+    """
+    elements = _element_types(instance)
+    symbols = list(alphabet)
+    for position in range(len(elements)):
+        for symbol in symbols:
+            if symbol == elements[position]:
+                continue
+            yield elements[:position] + (symbol,) + elements[position + 1 :]
+
+
+# -- windowed-model neighbours -------------------------------------------------
+
+
+def enumerate_windowed_neighbors(
+    stream: IndicatorStream,
+    pattern: Pattern,
+    *,
+    window_index: Optional[int] = None,
+) -> Iterator[IndicatorStream]:
+    """Neighbouring indicator streams under single-event change.
+
+    In the windowed model, replacing one constituent event of a pattern
+    instance toggles one existence indicator of one pattern element in
+    one window.  Yields every such single-bit-flip neighbour (restricted
+    to ``window_index`` when given).
+    """
+    if pattern.elements is None:
+        raise ValueError(f"pattern {pattern.name!r} has no element list")
+    windows = (
+        range(stream.n_windows)
+        if window_index is None
+        else [window_index]
+    )
+    seen_columns = set()
+    for element in pattern.elements:
+        if element in seen_columns:
+            continue  # repeated element types share one indicator column
+        seen_columns.add(element)
+        for index in windows:
+            yield stream.flip(index, element)
+
+
+def windowed_instance_distance(
+    first: IndicatorStream, second: IndicatorStream, pattern: Pattern
+) -> int:
+    """Number of pattern-element indicator bits at which two streams differ.
+
+    0 — identical on the protected columns; 1 — pattern-level neighbours
+    (single-event change); up to ``m`` — a full instance appearing or
+    disappearing (the group-privacy case whose cost Theorem 1 sums).
+    """
+    if pattern.elements is None:
+        raise ValueError(f"pattern {pattern.name!r} has no element list")
+    if first.alphabet != second.alphabet:
+        raise ValueError("streams must share an alphabet")
+    if first.n_windows != second.n_windows:
+        raise ValueError("streams must have the same number of windows")
+    distance = 0
+    for element in sorted(set(pattern.elements)):
+        column_first = first.column(element)
+        column_second = second.column(element)
+        distance += int((column_first != column_second).sum())
+    return distance
+
+
+def are_windowed_neighbors(
+    first: IndicatorStream, second: IndicatorStream, pattern: Pattern
+) -> bool:
+    """Whether two indicator streams are pattern-level neighbours.
+
+    True when they differ in exactly one existence indicator of one
+    pattern element (and nowhere else).
+    """
+    if first.alphabet != second.alphabet:
+        return False
+    if first.n_windows != second.n_windows:
+        return False
+    full_distance = int(
+        (first.matrix_view() != second.matrix_view()).sum()
+    )
+    protected_distance = windowed_instance_distance(first, second, pattern)
+    return full_distance == 1 and protected_distance == 1

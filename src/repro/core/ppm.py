@@ -1,0 +1,260 @@
+"""Pattern-level privacy-preserving mechanisms (Section V).
+
+A pattern-level PPM perturbs *only* the existence indicators of the
+events that constitute the private pattern — all other data passes
+through untouched.  This is the paper's central efficiency argument:
+budget is not wasted on events that carry no private information, so
+the residual quality of the stream stays high.
+
+:class:`PatternLevelPPM` is the shared machinery (randomized response
+per protected element, Definition 5); the uniform and adaptive PPMs
+differ only in how they build the :class:`~repro.core.budget.BudgetAllocation`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.cep.patterns import Pattern
+from repro.core.budget import BudgetAllocation
+from repro.core.guarantee import PatternLevelGuarantee
+from repro.mechanisms.randomized_response import epsilon_to_flip_probability
+from repro.streams.indicator import IndicatorStream
+from repro.utils.rng import RngLike, derive_rng
+
+
+def draw_flip_decisions(
+    n_windows: int,
+    probability_by_type: Mapping[str, float],
+    *,
+    rng: RngLike = None,
+) -> Dict[str, np.ndarray]:
+    """Per-(window, type) flip decisions for a randomized-response PPM.
+
+    One independent child generator is derived per event type, so the
+    decisions do not depend on mapping iteration order, and — crucially —
+    the *same* seed yields the same decisions whether the mechanism is
+    applied to indicator matrices (:func:`apply_randomized_response`) or
+    to raw event streams (:class:`~repro.core.event_ppm.EventStreamPPM`):
+    the two realizations of Definition 5 commute exactly with the window
+    reduction.
+    """
+    decisions: Dict[str, np.ndarray] = {}
+    for event_type, probability in probability_by_type.items():
+        if not 0.0 <= probability <= 0.5:
+            raise ValueError(
+                f"flip probability for {event_type!r} must be in [0, 1/2], "
+                f"got {probability}"
+            )
+        child = derive_rng(rng, "rr-flip", event_type)
+        decisions[event_type] = child.random(n_windows) < probability
+    return decisions
+
+
+def apply_randomized_response(
+    stream: IndicatorStream,
+    probability_by_type: Mapping[str, float],
+    *,
+    rng: RngLike = None,
+) -> IndicatorStream:
+    """Flip the named indicator columns independently per window.
+
+    ``probability_by_type`` maps event-type symbols to flip
+    probabilities; unnamed columns are untouched.  This realizes
+    Definition 5 over a windowed stream: each protected existence
+    indicator is reported truthfully with probability ``1 - p`` and
+    inverted with probability ``p``.
+    """
+    decisions = draw_flip_decisions(
+        stream.n_windows, probability_by_type, rng=rng
+    )
+    matrix = stream.matrix()
+    for event_type, flips in decisions.items():
+        column = stream.alphabet.index(event_type)
+        matrix[:, column] ^= flips
+    return stream.with_matrix(matrix)
+
+
+class PatternLevelPPM:
+    """Randomized-response PPM protecting one private pattern.
+
+    Parameters
+    ----------
+    private_pattern:
+        The protected pattern type ``P = seq(e_1..e_m)``; must expose an
+        element list (sequence of event types).
+    allocation:
+        The per-element budgets ``(ε_1..ε_m)``.  Theorem 1 composes them
+        into ``Σ ε_i``-pattern-level DP, exposed as :attr:`guarantee`.
+    """
+
+    mechanism_name = "pattern-level"
+
+    def __init__(
+        self,
+        private_pattern: Pattern,
+        allocation: BudgetAllocation,
+        *,
+        name: Optional[str] = None,
+    ):
+        if not isinstance(private_pattern, Pattern):
+            raise TypeError(
+                f"private_pattern must be a Pattern, got "
+                f"{type(private_pattern).__name__}"
+            )
+        if private_pattern.elements is None:
+            raise ValueError(
+                f"pattern {private_pattern.name!r} is not a sequence of event "
+                "types; pattern-level PPMs need an element list"
+            )
+        if allocation.length != len(private_pattern.elements):
+            raise ValueError(
+                f"allocation has {allocation.length} budgets but the pattern "
+                f"has {len(private_pattern.elements)} elements"
+            )
+        self.private_pattern = private_pattern
+        self.allocation = allocation
+        self.guarantee = PatternLevelGuarantee(
+            private_pattern, allocation.total
+        )
+        self._name = name or self.mechanism_name
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def epsilon(self) -> float:
+        """The total pattern-level budget ``ε = Σ ε_i``."""
+        return self.allocation.total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(pattern={self.private_pattern.name!r}, "
+            f"epsilon={self.epsilon:g})"
+        )
+
+    # -- budget bookkeeping ---------------------------------------------------
+
+    def epsilon_by_type(self) -> Dict[str, float]:
+        """Budget per *distinct* element type.
+
+        A pattern may repeat an element type (e.g. ``seq(a, b, a)``); in
+        the windowed model both occurrences share one indicator column,
+        so their budgets combine on that column.
+        """
+        totals: Dict[str, float] = {}
+        for element, epsilon in zip(
+            self.private_pattern.elements, self.allocation.epsilons
+        ):
+            totals[element] = totals.get(element, 0.0) + epsilon
+        return totals
+
+    def flip_probability_by_type(self) -> Dict[str, float]:
+        """Flip probability per distinct protected element type."""
+        return {
+            element: epsilon_to_flip_probability(epsilon)
+            for element, epsilon in self.epsilon_by_type().items()
+        }
+
+    def privacy_statement(self) -> str:
+        """Human-readable statement of the delivered guarantee."""
+        return self.guarantee.statement()
+
+    # -- service ---------------------------------------------------------------
+
+    def perturb(
+        self, stream: IndicatorStream, *, rng: RngLike = None
+    ) -> IndicatorStream:
+        """Perturb the protected indicators of an indicator stream.
+
+        Only the private pattern's element columns are touched; every
+        other column is returned bit-identical.
+        """
+        missing = [
+            element
+            for element in self.private_pattern.elements
+            if element not in stream.alphabet
+        ]
+        if missing:
+            raise ValueError(
+                f"stream alphabet lacks protected element types {missing}"
+            )
+        return apply_randomized_response(
+            stream, self.flip_probability_by_type(), rng=rng
+        )
+
+    def answer(
+        self,
+        stream: IndicatorStream,
+        target_pattern: Pattern,
+        *,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Per-window binary answers for one target pattern.
+
+        The stream is perturbed once and the containment query evaluated
+        on the perturbed indicators.
+        """
+        if target_pattern.elements is None:
+            raise ValueError(
+                f"target pattern {target_pattern.name!r} has no element list"
+            )
+        perturbed = self.perturb(stream, rng=rng)
+        return perturbed.detect_all(list(target_pattern.elements))
+
+
+class MultiPatternPPM:
+    """Independent pattern-level PPMs for several private patterns.
+
+    Section V-A: overlapping or repeating private patterns are handled
+    by *independent* PPMs with independent budgets — shared events are
+    then flipped by several mechanisms, which "only brings more noise to
+    the private information", strengthening protection while each
+    pattern's own guarantee is unaffected.
+    """
+
+    mechanism_name = "pattern-level-multi"
+
+    def __init__(self, ppms: Sequence[PatternLevelPPM]):
+        if not ppms:
+            raise ValueError("at least one PPM is required")
+        names = [ppm.private_pattern.name for ppm in ppms]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate private patterns: {names}")
+        self._ppms = list(ppms)
+
+    @property
+    def name(self) -> str:
+        return self.mechanism_name
+
+    @property
+    def ppms(self) -> List[PatternLevelPPM]:
+        return list(self._ppms)
+
+    @property
+    def epsilon(self) -> float:
+        """The per-pattern budgets are independent; report the maximum
+        (each pattern type enjoys its own ε guarantee)."""
+        return max(ppm.epsilon for ppm in self._ppms)
+
+    def guarantees(self) -> List[PatternLevelGuarantee]:
+        """The per-pattern guarantees delivered simultaneously."""
+        return [ppm.guarantee for ppm in self._ppms]
+
+    def perturb(
+        self, stream: IndicatorStream, *, rng: RngLike = None
+    ) -> IndicatorStream:
+        """Apply every PPM in sequence with independent randomness."""
+        perturbed = stream
+        for position, ppm in enumerate(self._ppms):
+            child = derive_rng(rng, "multi-ppm", position)
+            perturbed = ppm.perturb(perturbed, rng=child)
+        return perturbed
+
+    def privacy_statement(self) -> str:
+        return "; ".join(ppm.privacy_statement() for ppm in self._ppms)

@@ -1,0 +1,33 @@
+"""The uniform pattern-level PPM (Section V-A).
+
+"A basic approach is to distribute the given privacy budget ε evenly to
+each related pattern [element]" (Fig. 3): ``ε_i = ε/m`` for a private
+pattern of length ``m``, giving every protected element the same flip
+probability ``p = 1/(1 + e^{ε/m})``.
+"""
+
+from __future__ import annotations
+
+from repro.cep.patterns import Pattern
+from repro.core.budget import BudgetAllocation
+from repro.core.ppm import PatternLevelPPM
+from repro.utils.validation import check_positive
+
+
+class UniformPatternPPM(PatternLevelPPM):
+    """Pattern-level PPM with the uniform budget split ``ε_i = ε/m``."""
+
+    mechanism_name = "uniform"
+
+    def __init__(self, private_pattern: Pattern, epsilon: float):
+        check_positive("epsilon", epsilon)
+        if private_pattern.elements is None:
+            raise ValueError(
+                f"pattern {private_pattern.name!r} has no element list"
+            )
+        allocation = BudgetAllocation.uniform(
+            epsilon, len(private_pattern.elements)
+        )
+        super().__init__(
+            private_pattern, allocation, name=self.mechanism_name
+        )

@@ -1,0 +1,57 @@
+"""Evaluation datasets (Section VI-A.1).
+
+- :mod:`repro.datasets.taxi` — the T-Drive-substitute grid-city taxi
+  simulator (see DESIGN.md "Substitutions");
+- :mod:`repro.datasets.synthetic` — Algorithm 2, verbatim;
+- :mod:`repro.datasets.workload` — the workload bundle the experiment
+  harness consumes;
+- :mod:`repro.datasets.io` — CSV/JSON persistence.
+"""
+
+from repro.datasets.io import (
+    load_indicator_csv,
+    load_workload,
+    save_indicator_csv,
+    save_workload,
+)
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    synthesize_dataset,
+    synthesize_many,
+)
+from repro.datasets.taxi import (
+    PRIVATE_PATTERNS,
+    TARGET_PATTERNS,
+    TAXI_ALPHABET,
+    GridCity,
+    TaxiConfig,
+    build_taxi_workload,
+    fleet_data_stream,
+    simulate_fleet,
+    simulate_trace,
+    taxi_event_extractors,
+    traces_to_indicator_stream,
+)
+from repro.datasets.workload import Workload
+
+__all__ = [
+    "GridCity",
+    "PRIVATE_PATTERNS",
+    "SyntheticConfig",
+    "TARGET_PATTERNS",
+    "TAXI_ALPHABET",
+    "TaxiConfig",
+    "Workload",
+    "build_taxi_workload",
+    "fleet_data_stream",
+    "load_indicator_csv",
+    "load_workload",
+    "save_indicator_csv",
+    "save_workload",
+    "simulate_fleet",
+    "simulate_trace",
+    "synthesize_dataset",
+    "synthesize_many",
+    "taxi_event_extractors",
+    "traces_to_indicator_stream",
+]

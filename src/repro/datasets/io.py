@@ -1,0 +1,118 @@
+"""Persistence of indicator streams and workloads (CSV + JSON).
+
+Lets users export generated workloads, run external tools on them, and
+reload them for evaluation — and lets the examples ship reproducible
+artefacts without binary formats.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import List
+
+import numpy as np
+
+from repro.cep.patterns import Pattern
+from repro.datasets.workload import Workload
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+
+_STREAM_FILE = "stream.csv"
+_HISTORY_FILE = "history.csv"
+_META_FILE = "workload.json"
+
+
+def save_indicator_csv(stream: IndicatorStream, path: str) -> None:
+    """Write an indicator stream as CSV (header = alphabet, rows = 0/1)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(stream.alphabet.types)
+        for row in stream.matrix_view():
+            writer.writerow([int(value) for value in row])
+
+
+def load_indicator_csv(path: str) -> IndicatorStream:
+    """Read an indicator stream written by :func:`save_indicator_csv`."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty; expected an alphabet header")
+        alphabet = EventAlphabet(header)
+        rows: List[List[int]] = []
+        for line_number, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path}:{line_number}: expected {len(header)} columns, "
+                    f"got {len(row)}"
+                )
+            try:
+                rows.append([int(value) for value in row])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{line_number}: non-integer indicator value"
+                ) from None
+    if rows:
+        matrix = np.array(rows, dtype=int)
+    else:
+        matrix = np.zeros((0, len(alphabet)), dtype=int)
+    return IndicatorStream(alphabet, matrix)
+
+
+def _pattern_to_dict(pattern: Pattern) -> dict:
+    if pattern.elements is None:
+        raise ValueError(
+            f"pattern {pattern.name!r} has no element list; only "
+            "seq-of-types patterns are serializable"
+        )
+    return {"name": pattern.name, "elements": list(pattern.elements)}
+
+
+def _pattern_from_dict(data: dict) -> Pattern:
+    return Pattern.of_types(data["name"], *data["elements"])
+
+
+def save_workload(workload: Workload, directory: str) -> None:
+    """Persist a workload into ``directory`` (created if missing)."""
+    os.makedirs(directory, exist_ok=True)
+    save_indicator_csv(
+        workload.stream, os.path.join(directory, _STREAM_FILE)
+    )
+    save_indicator_csv(
+        workload.history, os.path.join(directory, _HISTORY_FILE)
+    )
+    meta = {
+        "name": workload.name,
+        "w": workload.w,
+        "private_patterns": [
+            _pattern_to_dict(p) for p in workload.private_patterns
+        ],
+        "target_patterns": [
+            _pattern_to_dict(p) for p in workload.target_patterns
+        ],
+    }
+    with open(os.path.join(directory, _META_FILE), "w") as handle:
+        json.dump(meta, handle, indent=2)
+
+
+def load_workload(directory: str) -> Workload:
+    """Reload a workload persisted by :func:`save_workload`."""
+    meta_path = os.path.join(directory, _META_FILE)
+    if not os.path.exists(meta_path):
+        raise FileNotFoundError(f"no workload metadata at {meta_path}")
+    with open(meta_path) as handle:
+        meta = json.load(handle)
+    return Workload(
+        name=meta["name"],
+        stream=load_indicator_csv(os.path.join(directory, _STREAM_FILE)),
+        history=load_indicator_csv(os.path.join(directory, _HISTORY_FILE)),
+        private_patterns=[
+            _pattern_from_dict(d) for d in meta["private_patterns"]
+        ],
+        target_patterns=[
+            _pattern_from_dict(d) for d in meta["target_patterns"]
+        ],
+        w=int(meta["w"]),
+    )

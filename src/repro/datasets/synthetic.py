@@ -1,0 +1,175 @@
+"""Synthetic dataset generation — Algorithm 2 of the paper, verbatim.
+
+"Denote 20 basic events as e1..e20; randomly generate 20 numbers between
+0 and 1 as the natural occurrence of e_i; [for each of 1000 windows,
+include e_n when a uniform draw falls below Pr(e_n)]; among 20 patterns
+randomly select 3 as private ones and 5 as target ones; assign randomly
+3 events to each of the 20 patterns.  If all three events are contained
+in one L_m, then their corresponding pattern is regarded as being
+detected."
+
+The paper synthesizes 1000 such datasets; :func:`synthesize_many` does
+the same with the count as a parameter so tests stay fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.cep.patterns import Pattern
+from repro.datasets.workload import Workload
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+from repro.utils.rng import RngLike, derive_rng, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of Algorithm 2 (paper defaults).
+
+    Attributes
+    ----------
+    n_event_types:
+        Size of the basic-event alphabet (paper: 20).
+    n_windows:
+        Evaluation windows per dataset (paper: 1000).
+    n_history_windows:
+        Additional windows generated from the same occurrence
+        probabilities as the historical data for Algorithm 1.
+    n_patterns:
+        Total pattern pool size (paper: 20).
+    pattern_length:
+        Events per pattern (paper: 3).
+    n_private, n_target:
+        Patterns drawn as private / target (paper: 3 and 5).
+    disjoint_roles:
+        When True (default), the target patterns are drawn from the pool
+        excluding the private ones — roles may still correlate through
+        shared *events*, which is what makes the evaluation meaningful;
+        when False a pattern may be private and target at once.
+    w:
+        The w-event parameter attached to the generated workload.
+    """
+
+    n_event_types: int = 20
+    n_windows: int = 1000
+    n_history_windows: int = 500
+    n_patterns: int = 20
+    pattern_length: int = 3
+    n_private: int = 3
+    n_target: int = 5
+    disjoint_roles: bool = True
+    w: int = 10
+
+    def __post_init__(self):
+        check_positive_int("n_event_types", self.n_event_types)
+        check_positive_int("n_windows", self.n_windows)
+        check_positive_int("n_history_windows", self.n_history_windows)
+        check_positive_int("n_patterns", self.n_patterns)
+        check_positive_int("pattern_length", self.pattern_length)
+        check_positive_int("n_private", self.n_private)
+        check_positive_int("n_target", self.n_target)
+        check_positive_int("w", self.w)
+        if self.pattern_length > self.n_event_types:
+            raise ValueError(
+                "pattern_length cannot exceed the alphabet size"
+            )
+        required = self.n_private + (
+            self.n_target if self.disjoint_roles else 0
+        )
+        if required > self.n_patterns:
+            raise ValueError(
+                f"need {required} distinct pattern roles but the pool has "
+                f"only {self.n_patterns} patterns"
+            )
+
+
+def _sample_windows(
+    rng: np.random.Generator,
+    occurrence: np.ndarray,
+    n_windows: int,
+) -> np.ndarray:
+    """Algorithm 2 lines 4-11: include e_n in L_m w.p. Pr(e_n)."""
+    return rng.random((n_windows, occurrence.shape[0])) < occurrence
+
+
+def synthesize_dataset(
+    config: SyntheticConfig = SyntheticConfig(),
+    *,
+    rng: RngLike = None,
+    name: str = "synthetic",
+) -> Workload:
+    """Generate one Algorithm 2 dataset as a :class:`Workload`."""
+    generator = ensure_rng(rng)
+    alphabet = EventAlphabet.numbered(config.n_event_types)
+    type_names = list(alphabet.types)
+
+    # Line 2: natural occurrence probabilities.
+    occurrence = generator.random(config.n_event_types)
+
+    # Lines 3-12: the windows (evaluation + historical, same process).
+    evaluation = _sample_windows(generator, occurrence, config.n_windows)
+    history = _sample_windows(
+        generator, occurrence, config.n_history_windows
+    )
+
+    # Line 14: assign 3 random events to each of the 20 patterns
+    # (sampled without replacement within a pattern).
+    pool: List[Pattern] = []
+    for index in range(config.n_patterns):
+        chosen = generator.choice(
+            config.n_event_types, size=config.pattern_length, replace=False
+        )
+        elements = [type_names[i] for i in sorted(chosen)]
+        pool.append(Pattern.of_types(f"P{index + 1}", *elements))
+
+    # Line 13: select private and target patterns.
+    indices = list(range(config.n_patterns))
+    private_idx = generator.choice(
+        config.n_patterns, size=config.n_private, replace=False
+    )
+    private_patterns = [pool[i] for i in sorted(private_idx)]
+    if config.disjoint_roles:
+        remaining = [i for i in indices if i not in set(private_idx.tolist())]
+        target_pick = generator.choice(
+            len(remaining), size=config.n_target, replace=False
+        )
+        target_patterns = [pool[remaining[i]] for i in sorted(target_pick)]
+    else:
+        target_idx = generator.choice(
+            config.n_patterns, size=config.n_target, replace=False
+        )
+        target_patterns = [pool[i] for i in sorted(target_idx)]
+
+    return Workload(
+        name=name,
+        stream=IndicatorStream(alphabet, evaluation),
+        history=IndicatorStream(alphabet, history),
+        private_patterns=private_patterns,
+        target_patterns=target_patterns,
+        w=config.w,
+    )
+
+
+def synthesize_many(
+    count: int,
+    config: SyntheticConfig = SyntheticConfig(),
+    *,
+    rng: RngLike = None,
+) -> Iterator[Workload]:
+    """Generate ``count`` independent Algorithm 2 datasets.
+
+    The paper repeats Algorithm 2 independently 1000 times; each dataset
+    draws fresh occurrence probabilities, windows and pattern roles from
+    a derived child generator, so datasets are independent and the whole
+    collection is reproducible from one seed.
+    """
+    check_positive_int("count", count)
+    for index in range(count):
+        child = derive_rng(rng, "synthetic-dataset", index)
+        yield synthesize_dataset(
+            config, rng=child, name=f"synthetic-{index}"
+        )

@@ -1,0 +1,179 @@
+"""The workload abstraction consumed by the experiment harness.
+
+A :class:`Workload` bundles everything one evaluation run needs: the
+evaluation windows, the historical windows the adaptive PPM trains on
+(Section V-B), the private and target pattern sets, and the w-event
+window parameter used by the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.baselines.landmark import landmarks_from_pattern
+from repro.cep.patterns import Pattern
+from repro.streams.indicator import IndicatorStream
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class Workload:
+    """One evaluation workload.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports (``"taxi"``, ``"synthetic"``, ...).
+    stream:
+        The evaluation windows the mechanisms perturb and the queries
+        are answered on.
+    history:
+        Historical windows for Algorithm 1 (disjoint from ``stream``).
+    private_patterns:
+        The pattern types the data subjects protect.
+    target_patterns:
+        The pattern types the data consumers query.
+    w:
+        The w-event sliding-window parameter used when baselines run on
+        this workload.
+    """
+
+    name: str
+    stream: IndicatorStream
+    history: IndicatorStream
+    private_patterns: List[Pattern]
+    target_patterns: List[Pattern]
+    w: int = 10
+
+    def __post_init__(self):
+        check_positive_int("w", self.w)
+        if not self.private_patterns:
+            raise ValueError("a workload needs at least one private pattern")
+        if not self.target_patterns:
+            raise ValueError("a workload needs at least one target pattern")
+        if self.stream.alphabet != self.history.alphabet:
+            raise ValueError(
+                "evaluation and historical streams use different alphabets"
+            )
+        for pattern in self.private_patterns + self.target_patterns:
+            if pattern.elements is None:
+                raise ValueError(
+                    f"pattern {pattern.name!r} has no element list"
+                )
+            for element in pattern.elements:
+                if element not in self.stream.alphabet:
+                    raise ValueError(
+                        f"pattern {pattern.name!r} element {element!r} is "
+                        "not in the workload alphabet"
+                    )
+
+    @property
+    def primary_private(self) -> Pattern:
+        """The first private pattern (workloads with a single one)."""
+        return self.private_patterns[0]
+
+    @property
+    def max_private_length(self) -> int:
+        """The longest private pattern's ``m`` (conversion worst case)."""
+        return max(len(p.elements) for p in self.private_patterns)
+
+    def private_elements(self) -> List[str]:
+        """All distinct event types any private pattern protects."""
+        seen = {}
+        for pattern in self.private_patterns:
+            for element in pattern.elements:
+                seen.setdefault(element, None)
+        return list(seen)
+
+    def landmark_mask(self) -> np.ndarray:
+        """Landmark windows for the landmark-privacy baseline.
+
+        A window is a landmark when any private pattern element occurs
+        in it (the data subject's sensitive timestamps).
+        """
+        return landmarks_from_pattern(self.stream, self.private_elements())
+
+    def most_overlapping_private(self) -> Pattern:
+        """The private pattern sharing the most element types with targets.
+
+        Useful for ablations that need a pattern whose protection
+        actually trades off against target quality (a disjoint private
+        pattern can be noised for free).  Ties break towards the first
+        pattern.
+        """
+        target_elements = set()
+        for pattern in self.target_patterns:
+            target_elements.update(pattern.elements)
+        return max(
+            self.private_patterns,
+            key=lambda p: len(set(p.elements) & target_elements),
+        )
+
+    def overlap_summary(self) -> dict:
+        """How private and target patterns share event types.
+
+        The evaluation is only meaningful when they overlap
+        (Section VI-A.1); this summary is used by reports and sanity
+        tests.
+        """
+        private_elements = set(self.private_elements())
+        shared = {}
+        for pattern in self.target_patterns:
+            shared[pattern.name] = sorted(
+                private_elements & set(pattern.elements)
+            )
+        return {
+            "private_elements": sorted(private_elements),
+            "shared_by_target": shared,
+            "any_overlap": any(bool(v) for v in shared.values()),
+        }
+
+    def statistics(self):
+        """Workload statistics as a :class:`~repro.utils.tables.ResultTable`.
+
+        One row per pattern with its detection rate on the evaluation
+        stream, plus per-element occurrence rates — the numbers that
+        determine how hard the workload is (rare patterns are fragile
+        under flips; common ones are robust).
+        """
+        from repro.utils.tables import ResultTable
+
+        table = ResultTable(
+            ["kind", "name", "elements", "detection_rate"],
+            title=f"workload statistics: {self.name}",
+        )
+        n = max(1, self.stream.n_windows)
+        for kind, patterns in (
+            ("private", self.private_patterns),
+            ("target", self.target_patterns),
+        ):
+            for pattern in patterns:
+                count = self.stream.detection_count(list(pattern.elements))
+                table.add_row(
+                    kind=kind,
+                    name=pattern.name,
+                    elements=",".join(pattern.elements),
+                    detection_rate=count / n,
+                )
+        rates = self.stream.occurrence_rates()
+        for element in self.private_elements():
+            table.add_row(
+                kind="element",
+                name=element,
+                elements=element,
+                detection_rate=rates[element],
+            )
+        return table
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        return (
+            f"workload {self.name!r}: {self.stream.n_windows} evaluation "
+            f"windows, {self.history.n_windows} history windows, "
+            f"{len(self.stream.alphabet)} event types, "
+            f"{len(self.private_patterns)} private / "
+            f"{len(self.target_patterns)} target patterns, w={self.w}"
+        )

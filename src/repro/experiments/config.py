@@ -1,0 +1,84 @@
+"""Experiment configuration objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.utils.validation import (
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+#: The mechanisms compared in the paper's Fig. 4, in plotting order.
+FIG4_MECHANISMS: Tuple[str, ...] = (
+    "uniform",
+    "adaptive",
+    "bd",
+    "ba",
+    "landmark",
+)
+
+#: All mechanism kinds the runner can build (Fig. 4 set + the extra
+#: protection-level reference points).
+ALL_MECHANISMS: Tuple[str, ...] = FIG4_MECHANISMS + (
+    "event-level",
+    "user-level",
+)
+
+#: Default pattern-level budget grid for the ε sweeps.
+DEFAULT_EPSILON_GRID: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared knobs of the evaluation runs.
+
+    Attributes
+    ----------
+    epsilon_grid:
+        Pattern-level budgets to sweep (the x-axis of Fig. 4).
+    mechanisms:
+        Mechanism kinds to compare (see :data:`ALL_MECHANISMS`).
+    alpha:
+        Quality-metric precision weight; the paper sets 0.5.
+    n_trials:
+        Perturbation repetitions per (workload, mechanism, ε) cell; the
+        reported quality is the mean over trials.
+    conversion_mode:
+        Budget-conversion accounting for the baselines
+        (``"worst_case"`` — sound, the default — or ``"nominal"``).
+    seed:
+        Root seed; every cell derives independent child generators.
+    """
+
+    epsilon_grid: Tuple[float, ...] = DEFAULT_EPSILON_GRID
+    mechanisms: Tuple[str, ...] = FIG4_MECHANISMS
+    alpha: float = 0.5
+    n_trials: int = 5
+    conversion_mode: str = "worst_case"
+    seed: int = 2023
+
+    def __post_init__(self):
+        if not self.epsilon_grid:
+            raise ValueError("epsilon_grid must not be empty")
+        for value in self.epsilon_grid:
+            check_positive("epsilon", value)
+        if not self.mechanisms:
+            raise ValueError("mechanisms must not be empty")
+        unknown = set(self.mechanisms) - set(ALL_MECHANISMS)
+        if unknown:
+            raise ValueError(
+                f"unknown mechanism(s) {sorted(unknown)}; "
+                f"available: {list(ALL_MECHANISMS)}"
+            )
+        check_probability("alpha", self.alpha)
+        check_positive_int("n_trials", self.n_trials)
+        if self.conversion_mode not in ("worst_case", "nominal"):
+            raise ValueError(
+                "conversion_mode must be 'worst_case' or 'nominal', got "
+                f"{self.conversion_mode!r}"
+            )
+        if self.seed < 0:
+            raise ValueError(f"seed must be non-negative, got {self.seed}")

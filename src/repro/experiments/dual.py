@@ -1,0 +1,138 @@
+"""The problem statement's dual optimization mode (Section III-B).
+
+The PPMs can "(1) maximize data quality when given a fixed privacy
+budget, (2) or maximize privacy protection when given data quality
+requirements".  Mode (1) is the ε sweep of Fig. 4; this module solves
+mode (2): find the *smallest* pattern-level ε whose measured MRE stays
+within the consumer's requirement, by bisection over the (empirically
+monotone) MRE-versus-ε curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.datasets.workload import Workload
+from repro.experiments.runner import evaluate_mechanism
+from repro.utils.rng import RngLike, derive_rng
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class DualModeResult:
+    """Outcome of a minimal-budget search."""
+
+    workload: str
+    mechanism: str
+    max_mre: float
+    epsilon: Optional[float]
+    achieved_mre: Optional[float]
+    evaluations: int
+    feasible: bool
+
+
+def min_epsilon_for_quality(
+    workload: Workload,
+    mechanism: str,
+    max_mre: float,
+    *,
+    alpha: float = 0.5,
+    epsilon_low: float = 0.05,
+    epsilon_high: float = 20.0,
+    precision: float = 0.05,
+    n_trials: int = 5,
+    conversion_mode: str = "worst_case",
+    rng: RngLike = None,
+) -> DualModeResult:
+    """Bisection search for the smallest ε meeting an MRE requirement.
+
+    ``max_mre`` is the data consumer's quality requirement expressed as
+    the acceptable quality loss.  When even ``epsilon_high`` cannot meet
+    the requirement the search reports infeasible (the consumer must
+    relax the requirement or the subject the protection).
+    """
+    check_non_negative("max_mre", max_mre)
+    check_positive("epsilon_low", epsilon_low)
+    check_positive("epsilon_high", epsilon_high)
+    check_positive("precision", precision)
+    if epsilon_high <= epsilon_low:
+        raise ValueError(
+            f"epsilon_high ({epsilon_high}) must exceed epsilon_low "
+            f"({epsilon_low})"
+        )
+
+    evaluations = 0
+
+    def mre_at(epsilon: float) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        result = evaluate_mechanism(
+            workload,
+            mechanism,
+            epsilon,
+            alpha=alpha,
+            n_trials=n_trials,
+            conversion_mode=conversion_mode,
+            rng=derive_rng(rng, "dual", evaluations),
+        )
+        return result.mre
+
+    high_mre = mre_at(epsilon_high)
+    if high_mre > max_mre:
+        return DualModeResult(
+            workload=workload.name,
+            mechanism=mechanism,
+            max_mre=max_mre,
+            epsilon=None,
+            achieved_mre=high_mre,
+            evaluations=evaluations,
+            feasible=False,
+        )
+    low_mre = mre_at(epsilon_low)
+    if low_mre <= max_mre:
+        return DualModeResult(
+            workload=workload.name,
+            mechanism=mechanism,
+            max_mre=max_mre,
+            epsilon=epsilon_low,
+            achieved_mre=low_mre,
+            evaluations=evaluations,
+            feasible=True,
+        )
+    low, high = epsilon_low, epsilon_high
+    achieved = high_mre
+    while high - low > precision:
+        middle = (low + high) / 2.0
+        middle_mre = mre_at(middle)
+        if middle_mre <= max_mre:
+            high = middle
+            achieved = middle_mre
+        else:
+            low = middle
+    return DualModeResult(
+        workload=workload.name,
+        mechanism=mechanism,
+        max_mre=max_mre,
+        epsilon=high,
+        achieved_mre=achieved,
+        evaluations=evaluations,
+        feasible=True,
+    )
+
+
+def compare_budget_needs(
+    workload: Workload,
+    mechanisms: List[str],
+    max_mre: float,
+    **kwargs,
+) -> List[DualModeResult]:
+    """Minimal ε per mechanism for the same quality requirement.
+
+    Pattern-level PPMs should need *less* budget than the baselines to
+    deliver the same quality — the dual reading of Fig. 4.
+    """
+    return [
+        min_epsilon_for_quality(workload, mechanism, max_mre, **kwargs)
+        for mechanism in mechanisms
+    ]

@@ -1,0 +1,32 @@
+"""Differential-privacy primitive mechanisms.
+
+The building blocks used by the pattern-level PPMs (randomized response,
+Definition 5) and by the stream baselines (Laplace releases under
+w-event / landmark scheduling), plus a privacy accountant implementing
+sequential and parallel composition.
+"""
+
+from repro.mechanisms.accountant import (
+    BudgetExceededError,
+    PrivacyAccountant,
+    Spend,
+    composed_epsilon,
+)
+from repro.mechanisms.base import Mechanism
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.mechanisms.geometric import GeometricMechanism
+from repro.mechanisms.laplace import LaplaceMechanism, laplace_noise
+from repro.mechanisms.randomized_response import RandomizedResponse
+
+__all__ = [
+    "BudgetExceededError",
+    "ExponentialMechanism",
+    "GeometricMechanism",
+    "LaplaceMechanism",
+    "Mechanism",
+    "PrivacyAccountant",
+    "RandomizedResponse",
+    "Spend",
+    "composed_epsilon",
+    "laplace_noise",
+]

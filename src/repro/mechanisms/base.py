@@ -1,0 +1,34 @@
+"""Common mechanism interface."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.utils.validation import check_positive
+
+
+class Mechanism(abc.ABC):
+    """A differentially private primitive with a fixed budget ``epsilon``.
+
+    Subclasses document the neighbouring relation their guarantee refers
+    to; the classical mechanisms here guarantee standard ε-DP for the
+    stated sensitivity, and the pattern-level machinery in
+    :mod:`repro.core` builds its pattern-level guarantee on top of them
+    (Theorem 1).
+    """
+
+    def __init__(self, epsilon: float):
+        self._epsilon = check_positive("epsilon", epsilon)
+
+    @property
+    def epsilon(self) -> float:
+        """The privacy budget consumed by one invocation."""
+        return self._epsilon
+
+    @property
+    def name(self) -> str:
+        """Human-readable mechanism name."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}(epsilon={self._epsilon:g})"

@@ -1,0 +1,60 @@
+"""The exponential mechanism (McSherry & Talwar; Dwork & Roth §3.4).
+
+Selects a candidate with probability proportional to
+``exp(epsilon * score / (2 * sensitivity))``.  Used by the adaptive
+tooling when a private selection among budget allocations is wanted
+(an optional hardening of Algorithm 1; the paper's algorithm itself
+trusts the engine with historical data).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+from repro.mechanisms.base import Mechanism
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive
+
+T = TypeVar("T")
+
+
+class ExponentialMechanism(Mechanism):
+    """ε-DP selection of a high-score candidate."""
+
+    def __init__(self, epsilon: float, *, sensitivity: float = 1.0):
+        super().__init__(epsilon)
+        self._sensitivity = check_positive("sensitivity", sensitivity)
+
+    @property
+    def sensitivity(self) -> float:
+        return self._sensitivity
+
+    def selection_probabilities(self, scores: Sequence[float]) -> np.ndarray:
+        """The selection distribution over candidates given their scores."""
+        scores = np.asarray(scores, dtype=float)
+        if scores.size == 0:
+            raise ValueError("at least one candidate is required")
+        logits = self.epsilon * scores / (2.0 * self._sensitivity)
+        logits -= logits.max()  # numerical stability
+        weights = np.exp(logits)
+        return weights / weights.sum()
+
+    def select(
+        self,
+        candidates: Sequence[T],
+        scores: Sequence[float],
+        *,
+        rng: RngLike = None,
+    ) -> T:
+        """Draw one candidate from the exponential-mechanism distribution."""
+        candidates = list(candidates)
+        if len(candidates) != len(scores):
+            raise ValueError(
+                f"{len(candidates)} candidates but {len(scores)} scores"
+            )
+        probabilities = self.selection_probabilities(scores)
+        generator = ensure_rng(rng)
+        index = int(generator.choice(len(candidates), p=probabilities))
+        return candidates[index]

@@ -1,0 +1,20 @@
+"""Data-quality metrics (Section III-B, Eq. (1)-(4)).
+
+Precision and recall of target-pattern detection, the combined quality
+``Q = alpha * Prec + (1 - alpha) * Rec``, and the Mean Relative Error
+``MRE_Q = (Q_ord - Q_ppm) / Q_ord`` measuring the quality lost to a PPM.
+"""
+
+from repro.metrics.aggregate import Summary, summarize
+from repro.metrics.confusion import ConfusionCounts
+from repro.metrics.mre import mean_relative_error
+from repro.metrics.quality import DataQuality, quality_score
+
+__all__ = [
+    "ConfusionCounts",
+    "DataQuality",
+    "Summary",
+    "mean_relative_error",
+    "quality_score",
+    "summarize",
+]

@@ -1,0 +1,50 @@
+"""Aggregation of repeated measurements.
+
+The evaluation repeats every configuration over many seeds/datasets
+(the paper synthesizes 1000 datasets); :func:`summarize` reduces the
+per-repetition values to mean, standard deviation and a normal-theory
+95 % confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of repeated measurements."""
+
+    mean: float
+    std: float
+    sem: float
+    n: int
+
+    @property
+    def ci95(self) -> Tuple[float, float]:
+        """Normal-approximation 95 % confidence interval for the mean."""
+        half_width = 1.96 * self.sem
+        return (self.mean - half_width, self.mean + half_width)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        low, high = self.ci95
+        return (
+            f"Summary(mean={self.mean:.4f} ± {high - self.mean:.4f}, "
+            f"n={self.n})"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Reduce repeated measurements to :class:`Summary` statistics."""
+    values = [float(value) for value in values]
+    count = len(values)
+    if count == 0:
+        raise ValueError("cannot summarize zero measurements")
+    mean = sum(values) / count
+    if count == 1:
+        return Summary(mean=mean, std=0.0, sem=0.0, n=1)
+    variance = sum((value - mean) ** 2 for value in values) / (count - 1)
+    std = math.sqrt(variance)
+    return Summary(mean=mean, std=std, sem=std / math.sqrt(count), n=count)

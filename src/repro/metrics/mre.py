@@ -1,0 +1,29 @@
+"""Mean Relative Error of the quality metric (Section III-B, Eq. (4))."""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_non_negative
+
+
+def mean_relative_error(
+    q_ordinary: float, q_ppm: float, *, clip: bool = False
+) -> float:
+    """Eq. (4): ``MRE_Q = (Q_ord - Q_ppm) / Q_ord``.
+
+    ``q_ordinary`` is the quality without any PPM; ``q_ppm`` the quality
+    after applying one.  The value is 0 when the PPM costs nothing and
+    approaches 1 as the PPM destroys all quality.  Sampling noise can
+    make ``q_ppm`` marginally exceed ``q_ordinary``; ``clip=True`` floors
+    the result at 0 for presentation.
+    """
+    check_non_negative("q_ordinary", q_ordinary)
+    check_non_negative("q_ppm", q_ppm)
+    if q_ordinary == 0:
+        raise ValueError(
+            "MRE is undefined when the ordinary quality is 0 "
+            "(the unprotected detector already fails completely)"
+        )
+    value = (q_ordinary - q_ppm) / q_ordinary
+    if clip:
+        return max(0.0, value)
+    return value

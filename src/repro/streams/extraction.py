@@ -1,0 +1,104 @@
+"""Event extraction: lifting data tuples of interest into events.
+
+Section III-A: "Within a data stream S^D, any data tuple of our interest
+is considered an event.  We can extract all events from a given data
+stream ... in temporal order and form a new stream S^E."
+:class:`EventExtractor` pairs a tuple predicate with a mapping to an
+event type (and optional attribute projection); :func:`extract_events`
+applies a set of extractors over one data stream.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Mapping, Optional, Sequence
+
+from repro.streams.events import DataTuple, Event
+from repro.streams.stream import DataStream, EventStream
+
+
+class EventExtractor:
+    """Extracts events of one type from data tuples.
+
+    Parameters
+    ----------
+    event_type:
+        The symbol assigned to extracted events, or a callable mapping the
+        matching tuple to a symbol (for families of events such as
+        per-cell region entries).
+    predicate:
+        Decides whether a tuple is "of interest".  Defaults to accepting
+        every tuple.
+    attributes:
+        Optional projection from the tuple to event attributes.  Defaults
+        to carrying the tuple's payload through.
+    """
+
+    def __init__(
+        self,
+        event_type,
+        *,
+        predicate: Optional[Callable[[DataTuple], bool]] = None,
+        attributes: Optional[Callable[[DataTuple], Mapping]] = None,
+        name: Optional[str] = None,
+    ):
+        if isinstance(event_type, str):
+            if not event_type:
+                raise ValueError("event_type must be non-empty")
+            self._typer: Callable[[DataTuple], str] = lambda _t: event_type
+            self.name = name or event_type
+        elif callable(event_type):
+            self._typer = event_type
+            self.name = name or getattr(event_type, "__name__", "extractor")
+        else:
+            raise TypeError(
+                "event_type must be a string or a callable(DataTuple) -> str"
+            )
+        self._predicate = predicate
+        self._attributes = attributes
+
+    def matches(self, data_tuple: DataTuple) -> bool:
+        """Whether this extractor considers the tuple of interest."""
+        if self._predicate is None:
+            return True
+        return bool(self._predicate(data_tuple))
+
+    def extract(self, data_tuple: DataTuple) -> Optional[Event]:
+        """Return the extracted event, or ``None`` when not of interest."""
+        if not self.matches(data_tuple):
+            return None
+        if self._attributes is not None:
+            payload = dict(self._attributes(data_tuple))
+        else:
+            payload = data_tuple.values
+        return Event(
+            self._typer(data_tuple),
+            data_tuple.timestamp,
+            attributes=payload,
+            source=data_tuple.source,
+        )
+
+
+def extract_events(
+    stream: DataStream,
+    extractors: Sequence[EventExtractor],
+    *,
+    limit: Optional[int] = None,
+) -> EventStream:
+    """Run ``extractors`` over ``stream`` and collect the event stream.
+
+    Each tuple may match several extractors and thus yield several events
+    (all carrying the tuple's timestamp).  ``limit`` bounds the number of
+    *tuples* read, which makes the function safe on factory-backed
+    (infinite) streams.
+    """
+    if not extractors:
+        raise ValueError("at least one extractor is required")
+    events: List[Event] = []
+    for position, data_tuple in enumerate(stream):
+        if limit is not None and position >= limit:
+            break
+        for extractor in extractors:
+            event = extractor.extract(data_tuple)
+            if event is not None:
+                events.append(event)
+    return EventStream(events, name=getattr(stream, "name", None))

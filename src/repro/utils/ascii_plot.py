@@ -1,0 +1,87 @@
+"""ASCII line charts for terminal-only reproduction environments.
+
+The paper's Fig. 4 is a line plot (MRE versus ε, one series per
+mechanism); this module renders such plots as monospaced text so the
+reproduction can *show* the figure without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, steps: int) -> int:
+    if high == low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(steps - 1, max(0, int(round(position * (steps - 1)))))
+
+
+def line_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render ``{name: [(x, y), ...]}`` as an ASCII line chart.
+
+    Each series gets a marker from a fixed palette (legend appended).
+    Points are plotted on a ``width x height`` character grid scaled to
+    the joint data range; later series overwrite earlier ones where
+    they collide.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    if width < 10 or height < 4:
+        raise ValueError("chart must be at least 10x4 characters")
+    points = [
+        (x, y) for values in series.values() for x, y in values
+    ]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if y_low == y_high:
+        y_low, y_high = y_low - 0.5, y_high + 0.5
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    legend: Dict[str, str] = {}
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend[name] = marker
+        for x, y in values:
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(
+        len(f"{y_high:.3f}"), len(f"{y_low:.3f}"), len(y_label)
+    )
+    lines.append(f"{y_label.rjust(label_width)} ")
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_high:.3f}"
+        elif row_index == height - 1:
+            label = f"{y_low:.3f}"
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |{''.join(row)}")
+    lines.append(f"{' ' * label_width} +{'-' * width}")
+    x_axis = f"{x_low:g}".ljust(width - len(f"{x_high:g}")) + f"{x_high:g}"
+    lines.append(f"{' ' * label_width}  {x_axis}")
+    lines.append(f"{' ' * label_width}  {x_label}")
+    legend_text = "   ".join(
+        f"{marker}={name}" for name, marker in legend.items()
+    )
+    lines.append(f"{' ' * label_width}  legend: {legend_text}")
+    return "\n".join(lines)

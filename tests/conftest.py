@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.cep.patterns import Pattern
+from repro.datasets.synthetic import SyntheticConfig, synthesize_dataset
+from repro.streams.events import Event
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+from repro.streams.stream import EventStream
+
+
+@pytest.fixture
+def alphabet6():
+    """A six-symbol alphabet e1..e6."""
+    return EventAlphabet.numbered(6)
+
+
+@pytest.fixture
+def stream200(alphabet6):
+    """A deterministic 200-window indicator stream over e1..e6."""
+    rng = np.random.default_rng(42)
+    matrix = rng.random((200, 6)) < 0.4
+    return IndicatorStream(alphabet6, matrix)
+
+
+@pytest.fixture
+def private_pattern():
+    """A private pattern over e1, e2, e3."""
+    return Pattern.of_types("private", "e1", "e2", "e3")
+
+
+@pytest.fixture
+def target_pattern():
+    """A target pattern overlapping the private one on e2, e3."""
+    return Pattern.of_types("target", "e2", "e3", "e4")
+
+
+@pytest.fixture
+def abc_stream():
+    """A small event stream over types a, b, c, x."""
+    types = ["a", "x", "b", "c", "a", "b", "x", "c"]
+    return EventStream(
+        [Event(name, float(i)) for i, name in enumerate(types)]
+    )
+
+
+@pytest.fixture
+def tiny_workload():
+    """A small but realistic synthetic workload (Algorithm 2)."""
+    return synthesize_dataset(
+        SyntheticConfig(n_windows=150, n_history_windows=100), rng=7
+    )

@@ -1,0 +1,82 @@
+"""Property-based tests for Algorithm 1 (the adaptive budget search)."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cep.patterns import Pattern
+from repro.core.adaptive import fit_allocation
+from repro.core.budget import BudgetAllocation
+from repro.core.quality_model import AnalyticQualityEstimator
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+
+ALPHABET = EventAlphabet.numbered(5)
+
+
+def make_history(seed: int, n_windows: int = 120) -> IndicatorStream:
+    rng = np.random.default_rng(seed)
+    rates = rng.random(5) * 0.8 + 0.1
+    return IndicatorStream(ALPHABET, rng.random((n_windows, 5)) < rates)
+
+
+private_lengths = st.integers(min_value=2, max_value=4)
+epsilons = st.floats(min_value=0.2, max_value=8.0)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+class TestAlgorithm1Properties:
+    @given(epsilon=epsilons, seed=seeds, length=private_lengths)
+    @settings(max_examples=30, deadline=None)
+    def test_budget_conserved_and_feasible(self, epsilon, seed, length):
+        history = make_history(seed)
+        private = Pattern.of_types("p", *[f"e{i+1}" for i in range(length)])
+        target = Pattern.of_types("t", "e2", "e5")
+        estimator = AnalyticQualityEstimator(history, private, [target])
+        result = fit_allocation(
+            epsilon, length, estimator, max_iterations=60
+        )
+        assert math.isclose(
+            result.allocation.total, epsilon, rel_tol=1e-6, abs_tol=1e-9
+        )
+        assert min(result.allocation) >= 0.0
+
+    @given(epsilon=epsilons, seed=seeds, length=private_lengths)
+    @settings(max_examples=30, deadline=None)
+    def test_never_worse_than_uniform(self, epsilon, seed, length):
+        history = make_history(seed)
+        private = Pattern.of_types("p", *[f"e{i+1}" for i in range(length)])
+        target = Pattern.of_types("t", "e2", "e5")
+        estimator = AnalyticQualityEstimator(history, private, [target])
+        result = fit_allocation(
+            epsilon, length, estimator, max_iterations=60
+        )
+        uniform_q = estimator.evaluate(
+            BudgetAllocation.uniform(epsilon, length)
+        ).q
+        assert result.quality_trace[-1] >= uniform_q - 1e-12
+
+    @given(epsilon=epsilons, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_trace_monotone_non_decreasing(self, epsilon, seed):
+        history = make_history(seed)
+        private = Pattern.of_types("p", "e1", "e2", "e3")
+        target = Pattern.of_types("t", "e2", "e4")
+        estimator = AnalyticQualityEstimator(history, private, [target])
+        result = fit_allocation(epsilon, 3, estimator, max_iterations=60)
+        for earlier, later in zip(
+            result.quality_trace, result.quality_trace[1:]
+        ):
+            assert later >= earlier - 1e-12
+
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_given_history(self, seed):
+        history = make_history(seed)
+        private = Pattern.of_types("p", "e1", "e2", "e3")
+        target = Pattern.of_types("t", "e2", "e4")
+        estimator = AnalyticQualityEstimator(history, private, [target])
+        first = fit_allocation(2.0, 3, estimator, max_iterations=60)
+        second = fit_allocation(2.0, 3, estimator, max_iterations=60)
+        assert first.allocation.epsilons == second.allocation.epsilons

@@ -1,0 +1,125 @@
+"""Property-based tests for the Theorem 1 budget algebra."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.budget import BudgetAllocation, theorem1_epsilon
+from repro.mechanisms.randomized_response import (
+    epsilon_to_flip_probability,
+    flip_probability_to_epsilon,
+)
+
+epsilons = st.floats(
+    min_value=0.01, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+lengths = st.integers(min_value=1, max_value=8)
+flip_probabilities = st.floats(min_value=1e-6, max_value=0.5)
+
+
+class TestBudgetFlipBijection:
+    @given(epsilon=st.floats(min_value=0.0, max_value=60.0))
+    def test_epsilon_to_p_in_valid_range(self, epsilon):
+        p = epsilon_to_flip_probability(epsilon)
+        assert 0.0 < p <= 0.5
+
+    @given(epsilon=st.floats(min_value=1e-6, max_value=40.0))
+    def test_round_trip_from_epsilon(self, epsilon):
+        p = epsilon_to_flip_probability(epsilon)
+        assert math.isclose(
+            flip_probability_to_epsilon(p), epsilon, rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    @given(p=flip_probabilities)
+    def test_round_trip_from_probability(self, p):
+        epsilon = flip_probability_to_epsilon(p)
+        assert math.isclose(
+            epsilon_to_flip_probability(epsilon), p, rel_tol=1e-9, abs_tol=1e-12
+        )
+
+    @given(a=epsilons, b=epsilons)
+    def test_monotone(self, a, b):
+        if a < b:
+            assert epsilon_to_flip_probability(
+                a
+            ) >= epsilon_to_flip_probability(b)
+
+
+class TestUniformAllocation:
+    @given(epsilon=epsilons, length=lengths)
+    def test_uniform_sums_to_total(self, epsilon, length):
+        allocation = BudgetAllocation.uniform(epsilon, length)
+        assert math.isclose(allocation.total, epsilon, rel_tol=1e-9)
+        assert allocation.sums_to(epsilon)
+
+    @given(epsilon=epsilons, length=lengths)
+    def test_uniform_realizes_theorem1_budget(self, epsilon, length):
+        allocation = BudgetAllocation.uniform(epsilon, length)
+        realized = theorem1_epsilon(allocation.flip_probabilities())
+        assert math.isclose(realized, epsilon, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(epsilon=epsilons, length=lengths)
+    def test_uniform_entropy_is_log_m(self, epsilon, length):
+        allocation = BudgetAllocation.uniform(epsilon, length)
+        assert math.isclose(
+            allocation.entropy(), math.log(length), rel_tol=1e-9, abs_tol=1e-9
+        )
+
+
+class TestStepwiseMoves:
+    @given(
+        epsilon=epsilons,
+        length=st.integers(min_value=2, max_value=6),
+        moves=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.floats(min_value=1e-4, max_value=1.0),
+            ),
+            max_size=25,
+        ),
+    )
+    @settings(max_examples=60)
+    def test_any_move_sequence_conserves_budget(self, epsilon, length, moves):
+        allocation = BudgetAllocation.uniform(epsilon, length)
+        for index, step in moves:
+            allocation = allocation.with_move(index % length, step * epsilon)
+            assert math.isclose(
+                allocation.total, epsilon, rel_tol=1e-6, abs_tol=1e-9
+            )
+            assert min(allocation) >= 0.0
+
+    @given(epsilon=epsilons, length=st.integers(min_value=2, max_value=6))
+    def test_move_never_decreases_target_element(self, epsilon, length):
+        allocation = BudgetAllocation.uniform(epsilon, length)
+        moved = allocation.with_move(0, epsilon / 10.0)
+        assert moved[0] >= allocation[0] - 1e-12
+
+
+class TestNormalization:
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=6
+        ).filter(lambda vs: sum(vs) > 0.1),
+        target=epsilons,
+    )
+    def test_normalized_total(self, values, target):
+        allocation = BudgetAllocation(values)
+        scaled = allocation.normalized_to(target)
+        assert math.isclose(scaled.total, target, rel_tol=1e-9)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.01, max_value=10.0), min_size=2, max_size=6
+        ),
+        target=epsilons,
+    )
+    def test_normalization_preserves_ratios(self, values, target):
+        allocation = BudgetAllocation(values)
+        scaled = allocation.normalized_to(target)
+        for original, rescaled in zip(allocation, scaled):
+            assert math.isclose(
+                rescaled / scaled.total,
+                original / allocation.total,
+                rel_tol=1e-9,
+            )

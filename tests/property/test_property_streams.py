@@ -1,0 +1,150 @@
+"""Property-based tests on the stream substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.streams.events import Event
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+from repro.streams.merge import merge_event_streams, partition_by_source
+from repro.streams.stream import EventStream
+from repro.streams.windows import CountWindows, SessionWindows, TumblingWindows
+
+ALPHABET = EventAlphabet(["a", "b", "c"])
+
+matrices = arrays(
+    dtype=bool,
+    shape=st.tuples(
+        st.integers(min_value=0, max_value=30), st.just(3)
+    ),
+)
+
+
+class TestIndicatorStreamLaws:
+    @given(matrix=matrices)
+    def test_split_concat_round_trip(self, matrix):
+        stream = IndicatorStream(ALPHABET, matrix)
+        history, evaluation = stream.split(0.5)
+        assert history.concatenate(evaluation) == stream
+
+    @given(
+        matrix=matrices.filter(lambda m: m.shape[0] > 0),
+        window=st.integers(min_value=0, max_value=29),
+        column=st.sampled_from(["a", "b", "c"]),
+    )
+    def test_flip_is_involutive(self, matrix, window, column):
+        stream = IndicatorStream(ALPHABET, matrix)
+        index = window % stream.n_windows
+        assert stream.flip(index, column).flip(index, column) == stream
+
+    @given(matrix=matrices)
+    def test_restrict_preserves_columns(self, matrix):
+        stream = IndicatorStream(ALPHABET, matrix)
+        projected = stream.restrict(["c", "a"])
+        assert np.array_equal(projected.column("a"), stream.column("a"))
+        assert np.array_equal(projected.column("c"), stream.column("c"))
+
+    @given(matrix=matrices.filter(lambda m: m.shape[0] > 0))
+    def test_detection_subset_law(self, matrix):
+        # Detecting a superset of elements can never fire in more
+        # windows than a subset.
+        stream = IndicatorStream(ALPHABET, matrix)
+        small = stream.detect_all(["a"])
+        large = stream.detect_all(["a", "b"])
+        assert not (large & ~small).any()
+
+    @given(matrix=matrices)
+    def test_occurrence_rates_match_columns(self, matrix):
+        stream = IndicatorStream(ALPHABET, matrix)
+        rates = stream.occurrence_rates()
+        for name in ALPHABET:
+            if stream.n_windows:
+                assert rates[name] == stream.column(name).mean()
+            else:
+                assert rates[name] == 0.0
+
+
+timestamp_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    min_size=0,
+    max_size=40,
+).map(sorted)
+
+
+class TestWindowLaws:
+    @given(timestamps=timestamp_lists.filter(lambda ts: len(ts) > 0))
+    def test_tumbling_windows_partition_events(self, timestamps):
+        stream = EventStream([Event("e", t) for t in timestamps])
+        windows = TumblingWindows(10.0).assign(stream)
+        assert sum(len(w) for w in windows) == len(stream)
+
+    @given(
+        timestamps=timestamp_lists.filter(lambda ts: len(ts) > 0),
+        size=st.integers(min_value=1, max_value=10),
+    )
+    def test_count_windows_partition_events(self, timestamps, size):
+        stream = EventStream([Event("e", t) for t in timestamps])
+        windows = CountWindows(size).assign(stream)
+        assert sum(len(w) for w in windows) == len(stream)
+        for window in windows[:-1]:
+            assert len(window) == size
+
+    @given(
+        timestamps=timestamp_lists.filter(lambda ts: len(ts) > 0),
+        gap=st.floats(min_value=0.5, max_value=100.0),
+    )
+    def test_session_windows_partition_and_respect_gap(self, timestamps, gap):
+        stream = EventStream([Event("e", t) for t in timestamps])
+        windows = SessionWindows(gap).assign(stream)
+        assert sum(len(w) for w in windows) == len(stream)
+        for window in windows:
+            gaps = np.diff([e.timestamp for e in window.events])
+            assert (gaps <= gap + 1e-12).all()
+
+
+stream_specs = st.lists(
+    st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=0,
+        max_size=15,
+    ).map(sorted),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestMergeLaws:
+    @given(specs=stream_specs)
+    @settings(max_examples=60)
+    def test_merge_preserves_count_and_order(self, specs):
+        streams = [
+            EventStream(
+                [Event("e", t, source=f"s{i}") for t in timestamps],
+                name=f"s{i}",
+            )
+            for i, timestamps in enumerate(specs)
+        ]
+        merged = merge_event_streams(streams)
+        assert len(merged) == sum(len(s) for s in streams)
+        timestamps = merged.timestamps()
+        assert timestamps == sorted(timestamps)
+
+    @given(specs=stream_specs)
+    @settings(max_examples=60)
+    def test_partition_inverts_merge_per_source(self, specs):
+        streams = [
+            EventStream(
+                [Event("e", t, source=f"s{i}") for t in timestamps],
+                name=f"s{i}",
+            )
+            for i, timestamps in enumerate(specs)
+        ]
+        merged = merge_event_streams(streams)
+        parts = partition_by_source(merged)
+        for i, timestamps in enumerate(specs):
+            source = f"s{i}"
+            if timestamps:
+                assert parts[source].timestamps() == timestamps
+            else:
+                assert source not in parts

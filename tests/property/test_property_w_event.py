@@ -1,0 +1,87 @@
+"""Property-based tests of the w-event budget invariant.
+
+Whatever the stream contents, scheduler decisions, or randomness, no
+sliding window of ``w`` timestamps may spend more than ε — the defining
+invariant of w-event DP (Kellaris et al.).  Hypothesis drives stream
+shapes designed to stress the schedulers (constant runs, jumps, noise).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.budget_absorption import BudgetAbsorption
+from repro.baselines.budget_distribution import BudgetDistribution
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+
+ALPHABET = EventAlphabet.numbered(3)
+
+
+@st.composite
+def stress_streams(draw):
+    """Streams built from constant runs and random segments."""
+    segments = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["zeros", "ones", "noise"]),
+                st.integers(min_value=1, max_value=15),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    rows = []
+    for kind, length in segments:
+        if kind == "zeros":
+            rows.append(np.zeros((length, 3), dtype=bool))
+        elif kind == "ones":
+            rows.append(np.ones((length, 3), dtype=bool))
+        else:
+            rows.append(rng.random((length, 3)) < 0.5)
+    return IndicatorStream(ALPHABET, np.vstack(rows))
+
+
+mechanism_params = st.tuples(
+    st.floats(min_value=0.1, max_value=10.0),  # epsilon
+    st.integers(min_value=1, max_value=12),    # w
+    st.integers(min_value=0, max_value=1000),  # rng seed
+)
+
+
+class TestWEventInvariant:
+    @given(stream=stress_streams(), params=mechanism_params)
+    @settings(max_examples=60, deadline=None)
+    def test_bd_never_overspends_any_window(self, stream, params):
+        epsilon, w, seed = params
+        mechanism = BudgetDistribution(epsilon, w=w)
+        mechanism.perturb(stream, rng=seed)
+        assert mechanism.last_trace.max_window_spend(w) <= epsilon + 1e-9
+
+    @given(stream=stress_streams(), params=mechanism_params)
+    @settings(max_examples=60, deadline=None)
+    def test_ba_never_overspends_any_window(self, stream, params):
+        epsilon, w, seed = params
+        mechanism = BudgetAbsorption(epsilon, w=w)
+        mechanism.perturb(stream, rng=seed)
+        assert mechanism.last_trace.max_window_spend(w) <= epsilon + 1e-9
+
+    @given(stream=stress_streams(), params=mechanism_params)
+    @settings(max_examples=40, deadline=None)
+    def test_ba_publication_budgets_bounded_by_eps2(self, stream, params):
+        epsilon, w, seed = params
+        mechanism = BudgetAbsorption(epsilon, w=w)
+        mechanism.perturb(stream, rng=seed)
+        budgets = mechanism.last_trace.publication_budgets
+        assert max(budgets, default=0.0) <= epsilon / 2.0 + 1e-9
+
+    @given(stream=stress_streams(), params=mechanism_params)
+    @settings(max_examples=40, deadline=None)
+    def test_output_shape_always_preserved(self, stream, params):
+        epsilon, w, seed = params
+        for mechanism_cls in (BudgetDistribution, BudgetAbsorption):
+            mechanism = mechanism_cls(epsilon, w=w)
+            released = mechanism.perturb(stream, rng=seed)
+            assert released.n_windows == stream.n_windows
+            assert released.alphabet == stream.alphabet

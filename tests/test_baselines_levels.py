@@ -1,0 +1,95 @@
+"""Tests for event-level and user-level RR baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.event_level import EventLevelRR
+from repro.baselines.user_level import UserLevelRR
+from repro.mechanisms.randomized_response import epsilon_to_flip_probability
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+
+
+@pytest.fixture
+def indicator_stream():
+    rng = np.random.default_rng(31)
+    alphabet = EventAlphabet.numbered(4)
+    return IndicatorStream(alphabet, rng.random((100, 4)) < 0.5)
+
+
+class TestEventLevelRR:
+    def test_flip_probability_formula(self):
+        mechanism = EventLevelRR(2.0)
+        assert mechanism.flip_probability == pytest.approx(
+            epsilon_to_flip_probability(2.0)
+        )
+
+    def test_perturbs_all_columns(self, indicator_stream):
+        mechanism = EventLevelRR(0.5)
+        released = mechanism.perturb(indicator_stream, rng=0)
+        for name in indicator_stream.alphabet:
+            assert not np.array_equal(
+                released.column(name), indicator_stream.column(name)
+            )
+
+    def test_empirical_flip_rate(self, indicator_stream):
+        mechanism = EventLevelRR(1.0)
+        expected = mechanism.flip_probability
+        disagreements = 0
+        trials = 30
+        for seed in range(trials):
+            released = mechanism.perturb(indicator_stream, rng=seed)
+            disagreements += int(
+                (released.matrix_view() != indicator_stream.matrix_view()).sum()
+            )
+        rate = disagreements / (trials * indicator_stream.matrix_view().size)
+        assert rate == pytest.approx(expected, abs=0.02)
+
+    def test_deterministic_under_seed(self, indicator_stream):
+        mechanism = EventLevelRR(1.0)
+        assert mechanism.perturb(indicator_stream, rng=7) == mechanism.perturb(
+            indicator_stream, rng=7
+        )
+
+
+class TestUserLevelRR:
+    def test_per_bit_epsilon(self, indicator_stream):
+        mechanism = UserLevelRR(4.0)
+        expected = 4.0 / indicator_stream.matrix_view().size
+        assert mechanism.per_bit_epsilon(indicator_stream) == pytest.approx(
+            expected
+        )
+
+    def test_noise_is_near_total_at_realistic_budgets(self, indicator_stream):
+        # User-level protection over 400 bits with ε=1: per-bit budget
+        # 0.0025, flip probability ≈ 0.4994 — the stream is destroyed.
+        mechanism = UserLevelRR(1.0)
+        released = mechanism.perturb(indicator_stream, rng=0)
+        agreement = (
+            released.matrix_view() == indicator_stream.matrix_view()
+        ).mean()
+        assert 0.4 < agreement < 0.6
+
+    def test_much_weaker_than_event_level(self, indicator_stream):
+        # Same ε: user-level must flip far more bits than event-level —
+        # the granularity hierarchy the paper's related work describes.
+        user = UserLevelRR(2.0).perturb(indicator_stream, rng=1)
+        event = EventLevelRR(2.0).perturb(indicator_stream, rng=1)
+        user_flips = (
+            user.matrix_view() != indicator_stream.matrix_view()
+        ).sum()
+        event_flips = (
+            event.matrix_view() != indicator_stream.matrix_view()
+        ).sum()
+        assert user_flips > event_flips
+
+    def test_empty_stream_passthrough(self):
+        alphabet = EventAlphabet(["a"])
+        empty = IndicatorStream(alphabet, np.zeros((0, 1), dtype=bool))
+        released = UserLevelRR(1.0).perturb(empty, rng=0)
+        assert released.n_windows == 0
+
+    def test_per_bit_epsilon_empty_rejected(self):
+        alphabet = EventAlphabet(["a"])
+        empty = IndicatorStream(alphabet, np.zeros((0, 1), dtype=bool))
+        with pytest.raises(ValueError):
+            UserLevelRR(1.0).per_bit_epsilon(empty)

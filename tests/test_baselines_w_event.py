@@ -1,0 +1,139 @@
+"""Tests for the w-event DP baselines (BD and BA)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.budget_absorption import BudgetAbsorption
+from repro.baselines.budget_distribution import BudgetDistribution
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+
+
+@pytest.fixture
+def indicator_stream():
+    rng = np.random.default_rng(11)
+    alphabet = EventAlphabet.numbered(5)
+    return IndicatorStream(alphabet, rng.random((80, 5)) < 0.3)
+
+
+@pytest.mark.parametrize("mechanism_cls", [BudgetDistribution, BudgetAbsorption])
+class TestCommonBehaviour:
+    def test_output_same_shape(self, mechanism_cls, indicator_stream):
+        mechanism = mechanism_cls(1.0, w=10)
+        released = mechanism.perturb(indicator_stream, rng=0)
+        assert released.n_windows == indicator_stream.n_windows
+        assert released.alphabet == indicator_stream.alphabet
+
+    def test_deterministic_under_seed(self, mechanism_cls, indicator_stream):
+        mechanism = mechanism_cls(1.0, w=10)
+        a = mechanism.perturb(indicator_stream, rng=5)
+        b = mechanism.perturb(indicator_stream, rng=5)
+        assert a == b
+
+    def test_perturbs_every_column(self, mechanism_cls, indicator_stream):
+        # Unlike the pattern-level PPMs, the stream baselines damage the
+        # whole alphabet at tight budgets.
+        mechanism = mechanism_cls(0.5, w=10)
+        released = mechanism.perturb(indicator_stream, rng=1)
+        changed = sum(
+            not np.array_equal(
+                released.column(name), indicator_stream.column(name)
+            )
+            for name in indicator_stream.alphabet
+        )
+        assert changed == len(indicator_stream.alphabet)
+
+    def test_high_budget_tracks_data(self, mechanism_cls, indicator_stream):
+        mechanism = mechanism_cls(500.0, w=4)
+        released = mechanism.perturb(indicator_stream, rng=2)
+        agreement = (
+            released.matrix_view() == indicator_stream.matrix_view()
+        ).mean()
+        assert agreement > 0.8
+
+    def test_trace_recorded(self, mechanism_cls, indicator_stream):
+        mechanism = mechanism_cls(1.0, w=10)
+        mechanism.perturb(indicator_stream, rng=0)
+        trace = mechanism.last_trace
+        assert trace is not None
+        assert len(trace.published) == indicator_stream.n_windows
+
+    def test_w_event_budget_invariant(self, mechanism_cls, indicator_stream):
+        # In any sliding window of w timestamps, the total spend
+        # (publications + dissimilarity shares) must not exceed ε.
+        epsilon, w = 1.0, 10
+        mechanism = mechanism_cls(epsilon, w=w)
+        mechanism.perturb(indicator_stream, rng=3)
+        assert mechanism.last_trace.max_window_spend(w) <= epsilon + 1e-9
+
+    def test_budget_invariant_across_seeds(self, mechanism_cls, indicator_stream):
+        epsilon, w = 2.0, 5
+        mechanism = mechanism_cls(epsilon, w=w)
+        for seed in range(5):
+            mechanism.perturb(indicator_stream, rng=seed)
+            assert mechanism.last_trace.max_window_spend(w) <= epsilon + 1e-9
+
+    def test_reusable_across_streams(self, mechanism_cls, indicator_stream):
+        mechanism = mechanism_cls(1.0, w=10)
+        first = mechanism.perturb(indicator_stream, rng=0)
+        second = mechanism.perturb(indicator_stream, rng=0)
+        assert first == second  # internal state fully reset
+
+    def test_invalid_parameters(self, mechanism_cls, indicator_stream):
+        with pytest.raises(Exception):
+            mechanism_cls(0.0, w=10)
+        with pytest.raises(Exception):
+            mechanism_cls(1.0, w=0)
+
+
+class TestBudgetDistributionSpecifics:
+    def test_publication_budget_halves_remaining(self, indicator_stream):
+        mechanism = BudgetDistribution(2.0, w=10)
+        mechanism.perturb(indicator_stream, rng=0)
+        budgets = [
+            b for b in mechanism.last_trace.publication_budgets if b > 0
+        ]
+        # First publication gets ε_2/2 = ε/4.
+        assert budgets[0] == pytest.approx(0.5)
+
+    def test_max_single_publication_budget(self):
+        assert BudgetDistribution(4.0, w=10).max_single_publication_budget == 1.0
+
+
+class TestBudgetAbsorptionSpecifics:
+    def test_nominal_budget_is_eps2_over_w(self, indicator_stream):
+        mechanism = BudgetAbsorption(2.0, w=10)
+        mechanism.perturb(indicator_stream, rng=0)
+        budgets = [
+            b for b in mechanism.last_trace.publication_budgets if b > 0
+        ]
+        nominal = 1.0 / 10.0  # ε_2/w
+        # Every publication budget is an integer multiple of the nominal.
+        for budget in budgets:
+            assert budget / nominal == pytest.approx(round(budget / nominal))
+
+    def test_absorption_capped_at_eps2(self, indicator_stream):
+        mechanism = BudgetAbsorption(2.0, w=10)
+        mechanism.perturb(indicator_stream, rng=0)
+        assert max(mechanism.last_trace.publication_budgets) <= 1.0 + 1e-9
+
+    def test_max_single_publication_budget(self):
+        assert BudgetAbsorption(4.0, w=10).max_single_publication_budget == 2.0
+
+    def test_nullification_blocks_following_publications(self):
+        # A constant-then-jump stream forces an absorbing publication;
+        # the following nullified timestamps must not publish.
+        alphabet = EventAlphabet(["a"])
+        matrix = np.zeros((30, 1), dtype=bool)
+        matrix[15:] = True
+        stream = IndicatorStream(alphabet, matrix)
+        mechanism = BudgetAbsorption(1.0, w=10)
+        mechanism.perturb(stream, rng=4)
+        trace = mechanism.last_trace
+        nominal = 0.5 / 10.0
+        for t, budget in enumerate(trace.publication_budgets):
+            if budget > nominal:
+                absorbed_units = int(round(budget / nominal))
+                following = trace.publication_budgets[
+                    t + 1 : t + absorbed_units
+                ]
+                assert all(b == 0.0 for b in following)

@@ -1,0 +1,154 @@
+"""Tests for repro.cep.engine — the trusted CEP middleware."""
+
+import numpy as np
+import pytest
+
+from repro.cep.engine import CEPEngine, QualityRequirement
+from repro.cep.patterns import OR, Pattern
+from repro.cep.queries import ContinuousQuery
+from repro.core.uniform import UniformPatternPPM
+from repro.streams.events import Event
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+from repro.streams.stream import EventStream
+
+
+@pytest.fixture
+def engine(alphabet6):
+    return CEPEngine(alphabet6)
+
+
+@pytest.fixture
+def ready_engine(engine, private_pattern, target_pattern):
+    engine.register_private_pattern(private_pattern)
+    engine.register_query(ContinuousQuery("q-target", target_pattern))
+    return engine
+
+
+class TestSetupPhase:
+    def test_register_private_pattern(self, engine, private_pattern):
+        engine.register_private_pattern(private_pattern)
+        assert engine.private_patterns == [private_pattern]
+
+    def test_duplicate_private_pattern_rejected(self, engine, private_pattern):
+        engine.register_private_pattern(private_pattern)
+        with pytest.raises(ValueError):
+            engine.register_private_pattern(private_pattern)
+
+    def test_pattern_outside_alphabet_rejected(self, engine):
+        with pytest.raises(ValueError, match="absent"):
+            engine.register_private_pattern(Pattern.of_types("p", "zz"))
+
+    def test_register_query(self, engine, target_pattern):
+        engine.register_query(ContinuousQuery("q", target_pattern))
+        assert len(engine.queries) == 1
+
+    def test_duplicate_query_rejected(self, engine, target_pattern):
+        engine.register_query(ContinuousQuery("q", target_pattern))
+        with pytest.raises(ValueError):
+            engine.register_query(ContinuousQuery("q", target_pattern))
+
+    def test_quality_requirement(self, engine):
+        engine.set_quality_requirement(QualityRequirement(alpha=0.7, max_mre=0.2))
+        assert engine.quality_requirement.alpha == 0.7
+
+    def test_invalid_quality_requirement(self):
+        with pytest.raises(ValueError):
+            QualityRequirement(alpha=1.5)
+        with pytest.raises(ValueError):
+            QualityRequirement(max_mre=-0.1)
+
+    def test_attach_mechanism_requires_perturb(self, engine):
+        with pytest.raises(TypeError):
+            engine.attach_mechanism(object())
+
+    def test_non_pattern_rejected(self, engine):
+        with pytest.raises(TypeError):
+            engine.register_private_pattern("nope")  # type: ignore[arg-type]
+
+    def test_bad_alphabet_type_rejected(self):
+        with pytest.raises(TypeError):
+            CEPEngine(["a", "b"])  # type: ignore[arg-type]
+
+
+class TestServicePhase:
+    def test_without_mechanism_answers_equal_truth(self, ready_engine, stream200):
+        report = ready_engine.process_indicators(stream200)
+        answer = report.answer("q-target")
+        truth = report.true_answers["q-target"]
+        assert np.array_equal(answer.detections, truth.detections)
+
+    def test_with_mechanism_perturbs_once(
+        self, ready_engine, stream200, private_pattern
+    ):
+        ppm = UniformPatternPPM(private_pattern, epsilon=1.0)
+        ready_engine.attach_mechanism(ppm)
+        report = ready_engine.process_indicators(stream200, rng=3)
+        # Non-private columns untouched.
+        assert np.array_equal(
+            report.perturbed.column("e5"), stream200.column("e5")
+        )
+        # Private columns perturbed (with overwhelming probability).
+        assert not np.array_equal(
+            report.perturbed.column("e1"), stream200.column("e1")
+        )
+
+    def test_answers_computed_on_perturbed(self, ready_engine, stream200, private_pattern):
+        ppm = UniformPatternPPM(private_pattern, epsilon=1.0)
+        ready_engine.attach_mechanism(ppm)
+        report = ready_engine.process_indicators(stream200, rng=3)
+        expected = report.perturbed.detect_all(["e2", "e3", "e4"])
+        assert np.array_equal(
+            report.answer("q-target").detections, expected
+        )
+
+    def test_no_queries_raises(self, engine, stream200):
+        with pytest.raises(RuntimeError):
+            engine.process_indicators(stream200)
+
+    def test_alphabet_mismatch_rejected(self, ready_engine):
+        other = IndicatorStream(
+            EventAlphabet(["x"]), np.zeros((2, 1), dtype=bool)
+        )
+        with pytest.raises(ValueError):
+            ready_engine.process_indicators(other)
+
+    def test_unknown_answer_key(self, ready_engine, stream200):
+        report = ready_engine.process_indicators(stream200)
+        with pytest.raises(KeyError):
+            report.answer("nope")
+
+    def test_non_sequential_query_rejected_in_indicator_mode(
+        self, engine, stream200
+    ):
+        engine.register_query(
+            ContinuousQuery("q-or", Pattern("p-or", OR("e1", "e2")))
+        )
+        with pytest.raises(ValueError, match="non-sequential"):
+            engine.process_indicators(stream200)
+
+
+class TestFullMatching:
+    def test_match_runs_cep_semantics(self, engine):
+        events = EventStream(
+            [Event("e1", 0.0), Event("e2", 1.0), Event("e3", 2.0)]
+        )
+        matches = engine.match(events, Pattern.of_types("p", "e1", "e3"))
+        assert len(matches) == 1
+
+    def test_detect_all_patterns_merges_by_completion(
+        self, ready_engine
+    ):
+        events = EventStream(
+            [
+                Event("e2", 0.0),
+                Event("e1", 1.0),
+                Event("e2", 2.0),
+                Event("e3", 3.0),
+                Event("e4", 4.0),
+            ]
+        )
+        merged = ready_engine.detect_all_patterns(events)
+        ends = [match.end for match in merged]
+        assert ends == sorted(ends)
+        names = {match.pattern_name for match in merged}
+        assert "private" in names and "target" in names

@@ -1,0 +1,92 @@
+"""Tests for the CEP engine's service-phase budget accounting."""
+
+import pytest
+
+from repro.cep.engine import CEPEngine
+from repro.cep.queries import ContinuousQuery
+from repro.baselines.event_level import EventLevelRR
+from repro.core.ppm import MultiPatternPPM
+from repro.core.uniform import UniformPatternPPM
+from repro.cep.patterns import Pattern
+from repro.mechanisms.accountant import BudgetExceededError
+
+
+@pytest.fixture
+def engine(alphabet6, private_pattern, target_pattern):
+    engine = CEPEngine(alphabet6)
+    engine.register_private_pattern(private_pattern)
+    engine.register_query(ContinuousQuery("q", target_pattern))
+    return engine
+
+
+class TestAccounting:
+    def test_disabled_by_default(self, engine, stream200, private_pattern):
+        engine.attach_mechanism(UniformPatternPPM(private_pattern, 1.0))
+        assert engine.accountant is None
+        for _ in range(5):
+            engine.process_indicators(stream200, rng=0)  # no cap
+
+    def test_spends_per_release(self, engine, stream200, private_pattern):
+        engine.attach_mechanism(UniformPatternPPM(private_pattern, 1.0))
+        engine.enable_accounting(2.5)
+        engine.process_indicators(stream200, rng=0)
+        assert engine.accountant.spent() == pytest.approx(1.0)
+        engine.process_indicators(stream200, rng=1)
+        assert engine.accountant.spent() == pytest.approx(2.0)
+
+    def test_overspend_refused_before_noise(self, engine, stream200, private_pattern):
+        engine.attach_mechanism(UniformPatternPPM(private_pattern, 1.0))
+        engine.enable_accounting(1.5)
+        engine.process_indicators(stream200, rng=0)
+        with pytest.raises(BudgetExceededError):
+            engine.process_indicators(stream200, rng=1)
+        # The failed release must not be recorded.
+        assert engine.accountant.spent() == pytest.approx(1.0)
+
+    def test_multi_pattern_spends_per_guarantee(
+        self, engine, stream200, private_pattern
+    ):
+        other = Pattern.of_types("other", "e5", "e6")
+        mechanism = MultiPatternPPM(
+            [
+                UniformPatternPPM(private_pattern, 1.0),
+                UniformPatternPPM(other, 0.5),
+            ]
+        )
+        engine.attach_mechanism(mechanism)
+        engine.enable_accounting(10.0)
+        engine.process_indicators(stream200, rng=0)
+        by_label = engine.accountant.by_label()
+        assert by_label["release:private"] == pytest.approx(1.0)
+        assert by_label["release:other"] == pytest.approx(0.5)
+
+    def test_atomic_refusal_for_multi_pattern(
+        self, engine, stream200, private_pattern
+    ):
+        other = Pattern.of_types("other", "e5", "e6")
+        mechanism = MultiPatternPPM(
+            [
+                UniformPatternPPM(private_pattern, 1.0),
+                UniformPatternPPM(other, 1.0),
+            ]
+        )
+        engine.attach_mechanism(mechanism)
+        engine.enable_accounting(1.5)  # fits one guarantee, not both
+        with pytest.raises(BudgetExceededError):
+            engine.process_indicators(stream200, rng=0)
+        assert engine.accountant.spent() == 0.0  # nothing partially spent
+
+    def test_plain_mechanism_spends_its_epsilon(self, engine, stream200):
+        engine.attach_mechanism(EventLevelRR(0.7))
+        engine.enable_accounting(1.0)
+        engine.process_indicators(stream200, rng=0)
+        assert engine.accountant.spent() == pytest.approx(0.7)
+
+    def test_no_spend_without_mechanism(self, engine, stream200):
+        engine.enable_accounting(1.0)
+        engine.process_indicators(stream200, rng=0)
+        assert engine.accountant.spent() == 0.0
+
+    def test_invalid_total(self, engine):
+        with pytest.raises(Exception):
+            engine.enable_accounting(0.0)

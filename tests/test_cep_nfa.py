@@ -1,0 +1,186 @@
+"""Tests for repro.cep.nfa — expression compilation and automatons."""
+
+import pytest
+
+from repro.cep.nfa import (
+    CompileError,
+    DisjAutomaton,
+    ProductAutomaton,
+    SeqAutomaton,
+    compile_expr,
+    compile_to_nfa,
+)
+from repro.cep.patterns import AND, KLEENE, NEG, OR, SEQ, Atom
+from repro.streams.events import Event
+
+
+def e(event_type, timestamp=0.0):
+    return Event(event_type, timestamp)
+
+
+def run_accepts(automaton, symbols):
+    """Whether consuming exactly `symbols` (no skips) reaches acceptance."""
+    states = list(automaton.initials())
+    for position, symbol in enumerate(symbols):
+        next_states = []
+        for state in states:
+            next_states.extend(automaton.step(state, e(symbol, float(position))))
+        states = next_states
+        if not states:
+            return False
+    return any(automaton.is_accepting(state) for state in states)
+
+
+class TestAtomAndSeq:
+    def test_atom_accepts_single_event(self):
+        nfa = compile_to_nfa(Atom("a"))
+        assert run_accepts(nfa, ["a"])
+        assert not run_accepts(nfa, ["b"])
+
+    def test_seq_order_matters(self):
+        nfa = compile_to_nfa(SEQ("a", "b"))
+        assert run_accepts(nfa, ["a", "b"])
+        assert not run_accepts(nfa, ["b", "a"])
+
+    def test_seq_incomplete_not_accepting(self):
+        nfa = compile_to_nfa(SEQ("a", "b", "c"))
+        assert not run_accepts(nfa, ["a", "b"])
+
+    def test_no_transition_on_mismatch(self):
+        nfa = compile_to_nfa(SEQ("a", "b"))
+        state = nfa.initials()[0]
+        assert nfa.step(state, e("b")) == []
+
+
+class TestDisjunction:
+    def test_or_accepts_either(self):
+        nfa = compile_to_nfa(OR("a", "b"))
+        assert run_accepts(nfa, ["a"])
+        assert run_accepts(nfa, ["b"])
+        assert not run_accepts(nfa, ["c"])
+
+    def test_or_of_sequences(self):
+        nfa = compile_to_nfa(OR(SEQ("a", "b"), SEQ("c", "d")))
+        assert run_accepts(nfa, ["a", "b"])
+        assert run_accepts(nfa, ["c", "d"])
+        assert not run_accepts(nfa, ["a", "d"])
+
+
+class TestKleene:
+    def test_unbounded_plus(self):
+        nfa = compile_to_nfa(KLEENE("a"))
+        assert run_accepts(nfa, ["a"])
+        assert run_accepts(nfa, ["a", "a", "a"])
+        assert not run_accepts(nfa, [])
+
+    def test_at_least(self):
+        nfa = compile_to_nfa(KLEENE("a", 2))
+        assert not run_accepts(nfa, ["a"])
+        assert run_accepts(nfa, ["a", "a"])
+        assert run_accepts(nfa, ["a", "a", "a"])
+
+    def test_bounded(self):
+        nfa = compile_to_nfa(KLEENE("a", 1, 2))
+        assert run_accepts(nfa, ["a"])
+        assert run_accepts(nfa, ["a", "a"])
+        # A third consuming step must find no transition.
+        assert not run_accepts(nfa, ["a", "a", "a"])
+
+    def test_kleene_inside_seq(self):
+        nfa = compile_to_nfa(SEQ("a", KLEENE("b"), "c"))
+        assert run_accepts(nfa, ["a", "b", "c"])
+        assert run_accepts(nfa, ["a", "b", "b", "c"])
+        assert not run_accepts(nfa, ["a", "c"])
+
+
+class TestNegGuards:
+    def test_guard_detected_while_parked(self):
+        nfa = compile_to_nfa(SEQ("a", NEG("z"), "b"))
+        state = nfa.initials()[0]
+        (after_a,) = nfa.step(state, e("a"))
+        assert nfa.forbidden_matches(after_a, e("z"))
+        assert not nfa.forbidden_matches(after_a, e("q"))
+
+    def test_guard_not_active_before_first_step(self):
+        nfa = compile_to_nfa(SEQ("a", NEG("z"), "b"))
+        state = nfa.initials()[0]
+        assert not nfa.forbidden_matches(state, e("z"))
+
+    def test_leading_neg_guard_active_initially(self):
+        nfa = compile_to_nfa(SEQ(NEG("z"), "a"))
+        state = nfa.initials()[0]
+        assert nfa.forbidden_matches(state, e("z"))
+
+    def test_seq_of_only_neg_rejected(self):
+        with pytest.raises(CompileError):
+            compile_to_nfa(SEQ(NEG("z")))
+
+    def test_neg_outside_seq_rejected(self):
+        with pytest.raises(CompileError):
+            compile_to_nfa(NEG("z"))
+
+
+class TestConjunction:
+    def test_and_any_order(self):
+        automaton = compile_expr(AND("a", "b"))
+        assert run_accepts(automaton, ["a", "b"])
+        assert run_accepts(automaton, ["b", "a"])
+        assert not run_accepts(automaton, ["a", "a"])
+
+    def test_and_of_sequences(self):
+        automaton = compile_expr(AND(SEQ("a", "b"), "c"))
+        assert run_accepts(automaton, ["a", "c", "b"])
+        assert run_accepts(automaton, ["c", "a", "b"])
+        assert not run_accepts(automaton, ["a", "c"])
+
+    def test_shared_event_advances_both(self):
+        # One event may satisfy both operands at once.
+        automaton = compile_expr(AND("a", "a"))
+        assert run_accepts(automaton, ["a"])
+
+    def test_and_inside_seq(self):
+        automaton = compile_expr(SEQ("x", AND("a", "b")))
+        assert run_accepts(automaton, ["x", "a", "b"])
+        assert run_accepts(automaton, ["x", "b", "a"])
+        assert not run_accepts(automaton, ["a", "b", "x"])
+
+    def test_and_inside_or(self):
+        automaton = compile_expr(OR(AND("a", "b"), "c"))
+        assert run_accepts(automaton, ["c"])
+        assert run_accepts(automaton, ["b", "a"])
+
+    def test_nested_and(self):
+        automaton = compile_expr(AND("a", AND("b", "c")))
+        assert run_accepts(automaton, ["c", "a", "b"])
+
+    def test_kleene_over_and_rejected(self):
+        with pytest.raises(CompileError):
+            compile_expr(KLEENE(AND("a", "b")))
+
+    def test_neg_beside_and_rejected(self):
+        with pytest.raises(CompileError):
+            compile_expr(SEQ(NEG("z"), AND("a", "b")))
+
+    def test_product_requires_two_operands(self):
+        with pytest.raises(ValueError):
+            ProductAutomaton([compile_to_nfa(Atom("a"))])
+
+
+class TestFastPath:
+    def test_conj_free_uses_thompson(self):
+        from repro.cep.nfa import Nfa
+
+        assert isinstance(compile_expr(SEQ("a", "b")), Nfa)
+
+    def test_conj_uses_product(self):
+        assert isinstance(compile_expr(AND("a", "b")), ProductAutomaton)
+
+    def test_seq_with_conj_uses_seq_automaton(self):
+        assert isinstance(
+            compile_expr(SEQ("x", AND("a", "b"))), SeqAutomaton
+        )
+
+    def test_or_with_conj_uses_disj_automaton(self):
+        assert isinstance(
+            compile_expr(OR(AND("a", "b"), "c")), DisjAutomaton
+        )

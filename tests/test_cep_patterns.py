@@ -1,0 +1,148 @@
+"""Tests for repro.cep.patterns — the pattern expression algebra."""
+
+import pytest
+
+from repro.cep.patterns import (
+    AND,
+    Atom,
+    KLEENE,
+    NEG,
+    OR,
+    Pattern,
+    SEQ,
+    as_expr,
+    walk,
+)
+from repro.cep.predicates import EventPredicate
+
+
+class TestExpressionConstruction:
+    def test_atom_from_string(self):
+        atom = Atom("a")
+        assert atom.predicate.event_type == "a"
+
+    def test_atom_from_predicate(self):
+        atom = Atom(EventPredicate.of_type("a"))
+        assert atom.predicate.event_type == "a"
+
+    def test_atom_rejects_other(self):
+        with pytest.raises(TypeError):
+            Atom(42)  # type: ignore[arg-type]
+
+    def test_seq_accepts_strings(self):
+        expr = SEQ("a", "b")
+        assert len(expr.children()) == 2
+
+    def test_seq_allows_single_child(self):
+        SEQ("a")
+
+    def test_and_or_require_two(self):
+        with pytest.raises(ValueError):
+            AND("a")
+        with pytest.raises(ValueError):
+            OR("a")
+
+    def test_kleene_bounds(self):
+        k = KLEENE("a", 2, 4)
+        assert k.at_least == 2 and k.at_most == 4
+
+    def test_kleene_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            KLEENE("a", 0)
+        with pytest.raises(ValueError):
+            KLEENE("a", 3, 2)
+
+    def test_neg_requires_atom(self):
+        NEG("a")
+        with pytest.raises(TypeError):
+            NEG(SEQ("a", "b"))
+
+    def test_as_expr_passthrough(self):
+        expr = SEQ("a", "b")
+        assert as_expr(expr) is expr
+
+    def test_walk_preorder(self):
+        expr = SEQ("a", OR("b", "c"))
+        kinds = [type(node).__name__ for node in walk(expr)]
+        assert kinds == ["Seq", "Atom", "Disj", "Atom", "Atom"]
+
+    def test_event_types_collects_type_predicates(self):
+        expr = SEQ("a", OR("b", "c"), NEG("z"))
+        assert expr.event_types() == ["a", "b", "c", "z"]
+
+    def test_render_round_trips_structure(self):
+        text = SEQ("a", NEG("z"), KLEENE("b", 2)).render()
+        assert "SEQ" in text and "NEG" in text and "KLEENE" in text
+
+
+class TestPattern:
+    def test_of_types_builds_sequence(self):
+        pattern = Pattern.of_types("p", "a", "b", "c")
+        assert pattern.elements == ("a", "b", "c")
+        assert pattern.length == 3
+        assert pattern.is_sequence_of_types
+
+    def test_of_types_single_element(self):
+        pattern = Pattern.of_types("p", "a")
+        assert pattern.elements == ("a",)
+        assert pattern.length == 1
+
+    def test_of_types_requires_elements(self):
+        with pytest.raises(ValueError):
+            Pattern.of_types("p")
+
+    def test_elements_inferred_from_seq_expr(self):
+        pattern = Pattern("p", SEQ("a", "b"))
+        assert pattern.elements == ("a", "b")
+
+    def test_elements_none_for_complex_expr(self):
+        pattern = Pattern("p", OR("a", "b"))
+        assert pattern.elements is None
+        assert not pattern.is_sequence_of_types
+
+    def test_length_undefined_without_elements(self):
+        pattern = Pattern("p", OR("a", "b"))
+        with pytest.raises(ValueError):
+            pattern.length
+
+    def test_explicit_elements_override(self):
+        pattern = Pattern("p", OR("a", "b"), elements=["a", "b"])
+        assert pattern.elements == ("a", "b")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern("", SEQ("a", "b"))
+
+    def test_element_set(self):
+        pattern = Pattern.of_types("p", "a", "b", "a")
+        assert pattern.element_set() == frozenset({"a", "b"})
+
+    def test_composed_merges_elements(self):
+        # Section III-A: higher-level patterns collect all events of
+        # their sub-patterns into one sequence.
+        low1 = Pattern.of_types("l1", "a", "b")
+        low2 = Pattern.of_types("l2", "c")
+        high = Pattern.composed("h", low1, low2)
+        assert high.elements == ("a", "b", "c")
+
+    def test_composed_requires_element_lists(self):
+        with pytest.raises(ValueError):
+            Pattern.composed("h", Pattern("p", OR("a", "b")))
+
+    def test_overlaps(self):
+        first = Pattern.of_types("f", "a", "b")
+        second = Pattern.of_types("s", "b", "c")
+        third = Pattern.of_types("t", "x", "y")
+        assert first.overlaps(second)
+        assert not first.overlaps(third)
+
+    def test_overlaps_requires_elements(self):
+        with pytest.raises(ValueError):
+            Pattern("p", OR("a", "b")).overlaps(Pattern.of_types("q", "a"))
+
+    def test_equality_and_hash(self):
+        assert Pattern.of_types("p", "a") == Pattern.of_types("p", "a")
+        assert Pattern.of_types("p", "a") != Pattern.of_types("p", "b")
+        assert hash(Pattern.of_types("p", "a")) == hash(
+            Pattern.of_types("p", "a")
+        )

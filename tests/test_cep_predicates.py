@@ -1,0 +1,74 @@
+"""Tests for repro.cep.predicates — event predicates."""
+
+import pytest
+
+from repro.cep.predicates import EventPredicate
+from repro.streams.events import Event
+
+
+@pytest.fixture
+def gps_event():
+    return Event("gps", 5.0, attributes={"speed": 80}, source="car-1")
+
+
+class TestConstructors:
+    def test_of_type(self, gps_event):
+        assert EventPredicate.of_type("gps").matches(gps_event)
+        assert not EventPredicate.of_type("other").matches(gps_event)
+
+    def test_of_type_records_symbol(self):
+        assert EventPredicate.of_type("gps").event_type == "gps"
+
+    def test_of_type_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EventPredicate.of_type("")
+
+    def test_any_event(self, gps_event):
+        assert EventPredicate.any_event().matches(gps_event)
+
+    def test_where(self, gps_event):
+        fast = EventPredicate.where(lambda e: e.attribute("speed") > 50)
+        assert fast.matches(gps_event)
+
+    def test_where_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            EventPredicate("not-callable")  # type: ignore[arg-type]
+
+    def test_attr_equals(self, gps_event):
+        assert EventPredicate.attr_equals("speed", 80).matches(gps_event)
+        assert not EventPredicate.attr_equals("speed", 10).matches(gps_event)
+
+    def test_from_source(self, gps_event):
+        assert EventPredicate.from_source("car-1").matches(gps_event)
+        assert not EventPredicate.from_source("car-2").matches(gps_event)
+
+    def test_callable_interface(self, gps_event):
+        assert EventPredicate.of_type("gps")(gps_event)
+
+
+class TestCombinators:
+    def test_and(self, gps_event):
+        combined = EventPredicate.of_type("gps") & EventPredicate.attr_equals(
+            "speed", 80
+        )
+        assert combined.matches(gps_event)
+
+    def test_and_short_circuit_false(self, gps_event):
+        combined = EventPredicate.of_type("nope") & EventPredicate.any_event()
+        assert not combined.matches(gps_event)
+
+    def test_or(self, gps_event):
+        combined = EventPredicate.of_type("nope") | EventPredicate.of_type("gps")
+        assert combined.matches(gps_event)
+
+    def test_invert(self, gps_event):
+        assert (~EventPredicate.of_type("nope")).matches(gps_event)
+        assert not (~EventPredicate.of_type("gps")).matches(gps_event)
+
+    def test_composite_has_no_event_type(self):
+        combined = EventPredicate.of_type("a") & EventPredicate.of_type("b")
+        assert combined.event_type is None
+
+    def test_names_compose(self):
+        combined = EventPredicate.of_type("a") | EventPredicate.of_type("b")
+        assert "a" in combined.name and "b" in combined.name

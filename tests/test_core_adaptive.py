@@ -1,0 +1,153 @@
+"""Tests for repro.core.adaptive — Algorithm 1."""
+
+import pytest
+
+from repro.cep.patterns import Pattern
+from repro.core.adaptive import (
+    AdaptivePatternPPM,
+    default_step_size,
+    fit_allocation,
+)
+from repro.core.budget import BudgetAllocation
+from repro.core.quality_model import AnalyticQualityEstimator
+from repro.core.uniform import UniformPatternPPM
+
+
+class TestDefaultStepSize:
+    def test_paper_suggestion(self):
+        # Line 2: δε = mε/100.
+        assert default_step_size(2.0, 3) == pytest.approx(0.06)
+
+
+class TestFitAllocation:
+    def test_budget_conserved(self, stream200, private_pattern, target_pattern):
+        estimator = AnalyticQualityEstimator(
+            stream200, private_pattern, [target_pattern]
+        )
+        result = fit_allocation(3.0, 3, estimator)
+        assert result.allocation.total == pytest.approx(3.0)
+
+    def test_quality_trace_monotone(self, stream200, private_pattern, target_pattern):
+        estimator = AnalyticQualityEstimator(
+            stream200, private_pattern, [target_pattern]
+        )
+        result = fit_allocation(3.0, 3, estimator)
+        for earlier, later in zip(result.quality_trace, result.quality_trace[1:]):
+            assert later >= earlier
+
+    def test_starves_private_only_elements(
+        self, stream200, private_pattern, target_pattern
+    ):
+        # e1 appears only in the private pattern: noising it is free, so
+        # the search should strip its budget and feed e2/e3 (shared with
+        # the target).
+        estimator = AnalyticQualityEstimator(
+            stream200, private_pattern, [target_pattern]
+        )
+        result = fit_allocation(3.0, 3, estimator, max_iterations=300)
+        assert result.allocation[0] == pytest.approx(0.0, abs=1e-6)
+        assert result.allocation[1] > 1.0
+        assert result.allocation[2] > 1.0
+
+    def test_beats_uniform(self, stream200, private_pattern, target_pattern):
+        estimator = AnalyticQualityEstimator(
+            stream200, private_pattern, [target_pattern]
+        )
+        result = fit_allocation(3.0, 3, estimator, max_iterations=300)
+        uniform_q = estimator.evaluate(BudgetAllocation.uniform(3.0, 3)).q
+        assert result.quality_trace[-1] > uniform_q
+
+    def test_single_element_trivially_converges(
+        self, stream200, target_pattern
+    ):
+        pattern = Pattern.of_types("single", "e2")
+        estimator = AnalyticQualityEstimator(
+            stream200, pattern, [target_pattern]
+        )
+        result = fit_allocation(2.0, 1, estimator)
+        assert result.converged
+        assert result.iterations == 0
+        assert result.allocation.epsilons == (2.0,)
+
+    def test_iteration_cap_respected(
+        self, stream200, private_pattern, target_pattern
+    ):
+        estimator = AnalyticQualityEstimator(
+            stream200, private_pattern, [target_pattern]
+        )
+        result = fit_allocation(
+            3.0, 3, estimator, step_size=0.001, max_iterations=5
+        )
+        assert result.iterations <= 5
+
+    def test_invalid_arguments(self, stream200, private_pattern, target_pattern):
+        estimator = AnalyticQualityEstimator(
+            stream200, private_pattern, [target_pattern]
+        )
+        with pytest.raises(Exception):
+            fit_allocation(0.0, 3, estimator)
+        with pytest.raises(ValueError):
+            fit_allocation(1.0, 0, estimator)
+        with pytest.raises(ValueError):
+            fit_allocation(1.0, 3, estimator, max_iterations=0)
+
+
+class TestAdaptivePatternPPM:
+    def test_fit_returns_ppm_with_trace(
+        self, stream200, private_pattern, target_pattern
+    ):
+        ppm = AdaptivePatternPPM.fit(
+            private_pattern, 3.0, stream200, [target_pattern]
+        )
+        assert ppm.name == "adaptive"
+        assert ppm.fit_result is not None
+        assert ppm.fit_result.quality_trace
+
+    def test_guarantee_matches_requested_budget(
+        self, stream200, private_pattern, target_pattern
+    ):
+        ppm = AdaptivePatternPPM.fit(
+            private_pattern, 2.0, stream200, [target_pattern]
+        )
+        assert ppm.guarantee.epsilon == pytest.approx(2.0)
+
+    def test_adaptive_at_least_as_good_as_uniform_on_history(
+        self, stream200, private_pattern, target_pattern
+    ):
+        estimator = AnalyticQualityEstimator(
+            stream200, private_pattern, [target_pattern]
+        )
+        adaptive = AdaptivePatternPPM.fit(
+            private_pattern, 3.0, stream200, [target_pattern]
+        )
+        uniform = UniformPatternPPM(private_pattern, 3.0)
+        assert estimator.evaluate(adaptive.allocation).q >= estimator.evaluate(
+            uniform.allocation
+        ).q
+
+    def test_custom_estimator_factory(
+        self, stream200, private_pattern, target_pattern
+    ):
+        calls = []
+
+        def factory(history, pattern, targets, alpha=0.5):
+            calls.append(alpha)
+            return AnalyticQualityEstimator(
+                history, pattern, targets, alpha=alpha
+            )
+
+        AdaptivePatternPPM.fit(
+            private_pattern,
+            1.0,
+            stream200,
+            [target_pattern],
+            alpha=0.7,
+            estimator_factory=factory,
+        )
+        assert calls == [0.7]
+
+    def test_invalid_alpha(self, stream200, private_pattern, target_pattern):
+        with pytest.raises(Exception):
+            AdaptivePatternPPM.fit(
+                private_pattern, 1.0, stream200, [target_pattern], alpha=1.5
+            )

@@ -1,0 +1,150 @@
+"""Tests for repro.core.budget — Theorem 1 budget algebra."""
+
+import math
+
+import pytest
+
+from repro.core.budget import BudgetAllocation, theorem1_epsilon
+from repro.mechanisms.randomized_response import epsilon_to_flip_probability
+
+
+class TestConstruction:
+    def test_uniform_split(self):
+        allocation = BudgetAllocation.uniform(3.0, 3)
+        assert allocation.epsilons == (1.0, 1.0, 1.0)
+        assert allocation.total == pytest.approx(3.0)
+
+    def test_uniform_invalid_inputs(self):
+        with pytest.raises(Exception):
+            BudgetAllocation.uniform(0.0, 3)
+        with pytest.raises(ValueError):
+            BudgetAllocation.uniform(1.0, 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetAllocation(())
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetAllocation((1.0, -0.1))
+
+    def test_nan_inf_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetAllocation((float("nan"),))
+        with pytest.raises(ValueError):
+            BudgetAllocation((float("inf"),))
+
+    def test_zero_component_allowed(self):
+        BudgetAllocation((0.0, 1.0))
+
+    def test_from_flip_probabilities_round_trip(self):
+        allocation = BudgetAllocation((0.5, 1.5, 2.0))
+        recovered = BudgetAllocation.from_flip_probabilities(
+            allocation.flip_probabilities()
+        )
+        for original, recomputed in zip(allocation, recovered):
+            assert recomputed == pytest.approx(original)
+
+
+class TestFlipProbabilities:
+    def test_values_in_valid_range(self):
+        allocation = BudgetAllocation((0.0, 1.0, 10.0))
+        probabilities = allocation.flip_probabilities()
+        assert all(0.0 < p <= 0.5 for p in probabilities)
+
+    def test_zero_budget_gives_fair_coin(self):
+        allocation = BudgetAllocation((0.0, 1.0))
+        assert allocation.flip_probabilities()[0] == pytest.approx(0.5)
+
+    def test_formula(self):
+        allocation = BudgetAllocation((2.0,))
+        assert allocation.flip_probabilities()[0] == pytest.approx(
+            epsilon_to_flip_probability(2.0)
+        )
+
+
+class TestStepwiseMoves:
+    def test_move_conserves_total(self):
+        allocation = BudgetAllocation.uniform(3.0, 3)
+        moved = allocation.with_move(0, 0.3)
+        assert moved.total == pytest.approx(3.0)
+
+    def test_move_shifts_in_right_direction(self):
+        allocation = BudgetAllocation.uniform(3.0, 3)
+        moved = allocation.with_move(1, 0.3)
+        assert moved[1] > allocation[1]
+        assert moved[0] < allocation[0]
+        assert moved[2] < allocation[2]
+
+    def test_compensation_split_among_others(self):
+        allocation = BudgetAllocation.uniform(4.0, 4)
+        moved = allocation.with_move(0, 0.3)
+        assert moved[0] == pytest.approx(1.3)
+        for index in (1, 2, 3):
+            assert moved[index] == pytest.approx(1.0 - 0.1)
+
+    def test_clamped_at_zero_and_renormalized(self):
+        allocation = BudgetAllocation((0.05, 2.95))
+        moved = allocation.with_move(1, 0.2)
+        assert min(moved) >= 0.0
+        assert moved.total == pytest.approx(3.0)
+
+    def test_single_element_is_noop(self):
+        allocation = BudgetAllocation((2.0,))
+        assert allocation.with_move(0, 0.5).epsilons == (2.0,)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            BudgetAllocation.uniform(1.0, 2).with_move(5, 0.1)
+
+    def test_invalid_step(self):
+        with pytest.raises(Exception):
+            BudgetAllocation.uniform(1.0, 2).with_move(0, 0.0)
+
+    def test_repeated_moves_stay_feasible(self):
+        allocation = BudgetAllocation.uniform(2.0, 4)
+        for _ in range(100):
+            allocation = allocation.with_move(0, 0.05)
+        assert allocation.total == pytest.approx(2.0)
+        assert min(allocation) >= 0.0
+        # All the budget should have drifted to element 0.
+        assert allocation[0] == pytest.approx(2.0, abs=1e-6)
+
+
+class TestNormalization:
+    def test_normalized_to_scales(self):
+        allocation = BudgetAllocation((1.0, 2.0, 3.0))
+        scaled = allocation.normalized_to(3.0)
+        assert scaled.total == pytest.approx(3.0)
+        assert scaled[2] / scaled[0] == pytest.approx(3.0)
+
+    def test_sums_to(self):
+        assert BudgetAllocation.uniform(2.0, 4).sums_to(2.0)
+        assert not BudgetAllocation.uniform(2.0, 4).sums_to(2.5)
+
+
+class TestDiagnostics:
+    def test_entropy_max_for_uniform(self):
+        uniform = BudgetAllocation.uniform(3.0, 3)
+        skewed = BudgetAllocation((2.9, 0.05, 0.05))
+        assert uniform.entropy() == pytest.approx(math.log(3))
+        assert skewed.entropy() < uniform.entropy()
+
+    def test_entropy_zero_for_point_mass(self):
+        assert BudgetAllocation((3.0, 0.0)).entropy() == pytest.approx(0.0)
+
+
+class TestTheorem1:
+    def test_sum_of_per_event_budgets(self):
+        probabilities = [0.3, 0.2, 0.1]
+        expected = sum(math.log((1 - p) / p) for p in probabilities)
+        assert theorem1_epsilon(probabilities) == pytest.approx(expected)
+
+    def test_uniform_allocation_realizes_target(self):
+        allocation = BudgetAllocation.uniform(4.0, 4)
+        assert theorem1_epsilon(
+            allocation.flip_probabilities()
+        ) == pytest.approx(4.0)
+
+    def test_fair_coins_cost_nothing(self):
+        assert theorem1_epsilon([0.5, 0.5]) == pytest.approx(0.0)

@@ -1,0 +1,138 @@
+"""Tests for repro.core.extensions — numerical (counting) queries."""
+
+import numpy as np
+import pytest
+
+from repro.cep.patterns import Pattern
+from repro.core.extensions import (
+    CountingQuery,
+    debias_rate,
+    estimate_detection_count,
+)
+from repro.core.uniform import UniformPatternPPM
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+
+
+@pytest.fixture
+def independent_stream():
+    """Columns are independent Bernoullis (the Algorithm 2 regime where
+    the count estimator is exact in expectation)."""
+    rng = np.random.default_rng(3)
+    alphabet = EventAlphabet.numbered(4)
+    matrix = rng.random((4000, 4)) < np.array([0.5, 0.6, 0.7, 0.4])
+    return IndicatorStream(alphabet, matrix)
+
+
+class TestDebiasRate:
+    def test_no_flip_identity(self):
+        assert debias_rate(0.3, 0.0) == pytest.approx(0.3)
+
+    def test_inverts_forward_map(self):
+        true_rate, p = 0.4, 0.2
+        observed = true_rate * (1 - p) + (1 - true_rate) * p
+        assert debias_rate(observed, p) == pytest.approx(true_rate)
+
+    def test_clipped_to_unit_interval(self):
+        assert debias_rate(0.05, 0.2) == 0.0
+        assert debias_rate(0.95, 0.2) == 1.0
+
+    def test_half_rejected(self):
+        with pytest.raises(ValueError):
+            debias_rate(0.5, 0.5)
+
+    def test_above_half_rejected(self):
+        with pytest.raises(ValueError):
+            debias_rate(0.5, 0.6)
+
+
+class TestEstimateDetectionCount:
+    def test_unperturbed_stream_exact(self, independent_stream):
+        target = Pattern.of_types("t", "e1", "e2")
+        estimate = estimate_detection_count(independent_stream, target, {})
+        true_count = independent_stream.detection_count(["e1", "e2"])
+        assert estimate.raw_count == true_count
+        # Independence recomposition differs from the joint count only
+        # by sampling correlation; with 4000 windows it is close.
+        assert estimate.estimated_count == pytest.approx(
+            true_count, rel=0.05
+        )
+
+    def test_debiasing_beats_raw_count(self, independent_stream):
+        private = Pattern.of_types("p", "e1", "e2")
+        target = Pattern.of_types("t", "e1", "e2")
+        ppm = UniformPatternPPM(private, epsilon=1.5)
+        true_count = independent_stream.detection_count(["e1", "e2"])
+        raw_errors, debiased_errors = [], []
+        for seed in range(15):
+            perturbed = ppm.perturb(independent_stream, rng=seed)
+            estimate = estimate_detection_count(
+                perturbed, target, ppm.flip_probability_by_type()
+            )
+            raw_errors.append(abs(estimate.raw_count - true_count))
+            debiased_errors.append(
+                abs(estimate.estimated_count - true_count)
+            )
+        assert np.mean(debiased_errors) < np.mean(raw_errors)
+
+    def test_debiased_count_unbiased(self, independent_stream):
+        private = Pattern.of_types("p", "e1")
+        target = Pattern.of_types("t", "e1")
+        ppm = UniformPatternPPM(private, epsilon=1.0)
+        true_count = independent_stream.detection_count(["e1"])
+        estimates = []
+        for seed in range(40):
+            perturbed = ppm.perturb(independent_stream, rng=seed)
+            estimates.append(
+                estimate_detection_count(
+                    perturbed, target, ppm.flip_probability_by_type()
+                ).estimated_count
+            )
+        assert np.mean(estimates) == pytest.approx(true_count, rel=0.05)
+
+    def test_empty_stream(self):
+        alphabet = EventAlphabet(["a"])
+        empty = IndicatorStream(alphabet, np.zeros((0, 1), dtype=bool))
+        estimate = estimate_detection_count(
+            empty, Pattern.of_types("t", "a"), {}
+        )
+        assert estimate.estimated_count == 0.0
+        assert estimate.estimated_rate == 0.0
+
+    def test_requires_element_list(self, independent_stream):
+        from repro.cep.patterns import OR
+
+        with pytest.raises(ValueError):
+            estimate_detection_count(
+                independent_stream, Pattern("t", OR("e1", "e2")), {}
+            )
+
+
+class TestCountingQuery:
+    def test_answer_runs_end_to_end(self, independent_stream):
+        private = Pattern.of_types("p", "e1", "e2")
+        target = Pattern.of_types("t", "e2", "e3")
+        query = CountingQuery(UniformPatternPPM(private, 2.0), target)
+        estimate = query.answer(independent_stream, rng=0)
+        assert 0 <= estimate.estimated_count <= independent_stream.n_windows
+        assert estimate.n_windows == independent_stream.n_windows
+
+    def test_crowdedness_binary_reduction(self, independent_stream):
+        # The paper's Taxi motivation: the numerical count reduces to a
+        # binary "is it crowded" answer.
+        private = Pattern.of_types("p", "e1")
+        target = Pattern.of_types("t", "e2")  # rate 0.6, unprotected
+        query = CountingQuery(UniformPatternPPM(private, 2.0), target)
+        assert query.crowdedness(
+            independent_stream, threshold_rate=0.3, rng=1
+        )
+        assert not query.crowdedness(
+            independent_stream, threshold_rate=0.9, rng=1
+        )
+
+    def test_invalid_threshold(self, independent_stream):
+        private = Pattern.of_types("p", "e1")
+        query = CountingQuery(
+            UniformPatternPPM(private, 2.0), Pattern.of_types("t", "e2")
+        )
+        with pytest.raises(Exception):
+            query.crowdedness(independent_stream, threshold_rate=1.5)

@@ -1,0 +1,62 @@
+"""Tests for repro.core.guarantee — the Definition 4 guarantee object."""
+
+import math
+
+import pytest
+
+from repro.cep.patterns import Pattern
+from repro.core.budget import BudgetAllocation
+from repro.core.guarantee import PatternLevelGuarantee
+
+
+@pytest.fixture
+def guarantee(private_pattern):
+    return PatternLevelGuarantee(private_pattern, epsilon=3.0)
+
+
+class TestConstruction:
+    def test_fields(self, guarantee, private_pattern):
+        assert guarantee.pattern is private_pattern
+        assert guarantee.epsilon == 3.0
+        assert guarantee.pattern_length == 3
+
+    def test_invalid_epsilon(self, private_pattern):
+        with pytest.raises(Exception):
+            PatternLevelGuarantee(private_pattern, epsilon=0.0)
+
+    def test_invalid_pattern(self):
+        with pytest.raises(TypeError):
+            PatternLevelGuarantee("p", epsilon=1.0)  # type: ignore[arg-type]
+
+    def test_statement_mentions_pattern_and_epsilon(self, guarantee):
+        text = guarantee.statement()
+        assert "3" in text and "private" in text
+
+
+class TestChecks:
+    def test_satisfied_by_exact_allocation(self, guarantee):
+        assert guarantee.satisfied_by(BudgetAllocation.uniform(3.0, 3))
+
+    def test_satisfied_by_smaller_allocation(self, guarantee):
+        assert guarantee.satisfied_by(BudgetAllocation.uniform(2.0, 3))
+
+    def test_violated_by_larger_allocation(self, guarantee):
+        assert not guarantee.satisfied_by(BudgetAllocation.uniform(3.5, 3))
+
+    def test_length_mismatch_raises(self, guarantee):
+        with pytest.raises(ValueError):
+            guarantee.satisfied_by(BudgetAllocation.uniform(3.0, 2))
+
+    def test_worst_case_single_event_epsilon(self, guarantee):
+        allocation = BudgetAllocation((0.5, 2.0, 0.5))
+        assert guarantee.worst_case_single_event_epsilon(
+            allocation
+        ) == pytest.approx(2.0)
+
+    def test_max_likelihood_ratio(self, guarantee):
+        assert guarantee.max_likelihood_ratio() == pytest.approx(math.exp(3.0))
+
+    def test_privacy_loss_of_flips(self, guarantee):
+        allocation = BudgetAllocation.uniform(3.0, 3)
+        loss = guarantee.privacy_loss_of(allocation.flip_probabilities())
+        assert loss == pytest.approx(3.0)

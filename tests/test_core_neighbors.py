@@ -1,0 +1,171 @@
+"""Tests for repro.core.neighbors — Definitions 1-3."""
+
+import pytest
+
+from repro.cep.matcher import PatternMatch
+from repro.cep.patterns import Pattern
+from repro.core.neighbors import (
+    are_in_pattern_neighbors,
+    are_pattern_level_neighbors,
+    are_windowed_neighbors,
+    differing_positions,
+    enumerate_in_pattern_neighbors,
+    enumerate_windowed_neighbors,
+    instance_matches_type,
+    windowed_instance_distance,
+)
+from repro.streams.events import Event
+
+
+def match_of(*types):
+    return PatternMatch(
+        "p", tuple(Event(t, float(i)) for i, t in enumerate(types))
+    )
+
+
+class TestInPatternNeighbors:
+    def test_single_difference_is_neighbor(self):
+        assert are_in_pattern_neighbors(("a", "b", "c"), ("a", "x", "c"))
+
+    def test_identical_not_neighbors(self):
+        assert not are_in_pattern_neighbors(("a", "b"), ("a", "b"))
+
+    def test_two_differences_not_neighbors(self):
+        assert not are_in_pattern_neighbors(("a", "b"), ("x", "y"))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            are_in_pattern_neighbors(("a",), ("a", "b"))
+
+    def test_works_on_pattern_matches(self):
+        assert are_in_pattern_neighbors(
+            match_of("a", "b"), match_of("a", "z")
+        )
+
+    def test_differing_positions(self):
+        assert differing_positions(("a", "b", "c"), ("a", "x", "c")) == [1]
+
+
+class TestInstanceMatchesType:
+    def test_membership_by_element_types(self):
+        pattern = Pattern.of_types("p", "a", "b")
+        assert instance_matches_type(("a", "b"), pattern)
+        assert not instance_matches_type(("a", "x"), pattern)
+
+    def test_requires_element_list(self):
+        from repro.cep.patterns import OR
+
+        with pytest.raises(ValueError):
+            instance_matches_type(("a",), Pattern("p", OR("a", "b")))
+
+
+class TestPatternLevelNeighbors:
+    @pytest.fixture
+    def pattern(self):
+        return Pattern.of_types("p", "a", "b")
+
+    def test_one_instance_differs_in_one_element(self, pattern):
+        first = [("a", "b"), ("c", "d")]
+        second = [("a", "x"), ("c", "d")]
+        assert are_pattern_level_neighbors(first, second, pattern)
+
+    def test_identical_streams_not_neighbors(self, pattern):
+        stream = [("a", "b"), ("c", "d")]
+        assert not are_pattern_level_neighbors(stream, stream, pattern)
+
+    def test_two_differing_instances_not_neighbors(self, pattern):
+        first = [("a", "b"), ("a", "b")]
+        second = [("a", "x"), ("a", "y")]
+        assert not are_pattern_level_neighbors(first, second, pattern)
+
+    def test_differing_instance_must_be_of_protected_type(self, pattern):
+        # The changed instance is (c, d) — not of type p.
+        first = [("a", "b"), ("c", "d")]
+        second = [("a", "b"), ("c", "x")]
+        assert not are_pattern_level_neighbors(first, second, pattern)
+
+    def test_either_side_may_match_the_type(self, pattern):
+        # The instance matches p *after* the change.
+        first = [("a", "x"), ("c", "d")]
+        second = [("a", "b"), ("c", "d")]
+        assert are_pattern_level_neighbors(first, second, pattern)
+
+    def test_length_mismatch_not_neighbors(self, pattern):
+        assert not are_pattern_level_neighbors(
+            [("a", "b")], [("a", "b"), ("c", "d")], pattern
+        )
+
+    def test_instance_length_change_not_neighbors(self, pattern):
+        assert not are_pattern_level_neighbors(
+            [("a", "b")], [("a", "b", "c")], pattern
+        )
+
+
+class TestEnumeration:
+    def test_enumerate_in_pattern_neighbors_count(self):
+        # 2 positions x 2 alternative symbols = 4 neighbours.
+        neighbors = list(
+            enumerate_in_pattern_neighbors(("a", "b"), ["a", "b", "c"])
+        )
+        assert len(neighbors) == 4
+        assert ("c", "b") in neighbors
+        assert ("a", "c") in neighbors
+
+    def test_all_enumerated_are_neighbors(self):
+        original = ("a", "b", "c")
+        for neighbor in enumerate_in_pattern_neighbors(
+            original, ["a", "b", "c", "d"]
+        ):
+            assert are_in_pattern_neighbors(original, neighbor)
+
+
+class TestWindowedNeighbors:
+    def test_flip_on_pattern_column_is_neighbor(
+        self, stream200, private_pattern
+    ):
+        neighbor = stream200.flip(3, "e2")
+        assert are_windowed_neighbors(stream200, neighbor, private_pattern)
+
+    def test_flip_on_other_column_is_not(self, stream200, private_pattern):
+        neighbor = stream200.flip(3, "e5")
+        assert not are_windowed_neighbors(stream200, neighbor, private_pattern)
+
+    def test_two_flips_are_not_neighbors(self, stream200, private_pattern):
+        neighbor = stream200.flip(3, "e1").flip(4, "e2")
+        assert not are_windowed_neighbors(stream200, neighbor, private_pattern)
+
+    def test_identical_streams_not_neighbors(self, stream200, private_pattern):
+        assert not are_windowed_neighbors(
+            stream200, stream200, private_pattern
+        )
+
+    def test_instance_distance(self, stream200, private_pattern):
+        assert windowed_instance_distance(
+            stream200, stream200, private_pattern
+        ) == 0
+        flipped_all = stream200
+        for element in ("e1", "e2", "e3"):
+            flipped_all = flipped_all.flip(7, element)
+        assert windowed_instance_distance(
+            stream200, flipped_all, private_pattern
+        ) == 3
+
+    def test_enumerate_windowed_neighbors_single_window(
+        self, stream200, private_pattern
+    ):
+        neighbors = list(
+            enumerate_windowed_neighbors(
+                stream200, private_pattern, window_index=0
+            )
+        )
+        # One per distinct pattern element.
+        assert len(neighbors) == 3
+        for neighbor in neighbors:
+            assert are_windowed_neighbors(stream200, neighbor, private_pattern)
+
+    def test_enumerate_handles_repeated_elements(self, stream200):
+        pattern = Pattern.of_types("rep", "e1", "e1")
+        neighbors = list(
+            enumerate_windowed_neighbors(stream200, pattern, window_index=0)
+        )
+        assert len(neighbors) == 1  # repeated type shares one column

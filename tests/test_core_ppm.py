@@ -1,0 +1,185 @@
+"""Tests for repro.core.ppm — the pattern-level PPM machinery."""
+
+import numpy as np
+import pytest
+
+from repro.cep.patterns import OR, Pattern
+from repro.core.budget import BudgetAllocation
+from repro.core.ppm import (
+    MultiPatternPPM,
+    PatternLevelPPM,
+    apply_randomized_response,
+)
+from repro.core.uniform import UniformPatternPPM
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+
+
+@pytest.fixture
+def ppm(private_pattern):
+    return PatternLevelPPM(
+        private_pattern, BudgetAllocation.uniform(3.0, 3)
+    )
+
+
+class TestApplyRandomizedResponse:
+    def test_only_named_columns_touched(self, stream200):
+        perturbed = apply_randomized_response(
+            stream200, {"e1": 0.5}, rng=0
+        )
+        assert not np.array_equal(
+            perturbed.column("e1"), stream200.column("e1")
+        )
+        for untouched in ("e2", "e3", "e4", "e5", "e6"):
+            assert np.array_equal(
+                perturbed.column(untouched), stream200.column(untouched)
+            )
+
+    def test_empirical_flip_rate(self, stream200):
+        disagreements = 0
+        trials = 50
+        for seed in range(trials):
+            perturbed = apply_randomized_response(
+                stream200, {"e1": 0.25}, rng=seed
+            )
+            disagreements += int(
+                (perturbed.column("e1") != stream200.column("e1")).sum()
+            )
+        rate = disagreements / (trials * stream200.n_windows)
+        assert 0.22 < rate < 0.28
+
+    def test_invalid_probability_rejected(self, stream200):
+        with pytest.raises(ValueError):
+            apply_randomized_response(stream200, {"e1": 0.7}, rng=0)
+
+    def test_unknown_column_raises(self, stream200):
+        with pytest.raises(KeyError):
+            apply_randomized_response(stream200, {"zz": 0.3}, rng=0)
+
+    def test_deterministic_under_seed(self, stream200):
+        a = apply_randomized_response(stream200, {"e1": 0.3}, rng=9)
+        b = apply_randomized_response(stream200, {"e1": 0.3}, rng=9)
+        assert a == b
+
+
+class TestPatternLevelPPM:
+    def test_requires_element_list(self):
+        with pytest.raises(ValueError):
+            PatternLevelPPM(
+                Pattern("p", OR("a", "b")), BudgetAllocation.uniform(1.0, 2)
+            )
+
+    def test_length_mismatch_rejected(self, private_pattern):
+        with pytest.raises(ValueError):
+            PatternLevelPPM(private_pattern, BudgetAllocation.uniform(1.0, 2))
+
+    def test_epsilon_is_theorem1_sum(self, ppm):
+        assert ppm.epsilon == pytest.approx(3.0)
+        assert ppm.guarantee.epsilon == pytest.approx(3.0)
+
+    def test_epsilon_by_type_pools_repeats(self):
+        # seq(a, b, a): the two a-occurrences pool on one column.
+        pattern = Pattern.of_types("rep", "e1", "e2", "e1")
+        ppm = PatternLevelPPM(pattern, BudgetAllocation((1.0, 0.5, 2.0)))
+        assert ppm.epsilon_by_type() == pytest.approx(
+            {"e1": 3.0, "e2": 0.5}
+        )
+
+    def test_flip_probability_by_type_range(self, ppm):
+        for probability in ppm.flip_probability_by_type().values():
+            assert 0.0 < probability <= 0.5
+
+    def test_perturb_touches_only_private_columns(self, ppm, stream200):
+        perturbed = ppm.perturb(stream200, rng=1)
+        for untouched in ("e4", "e5", "e6"):
+            assert np.array_equal(
+                perturbed.column(untouched), stream200.column(untouched)
+            )
+
+    def test_perturb_missing_elements_rejected(self, ppm):
+        small = IndicatorStream(
+            EventAlphabet(["e1", "e2"]), np.zeros((2, 2), dtype=bool)
+        )
+        with pytest.raises(ValueError, match="lacks"):
+            ppm.perturb(small)
+
+    def test_answer_uses_perturbed_stream(self, ppm, stream200, target_pattern):
+        answers = ppm.answer(stream200, target_pattern, rng=2)
+        assert answers.shape == (200,)
+        truth = stream200.detect_all(["e2", "e3", "e4"])
+        # With a modest budget the answers differ from truth somewhere.
+        assert not np.array_equal(answers, truth)
+
+    def test_answer_requires_elements(self, ppm, stream200):
+        with pytest.raises(ValueError):
+            ppm.answer(stream200, Pattern("t", OR("e1", "e2")), rng=0)
+
+    def test_privacy_statement(self, ppm):
+        assert "pattern-level" in ppm.privacy_statement()
+
+
+class TestMultiPatternPPM:
+    @pytest.fixture
+    def multi(self, private_pattern):
+        other = Pattern.of_types("other", "e4", "e5")
+        return MultiPatternPPM(
+            [
+                UniformPatternPPM(private_pattern, 2.0),
+                UniformPatternPPM(other, 4.0),
+            ]
+        )
+
+    def test_requires_ppms(self):
+        with pytest.raises(ValueError):
+            MultiPatternPPM([])
+
+    def test_duplicate_patterns_rejected(self, private_pattern):
+        with pytest.raises(ValueError):
+            MultiPatternPPM(
+                [
+                    UniformPatternPPM(private_pattern, 1.0),
+                    UniformPatternPPM(private_pattern, 2.0),
+                ]
+            )
+
+    def test_perturbs_union_of_columns(self, multi, stream200):
+        perturbed = multi.perturb(stream200, rng=0)
+        assert np.array_equal(
+            perturbed.column("e6"), stream200.column("e6")
+        )
+        changed = [
+            name
+            for name in ("e1", "e2", "e3", "e4", "e5")
+            if not np.array_equal(
+                perturbed.column(name), stream200.column(name)
+            )
+        ]
+        assert changed  # with these budgets flips happen w.h.p.
+
+    def test_guarantees_per_pattern(self, multi):
+        guarantees = multi.guarantees()
+        assert len(guarantees) == 2
+        assert {g.epsilon for g in guarantees} == {2.0, 4.0}
+
+    def test_epsilon_reports_max(self, multi):
+        assert multi.epsilon == 4.0
+
+    def test_overlapping_patterns_compose_independently(
+        self, private_pattern, stream200
+    ):
+        # Section V-A: overlapping patterns get independent PPMs; shared
+        # columns just receive more noise.
+        overlapping = Pattern.of_types("overlap", "e3", "e4")
+        multi = MultiPatternPPM(
+            [
+                UniformPatternPPM(private_pattern, 100.0),  # ~no noise
+                UniformPatternPPM(overlapping, 100.0),
+            ]
+        )
+        perturbed = multi.perturb(stream200, rng=1)
+        # Huge budgets: flip probabilities ~0, stream essentially intact.
+        assert perturbed == stream200
+
+    def test_deterministic_under_seed(self, multi, stream200):
+        assert multi.perturb(stream200, rng=4) == multi.perturb(
+            stream200, rng=4
+        )

@@ -1,0 +1,194 @@
+"""Tests for repro.core.quality_model — analytic vs Monte-Carlo quality."""
+
+import numpy as np
+import pytest
+
+from repro.cep.patterns import Pattern
+from repro.core.budget import BudgetAllocation
+from repro.core.quality_model import (
+    AnalyticQualityEstimator,
+    MonteCarloQualityEstimator,
+    baseline_quality,
+    combine_flip_probabilities,
+    expected_confusion_for_flips,
+)
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+
+
+class TestAnalyticEstimator:
+    def test_huge_budget_gives_perfect_quality(
+        self, stream200, private_pattern, target_pattern
+    ):
+        estimator = AnalyticQualityEstimator(
+            stream200, private_pattern, [target_pattern]
+        )
+        quality = estimator.evaluate(BudgetAllocation.uniform(1000.0, 3))
+        assert quality.q == pytest.approx(1.0, abs=1e-6)
+
+    def test_more_budget_never_hurts(
+        self, stream200, private_pattern, target_pattern
+    ):
+        estimator = AnalyticQualityEstimator(
+            stream200, private_pattern, [target_pattern]
+        )
+        qualities = [
+            estimator.evaluate(BudgetAllocation.uniform(eps, 3)).q
+            for eps in (0.5, 1.0, 2.0, 4.0, 8.0)
+        ]
+        assert qualities == sorted(qualities)
+
+    def test_recall_expectation_is_exact_hand_computation(self):
+        # One target element protected with flip probability p: a positive
+        # window stays detected w.p. (1-p), so E[recall] = 1-p exactly.
+        alphabet = EventAlphabet(["a"])
+        stream = IndicatorStream(alphabet, np.ones((10, 1), dtype=bool))
+        pattern = Pattern.of_types("p", "a")
+        estimator = AnalyticQualityEstimator(stream, pattern, [pattern])
+        allocation = BudgetAllocation((1.0,))
+        p = allocation.flip_probabilities()[0]
+        quality = estimator.evaluate(allocation)
+        assert quality.recall == pytest.approx(1.0 - p)
+
+    def test_disjoint_target_unaffected(self, stream200, target_pattern):
+        # Private pattern over columns the target never uses.
+        private = Pattern.of_types("disjoint", "e5", "e6")
+        estimator = AnalyticQualityEstimator(
+            stream200, private, [target_pattern]
+        )
+        quality = estimator.evaluate(BudgetAllocation.uniform(0.2, 2))
+        assert quality.q == pytest.approx(1.0)
+
+    def test_matches_monte_carlo(
+        self, stream200, private_pattern, target_pattern
+    ):
+        allocation = BudgetAllocation.uniform(2.0, 3)
+        analytic = AnalyticQualityEstimator(
+            stream200, private_pattern, [target_pattern]
+        ).evaluate(allocation)
+        monte_carlo = MonteCarloQualityEstimator(
+            stream200,
+            private_pattern,
+            [target_pattern],
+            n_trials=400,
+            rng=3,
+        ).evaluate(allocation)
+        assert analytic.precision == pytest.approx(
+            monte_carlo.precision, abs=0.03
+        )
+        assert analytic.recall == pytest.approx(monte_carlo.recall, abs=0.03)
+
+    def test_multiple_targets_micro_average(
+        self, stream200, private_pattern
+    ):
+        t1 = Pattern.of_types("t1", "e2", "e4")
+        t2 = Pattern.of_types("t2", "e3", "e5")
+        estimator = AnalyticQualityEstimator(
+            stream200, private_pattern, [t1, t2]
+        )
+        counts = estimator.expected_confusion(BudgetAllocation.uniform(2.0, 3))
+        assert counts.total == pytest.approx(2 * stream200.n_windows)
+
+    def test_allocation_length_checked(
+        self, stream200, private_pattern, target_pattern
+    ):
+        estimator = AnalyticQualityEstimator(
+            stream200, private_pattern, [target_pattern]
+        )
+        with pytest.raises(ValueError):
+            estimator.evaluate(BudgetAllocation.uniform(1.0, 2))
+
+    def test_empty_history_rejected(self, alphabet6, private_pattern, target_pattern):
+        empty = IndicatorStream(alphabet6, np.zeros((0, 6), dtype=bool))
+        with pytest.raises(ValueError):
+            AnalyticQualityEstimator(empty, private_pattern, [target_pattern])
+
+    def test_unknown_elements_rejected(self, stream200, private_pattern):
+        with pytest.raises(ValueError):
+            AnalyticQualityEstimator(
+                stream200, private_pattern, [Pattern.of_types("t", "zz")]
+            )
+
+    def test_requires_targets(self, stream200, private_pattern):
+        with pytest.raises(ValueError):
+            AnalyticQualityEstimator(stream200, private_pattern, [])
+
+
+class TestMonteCarloEstimator:
+    def test_deterministic_under_seed(
+        self, stream200, private_pattern, target_pattern
+    ):
+        allocation = BudgetAllocation.uniform(1.0, 3)
+        a = MonteCarloQualityEstimator(
+            stream200, private_pattern, [target_pattern], n_trials=20, rng=1
+        ).evaluate(allocation)
+        b = MonteCarloQualityEstimator(
+            stream200, private_pattern, [target_pattern], n_trials=20, rng=1
+        ).evaluate(allocation)
+        assert a.precision == b.precision and a.recall == b.recall
+
+    def test_invalid_trials(self, stream200, private_pattern, target_pattern):
+        with pytest.raises(ValueError):
+            MonteCarloQualityEstimator(
+                stream200, private_pattern, [target_pattern], n_trials=0
+            )
+
+
+class TestCombineFlipProbabilities:
+    def test_single_map_passthrough(self):
+        assert combine_flip_probabilities([{"a": 0.3}]) == {"a": 0.3}
+
+    def test_independent_composition_formula(self):
+        combined = combine_flip_probabilities([{"a": 0.2}, {"a": 0.3}])
+        assert combined["a"] == pytest.approx(0.2 * 0.7 + 0.3 * 0.8)
+
+    def test_never_exceeds_half(self):
+        combined = combine_flip_probabilities(
+            [{"a": 0.5}, {"a": 0.5}, {"a": 0.4}]
+        )
+        assert combined["a"] <= 0.5 + 1e-12
+
+    def test_disjoint_columns_union(self):
+        combined = combine_flip_probabilities([{"a": 0.1}, {"b": 0.2}])
+        assert combined == {"a": 0.1, "b": 0.2}
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            combine_flip_probabilities([{"a": 0.7}])
+
+
+class TestExpectedConfusionForFlips:
+    def test_agrees_with_estimator(
+        self, stream200, private_pattern, target_pattern
+    ):
+        allocation = BudgetAllocation.uniform(2.0, 3)
+        estimator = AnalyticQualityEstimator(
+            stream200, private_pattern, [target_pattern]
+        )
+        expected = estimator.expected_confusion(allocation)
+        flips = {
+            element: p
+            for element, p in zip(
+                private_pattern.elements, allocation.flip_probabilities()
+            )
+        }
+        direct = expected_confusion_for_flips(
+            stream200, flips, [target_pattern]
+        )
+        assert direct.tp == pytest.approx(expected.tp)
+        assert direct.fp == pytest.approx(expected.fp)
+
+    def test_no_flips_is_ground_truth(self, stream200, target_pattern):
+        counts = expected_confusion_for_flips(stream200, {}, [target_pattern])
+        assert counts.fp == 0.0 and counts.fn == 0.0
+
+
+class TestBaselineQuality:
+    def test_perfect_by_construction(self, stream200, target_pattern):
+        quality = baseline_quality(stream200, [target_pattern])
+        assert quality.q == 1.0
+
+    def test_requires_element_lists(self, stream200):
+        from repro.cep.patterns import OR
+
+        with pytest.raises(ValueError):
+            baseline_quality(stream200, [Pattern("t", OR("e1", "e2"))])

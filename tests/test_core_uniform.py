@@ -1,0 +1,50 @@
+"""Tests for repro.core.uniform — the uniform pattern-level PPM."""
+
+import pytest
+
+from repro.cep.patterns import OR, Pattern
+from repro.core.uniform import UniformPatternPPM
+from repro.mechanisms.randomized_response import epsilon_to_flip_probability
+
+
+class TestUniformPPM:
+    def test_even_split(self, private_pattern):
+        ppm = UniformPatternPPM(private_pattern, epsilon=3.0)
+        assert ppm.allocation.epsilons == (1.0, 1.0, 1.0)
+
+    def test_flip_probability_formula(self, private_pattern):
+        # p_i = 1 / (1 + e^{eps/m}) for every element (Fig. 3).
+        ppm = UniformPatternPPM(private_pattern, epsilon=3.0)
+        expected = epsilon_to_flip_probability(1.0)
+        for probability in ppm.flip_probability_by_type().values():
+            assert probability == pytest.approx(expected)
+
+    def test_guarantee_totals_epsilon(self, private_pattern):
+        ppm = UniformPatternPPM(private_pattern, epsilon=2.5)
+        assert ppm.guarantee.epsilon == pytest.approx(2.5)
+
+    def test_single_element_pattern(self):
+        ppm = UniformPatternPPM(Pattern.of_types("p", "e1"), epsilon=1.0)
+        assert ppm.allocation.epsilons == (1.0,)
+
+    def test_name(self, private_pattern):
+        assert UniformPatternPPM(private_pattern, 1.0).name == "uniform"
+
+    def test_invalid_epsilon(self, private_pattern):
+        with pytest.raises(Exception):
+            UniformPatternPPM(private_pattern, 0.0)
+
+    def test_requires_element_list(self):
+        with pytest.raises(ValueError):
+            UniformPatternPPM(Pattern("p", OR("a", "b")), 1.0)
+
+    def test_longer_patterns_get_noisier_elements(self):
+        # Same total budget over more elements => higher flip probability
+        # per element (the Theorem 1 split).
+        short = UniformPatternPPM(Pattern.of_types("s", "e1"), 2.0)
+        long = UniformPatternPPM(
+            Pattern.of_types("l", "e1", "e2", "e3", "e4"), 2.0
+        )
+        p_short = short.flip_probability_by_type()["e1"]
+        p_long = long.flip_probability_by_type()["e1"]
+        assert p_long > p_short

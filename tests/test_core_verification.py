@@ -1,0 +1,131 @@
+"""Tests for repro.core.verification — exact DP checking."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cep.patterns import Pattern
+from repro.core.budget import BudgetAllocation
+from repro.core.ppm import PatternLevelPPM
+from repro.core.uniform import UniformPatternPPM
+from repro.core.verification import (
+    empirical_flip_rates,
+    response_distribution,
+    verify_instance_dp,
+    verify_single_event_dp,
+)
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+
+
+@pytest.fixture
+def small_stream():
+    alphabet = EventAlphabet(["a", "b", "c", "d"])
+    matrix = np.array(
+        [
+            [1, 0, 1, 0],
+            [0, 1, 1, 1],
+            [1, 1, 0, 0],
+        ],
+        dtype=bool,
+    )
+    return IndicatorStream(alphabet, matrix)
+
+
+@pytest.fixture
+def small_ppm():
+    pattern = Pattern.of_types("p", "a", "b")
+    return PatternLevelPPM(pattern, BudgetAllocation((1.0, 2.0)))
+
+
+class TestResponseDistribution:
+    def test_sums_to_one(self, small_ppm, small_stream):
+        distribution = response_distribution(small_ppm, small_stream, 0)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_enumerates_all_outcomes(self, small_ppm, small_stream):
+        distribution = response_distribution(small_ppm, small_stream, 0)
+        assert len(distribution) == 4  # 2 protected bits
+
+    def test_truthful_outcome_most_likely(self, small_ppm, small_stream):
+        # Window 0 truth for (a, b) is (True, False); with p < 1/2 the
+        # truthful response has the largest mass.
+        distribution = response_distribution(small_ppm, small_stream, 0)
+        assert max(distribution, key=distribution.get) == (True, False)
+
+    def test_factorizes_over_bits(self, small_ppm, small_stream):
+        distribution = response_distribution(small_ppm, small_stream, 0)
+        flips = small_ppm.flip_probability_by_type()
+        # P[(True, False)] = (1-p_a)(1-p_b) given truth (True, False).
+        expected = (1 - flips["a"]) * (1 - flips["b"])
+        assert distribution[(True, False)] == pytest.approx(expected)
+
+
+class TestSingleEventVerification:
+    def test_holds_and_is_tight(self, small_ppm, small_stream):
+        report = verify_single_event_dp(small_ppm, small_stream)
+        assert report.holds
+        # Worst single-event loss is the largest per-element budget.
+        assert report.epsilon_observed == pytest.approx(2.0)
+        assert report.epsilon_claimed == pytest.approx(2.0)
+
+    def test_counts_enumeration(self, small_ppm, small_stream):
+        report = verify_single_event_dp(small_ppm, small_stream)
+        # 3 windows x 2 elements.
+        assert report.neighbors_checked == 6
+
+    def test_single_window_restriction(self, small_ppm, small_stream):
+        report = verify_single_event_dp(
+            small_ppm, small_stream, window_index=1
+        )
+        assert report.neighbors_checked == 2
+
+    def test_uniform_ppm_single_event_loss_is_share(self, small_stream):
+        pattern = Pattern.of_types("p", "a", "b")
+        ppm = UniformPatternPPM(pattern, epsilon=4.0)
+        report = verify_single_event_dp(ppm, small_stream, window_index=0)
+        assert report.epsilon_observed == pytest.approx(2.0)  # ε/m
+
+
+class TestInstanceVerification:
+    def test_theorem1_sum_is_tight(self, small_ppm, small_stream):
+        report = verify_instance_dp(small_ppm, small_stream)
+        assert report.holds
+        assert report.epsilon_observed == pytest.approx(3.0)
+        assert report.epsilon_claimed == pytest.approx(3.0)
+
+    def test_repeated_elements_pool(self, small_stream):
+        pattern = Pattern.of_types("p", "a", "a")
+        ppm = PatternLevelPPM(pattern, BudgetAllocation((1.0, 1.0)))
+        report = verify_instance_dp(ppm, small_stream, window_index=0)
+        # Both occurrences pool on one column: total ε = 2 on one bit.
+        assert report.epsilon_observed == pytest.approx(2.0)
+
+    def test_instance_loss_exceeds_single_event_loss(
+        self, small_ppm, small_stream
+    ):
+        single = verify_single_event_dp(small_ppm, small_stream)
+        instance = verify_instance_dp(small_ppm, small_stream)
+        assert instance.epsilon_observed >= single.epsilon_observed
+
+
+class TestEmpiricalFlipRates:
+    def test_rates_near_configured(self, small_stream):
+        pattern = Pattern.of_types("p", "a", "b")
+        ppm = UniformPatternPPM(pattern, epsilon=2.0)
+        rates = empirical_flip_rates(
+            ppm, small_stream, n_trials=3000, rng=0
+        )
+        expected = ppm.flip_probability_by_type()
+        for element, rate in rates.items():
+            assert rate == pytest.approx(expected[element], abs=0.03)
+
+    def test_invalid_trials(self, small_ppm, small_stream):
+        with pytest.raises(ValueError):
+            empirical_flip_rates(small_ppm, small_stream, n_trials=0)
+
+
+class TestReportRendering:
+    def test_repr_shows_verdict(self, small_ppm, small_stream):
+        report = verify_single_event_dp(small_ppm, small_stream)
+        assert "holds" in repr(report)

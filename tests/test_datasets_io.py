@@ -1,0 +1,78 @@
+"""Tests for repro.datasets.io — CSV/JSON persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import (
+    load_indicator_csv,
+    load_workload,
+    save_indicator_csv,
+    save_workload,
+)
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+
+
+class TestIndicatorCsv:
+    def test_round_trip(self, stream200, tmp_path):
+        path = str(tmp_path / "stream.csv")
+        save_indicator_csv(stream200, path)
+        loaded = load_indicator_csv(path)
+        assert loaded == stream200
+
+    def test_header_is_alphabet(self, stream200, tmp_path):
+        path = tmp_path / "stream.csv"
+        save_indicator_csv(stream200, str(path))
+        header = path.read_text().splitlines()[0]
+        assert header == ",".join(stream200.alphabet.types)
+
+    def test_empty_stream_round_trip(self, tmp_path):
+        stream = IndicatorStream(
+            EventAlphabet(["a", "b"]), np.zeros((0, 2), dtype=bool)
+        )
+        path = str(tmp_path / "empty.csv")
+        save_indicator_csv(stream, path)
+        assert load_indicator_csv(path) == stream
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_indicator_csv(str(path))
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "broken.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(ValueError, match="columns"):
+            load_indicator_csv(str(path))
+
+    def test_non_integer_value_rejected(self, tmp_path):
+        path = tmp_path / "broken.csv"
+        path.write_text("a,b\n1,x\n")
+        with pytest.raises(ValueError, match="non-integer"):
+            load_indicator_csv(str(path))
+
+
+class TestWorkloadPersistence:
+    def test_round_trip(self, tiny_workload, tmp_path):
+        directory = str(tmp_path / "workload")
+        save_workload(tiny_workload, directory)
+        loaded = load_workload(directory)
+        assert loaded.name == tiny_workload.name
+        assert loaded.w == tiny_workload.w
+        assert loaded.stream == tiny_workload.stream
+        assert loaded.history == tiny_workload.history
+        assert [p.elements for p in loaded.private_patterns] == [
+            p.elements for p in tiny_workload.private_patterns
+        ]
+        assert [p.name for p in loaded.target_patterns] == [
+            p.name for p in tiny_workload.target_patterns
+        ]
+
+    def test_missing_metadata_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_workload(str(tmp_path / "nowhere"))
+
+    def test_creates_directory(self, tiny_workload, tmp_path):
+        directory = tmp_path / "deep" / "nested"
+        save_workload(tiny_workload, str(directory))
+        assert (directory / "workload.json").exists()

@@ -1,0 +1,147 @@
+"""Tests for repro.experiments.ablations."""
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticConfig
+from repro.datasets.taxi import TaxiConfig
+from repro.experiments.ablations import (
+    sweep_alpha,
+    sweep_conversion_mode,
+    sweep_history_size,
+    sweep_overlap,
+    sweep_pattern_length,
+    sweep_step_size,
+)
+
+
+class TestSweepAlpha:
+    def test_rows_cover_grid(self, tiny_workload):
+        table = sweep_alpha(
+            tiny_workload, 2.0, (0.2, 0.8), n_trials=1, rng=0
+        )
+        assert len(table) == 4  # 2 alphas x 2 mechanisms
+        assert set(table.column("alpha")) == {0.2, 0.8}
+
+    def test_precision_recall_reported(self, tiny_workload):
+        table = sweep_alpha(tiny_workload, 2.0, (0.5,), n_trials=1, rng=0)
+        for row in table:
+            assert 0.0 <= row["precision"] <= 1.0
+            assert 0.0 <= row["recall"] <= 1.0
+
+
+class TestSweepPatternLength:
+    def test_lengths_covered(self):
+        table = sweep_pattern_length(
+            (1, 3),
+            2.0,
+            base_config=SyntheticConfig(n_windows=120, n_history_windows=80),
+            mechanisms=("uniform",),
+            n_trials=1,
+            rng=0,
+        )
+        assert set(table.column("pattern_length")) == {1, 3}
+
+    def test_longer_patterns_cost_more_quality(self):
+        # Theorem 1: the same ε is split over more elements, so each
+        # element is noisier and detection degrades.
+        table = sweep_pattern_length(
+            (1, 5),
+            1.0,
+            base_config=SyntheticConfig(n_windows=300, n_history_windows=100),
+            mechanisms=("uniform",),
+            n_trials=3,
+            rng=0,
+        )
+        rows = {row["pattern_length"]: row["mre"] for row in table}
+        assert rows[5] > rows[1] - 0.02
+
+
+class TestSweepOverlap:
+    def test_zero_overlap_is_cheap_for_pattern_level(self):
+        # Without overlap area the protected columns carry no target
+        # signal; the only residual cost is noise-induced false
+        # positives on the (empty) overlap query.
+        table = sweep_overlap(
+            (0.0,),
+            2.0,
+            base_config=TaxiConfig(n_taxis=15, n_steps=60),
+            mechanisms=("uniform",),
+            n_trials=1,
+            rng=0,
+        )
+        assert table.rows[0]["mre"] < 0.2
+
+    def test_overlap_increases_cost(self):
+        table = sweep_overlap(
+            (0.0, 1.0),
+            1.0,
+            base_config=TaxiConfig(n_taxis=20, n_steps=80),
+            mechanisms=("uniform",),
+            n_trials=2,
+            rng=0,
+        )
+        rows = {row["overlap"]: row["mre"] for row in table}
+        assert rows[1.0] > rows[0.0]
+
+
+class TestSweepConversionMode:
+    def test_rows_cover_modes_and_reference(self, tiny_workload):
+        table = sweep_conversion_mode(
+            tiny_workload, (2.0,), mechanisms=("bd",), n_trials=1, rng=0
+        )
+        modes = set(table.column("mode"))
+        assert modes == {"worst_case", "nominal", "native"}
+
+    def test_pattern_level_unaffected_by_mode(self, tiny_workload):
+        table = sweep_conversion_mode(
+            tiny_workload, (2.0,), mechanisms=("bd",), n_trials=1, rng=0
+        )
+        native = table.filter(mode="native")
+        assert set(native.column("mechanism")) == {"uniform", "adaptive"}
+
+    def test_nominal_not_harsher_than_worst_case(self, tiny_workload):
+        table = sweep_conversion_mode(
+            tiny_workload, (2.0,), mechanisms=("bd",), n_trials=2, rng=0
+        )
+        worst = table.filter(mode="worst_case", mechanism="bd").rows[0]["mre"]
+        nominal = table.filter(mode="nominal", mechanism="bd").rows[0]["mre"]
+        assert nominal <= worst + 0.05
+
+
+class TestSweepStepSize:
+    def test_reports_convergence(self, tiny_workload):
+        table = sweep_step_size(tiny_workload, 2.0, (1.0, 8.0))
+        assert set(table.columns) >= {"multiplier", "fitted_q", "iterations"}
+        assert len(table) == 2
+
+    def test_fitted_quality_at_least_uniform(self, tiny_workload):
+        from repro.core.quality_model import AnalyticQualityEstimator
+        from repro.core.budget import BudgetAllocation
+
+        pattern = tiny_workload.most_overlapping_private()
+        estimator = AnalyticQualityEstimator(
+            tiny_workload.history, pattern, tiny_workload.target_patterns
+        )
+        uniform_q = estimator.evaluate(
+            BudgetAllocation.uniform(2.0, len(pattern.elements))
+        ).q
+        table = sweep_step_size(tiny_workload, 2.0, (1.0,))
+        assert table.rows[0]["fitted_q"] >= uniform_q - 1e-9
+
+
+class TestSweepHistorySize:
+    def test_sizes_covered(self, tiny_workload):
+        table = sweep_history_size(
+            tiny_workload, 2.0, (20, 100), n_trials=1, rng=0
+        )
+        assert table.column("history_windows") == [20, 100]
+
+    def test_size_capped_at_available_history(self, tiny_workload):
+        table = sweep_history_size(
+            tiny_workload, 2.0, (10_000,), n_trials=1, rng=0
+        )
+        assert table.rows[0]["history_windows"] == tiny_workload.history.n_windows
+
+    def test_invalid_size_rejected(self, tiny_workload):
+        with pytest.raises(ValueError):
+            sweep_history_size(tiny_workload, 2.0, (0,), n_trials=1)

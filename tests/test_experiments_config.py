@@ -1,0 +1,56 @@
+"""Tests for repro.experiments.config."""
+
+import pytest
+
+from repro.experiments.config import (
+    ALL_MECHANISMS,
+    DEFAULT_EPSILON_GRID,
+    FIG4_MECHANISMS,
+    ExperimentConfig,
+)
+
+
+class TestMechanismSets:
+    def test_fig4_set_matches_paper(self):
+        assert FIG4_MECHANISMS == (
+            "uniform", "adaptive", "bd", "ba", "landmark",
+        )
+
+    def test_all_extends_fig4(self):
+        assert set(FIG4_MECHANISMS) < set(ALL_MECHANISMS)
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        config = ExperimentConfig()
+        assert config.alpha == 0.5  # the paper's choice
+        assert config.epsilon_grid == DEFAULT_EPSILON_GRID
+        assert config.conversion_mode == "worst_case"
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ValueError, match="unknown mechanism"):
+            ExperimentConfig(mechanisms=("uniform", "magic"))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(epsilon_grid=())
+
+    def test_non_positive_epsilon_rejected(self):
+        with pytest.raises(Exception):
+            ExperimentConfig(epsilon_grid=(1.0, 0.0))
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(Exception):
+            ExperimentConfig(alpha=2.0)
+
+    def test_invalid_trials_rejected(self):
+        with pytest.raises(Exception):
+            ExperimentConfig(n_trials=0)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(conversion_mode="sideways")
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(seed=-1)

@@ -1,0 +1,65 @@
+"""Tests for repro.experiments.dual — minimal budget for a quality floor."""
+
+import pytest
+
+from repro.experiments.dual import compare_budget_needs, min_epsilon_for_quality
+
+
+class TestMinEpsilonForQuality:
+    def test_feasible_search(self, tiny_workload):
+        result = min_epsilon_for_quality(
+            tiny_workload,
+            "uniform",
+            max_mre=0.4,
+            n_trials=2,
+            precision=0.5,
+            rng=0,
+        )
+        assert result.feasible
+        assert result.epsilon is not None
+        assert result.achieved_mre <= 0.4 + 1e-9
+
+    def test_infeasible_reported(self, tiny_workload):
+        result = min_epsilon_for_quality(
+            tiny_workload,
+            "bd",
+            max_mre=0.01,
+            epsilon_high=5.0,
+            n_trials=2,
+            precision=1.0,
+            rng=0,
+        )
+        assert not result.feasible
+        assert result.epsilon is None
+
+    def test_trivially_feasible_returns_low(self, tiny_workload):
+        result = min_epsilon_for_quality(
+            tiny_workload,
+            "uniform",
+            max_mre=1.0,
+            n_trials=1,
+            precision=0.5,
+            rng=0,
+        )
+        assert result.feasible
+        assert result.epsilon == pytest.approx(0.05)
+
+    def test_invalid_bounds_rejected(self, tiny_workload):
+        with pytest.raises(ValueError):
+            min_epsilon_for_quality(
+                tiny_workload, "uniform", 0.3, epsilon_low=2.0, epsilon_high=1.0
+            )
+
+    def test_pattern_level_needs_less_budget_than_bd(self, tiny_workload):
+        results = compare_budget_needs(
+            tiny_workload,
+            ["uniform", "bd"],
+            max_mre=0.5,
+            n_trials=2,
+            precision=0.5,
+            rng=0,
+        )
+        by_name = {r.mechanism: r for r in results}
+        assert by_name["uniform"].feasible
+        if by_name["bd"].feasible:
+            assert by_name["uniform"].epsilon < by_name["bd"].epsilon

@@ -1,0 +1,101 @@
+"""Tests for repro.experiments.fig4 — the headline reproduction."""
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticConfig
+from repro.datasets.taxi import TaxiConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig4 import (
+    Fig4Result,
+    Fig4Series,
+    run_fig4_on_workload,
+    run_fig4_synthetic,
+    run_fig4_taxi,
+)
+
+FAST_CONFIG = ExperimentConfig(
+    epsilon_grid=(0.5, 2.0, 8.0),
+    n_trials=2,
+)
+FAST_SYNTH = SyntheticConfig(n_windows=250, n_history_windows=150)
+FAST_TAXI = TaxiConfig(n_taxis=30, n_steps=120)
+
+
+@pytest.fixture(scope="module")
+def synthetic_panel():
+    return run_fig4_synthetic(FAST_CONFIG, FAST_SYNTH, n_datasets=3)
+
+
+@pytest.fixture(scope="module")
+def taxi_panel():
+    return run_fig4_taxi(FAST_CONFIG, FAST_TAXI)
+
+
+class TestSyntheticPanel:
+    def test_all_mechanisms_and_epsilons_present(self, synthetic_panel):
+        assert set(synthetic_panel.series) == set(FAST_CONFIG.mechanisms)
+        for series in synthetic_panel.series.values():
+            assert series.epsilons == [0.5, 2.0, 8.0]
+
+    def test_expected_shape_holds(self, synthetic_panel):
+        assert synthetic_panel.check_expected_shape() == []
+
+    def test_pattern_level_advantage_positive(self, synthetic_panel):
+        for epsilon in (0.5, 2.0, 8.0):
+            assert synthetic_panel.pattern_level_advantage(epsilon) > 0.1
+
+    def test_adaptive_beats_uniform_clearly(self, synthetic_panel):
+        # Section VI-B: the gap is clear on the synthetic data.
+        uniform = synthetic_panel.series["uniform"]
+        adaptive = synthetic_panel.series["adaptive"]
+        assert adaptive.mre_at(2.0) < uniform.mre_at(2.0)
+
+    def test_table_rows_complete(self, synthetic_panel):
+        assert len(synthetic_panel.table) == len(FAST_CONFIG.mechanisms) * 3
+
+
+class TestTaxiPanel:
+    def test_expected_shape_holds(self, taxi_panel):
+        assert taxi_panel.check_expected_shape() == []
+
+    def test_uniform_adaptive_gap_small_on_taxi(self, taxi_panel):
+        # Section VI-B: "the difference between the uniform and adaptive
+        # approaches is evidently smaller" on Taxi.
+        uniform = taxi_panel.series["uniform"]
+        adaptive = taxi_panel.series["adaptive"]
+        for epsilon in (0.5, 2.0, 8.0):
+            gap = abs(uniform.mre_at(epsilon) - adaptive.mre_at(epsilon))
+            assert gap < 0.1
+
+
+class TestCrossPanelClaims:
+    def test_advantage_larger_on_synthetic(self, synthetic_panel, taxi_panel):
+        # Section VI-B: "our pattern-level PPMs perform significantly
+        # better on synthetic datasets and relatively better on Taxi";
+        # the uniform/adaptive gap expands on the synthetic data.
+        synth_gap = synthetic_panel.series["uniform"].mre_at(
+            2.0
+        ) - synthetic_panel.series["adaptive"].mre_at(2.0)
+        taxi_gap = taxi_panel.series["uniform"].mre_at(
+            2.0
+        ) - taxi_panel.series["adaptive"].mre_at(2.0)
+        assert synth_gap > taxi_gap
+
+
+class TestPlumbing:
+    def test_run_on_custom_workload(self, tiny_workload):
+        config = ExperimentConfig(
+            epsilon_grid=(2.0,), mechanisms=("uniform",), n_trials=1
+        )
+        panel = run_fig4_on_workload(tiny_workload, config)
+        assert isinstance(panel, Fig4Result)
+        assert panel.dataset == tiny_workload.name
+
+    def test_series_mre_at_unknown_epsilon(self):
+        series = Fig4Series("uniform", [1.0], [0.5], [0.0])
+        with pytest.raises(KeyError):
+            series.mre_at(3.0)
+
+    def test_invalid_dataset_count(self):
+        with pytest.raises(ValueError):
+            run_fig4_synthetic(FAST_CONFIG, FAST_SYNTH, n_datasets=0)

@@ -1,0 +1,95 @@
+"""Tests for repro.experiments.reporting."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig4 import run_fig4_on_workload
+from repro.experiments.reporting import (
+    fig4_markdown_section,
+    fig4_wide_table,
+    results_to_table,
+    table_to_markdown,
+)
+from repro.experiments.runner import sweep
+from repro.utils.tables import ResultTable
+
+
+@pytest.fixture(scope="module")
+def panel(request):
+    tiny = request.getfixturevalue("tiny_workload")
+    config = ExperimentConfig(
+        epsilon_grid=(1.0, 4.0),
+        mechanisms=("uniform", "bd"),
+        n_trials=1,
+    )
+    return run_fig4_on_workload(tiny, config)
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    from repro.datasets.synthetic import SyntheticConfig, synthesize_dataset
+
+    return synthesize_dataset(
+        SyntheticConfig(n_windows=120, n_history_windows=80), rng=7
+    )
+
+
+class TestResultsToTable:
+    def test_columns(self, tiny_workload):
+        results = sweep(
+            tiny_workload,
+            epsilon_grid=(1.0,),
+            mechanisms=("uniform",),
+            n_trials=1,
+            rng=0,
+        )
+        table = results_to_table(results)
+        assert "mre" in table.columns
+        assert len(table) == 1
+
+
+class TestWideTable:
+    def test_one_row_per_epsilon(self, panel):
+        wide = fig4_wide_table(panel)
+        assert wide.column("epsilon") == [1.0, 4.0]
+        assert "mre_uniform" in wide.columns
+        assert "mre_bd" in wide.columns
+
+
+class TestMarkdown:
+    def test_table_to_markdown_structure(self):
+        table = ResultTable(["a", "b"])
+        table.add_row(a=1, b=0.5)
+        text = table_to_markdown(table)
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "0.5000" in lines[2]
+
+    def test_fig4_markdown_section(self, panel):
+        text = fig4_markdown_section(panel)
+        assert "### Fig. 4" in text
+        assert "mre_uniform" in text
+
+    def test_fig4_markdown_reports_shape_verdict(self, panel):
+        text = fig4_markdown_section(panel)
+        # On this workload the shape holds, so the pass message appears.
+        assert "Shape check" in text or "Shape violations" in text
+
+    def test_fig4_markdown_lists_violations_when_present(self, panel):
+        from repro.experiments.fig4 import Fig4Result, Fig4Series
+        from repro.utils.tables import ResultTable
+
+        # Construct a pathological panel: uniform WORSE than bd.
+        table = ResultTable(["epsilon"])
+        broken = Fig4Result(
+            dataset="broken",
+            table=table,
+            series={
+                "uniform": Fig4Series("uniform", [1.0], [0.9], [0.0]),
+                "bd": Fig4Series("bd", [1.0], [0.1], [0.0]),
+            },
+        )
+        text = fig4_markdown_section(broken)
+        assert "Shape violations" in text
+        assert "uniform" in text

@@ -1,0 +1,61 @@
+"""Tests for repro.mechanisms.exponential — the exponential mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.exponential import ExponentialMechanism
+
+
+class TestSelectionProbabilities:
+    def test_sum_to_one(self):
+        mechanism = ExponentialMechanism(1.0)
+        probabilities = mechanism.selection_probabilities([1.0, 2.0, 3.0])
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_higher_score_more_likely(self):
+        mechanism = ExponentialMechanism(1.0)
+        probabilities = mechanism.selection_probabilities([0.0, 5.0])
+        assert probabilities[1] > probabilities[0]
+
+    def test_ratio_matches_formula(self):
+        mechanism = ExponentialMechanism(2.0, sensitivity=1.0)
+        probabilities = mechanism.selection_probabilities([0.0, 1.0])
+        # ratio = exp(eps * (s1 - s0) / (2 * sens)) = e.
+        assert probabilities[1] / probabilities[0] == pytest.approx(np.e)
+
+    def test_numerically_stable_for_large_scores(self):
+        mechanism = ExponentialMechanism(1.0)
+        probabilities = mechanism.selection_probabilities([1e6, 1e6 + 1])
+        assert np.isfinite(probabilities).all()
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialMechanism(1.0).selection_probabilities([])
+
+
+class TestSelect:
+    def test_deterministic_under_seed(self):
+        mechanism = ExponentialMechanism(1.0)
+        a = mechanism.select(["x", "y", "z"], [1, 2, 3], rng=0)
+        b = mechanism.select(["x", "y", "z"], [1, 2, 3], rng=0)
+        assert a == b
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialMechanism(1.0).select(["x"], [1, 2], rng=0)
+
+    def test_strong_epsilon_picks_best(self):
+        mechanism = ExponentialMechanism(200.0)
+        picks = {
+            mechanism.select(["bad", "good"], [0.0, 1.0], rng=seed)
+            for seed in range(20)
+        }
+        assert picks == {"good"}
+
+    def test_weak_epsilon_explores(self):
+        mechanism = ExponentialMechanism(0.01)
+        picks = {
+            mechanism.select(["a", "b"], [0.0, 1.0], rng=seed)
+            for seed in range(50)
+        }
+        assert picks == {"a", "b"}

@@ -1,0 +1,49 @@
+"""Tests for repro.mechanisms.geometric — two-sided geometric noise."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.geometric import GeometricMechanism
+
+
+class TestGeometricMechanism:
+    def test_alpha_formula(self):
+        mechanism = GeometricMechanism(1.0, sensitivity=2)
+        assert mechanism.alpha == pytest.approx(math.exp(-0.5))
+
+    def test_non_integer_sensitivity_rejected(self):
+        with pytest.raises(ValueError):
+            GeometricMechanism(1.0, sensitivity=1.5)  # type: ignore[arg-type]
+
+    def test_release_is_integer(self):
+        released = GeometricMechanism(1.0).release(5, rng=0)
+        assert isinstance(released, int)
+
+    def test_release_deterministic(self):
+        mechanism = GeometricMechanism(1.0)
+        assert mechanism.release(5, rng=3) == mechanism.release(5, rng=3)
+
+    def test_noise_symmetric_around_zero(self):
+        mechanism = GeometricMechanism(1.0)
+        rng = np.random.default_rng(1)
+        draws = mechanism.release_vector([0] * 20000, rng=rng)
+        assert abs(draws.mean()) < 0.05
+
+    def test_high_epsilon_near_exact(self):
+        mechanism = GeometricMechanism(50.0)
+        draws = mechanism.release_vector([7] * 100, rng=2)
+        assert np.all(draws == 7)
+
+    def test_variance_grows_as_epsilon_shrinks(self):
+        loose = GeometricMechanism(0.5)
+        tight = GeometricMechanism(5.0)
+        loose_var = loose.release_vector([0] * 5000, rng=3).var()
+        tight_var = tight.release_vector([0] * 5000, rng=3).var()
+        assert loose_var > tight_var
+
+    def test_release_binary(self):
+        mechanism = GeometricMechanism(50.0)
+        binary = mechanism.release_binary([0, 1], rng=4)
+        assert list(binary) == [False, True]

@@ -1,0 +1,79 @@
+"""Tests for repro.mechanisms.laplace — the Laplace mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.laplace import LaplaceMechanism, laplace_noise
+
+
+class TestLaplaceNoise:
+    def test_deterministic_under_seed(self):
+        assert laplace_noise(1, 2.0) == laplace_noise(1, 2.0)
+
+    def test_scale_rejected_non_positive(self):
+        with pytest.raises(Exception):
+            laplace_noise(0, 0.0)
+
+    def test_vector_shape(self):
+        noise = laplace_noise(0, 1.0, size=(3, 4))
+        assert noise.shape == (3, 4)
+
+    def test_empirical_mean_near_zero(self):
+        noise = laplace_noise(3, 1.0, size=20000)
+        assert abs(noise.mean()) < 0.05
+
+    def test_empirical_scale(self):
+        # Var of Laplace(b) is 2b^2.
+        noise = laplace_noise(4, 2.0, size=50000)
+        assert 7.0 < noise.var() < 9.0
+
+
+class TestLaplaceMechanism:
+    def test_scale_formula(self):
+        mechanism = LaplaceMechanism(2.0, sensitivity=4.0)
+        assert mechanism.scale == 2.0
+
+    def test_default_sensitivity_one(self):
+        assert LaplaceMechanism(1.0).scale == 1.0
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(Exception):
+            LaplaceMechanism(0.0)
+
+    def test_invalid_sensitivity(self):
+        with pytest.raises(Exception):
+            LaplaceMechanism(1.0, sensitivity=-1.0)
+
+    def test_release_adds_noise(self):
+        mechanism = LaplaceMechanism(1.0)
+        released = mechanism.release(10.0, rng=0)
+        assert released != 10.0
+
+    def test_release_deterministic_under_seed(self):
+        mechanism = LaplaceMechanism(1.0)
+        assert mechanism.release(10.0, rng=5) == mechanism.release(10.0, rng=5)
+
+    def test_release_vector(self):
+        mechanism = LaplaceMechanism(1.0)
+        released = mechanism.release_vector([1.0, 2.0, 3.0], rng=0)
+        assert released.shape == (3,)
+
+    def test_high_epsilon_is_accurate(self):
+        mechanism = LaplaceMechanism(1000.0)
+        released = mechanism.release_vector([5.0] * 100, rng=1)
+        assert np.allclose(released, 5.0, atol=0.1)
+
+    def test_release_binary_thresholds(self):
+        mechanism = LaplaceMechanism(1000.0)
+        binary = mechanism.release_binary([0, 1, 0, 1], rng=2)
+        assert binary.dtype == bool
+        assert list(binary) == [False, True, False, True]
+
+    def test_low_epsilon_flips_bits(self):
+        mechanism = LaplaceMechanism(0.01)
+        binary = mechanism.release_binary([0] * 1000, rng=3)
+        # With scale 100, about half the zeros cross the 0.5 threshold.
+        assert 0.3 < binary.mean() < 0.7
+
+    def test_repr_mentions_epsilon(self):
+        assert "epsilon=2" in repr(LaplaceMechanism(2.0))

@@ -1,0 +1,95 @@
+"""Surface tests of the public API.
+
+Guards the contract a downstream user relies on: everything in
+``__all__`` resolves, carries a docstring, and the package imports
+without side effects on global RNG state.
+"""
+
+import importlib
+
+import numpy as np
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.baselines",
+    "repro.cep",
+    "repro.core",
+    "repro.datasets",
+    "repro.experiments",
+    "repro.mechanisms",
+    "repro.metrics",
+    "repro.streams",
+    "repro.utils",
+]
+
+
+class TestAllResolvable:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name}"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__"), f"{module_name} lacks __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), (
+                f"{module_name}.__all__ lists missing {name}"
+            )
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_all_is_sorted(self, module_name):
+        module = importlib.import_module(module_name)
+        assert list(module.__all__) == sorted(module.__all__), (
+            f"{module_name}.__all__ is not sorted"
+        )
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackages_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip()
+
+    def test_public_objects_documented(self):
+        undocumented = [
+            name
+            for name in repro.__all__
+            if not (getattr(repro, name).__doc__ or "").strip()
+        ]
+        assert undocumented == []
+
+
+class TestVersion:
+    def test_version_matches_pyproject(self):
+        import tomllib
+        from pathlib import Path
+
+        pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+        data = tomllib.loads(pyproject.read_text())
+        assert repro.__version__ == data["project"]["version"]
+
+
+class TestNoGlobalRngSideEffects:
+    def test_library_calls_do_not_touch_global_numpy_rng(self):
+        np.random.seed(1234)
+        before = np.random.random()
+        np.random.seed(1234)
+        # Exercise a representative slice of the library.
+        from repro import (
+            EventAlphabet,
+            IndicatorStream,
+            Pattern,
+            UniformPatternPPM,
+        )
+
+        alphabet = EventAlphabet.numbered(4)
+        stream = IndicatorStream(
+            alphabet, np.zeros((10, 4), dtype=bool)
+        )
+        ppm = UniformPatternPPM(Pattern.of_types("p", "e1", "e2"), 2.0)
+        ppm.perturb(stream, rng=0)
+        after = np.random.random()
+        assert before == after

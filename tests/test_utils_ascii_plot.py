@@ -1,0 +1,80 @@
+"""Tests for repro.utils.ascii_plot — terminal line charts."""
+
+import pytest
+
+from repro.utils.ascii_plot import line_chart
+
+
+@pytest.fixture
+def two_series():
+    return {
+        "down": [(1.0, 0.9), (2.0, 0.5), (3.0, 0.1)],
+        "flat": [(1.0, 0.5), (2.0, 0.5), (3.0, 0.5)],
+    }
+
+
+class TestLineChart:
+    def test_contains_legend_and_labels(self, two_series):
+        text = line_chart(
+            two_series, title="demo", x_label="eps", y_label="mre"
+        )
+        assert "demo" in text
+        assert "legend:" in text
+        assert "o=down" in text and "x=flat" in text
+        assert "eps" in text and "mre" in text
+
+    def test_y_axis_bounds_printed(self, two_series):
+        text = line_chart(two_series)
+        assert "0.900" in text
+        assert "0.100" in text
+
+    def test_dimensions_respected(self, two_series):
+        text = line_chart(two_series, width=40, height=10)
+        plot_rows = [line for line in text.splitlines() if "|" in line]
+        assert len(plot_rows) == 10
+        for row in plot_rows:
+            assert len(row.split("|", 1)[1]) <= 40
+
+    def test_markers_plotted(self, two_series):
+        text = line_chart(two_series)
+        body = text.split("legend:")[0]
+        assert "o" in body and "x" in body
+
+    def test_monotone_series_renders_monotone(self):
+        text = line_chart({"down": [(0, 1.0), (1, 0.0)]}, width=20, height=10)
+        rows = [line for line in text.splitlines() if "|" in line]
+        first_col = min(
+            row.split("|", 1)[1].find("o")
+            for row in rows
+            if "o" in row.split("|", 1)[1]
+        )
+        top_row = next(i for i, row in enumerate(rows) if "o" in row)
+        bottom_row = max(i for i, row in enumerate(rows) if "o" in row)
+        assert top_row < bottom_row  # high value plotted above low value
+
+    def test_constant_y_padded(self):
+        line_chart({"flat": [(0, 0.5), (1, 0.5)]})  # must not divide by 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"empty": []})
+
+    def test_too_small_rejected(self, two_series):
+        with pytest.raises(ValueError):
+            line_chart(two_series, width=5, height=2)
+
+
+class TestFig4Chart:
+    def test_chart_from_fig4_result(self, tiny_workload):
+        from repro.experiments import ExperimentConfig, fig4_ascii_chart
+        from repro.experiments.fig4 import run_fig4_on_workload
+
+        config = ExperimentConfig(
+            epsilon_grid=(1.0, 4.0), mechanisms=("uniform", "bd"), n_trials=1
+        )
+        panel = run_fig4_on_workload(tiny_workload, config)
+        text = fig4_ascii_chart(panel)
+        assert "MRE vs pattern-level epsilon" in text
+        assert "uniform" in text and "bd" in text
