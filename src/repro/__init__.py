@@ -69,6 +69,11 @@ from repro.mechanisms import (
     RandomizedResponse,
 )
 from repro.metrics import ConfusionCounts, DataQuality, mean_relative_error
+from repro.runtime import (
+    BatchExecutor,
+    ChunkedExecutor,
+    StreamPipeline,
+)
 from repro.streams import (
     DataStream,
     Event,
@@ -84,11 +89,13 @@ __all__ = [
     "AdaptivePatternPPM",
     "AnalyticQualityEstimator",
     "Atom",
+    "BatchExecutor",
     "BudgetAbsorption",
     "BudgetAllocation",
     "BudgetConverter",
     "BudgetDistribution",
     "CEPEngine",
+    "ChunkedExecutor",
     "ConfusionCounts",
     "ContinuousQuery",
     "CountingQuery",
@@ -119,6 +126,7 @@ __all__ = [
     "PrivacyAccountant",
     "RandomizedResponse",
     "SEQ",
+    "StreamPipeline",
     "SyntheticConfig",
     "TaxiConfig",
     "UniformPatternPPM",

@@ -29,10 +29,110 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.baselines.base import StreamMechanism
-from repro.mechanisms.laplace import laplace_noise
 from repro.streams.indicator import IndicatorStream
-from repro.utils.rng import RngLike, derive_rng
+from repro.utils.rng import RngLike
 from repro.utils.validation import check_in_range, check_positive
+
+
+class LandmarkReleaser:
+    """Incremental landmark release: one indicator vector per step.
+
+    The landmark mask must be fixed up front (the data subject declares
+    the sensitive timestamps); the releaser walks it while threading the
+    adaptive publication budget.  Per-timestamp randomness is
+    ``derive_rng(rng, "landmark", t)`` drawn through an
+    :class:`~repro.runtime.rng_pool.IndexedRngPool`, so stepping and the
+    batch :meth:`LandmarkPrivacy.perturb` agree bit for bit.
+    """
+
+    def __init__(
+        self,
+        mechanism: "LandmarkPrivacy",
+        landmarks: np.ndarray,
+        n_types: int,
+        rng: RngLike,
+        *,
+        horizon: Optional[int] = None,
+    ):
+        if n_types <= 0:
+            raise ValueError(f"n_types must be positive, got {n_types}")
+        from repro.runtime.rng_pool import IndexedRngPool
+
+        self.mechanism = mechanism
+        self.n_types = n_types
+        self._landmarks = np.asarray(landmarks, dtype=bool)
+        self._children = IndexedRngPool(rng, "landmark", count=horizon)
+        self._n_landmarks = int(self._landmarks.sum())
+        self._remaining_publication = mechanism.landmark_epsilon / 2.0
+        self._landmark_dissimilarity = mechanism.landmark_epsilon / 2.0
+        self._landmarks_left = self._n_landmarks
+        self.last_release: Optional[np.ndarray] = None
+        self.t = 0
+
+    def step(self, true_vector: np.ndarray) -> np.ndarray:
+        """Release one timestamp's statistics."""
+        true_vector = np.asarray(true_vector, dtype=float)
+        if true_vector.shape != (self.n_types,):
+            raise ValueError(
+                f"expected a vector of {self.n_types} statistics, got "
+                f"shape {true_vector.shape}"
+            )
+        if self.t >= self._landmarks.shape[0]:
+            raise ValueError(
+                f"landmark mask covers {self._landmarks.shape[0]} windows; "
+                f"cannot step past it (t={self.t})"
+            )
+        mechanism = self.mechanism
+        rng_t = self._children.generator(self.t)
+        if self._landmarks[self.t]:
+            nominal = (
+                self._remaining_publication / self._landmarks_left
+                if self._landmarks_left > 0
+                else 0.0
+            )
+            publish = self.last_release is None
+            if not publish and nominal > 0 and self._n_landmarks > 0:
+                dissimilarity_scale = (
+                    self._n_landmarks
+                    * mechanism.sensitivity
+                    / self._landmark_dissimilarity
+                )
+                true_distance = float(
+                    np.add.reduce(np.abs(true_vector - self.last_release))
+                    / self.n_types
+                )
+                noisy_distance = true_distance + float(
+                    rng_t.laplace(0.0, dissimilarity_scale / self.n_types)
+                )
+                publish = noisy_distance > mechanism.sensitivity / nominal
+            if publish and nominal > 0:
+                noise = rng_t.laplace(
+                    0.0, mechanism.sensitivity / nominal, size=self.n_types
+                )
+                self.last_release = true_vector + noise
+                self._remaining_publication -= nominal
+            elif self.last_release is None:
+                self.last_release = np.full(self.n_types, 0.5)
+            self._landmarks_left = max(0, self._landmarks_left - 1)
+            released = self.last_release
+        else:
+            # Regular timestamp: individual budget, parallel across
+            # timestamps (each neighbourhood contains one regular).
+            noise = rng_t.laplace(
+                0.0,
+                mechanism.sensitivity / mechanism.regular_epsilon,
+                size=self.n_types,
+            )
+            released = true_vector + noise
+        self.t += 1
+        return np.array(released, dtype=float, copy=True)
+
+    def step_block(self, matrix: np.ndarray) -> np.ndarray:
+        """Release a block of timestamps; rows are indicator vectors."""
+        released = np.empty_like(matrix, dtype=float)
+        for row in range(matrix.shape[0]):
+            released[row] = self.step(matrix[row])
+        return released
 
 
 class LandmarkPrivacy(StreamMechanism):
@@ -103,60 +203,32 @@ class LandmarkPrivacy(StreamMechanism):
             )
         matrix = stream.matrix_view().astype(float)
         n_windows, n_types = matrix.shape
-        released = np.zeros_like(matrix)
-        n_landmarks = int(landmarks.sum())
-
-        # Landmark budget: half dissimilarity, half publication,
-        # distributed adaptively over the landmark timestamps.
-        landmark_dissimilarity = self.landmark_epsilon / 2.0
-        landmark_publication = self.landmark_epsilon / 2.0
-        remaining_publication = landmark_publication
-        landmarks_left = n_landmarks
-        last_release: Optional[np.ndarray] = None
-
-        for t in range(n_windows):
-            rng_t = derive_rng(rng, "landmark", t)
-            true_vector = matrix[t]
-            if landmarks[t]:
-                nominal = (
-                    remaining_publication / landmarks_left
-                    if landmarks_left > 0
-                    else 0.0
-                )
-                publish = last_release is None
-                if not publish and nominal > 0 and n_landmarks > 0:
-                    dissimilarity_scale = (
-                        n_landmarks
-                        * self.sensitivity
-                        / landmark_dissimilarity
-                    )
-                    true_distance = float(
-                        np.abs(true_vector - last_release).mean()
-                    )
-                    noisy_distance = true_distance + float(
-                        laplace_noise(rng_t, dissimilarity_scale / n_types)
-                    )
-                    publish = noisy_distance > self.sensitivity / nominal
-                if publish and nominal > 0:
-                    noise = laplace_noise(
-                        rng_t, self.sensitivity / nominal, size=n_types
-                    )
-                    last_release = true_vector + noise
-                    remaining_publication -= nominal
-                elif last_release is None:
-                    last_release = np.full(n_types, 0.5)
-                landmarks_left = max(0, landmarks_left - 1)
-                released[t] = last_release
-            else:
-                # Regular timestamp: individual budget, parallel across
-                # timestamps (each neighbourhood contains one regular).
-                noise = laplace_noise(
-                    rng_t,
-                    self.sensitivity / self.regular_epsilon,
-                    size=n_types,
-                )
-                released[t] = true_vector + noise
+        releaser = LandmarkReleaser(
+            self, landmarks, n_types, rng, horizon=n_windows
+        )
+        released = releaser.step_block(matrix)
         return stream.with_matrix(released >= 0.5)
+
+    def online_releaser(
+        self,
+        n_types: int,
+        *,
+        rng: RngLike = None,
+        horizon: Optional[int] = None,
+    ) -> LandmarkReleaser:
+        """An incremental releaser for push-based processing.
+
+        Requires the landmark mask configured at construction; the mask
+        bounds how many windows the releaser can step through.
+        """
+        if self._landmarks is None:
+            raise ValueError(
+                "no landmark mask configured; construct with landmarks= to "
+                "release online"
+            )
+        return LandmarkReleaser(
+            self, self._landmarks, n_types, rng, horizon=horizon
+        )
 
 
 def landmarks_from_pattern(

@@ -37,9 +37,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.baselines.base import StreamMechanism
-from repro.mechanisms.laplace import laplace_noise
 from repro.streams.indicator import IndicatorStream
-from repro.utils.rng import RngLike, derive_rng
+from repro.utils.rng import RngLike
 from repro.utils.validation import check_positive, check_positive_int
 
 
@@ -78,14 +77,29 @@ class OnlineReleaser:
     Owns the scheduler state, the dissimilarity/publication accounting
     trace and the last release; created by
     :meth:`WEventMechanism.online_releaser`.
+
+    The per-timestamp randomness is ``derive_rng(rng, "w-event", t)``,
+    drawn through an :class:`~repro.runtime.rng_pool.IndexedRngPool`:
+    bit-identical to per-step derivation, but the pool prefetches parent
+    entropy — exactly ``horizon`` words when the stream length is known
+    (the batch path), in blocks otherwise.
     """
 
-    def __init__(self, mechanism: "WEventMechanism", n_types: int, rng: RngLike):
+    def __init__(
+        self,
+        mechanism: "WEventMechanism",
+        n_types: int,
+        rng: RngLike,
+        *,
+        horizon: Optional[int] = None,
+    ):
         if n_types <= 0:
             raise ValueError(f"n_types must be positive, got {n_types}")
         self.mechanism = mechanism
         self.n_types = n_types
-        self._rng = rng
+        from repro.runtime.rng_pool import IndexedRngPool
+
+        self._children = IndexedRngPool(rng, "w-event", count=horizon)
         self.trace = ReleaseTrace()
         self.last_release: Optional[np.ndarray] = None
         self.t = 0
@@ -100,7 +114,7 @@ class OnlineReleaser:
                 f"shape {true_vector.shape}"
             )
         mechanism = self.mechanism
-        rng_t = derive_rng(self._rng, "w-event", self.t)
+        rng_t = self._children.generator(self.t)
         budget = mechanism._publication_budget(
             self.t, self.trace, self.scheduler_state
         )
@@ -113,20 +127,23 @@ class OnlineReleaser:
             publish = budget > 0
         elif budget > 0:
             # Private dissimilarity: mean absolute deviation from the
-            # last release, plus Laplace noise (Kellaris' `dis`).
+            # last release, plus Laplace noise (Kellaris' `dis`).  The
+            # reduce spelling is bit-identical to .mean() and skips its
+            # dispatch overhead in this per-window hot loop.
             true_distance = float(
-                np.abs(true_vector - self.last_release).mean()
+                np.add.reduce(np.abs(true_vector - self.last_release))
+                / self.n_types
             )
             noisy_distance = true_distance + float(
-                laplace_noise(rng_t, dissimilarity_scale / self.n_types)
+                rng_t.laplace(0.0, dissimilarity_scale / self.n_types)
             )
             publish = noisy_distance > mechanism.sensitivity / budget
         self.trace.dissimilarity_budgets.append(
             mechanism.epsilon_dissimilarity / mechanism.w
         )
         if publish:
-            noise = laplace_noise(
-                rng_t, mechanism.sensitivity / budget, size=self.n_types
+            noise = rng_t.laplace(
+                0.0, mechanism.sensitivity / budget, size=self.n_types
             )
             self.last_release = true_vector + noise
             self.trace.published.append(True)
@@ -143,6 +160,13 @@ class OnlineReleaser:
             self.trace.publication_budgets.append(0.0)
         self.t += 1
         return self.last_release.copy()
+
+    def step_block(self, matrix: np.ndarray) -> np.ndarray:
+        """Release a block of timestamps; rows are indicator vectors."""
+        released = np.empty_like(matrix, dtype=float)
+        for row in range(matrix.shape[0]):
+            released[row] = self.step(matrix[row])
+        return released
 
 
 class WEventMechanism(StreamMechanism):
@@ -182,19 +206,26 @@ class WEventMechanism(StreamMechanism):
     # -- release -----------------------------------------------------------
 
     def online_releaser(
-        self, n_types: int, *, rng: RngLike = None
+        self,
+        n_types: int,
+        *,
+        rng: RngLike = None,
+        horizon: Optional[int] = None,
     ) -> OnlineReleaser:
-        """An incremental releaser for push-based processing."""
-        return OnlineReleaser(self, n_types, rng)
+        """An incremental releaser for push-based processing.
+
+        Pass ``horizon`` when the number of steps is known up front: the
+        releaser then consumes exactly as much parent entropy as the
+        equivalent sequence of ``derive_rng`` calls.
+        """
+        return OnlineReleaser(self, n_types, rng, horizon=horizon)
 
     def perturb(
         self, stream: IndicatorStream, *, rng: RngLike = None
     ) -> IndicatorStream:
         matrix = stream.matrix_view().astype(float)
         n_windows, n_types = matrix.shape
-        releaser = self.online_releaser(n_types, rng=rng)
-        released = np.zeros_like(matrix)
-        for t in range(n_windows):
-            released[t] = releaser.step(matrix[t])
+        releaser = self.online_releaser(n_types, rng=rng, horizon=n_windows)
+        released = releaser.step_block(matrix)
         self.last_trace = releaser.trace
         return stream.with_matrix(released >= 0.5)

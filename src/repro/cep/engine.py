@@ -20,6 +20,8 @@ from repro.cep.matcher import PatternMatcher, PatternStream
 from repro.cep.patterns import Pattern
 from repro.cep.queries import ContinuousQuery, QueryAnswer
 from repro.mechanisms.accountant import PrivacyAccountant
+from repro.runtime.pipeline import StreamPipeline
+from repro.runtime.stages import WindowStage
 from repro.streams.indicator import EventAlphabet, IndicatorStream
 from repro.streams.stream import EventStream
 from repro.utils.rng import RngLike
@@ -120,6 +122,7 @@ class CEPEngine:
         self._quality = QualityRequirement()
         self._mechanism = None
         self._accountant: Optional[PrivacyAccountant] = None
+        self._pipeline: Optional[StreamPipeline] = None
 
     # -- setup phase -----------------------------------------------------
 
@@ -136,6 +139,7 @@ class CEPEngine:
             raise ValueError(f"query {query.name!r} already registered")
         self._check_pattern(query.pattern)
         self._queries[query.name] = query
+        self._pipeline = None
 
     def set_quality_requirement(self, requirement: QualityRequirement) -> None:
         """Data consumer declares the required output data quality."""
@@ -152,6 +156,7 @@ class CEPEngine:
                 "mechanism must expose perturb(IndicatorStream, rng=...)"
             )
         self._mechanism = mechanism
+        self._pipeline = None
 
     def enable_accounting(self, total_epsilon: float) -> PrivacyAccountant:
         """Cap the total budget spent across service-phase runs.
@@ -234,49 +239,62 @@ class CEPEngine:
 
     # -- service phase ----------------------------------------------------
 
+    def service_pipeline(self) -> StreamPipeline:
+        """The runtime pipeline realizing this engine's service phase.
+
+        Built once per (queries, mechanism) configuration and cached;
+        registration invalidates the cache.  Exposed so callers can run
+        the engine's configuration under a custom executor.
+        """
+        if not self._queries:
+            raise RuntimeError("no queries registered; nothing to answer")
+        if self._pipeline is None:
+            self._pipeline = StreamPipeline(
+                self.alphabet,
+                queries=list(self._queries.values()),
+                mechanism=self._mechanism,
+            )
+        return self._pipeline
+
     def process_indicators(
-        self, stream: IndicatorStream, *, rng: RngLike = None
+        self,
+        stream: IndicatorStream,
+        *,
+        rng: RngLike = None,
+        executor=None,
     ) -> EngineReport:
         """Answer all registered queries over an indicator stream.
 
         The attached mechanism perturbs the stream once; all queries are
         answered from the perturbed stream.  Without a mechanism the
-        answers equal the ground truth (no protection).
+        answers equal the ground truth (no protection).  ``executor``
+        selects the runtime strategy (vectorized batch by default; pass
+        a :class:`~repro.runtime.executors.ChunkedExecutor` for
+        bounded-memory execution).
         """
-        if not self._queries:
-            raise RuntimeError("no queries registered; nothing to answer")
+        pipeline = self.service_pipeline()
         if stream.alphabet != self.alphabet:
             raise ValueError("indicator stream alphabet differs from the engine's")
         if self._mechanism is not None:
             self._charge_accountant()
-            perturbed = self._mechanism.perturb(stream, rng=rng)
-        else:
-            perturbed = stream
-        answers: Dict[str, QueryAnswer] = {}
-        true_answers: Dict[str, QueryAnswer] = {}
-        for query in self._queries.values():
-            elements = self._query_elements(query)
-            answers[query.name] = QueryAnswer(
-                query.name, perturbed.detect_all(elements)
-            )
-            true_answers[query.name] = QueryAnswer(
-                query.name, stream.detect_all(elements)
-            )
+        result = pipeline.run(stream, rng=rng, executor=executor)
+        return self._report(stream, result)
+
+    def _report(self, stream: IndicatorStream, result) -> EngineReport:
+        answers: Dict[str, QueryAnswer] = {
+            name: QueryAnswer(name, detections)
+            for name, detections in result.answers.items()
+        }
+        true_answers: Dict[str, QueryAnswer] = {
+            name: QueryAnswer(name, detections)
+            for name, detections in result.true_answers.items()
+        }
         return EngineReport(
             answers=answers,
             true_answers=true_answers,
             original=stream,
-            perturbed=perturbed,
+            perturbed=result.released,
         )
-
-    def _query_elements(self, query: ContinuousQuery) -> List[str]:
-        if query.pattern.elements is None:
-            raise ValueError(
-                f"query {query.name!r} uses a non-sequential pattern; the "
-                "windowed-indicator mode needs seq-of-types patterns "
-                "(use match() for full CEP semantics)"
-            )
-        return list(query.pattern.elements)
 
     def process_events(
         self,
@@ -284,20 +302,21 @@ class CEPEngine:
         window_assigner,
         *,
         rng: RngLike = None,
+        executor=None,
     ) -> EngineReport:
         """Full service phase from raw events.
 
         Windows the event stream with ``window_assigner`` (any assigner
         from :mod:`repro.streams.windows`), reduces the windows to
         existence indicators over the engine alphabet, and answers every
-        query through :meth:`process_indicators` (mechanism applied
-        once, accounting charged if enabled).
+        query (mechanism applied once, accounting charged if enabled).
+        Windowing and extraction run through the runtime's vectorized
+        stages.
         """
-        windows = window_assigner.assign(stream)
-        indicators = IndicatorStream.from_event_windows(
-            self.alphabet, windows, strict=False
-        )
-        return self.process_indicators(indicators, rng=rng)
+        type_sets = WindowStage(window_assigner).type_sets(stream)
+        pipeline = self.service_pipeline()
+        indicators = pipeline.extractor.extract(type_sets)
+        return self.process_indicators(indicators, rng=rng, executor=executor)
 
     def match(
         self,
@@ -314,7 +333,7 @@ class CEPEngine:
         pattern streams and ground truth.
         """
         matcher = PatternMatcher(pattern, within=within, contiguity=contiguity)
-        return matcher.feed(stream)
+        return matcher.match_stream(stream)
 
     def detect_all_patterns(
         self, stream: EventStream, *, within: Optional[float] = None

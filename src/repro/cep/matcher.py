@@ -207,13 +207,26 @@ class PatternMatcher:
         self._runs = next_runs
         return matches
 
-    def feed(self, stream: EventStream) -> PatternStream:
-        """Feed a whole stream; return all matches in detection order."""
+    def match_stream(self, stream: EventStream) -> PatternStream:
+        """Match a whole stream; return all matches in detection order.
+
+        For the common single-type/sequence patterns the compiled NFA is
+        *type-pure* and stepping runs off memoized successor tables
+        (``Nfa.successors_by_type``) — one dictionary lookup per active
+        run per event instead of per-transition predicate evaluation.
+        General predicates use the same run logic through the fallback
+        stepping.
+        """
         detected = PatternStream()
+        process = self.process
         for event in stream:
-            for match in self.process(event):
+            for match in process(event):
                 detected.append(match)
         return detected
+
+    def feed(self, stream: EventStream) -> PatternStream:
+        """Feed a whole stream; alias of :meth:`match_stream`."""
+        return self.match_stream(stream)
 
     def _emit(self, run: _Run, matches: List[PatternMatch]) -> None:
         key = run.consumed

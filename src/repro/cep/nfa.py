@@ -70,7 +70,16 @@ class _Builder:
 
 
 class Nfa:
-    """A compiled Thompson NFA; run states are epsilon closures."""
+    """A compiled Thompson NFA; run states are epsilon closures.
+
+    When every transition and NEG-guard predicate is a pure event-type
+    test (the common ``seq(e_1..e_m)`` patterns of the paper), the NFA
+    is *type-pure*: stepping reduces to a dictionary lookup in lazily
+    memoized successor tables keyed by ``(closure state, event type)``,
+    skipping per-transition predicate evaluation entirely.  The matcher
+    uses this fast path automatically; predicates with attribute or
+    composite tests fall back to the general stepping.
+    """
 
     def __init__(self, builder: _Builder, start: int, accept: int):
         self._epsilon = {src: frozenset(dsts) for src, dsts in builder.epsilon.items()}
@@ -79,6 +88,19 @@ class Nfa:
         self._accept = accept
         self._start = start
         self._initial = self.epsilon_closure((start,))
+        self._type_pure = all(
+            predicate.is_pure_type_test
+            for transitions in self._transitions.values()
+            for predicate, _dst in transitions
+        ) and all(
+            predicate.is_pure_type_test
+            for predicates in self._forbidden.values()
+            for predicate in predicates
+        )
+        # (closure state) -> {event type -> successor closure}; and
+        # (closure state) -> frozenset of guarded event types.
+        self._successor_table: Dict[FrozenSet[int], Dict[str, FrozenSet[int]]] = {}
+        self._guard_table: Dict[FrozenSet[int], FrozenSet[str]] = {}
 
     # -- closure ---------------------------------------------------------
 
@@ -100,6 +122,9 @@ class Nfa:
         return [self._initial]
 
     def step(self, state: FrozenSet[int], event: Event) -> List[FrozenSet[int]]:
+        if self._type_pure:
+            successor = self.successors_by_type(state).get(event.event_type)
+            return [successor] if successor is not None else []
         dsts = set()
         for src in state:
             for predicate, dst in self._transitions.get(src, ()):
@@ -113,11 +138,54 @@ class Nfa:
         return self._accept in state
 
     def forbidden_matches(self, state: FrozenSet[int], event: Event) -> bool:
+        if self._type_pure:
+            return event.event_type in self.guarded_types(state)
         for src in state:
             for predicate in self._forbidden.get(src, ()):
                 if predicate.matches(event):
                     return True
         return False
+
+    # -- type-pure successor tables ----------------------------------------
+
+    @property
+    def type_pure(self) -> bool:
+        """Whether all predicates are pure event-type tests."""
+        return self._type_pure
+
+    def successors_by_type(
+        self, state: FrozenSet[int]
+    ) -> Dict[str, FrozenSet[int]]:
+        """``{event type -> successor closure}`` for one run state.
+
+        Only valid on type-pure NFAs; memoized per closure state, so a
+        long stream touches each (state, type) pair's predicate logic
+        once instead of per event.
+        """
+        table = self._successor_table.get(state)
+        if table is None:
+            by_type: Dict[str, set] = {}
+            for src in state:
+                for predicate, dst in self._transitions.get(src, ()):
+                    by_type.setdefault(predicate.event_type, set()).add(dst)
+            table = {
+                event_type: self.epsilon_closure(tuple(dsts))
+                for event_type, dsts in by_type.items()
+            }
+            self._successor_table[state] = table
+        return table
+
+    def guarded_types(self, state: FrozenSet[int]) -> FrozenSet[str]:
+        """Event types on which a NEG guard fires in ``state``."""
+        guarded = self._guard_table.get(state)
+        if guarded is None:
+            guarded = frozenset(
+                predicate.event_type
+                for src in state
+                for predicate in self._forbidden.get(src, ())
+            )
+            self._guard_table[state] = guarded
+        return guarded
 
 
 def _compile_fragment(builder: _Builder, expr: PatternExpr) -> Tuple[int, int]:

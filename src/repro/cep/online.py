@@ -5,28 +5,41 @@ perturbs a materialized stream; real CEP deployments consume windows as
 they close.  :class:`OnlineSession` provides that mode: push one
 window's event types, receive that window's private query answers.
 
-Two classes of mechanisms work online:
+A session is a thin facade over the runtime's chunked machinery: the
+engine's mechanism is classified by
+:func:`repro.runtime.adapters.runtime_mechanism` into a chunk stepper
+that reproduces the batch perturbation *bit for bit* under the same
+seed —
 
-- **per-window mechanisms** (the pattern-level PPMs, event/user-level
-  RR): each window's flips are independent, so the session simply draws
-  them one window at a time with the same per-type child-generator
-  derivation as the batch path — a session over the same windows and
-  seed reproduces the batch answers exactly;
-- **sequential stream mechanisms** (BD/BA) expose an
-  :class:`~repro.baselines.w_event.OnlineReleaser` whose ``step``
-  consumes one indicator vector and returns one released vector, with
-  the batch ``perturb`` implemented on top of the same stepper.
+- **per-window flip mechanisms** (pattern-level PPMs, their
+  multi-pattern composition, event-level RR): each push consumes the
+  next slice of the same per-type child-generator streams the batch
+  path draws vectorized;
+- **sequential stream mechanisms** (BD/BA, landmark) step their
+  :class:`~repro.baselines.w_event.OnlineReleaser` /
+  :class:`~repro.baselines.landmark.LandmarkReleaser` one window at a
+  time, with the batch ``perturb`` implemented on top of the same
+  stepper.
+
+Mechanisms that only support batch perturbation (and the user-level
+baseline, whose budget split needs the stream horizon) are rejected
+with ``TypeError`` at session construction.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 
 from repro.cep.engine import CEPEngine
 from repro.streams.indicator import IndicatorStream
 from repro.utils.rng import RngLike, derive_rng
+
+#: Windows processed per step when :meth:`OnlineSession.run` replays a
+#: materialized stream (identical answers to one-by-one pushes; the
+#: chunk only amortizes per-call overhead).
+_RUN_CHUNK = 256
 
 
 class OnlineSession:
@@ -36,54 +49,27 @@ class OnlineSession:
         if not engine.queries:
             raise ValueError("the engine has no registered queries")
         self._engine = engine
-        self._mechanism = engine.mechanism
-        self._rng = rng
+        self._pipeline = engine.service_pipeline()
         # A session is one release of the (growing) stream: charge the
         # engine's accountant once, up front, exactly like the batch
         # path does per process_indicators call.
         engine._charge_accountant()
         self._pushed = 0
-        self._releaser = None
-        self._flip_probabilities: Optional[Dict[str, float]] = None
-        self._children: Dict[str, object] = {}
-        if self._mechanism is not None:
-            if hasattr(self._mechanism, "online_releaser"):
-                self._releaser = self._mechanism.online_releaser(
-                    len(engine.alphabet), rng=derive_rng(rng, "online")
-                )
-            elif hasattr(self._mechanism, "flip_probability_by_type"):
-                self._flip_probabilities = (
-                    self._mechanism.flip_probability_by_type()
-                )
-            elif hasattr(self._mechanism, "flip_probability"):
-                # Event-level RR: one flip probability for every column.
-                probability = self._mechanism.flip_probability
-                self._flip_probabilities = {
-                    name: probability for name in engine.alphabet
-                }
-            elif hasattr(self._mechanism, "ppms"):
-                # MultiPatternPPM: combine the independent per-pattern
-                # flip maps into net per-column probabilities.
-                from repro.core.quality_model import (
-                    combine_flip_probabilities,
-                )
-
-                self._flip_probabilities = combine_flip_probabilities(
-                    [
-                        ppm.flip_probability_by_type()
-                        for ppm in self._mechanism.ppms
-                    ]
-                )
+        mechanism = engine.mechanism
+        if mechanism is None:
+            self._stepper = None
+        else:
+            # Sequential releasers historically draw from a dedicated
+            # "online" child; per-window flip mechanisms draw from the
+            # session seed directly so that a session over the same
+            # windows and seed reproduces the batch answers exactly.
+            if hasattr(mechanism, "online_releaser"):
+                stepper_rng = derive_rng(rng, "online")
             else:
-                raise TypeError(
-                    f"mechanism {type(self._mechanism).__name__} supports "
-                    "neither per-window flips nor an online releaser"
-                )
-        if self._flip_probabilities is not None:
-            self._children = {
-                event_type: derive_rng(rng, "rr-flip", event_type)
-                for event_type in self._flip_probabilities
-            }
+                stepper_rng = rng
+            self._stepper = self._pipeline.runtime_mechanism.stepper(
+                engine.alphabet, rng=stepper_rng, horizon=None
+            )
 
     @property
     def windows_processed(self) -> int:
@@ -92,46 +78,46 @@ class OnlineSession:
 
     def push(self, window_types: Iterable[str]) -> Dict[str, bool]:
         """Process one closed window; return per-query binary answers."""
-        row = np.zeros(len(self._engine.alphabet), dtype=bool)
+        row = np.zeros((1, len(self._engine.alphabet)), dtype=bool)
         for name in window_types:
             if name in self._engine.alphabet:
-                row[self._engine.alphabet.index(name)] = True
+                row[0, self._engine.alphabet.index(name)] = True
         released = self._release(row)
         self._pushed += 1
-        answers: Dict[str, bool] = {}
-        for query in self._engine.queries:
-            elements = query.pattern.elements
-            if elements is None:
-                raise ValueError(
-                    f"query {query.name!r} uses a non-sequential pattern"
-                )
-            columns = self._engine.alphabet.indices(list(elements))
-            answers[query.name] = bool(released[columns].all())
-        return answers
+        answers = self._pipeline.matcher.answer(released)
+        return {name: bool(vector[0]) for name, vector in answers.items()}
 
-    def _release(self, row: np.ndarray) -> np.ndarray:
-        if self._mechanism is None:
-            return row
-        if self._releaser is not None:
-            return self._releaser.step(row.astype(float)) >= 0.5
-        released = row.copy()
-        assert self._flip_probabilities is not None
-        for event_type, probability in self._flip_probabilities.items():
-            # The per-type child streams are the same ones the batch
-            # path consumes vectorized, so the t-th push draws the t-th
-            # decision of the batch run.
-            if float(self._children[event_type].random()) < probability:
-                column = self._engine.alphabet.index(event_type)
-                released[column] = not released[column]
-        return released
+    def _release(self, rows: np.ndarray) -> np.ndarray:
+        if self._stepper is None:
+            return rows
+        return self._stepper.step_block(rows)
 
     def run(self, stream: IndicatorStream) -> Dict[str, List[bool]]:
-        """Convenience: push every window of a stream, collect answers."""
+        """Convenience: push every window of a stream, collect answers.
+
+        Processes the stream in chunks through the same stepper — the
+        answers are identical to pushing window by window.
+        """
+        if stream.alphabet != self._engine.alphabet:
+            # Foreign alphabet: remap per window by event-type name.
+            answers = {
+                name: []
+                for name in self._pipeline.matcher.query_names
+            }
+            for index in range(stream.n_windows):
+                per_window = self.push(stream.window_types(index))
+                for name, value in per_window.items():
+                    answers[name].append(value)
+            return answers
+        matrix = stream.matrix_view()
+        matcher = self._pipeline.matcher
         answers: Dict[str, List[bool]] = {
-            query.name: [] for query in self._engine.queries
+            name: [] for name in matcher.query_names
         }
-        for index in range(stream.n_windows):
-            per_window = self.push(stream.window_types(index))
-            for name, value in per_window.items():
-                answers[name].append(value)
+        for start in range(0, matrix.shape[0], _RUN_CHUNK):
+            chunk = matrix[start : start + _RUN_CHUNK]
+            released = self._release(chunk)
+            self._pushed += chunk.shape[0]
+            for name, vector in matcher.answer(released).items():
+                answers[name].extend(bool(value) for value in vector)
         return answers

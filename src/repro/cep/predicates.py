@@ -41,6 +41,17 @@ class EventPredicate:
         self._test = test
         self.name = name or getattr(test, "__name__", "predicate")
         self.event_type = event_type
+        # True only for predicates *constructed as* pure type tests
+        # (:meth:`of_type`).  A caller may annotate an arbitrary test
+        # with event_type= for pattern analyses; such predicates still
+        # evaluate their test, so the NFA's table-driven fast path must
+        # not treat the annotation alone as the semantics.
+        self._pure_type_test = False
+
+    @property
+    def is_pure_type_test(self) -> bool:
+        """Whether matching is exactly ``event.event_type == event_type``."""
+        return self._pure_type_test
 
     def matches(self, event: Event) -> bool:
         """Whether ``event`` satisfies this predicate."""
@@ -59,11 +70,13 @@ class EventPredicate:
         """Match events whose ``event_type`` equals ``event_type``."""
         if not isinstance(event_type, str) or not event_type:
             raise ValueError("event_type must be a non-empty string")
-        return cls(
+        predicate = cls(
             lambda event: event.event_type == event_type,
             name=event_type,
             event_type=event_type,
         )
+        predicate._pure_type_test = True
+        return predicate
 
     @classmethod
     def any_event(cls) -> "EventPredicate":

@@ -108,20 +108,37 @@ class AnalyticQualityEstimator(QualityEstimator):
         self.private_pattern = private_pattern
         self.target_patterns = list(target_patterns)
         self.alpha = check_probability("alpha", alpha)
-        # Pre-extract per-target truth vectors and element columns.
+        # Pre-extract per-target truth vectors, element columns, float
+        # indicator matrices and positive/negative counts once: every
+        # Algorithm 1 candidate evaluation reuses them.
         self._targets = []
         matrix = history.matrix_view()
         for pattern in self.target_patterns:
             distinct = list(dict.fromkeys(pattern.elements))
             columns = history.alphabet.indices(distinct)
             truth = matrix[:, columns].all(axis=1)
-            self._targets.append((distinct, columns, truth))
-        self._matrix = matrix
+            negative = ~truth
+            self._targets.append(
+                (
+                    distinct,
+                    matrix[:, columns].astype(float),
+                    truth,
+                    negative,
+                    float(truth.sum()),
+                    float(negative.sum()),
+                )
+            )
 
     def expected_confusion(
         self, allocation: BudgetAllocation
     ) -> ConfusionCounts:
-        """Expected confusion counts summed over all target patterns."""
+        """Expected confusion counts summed over all target patterns.
+
+        For each target, the probability each element is present after
+        perturbation is ``I*(1-p) + (1-I)*p`` (``p = 0`` for columns the
+        PPM does not touch — exact in float arithmetic); windows detect
+        the target with the product over its elements.
+        """
         if allocation.length != len(self.private_pattern.elements):
             raise ValueError(
                 f"allocation length {allocation.length} does not match "
@@ -131,25 +148,21 @@ class AnalyticQualityEstimator(QualityEstimator):
             self.private_pattern, allocation
         )
         total = ConfusionCounts()
-        n_windows = self.history.n_windows
-        for (distinct, columns, truth) in self._targets:
-            # Probability each target element is present after perturbation.
-            presence = np.empty((n_windows, len(distinct)), dtype=float)
-            for position, element in enumerate(distinct):
-                indicator = self._matrix[:, columns[position]].astype(float)
-                p = flip_by_type.get(element)
-                if p is None:
-                    presence[:, position] = indicator
-                else:
-                    # present stays w.p. 1-p; absent appears w.p. p
-                    presence[:, position] = indicator * (1.0 - p) + (
-                        1.0 - indicator
-                    ) * p
+        for (
+            distinct,
+            floats,
+            truth,
+            negative,
+            positives,
+            negatives,
+        ) in self._targets:
+            flips = np.array(
+                [flip_by_type.get(element, 0.0) for element in distinct]
+            )
+            presence = floats * (1.0 - flips) + (1.0 - floats) * flips
             detection = presence.prod(axis=1)
             tp = float(detection[truth].sum())
-            fp = float(detection[~truth].sum())
-            positives = float(truth.sum())
-            negatives = float((~truth).sum())
+            fp = float(detection[negative].sum())
             total = total + ConfusionCounts(
                 tp=tp,
                 fp=fp,

@@ -24,7 +24,7 @@ from repro.core.adaptive import AdaptivePatternPPM, default_step_size
 from repro.datasets.synthetic import SyntheticConfig, synthesize_dataset
 from repro.datasets.taxi import TaxiConfig, build_taxi_workload
 from repro.datasets.workload import Workload
-from repro.experiments.runner import evaluate_mechanism
+from repro.experiments.runner import WorkloadEvaluation
 from repro.utils.rng import RngLike, derive_rng
 from repro.utils.tables import ResultTable
 
@@ -43,10 +43,10 @@ def sweep_alpha(
         ["alpha", "mechanism", "epsilon", "mre", "precision", "recall"],
         title=f"ablation: alpha sweep on {workload.name} (epsilon={epsilon:g})",
     )
+    context = WorkloadEvaluation(workload)
     for alpha in alphas:
         for kind in mechanisms:
-            result = evaluate_mechanism(
-                workload,
+            result = context.evaluate(
                 kind,
                 epsilon,
                 alpha=alpha,
@@ -96,9 +96,9 @@ def sweep_pattern_length(
             workload = synthesize_dataset(
                 config, rng=derive_rng(rng, "length-data", length, index)
             )
+            context = WorkloadEvaluation(workload)
             for kind in mechanisms:
-                result = evaluate_mechanism(
-                    workload,
+                result = context.evaluate(
                     kind,
                     epsilon,
                     n_trials=n_trials,
@@ -135,9 +135,9 @@ def sweep_overlap(
         workload = build_taxi_workload(
             config, rng=derive_rng(rng, "overlap-data", int(overlap * 1000))
         )
+        context = WorkloadEvaluation(workload)
         for kind in mechanisms:
-            result = evaluate_mechanism(
-                workload,
+            result = context.evaluate(
                 kind,
                 epsilon,
                 n_trials=n_trials,
@@ -174,11 +174,11 @@ def sweep_conversion_mode(
         ["mode", "mechanism", "epsilon", "mre"],
         title=f"ablation: budget-conversion mode on {workload.name}",
     )
+    context = WorkloadEvaluation(workload)
     for mode in ("worst_case", "nominal"):
         for kind in mechanisms:
             for epsilon in epsilons:
-                result = evaluate_mechanism(
-                    workload,
+                result = context.evaluate(
                     kind,
                     epsilon,
                     n_trials=n_trials,
@@ -197,8 +197,7 @@ def sweep_conversion_mode(
     # affected by the conversion mode.
     for kind in ("uniform", "adaptive"):
         for epsilon in epsilons:
-            result = evaluate_mechanism(
-                workload,
+            result = context.evaluate(
                 kind,
                 epsilon,
                 n_trials=n_trials,

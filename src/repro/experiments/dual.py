@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.datasets.workload import Workload
-from repro.experiments.runner import evaluate_mechanism
+from repro.experiments.runner import WorkloadEvaluation
 from repro.utils.rng import RngLike, derive_rng
 from repro.utils.validation import check_non_negative, check_positive
 
@@ -63,12 +63,12 @@ def min_epsilon_for_quality(
         )
 
     evaluations = 0
+    context = WorkloadEvaluation(workload)
 
     def mre_at(epsilon: float) -> float:
         nonlocal evaluations
         evaluations += 1
-        result = evaluate_mechanism(
-            workload,
+        result = context.evaluate(
             mechanism,
             epsilon,
             alpha=alpha,

@@ -6,12 +6,20 @@ pattern-level budget, :func:`build_mechanism` assembles a calibrated
 mechanism (converting baseline budgets per Section VI-A.2), and
 :func:`evaluate_mechanism` measures the resulting data quality and
 ``MRE_Q`` on the evaluation stream.
+
+Evaluation runs on the streaming runtime: a
+:class:`WorkloadEvaluation` builds the workload's pipeline *once* —
+query matcher, ground-truth detections, ordinary quality, landmark
+masks, budget converters and Algorithm 1 quality estimators — and every
+(mechanism, ε) cell reuses it.  :func:`sweep` shares one such context
+across its whole grid, which is what makes the Fig. 4 regeneration
+cheap; the module-level helpers remain as thin single-cell wrappers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -21,14 +29,16 @@ from repro.baselines.conversion import BudgetConverter
 from repro.baselines.event_level import EventLevelRR
 from repro.baselines.landmark import LandmarkPrivacy
 from repro.baselines.user_level import UserLevelRR
+from repro.cep.queries import ContinuousQuery
 from repro.core.adaptive import AdaptivePatternPPM
 from repro.core.ppm import MultiPatternPPM
+from repro.core.quality_model import AnalyticQualityEstimator
 from repro.core.uniform import UniformPatternPPM
 from repro.datasets.workload import Workload
-from repro.metrics.confusion import ConfusionCounts
 from repro.metrics.mre import mean_relative_error
 from repro.metrics.quality import DataQuality
-from repro.core.quality_model import baseline_quality
+from repro.runtime.executors import BatchExecutor
+from repro.runtime.pipeline import StreamPipeline
 from repro.utils.rng import RngLike, derive_rng
 from repro.utils.validation import check_positive, check_positive_int
 
@@ -46,6 +56,222 @@ class EvaluationResult:
     n_trials: int
 
 
+class WorkloadEvaluation:
+    """Shared evaluation state for one workload.
+
+    Builds the runtime pipeline for the workload's target queries once
+    and caches everything mechanism-independent: ground-truth
+    detections, the ordinary quality ``Q_ord`` per α, the landmark
+    mask, budget converters, and the analytic quality estimators
+    Algorithm 1 fits against.  Cells differing only in mechanism kind
+    or ε then share all of it.
+    """
+
+    def __init__(self, workload: Workload):
+        self.workload = workload
+        self.pipeline = StreamPipeline(
+            workload.stream.alphabet,
+            queries=[
+                ContinuousQuery(pattern.name, pattern)
+                for pattern in workload.target_patterns
+            ],
+        )
+        self._executor = BatchExecutor()
+        self._truths: Optional[Dict[str, np.ndarray]] = None
+        self._q_ordinary: Dict[float, float] = {}
+        self._landmark_mask: Optional[np.ndarray] = None
+        self._converters: Dict[str, BudgetConverter] = {}
+        self._estimators: Dict[tuple, AnalyticQualityEstimator] = {}
+
+    # -- cached, mechanism-independent state ---------------------------
+
+    @property
+    def truths(self) -> Dict[str, np.ndarray]:
+        """Ground-truth per-target detections on the evaluation stream."""
+        if self._truths is None:
+            self._truths = self.pipeline.matcher.answer(
+                self.workload.stream.matrix_view()
+            )
+        return self._truths
+
+    def q_ordinary(self, alpha: float) -> float:
+        """The ordinary quality ``Q_ord`` (Eq. (4) numerator) under α."""
+        if alpha not in self._q_ordinary:
+            from repro.core.quality_model import baseline_quality
+
+            self._q_ordinary[alpha] = baseline_quality(
+                self.workload.stream,
+                self.workload.target_patterns,
+                alpha=alpha,
+            ).q
+        return self._q_ordinary[alpha]
+
+    def landmark_mask(self) -> np.ndarray:
+        if self._landmark_mask is None:
+            self._landmark_mask = self.workload.landmark_mask()
+        return self._landmark_mask
+
+    def converter(self, mode: str) -> BudgetConverter:
+        if mode not in self._converters:
+            self._converters[mode] = BudgetConverter(
+                self.workload.max_private_length, mode=mode
+            )
+        return self._converters[mode]
+
+    def _estimator_factory(self, history, pattern, targets, *, alpha=0.5):
+        """Cache Algorithm 1's analytic estimator per (pattern, α).
+
+        The estimator depends only on the history stream, the private
+        pattern and the targets — all fixed per workload — so ε sweeps
+        reuse one instance instead of re-extracting columns per cell.
+        """
+        key = (pattern.name, alpha)
+        if key not in self._estimators:
+            self._estimators[key] = AnalyticQualityEstimator(
+                history, pattern, targets, alpha=alpha
+            )
+        return self._estimators[key]
+
+    # -- mechanism construction ----------------------------------------
+
+    def build_mechanism(
+        self,
+        kind: str,
+        pattern_epsilon: float,
+        *,
+        alpha: float = 0.5,
+        conversion_mode: str = "worst_case",
+        adaptive_step_size: Optional[float] = None,
+        adaptive_max_iterations: int = 200,
+    ):
+        """Build a mechanism calibrated to a target pattern-level ε.
+
+        The pattern-level PPMs take ε natively (one independent PPM per
+        private pattern, Section V-A); the baselines take the converted
+        budget from :class:`~repro.baselines.conversion.BudgetConverter`
+        using the workload's longest private pattern (worst case over
+        the protected types).
+        """
+        check_positive("pattern_epsilon", pattern_epsilon)
+        workload = self.workload
+        if kind == "uniform":
+            return MultiPatternPPM(
+                [
+                    UniformPatternPPM(pattern, pattern_epsilon)
+                    for pattern in workload.private_patterns
+                ]
+            )
+        if kind == "adaptive":
+            fitted = [
+                AdaptivePatternPPM.fit(
+                    pattern,
+                    pattern_epsilon,
+                    workload.history,
+                    workload.target_patterns,
+                    alpha=alpha,
+                    step_size=adaptive_step_size,
+                    max_iterations=adaptive_max_iterations,
+                    estimator_factory=self._estimator_factory,
+                )
+                for pattern in workload.private_patterns
+            ]
+            return MultiPatternPPM(fitted)
+
+        converter = self.converter(conversion_mode)
+        if kind == "bd":
+            native = converter.bd_native(pattern_epsilon, workload.w)
+            return BudgetDistribution(native, workload.w)
+        if kind == "ba":
+            native = converter.ba_native(pattern_epsilon, workload.w)
+            return BudgetAbsorption(native, workload.w)
+        if kind == "landmark":
+            mask = self.landmark_mask()
+            n_landmarks = max(1, int(mask.sum()))
+            native = converter.landmark_native(pattern_epsilon, n_landmarks)
+            return LandmarkPrivacy(native, landmarks=mask)
+        if kind == "event-level":
+            native = converter.event_level_native(pattern_epsilon)
+            return EventLevelRR(native)
+        if kind == "user-level":
+            native = converter.user_level_native(
+                pattern_epsilon,
+                workload.stream.n_windows,
+                len(workload.stream.alphabet),
+            )
+            return UserLevelRR(native)
+        raise ValueError(f"unknown mechanism kind {kind!r}")
+
+    # -- measurement ---------------------------------------------------
+
+    def measure(
+        self,
+        mechanism,
+        *,
+        alpha: float = 0.5,
+        n_trials: int = 5,
+        rng: RngLike = None,
+        executor=None,
+    ) -> List[DataQuality]:
+        """Per-trial measured quality of a mechanism on the workload.
+
+        Each trial perturbs the evaluation stream once through the
+        runtime pipeline and evaluates every target query against the
+        ground truth, summing confusion counts across targets
+        (micro-average).
+        """
+        check_positive_int("n_trials", n_trials)
+        executor = executor or self._executor
+        pipeline = self.pipeline.with_mechanism(mechanism)
+        qualities: List[DataQuality] = []
+        for trial in range(n_trials):
+            child = derive_rng(rng, "trial", trial)
+            result = executor.run(pipeline, self.workload.stream, rng=child)
+            qualities.append(result.quality(alpha))
+        return qualities
+
+    def evaluate(
+        self,
+        kind: str,
+        pattern_epsilon: float,
+        *,
+        alpha: float = 0.5,
+        n_trials: int = 5,
+        conversion_mode: str = "worst_case",
+        rng: RngLike = None,
+        executor=None,
+    ) -> EvaluationResult:
+        """Build, run and score one mechanism at one budget."""
+        mechanism = self.build_mechanism(
+            kind,
+            pattern_epsilon,
+            alpha=alpha,
+            conversion_mode=conversion_mode,
+        )
+        qualities = self.measure(
+            mechanism,
+            alpha=alpha,
+            n_trials=n_trials,
+            rng=derive_rng(rng, kind, int(pattern_epsilon * 1000)),
+            executor=executor,
+        )
+        q_ordinary = self.q_ordinary(alpha)
+        mres = [
+            mean_relative_error(q_ordinary, quality.q)
+            for quality in qualities
+        ]
+        mean_precision = float(np.mean([q.precision for q in qualities]))
+        mean_recall = float(np.mean([q.recall for q in qualities]))
+        return EvaluationResult(
+            workload=self.workload.name,
+            mechanism=kind,
+            pattern_epsilon=pattern_epsilon,
+            quality=DataQuality(mean_precision, mean_recall, alpha),
+            mre=float(np.mean(mres)),
+            mre_std=float(np.std(mres)),
+            n_trials=n_trials,
+        )
+
+
 def build_mechanism(
     kind: str,
     workload: Workload,
@@ -58,60 +284,18 @@ def build_mechanism(
 ):
     """Build a mechanism calibrated to a target pattern-level ε.
 
-    The pattern-level PPMs take ε natively (one independent PPM per
-    private pattern, Section V-A); the baselines take the converted
-    budget from :class:`~repro.baselines.conversion.BudgetConverter`
-    using the workload's longest private pattern (worst case over the
-    protected types).
+    Single-cell wrapper over :meth:`WorkloadEvaluation.build_mechanism`;
+    when evaluating many cells on one workload, build the context once
+    and reuse it.
     """
-    check_positive("pattern_epsilon", pattern_epsilon)
-    if kind == "uniform":
-        return MultiPatternPPM(
-            [
-                UniformPatternPPM(pattern, pattern_epsilon)
-                for pattern in workload.private_patterns
-            ]
-        )
-    if kind == "adaptive":
-        fitted = [
-            AdaptivePatternPPM.fit(
-                pattern,
-                pattern_epsilon,
-                workload.history,
-                workload.target_patterns,
-                alpha=alpha,
-                step_size=adaptive_step_size,
-                max_iterations=adaptive_max_iterations,
-            )
-            for pattern in workload.private_patterns
-        ]
-        return MultiPatternPPM(fitted)
-
-    converter = BudgetConverter(
-        workload.max_private_length, mode=conversion_mode
+    return WorkloadEvaluation(workload).build_mechanism(
+        kind,
+        pattern_epsilon,
+        alpha=alpha,
+        conversion_mode=conversion_mode,
+        adaptive_step_size=adaptive_step_size,
+        adaptive_max_iterations=adaptive_max_iterations,
     )
-    if kind == "bd":
-        native = converter.bd_native(pattern_epsilon, workload.w)
-        return BudgetDistribution(native, workload.w)
-    if kind == "ba":
-        native = converter.ba_native(pattern_epsilon, workload.w)
-        return BudgetAbsorption(native, workload.w)
-    if kind == "landmark":
-        mask = workload.landmark_mask()
-        n_landmarks = max(1, int(mask.sum()))
-        native = converter.landmark_native(pattern_epsilon, n_landmarks)
-        return LandmarkPrivacy(native, landmarks=mask)
-    if kind == "event-level":
-        native = converter.event_level_native(pattern_epsilon)
-        return EventLevelRR(native)
-    if kind == "user-level":
-        native = converter.user_level_native(
-            pattern_epsilon,
-            workload.stream.n_windows,
-            len(workload.stream.alphabet),
-        )
-        return UserLevelRR(native)
-    raise ValueError(f"unknown mechanism kind {kind!r}")
 
 
 def measure_quality(
@@ -122,29 +306,10 @@ def measure_quality(
     n_trials: int = 5,
     rng: RngLike = None,
 ) -> List[DataQuality]:
-    """Per-trial measured quality of a mechanism on the workload.
-
-    Each trial perturbs the evaluation stream once and evaluates every
-    target query against the ground truth, summing confusion counts
-    across targets (micro-average).
-    """
-    check_positive_int("n_trials", n_trials)
-    truths = {
-        pattern.name: workload.stream.detect_all(list(pattern.elements))
-        for pattern in workload.target_patterns
-    }
-    qualities: List[DataQuality] = []
-    for trial in range(n_trials):
-        child = derive_rng(rng, "trial", trial)
-        perturbed = mechanism.perturb(workload.stream, rng=child)
-        counts = ConfusionCounts()
-        for pattern in workload.target_patterns:
-            predicted = perturbed.detect_all(list(pattern.elements))
-            counts = counts + ConfusionCounts.from_vectors(
-                truths[pattern.name], predicted
-            )
-        qualities.append(DataQuality.from_confusion(counts, alpha=alpha))
-    return qualities
+    """Per-trial measured quality of a mechanism on the workload."""
+    return WorkloadEvaluation(workload).measure(
+        mechanism, alpha=alpha, n_trials=n_trials, rng=rng
+    )
 
 
 def evaluate_mechanism(
@@ -156,38 +321,22 @@ def evaluate_mechanism(
     n_trials: int = 5,
     conversion_mode: str = "worst_case",
     rng: RngLike = None,
+    context: Optional[WorkloadEvaluation] = None,
 ) -> EvaluationResult:
-    """Build, run and score one mechanism at one pattern-level budget."""
-    mechanism = build_mechanism(
+    """Build, run and score one mechanism at one pattern-level budget.
+
+    Pass ``context`` (a :class:`WorkloadEvaluation` of the same
+    workload) to share cached pipeline state across calls.
+    """
+    if context is None:
+        context = WorkloadEvaluation(workload)
+    return context.evaluate(
         kind,
-        workload,
         pattern_epsilon,
         alpha=alpha,
+        n_trials=n_trials,
         conversion_mode=conversion_mode,
-    )
-    qualities = measure_quality(
-        workload,
-        mechanism,
-        alpha=alpha,
-        n_trials=n_trials,
-        rng=derive_rng(rng, kind, int(pattern_epsilon * 1000)),
-    )
-    q_ordinary = baseline_quality(
-        workload.stream, workload.target_patterns, alpha=alpha
-    ).q
-    mres = [
-        mean_relative_error(q_ordinary, quality.q) for quality in qualities
-    ]
-    mean_precision = float(np.mean([q.precision for q in qualities]))
-    mean_recall = float(np.mean([q.recall for q in qualities]))
-    return EvaluationResult(
-        workload=workload.name,
-        mechanism=kind,
-        pattern_epsilon=pattern_epsilon,
-        quality=DataQuality(mean_precision, mean_recall, alpha),
-        mre=float(np.mean(mres)),
-        mre_std=float(np.std(mres)),
-        n_trials=n_trials,
+        rng=rng,
     )
 
 
@@ -201,13 +350,18 @@ def sweep(
     conversion_mode: str = "worst_case",
     rng: RngLike = None,
 ) -> List[EvaluationResult]:
-    """Evaluate every (mechanism, ε) cell on one workload."""
+    """Evaluate every (mechanism, ε) cell on one workload.
+
+    One :class:`WorkloadEvaluation` is shared by the whole grid, so
+    windowing, extraction, ground truth and estimator state are
+    computed once rather than per cell.
+    """
+    context = WorkloadEvaluation(workload)
     results: List[EvaluationResult] = []
     for kind in mechanisms:
         for epsilon in epsilon_grid:
             results.append(
-                evaluate_mechanism(
-                    workload,
+                context.evaluate(
                     kind,
                     epsilon,
                     alpha=alpha,

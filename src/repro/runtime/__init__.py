@@ -1,0 +1,50 @@
+"""The unified streaming runtime.
+
+One vectorized pipeline — ``Source → Windower → IndicatorExtractor →
+Mechanism → Matcher → MetricsSink`` — shared by the CEP engine facade,
+the baseline mechanisms and the experiment harness, with two
+interchangeable execution strategies:
+
+- :class:`~repro.runtime.executors.BatchExecutor` materializes the
+  whole indicator matrix and runs every stage vectorized (no per-event
+  Python loops in windowing, extraction or perturbation);
+- :class:`~repro.runtime.executors.ChunkedExecutor` processes windows
+  in bounded chunks for the infinite-stream scenario, producing
+  bit-identical results for every streamable mechanism.
+
+See ARCHITECTURE.md for how the layers map onto the runtime.
+"""
+
+from repro.runtime.adapters import (
+    FlipStepper,
+    RuntimeMechanism,
+    runtime_mechanism,
+)
+from repro.runtime.executors import (
+    BatchExecutor,
+    ChunkedExecutor,
+    PipelineResult,
+)
+from repro.runtime.pipeline import StreamPipeline
+from repro.runtime.rng_pool import IndexedRngPool
+from repro.runtime.stages import (
+    IndicatorExtractor,
+    MetricsSink,
+    QueryMatcher,
+    WindowStage,
+)
+
+__all__ = [
+    "BatchExecutor",
+    "ChunkedExecutor",
+    "FlipStepper",
+    "IndexedRngPool",
+    "IndicatorExtractor",
+    "MetricsSink",
+    "PipelineResult",
+    "QueryMatcher",
+    "RuntimeMechanism",
+    "StreamPipeline",
+    "WindowStage",
+    "runtime_mechanism",
+]

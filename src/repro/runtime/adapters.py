@@ -1,0 +1,247 @@
+"""Mechanism adapters: one runtime interface over every ``perturb``.
+
+The privacy mechanisms grew three historical protocols:
+
+- **per-window flip mechanisms** (the pattern-level PPMs, multi-pattern
+  composition): independent per-type randomized response, batch-applied
+  via :func:`repro.core.ppm.apply_randomized_response`;
+- **whole-matrix randomized response** (event-/user-level baselines):
+  one uniform draw over the full indicator matrix;
+- **sequential releasers** (BD/BA, landmark): per-timestamp scheduler
+  state exposed through ``online_releaser``.
+
+:func:`runtime_mechanism` classifies a mechanism once and returns a
+:class:`RuntimeMechanism` the executors use uniformly:
+``perturb_batch`` delegates to the mechanism's own ``perturb`` (bit
+parity with the historical batch path is free), and ``stepper`` yields
+an object whose ``step_block`` processes window chunks *bit-identically
+to the batch path under the same seed* — the property the executor
+parity suite pins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+from repro.utils.rng import RngLike, derive_rng, ensure_rng
+
+
+class RuntimeMechanism:
+    """Uniform executor-facing view of one privacy mechanism."""
+
+    def __init__(self, mechanism):
+        self.mechanism = mechanism
+
+    @property
+    def name(self) -> str:
+        if self.mechanism is None:
+            return "identity"
+        return getattr(
+            self.mechanism, "name", type(self.mechanism).__name__
+        )
+
+    def perturb_batch(
+        self, stream: IndicatorStream, *, rng: RngLike = None
+    ) -> IndicatorStream:
+        """One-shot perturbation of a materialized stream."""
+        if self.mechanism is None:
+            return stream
+        return self.mechanism.perturb(stream, rng=rng)
+
+    def stepper(
+        self,
+        alphabet: EventAlphabet,
+        *,
+        rng: RngLike = None,
+        horizon: Optional[int] = None,
+    ):
+        """A chunk stepper reproducing ``perturb_batch`` bit for bit.
+
+        Raises ``TypeError`` for mechanisms that only support batch
+        perturbation.
+        """
+        raise TypeError(
+            f"mechanism {type(self.mechanism).__name__} supports only batch "
+            "perturbation; use BatchExecutor"
+        )
+
+
+class _IdentityRuntime(RuntimeMechanism):
+    def stepper(self, alphabet, *, rng=None, horizon=None):
+        return _IdentityStepper()
+
+
+class _IdentityStepper:
+    def step_block(self, matrix: np.ndarray) -> np.ndarray:
+        return matrix
+
+
+class FlipStepper:
+    """Chunked randomized response over named indicator columns.
+
+    ``layers`` is a list of flip-probability maps applied in sequence
+    (one per independent PPM).  Child generators are derived exactly as
+    the batch path derives them — ``derive_rng(rng, "multi-ppm", i)``
+    per layer when layered, then ``derive_rng(parent, "rr-flip", type)``
+    per column — and each chunk consumes the next slice of the same
+    per-type child streams, so chunked and batch decisions coincide.
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[Dict[str, float]],
+        alphabet: EventAlphabet,
+        rng: RngLike,
+        *,
+        layered: bool = False,
+    ):
+        self._plan: List[List] = []
+        for position, flip_by_type in enumerate(layers):
+            parent = derive_rng(rng, "multi-ppm", position) if layered else rng
+            entries = []
+            for event_type, probability in flip_by_type.items():
+                if not 0.0 <= probability <= 0.5:
+                    raise ValueError(
+                        f"flip probability for {event_type!r} must be in "
+                        f"[0, 1/2], got {probability}"
+                    )
+                if event_type not in alphabet:
+                    raise ValueError(
+                        f"stream alphabet lacks protected element types "
+                        f"[{event_type!r}]"
+                    )
+                entries.append(
+                    (
+                        alphabet.index(event_type),
+                        probability,
+                        derive_rng(parent, "rr-flip", event_type),
+                    )
+                )
+            self._plan.append(entries)
+
+    def step_block(self, matrix: np.ndarray) -> np.ndarray:
+        released = matrix.copy()
+        n_windows = released.shape[0]
+        for entries in self._plan:
+            for column, probability, child in entries:
+                flips = child.random(n_windows) < probability
+                released[:, column] ^= flips
+        return released
+
+
+class _FlipRuntime(RuntimeMechanism):
+    """Pattern-level PPMs: single or multi-pattern per-type flips."""
+
+    def __init__(self, mechanism, layers, *, layered):
+        super().__init__(mechanism)
+        self._layers = layers
+        self._layered = layered
+
+    def stepper(self, alphabet, *, rng=None, horizon=None):
+        return FlipStepper(
+            [layer() for layer in self._layers],
+            alphabet,
+            rng,
+            layered=self._layered,
+        )
+
+
+class _MatrixRRRuntime(RuntimeMechanism):
+    """Whole-matrix randomized response (event-/user-level baselines)."""
+
+    def stepper(self, alphabet, *, rng=None, horizon=None):
+        mechanism = self.mechanism
+        if hasattr(mechanism, "flip_probability"):
+            probability = mechanism.flip_probability
+        else:
+            # User-level: the budget is split across every indicator of
+            # the whole stream, so the horizon must be known.
+            if horizon is None:
+                raise TypeError(
+                    "user-level randomized response needs the stream "
+                    "horizon to split its budget; chunked execution "
+                    "requires horizon="
+                )
+            from repro.mechanisms.randomized_response import (
+                epsilon_to_flip_probability,
+            )
+
+            bits = horizon * len(alphabet)
+            if bits == 0:
+                probability = 0.0
+            else:
+                probability = epsilon_to_flip_probability(
+                    mechanism.epsilon / bits
+                )
+        return _MatrixRRStepper(ensure_rng(rng), probability)
+
+
+class _MatrixRRStepper:
+    def __init__(self, generator, probability: float):
+        self._generator = generator
+        self._probability = probability
+
+    def step_block(self, matrix: np.ndarray) -> np.ndarray:
+        flips = self._generator.random(matrix.shape) < self._probability
+        return matrix ^ flips
+
+
+class _SequentialRuntime(RuntimeMechanism):
+    """Scheduler mechanisms exposing an online releaser (BD/BA, landmark)."""
+
+    def stepper(self, alphabet, *, rng=None, horizon=None):
+        releaser = self.mechanism.online_releaser(
+            len(alphabet), rng=rng, horizon=horizon
+        )
+        # Mirror the batch path's trace bookkeeping: the trace object is
+        # mutated in place as the releaser steps, so publishing it now
+        # keeps ``mechanism.last_trace`` current through a chunked run.
+        if hasattr(self.mechanism, "last_trace"):
+            trace = getattr(releaser, "trace", None)
+            if trace is not None:
+                self.mechanism.last_trace = trace
+        return _SequentialStepper(releaser)
+
+
+class _SequentialStepper:
+    def __init__(self, releaser):
+        self.releaser = releaser
+
+    def step_block(self, matrix: np.ndarray) -> np.ndarray:
+        released = self.releaser.step_block(matrix.astype(float))
+        return released >= 0.5
+
+
+def runtime_mechanism(mechanism) -> RuntimeMechanism:
+    """Classify ``mechanism`` into its runtime adapter.
+
+    ``None`` yields the identity (no protection).  Mechanisms that match
+    none of the streamable protocols still run under the batch executor
+    through their own ``perturb``.
+    """
+    if mechanism is None:
+        return _IdentityRuntime(mechanism)
+    if not hasattr(mechanism, "perturb"):
+        raise TypeError(
+            "mechanism must expose perturb(IndicatorStream, rng=...)"
+        )
+    if hasattr(mechanism, "online_releaser"):
+        return _SequentialRuntime(mechanism)
+    if hasattr(mechanism, "ppms"):
+        return _FlipRuntime(
+            mechanism,
+            [ppm.flip_probability_by_type for ppm in mechanism.ppms],
+            layered=True,
+        )
+    if hasattr(mechanism, "flip_probability_by_type"):
+        return _FlipRuntime(
+            mechanism, [mechanism.flip_probability_by_type], layered=False
+        )
+    if hasattr(mechanism, "flip_probability") or hasattr(
+        mechanism, "per_bit_epsilon"
+    ):
+        return _MatrixRRRuntime(mechanism)
+    return RuntimeMechanism(mechanism)

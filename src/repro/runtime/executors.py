@@ -1,0 +1,217 @@
+"""Execution strategies for the streaming pipeline.
+
+Both executors take the same prepared pipeline and produce the same
+:class:`PipelineResult` — the difference is purely operational:
+
+- :class:`BatchExecutor` materializes the indicator matrix end-to-end
+  and perturbs it in one vectorized pass (fastest; needs the whole
+  stream);
+- :class:`ChunkedExecutor` walks the stream in bounded chunks through a
+  mechanism stepper, for the infinite-stream deployment shape.  Under
+  the same seed its outputs are bit-identical to the batch executor for
+  every streamable mechanism (pinned by
+  ``tests/property/test_property_runtime.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.streams.indicator import IndicatorStream
+from repro.utils.rng import RngLike
+from repro.runtime.stages import MetricsSink
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one pipeline execution.
+
+    ``original``/``released`` are ``None`` when a chunked run is asked
+    not to materialize the streams (bounded-memory mode); the per-query
+    answers and the metrics sink are always populated.
+    """
+
+    answers: Dict[str, np.ndarray]
+    true_answers: Dict[str, np.ndarray]
+    original: Optional[IndicatorStream] = None
+    released: Optional[IndicatorStream] = None
+    sink: MetricsSink = field(default_factory=MetricsSink)
+
+    @property
+    def n_windows(self) -> int:
+        if self.original is not None:
+            return self.original.n_windows
+        for vector in self.true_answers.values():
+            return int(vector.shape[0])
+        return 0
+
+    def quality(self, alpha: Optional[float] = None):
+        """Micro-averaged released-versus-truth quality ``Q``."""
+        return self.sink.quality(alpha)
+
+    def mre(self, q_ordinary: float = 1.0, alpha: Optional[float] = None):
+        """``MRE_Q`` of this run against the ordinary quality."""
+        return self.sink.mre(q_ordinary, alpha)
+
+
+class BatchExecutor:
+    """Vectorized whole-stream execution."""
+
+    def run(
+        self,
+        pipeline,
+        indicators: IndicatorStream,
+        *,
+        rng: RngLike = None,
+    ) -> PipelineResult:
+        released = pipeline.runtime_mechanism.perturb_batch(
+            indicators, rng=rng
+        )
+        answers = pipeline.matcher.answer(released.matrix_view())
+        true_answers = pipeline.matcher.answer(indicators.matrix_view())
+        sink = MetricsSink(alpha=pipeline.alpha)
+        sink.update(true_answers, answers)
+        return PipelineResult(
+            answers=answers,
+            true_answers=true_answers,
+            original=indicators,
+            released=released,
+            sink=sink,
+        )
+
+
+class ChunkedExecutor:
+    """Bounded-memory execution in window chunks.
+
+    Parameters
+    ----------
+    chunk_size:
+        Windows processed per step.
+    materialize:
+        Keep the original/released indicator streams on the result.
+        ``False`` keeps memory proportional to ``chunk_size`` (the
+        per-query answer vectors still accumulate — they are one bool
+        per window per query).
+    """
+
+    def __init__(self, chunk_size: int = 256, *, materialize: bool = True):
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self.materialize = materialize
+
+    def run(
+        self,
+        pipeline,
+        indicators: IndicatorStream,
+        *,
+        rng: RngLike = None,
+    ) -> PipelineResult:
+        matrix = indicators.matrix_view()
+        return self._run_chunks(
+            pipeline,
+            (
+                matrix[start : start + self.chunk_size]
+                for start in range(0, matrix.shape[0], self.chunk_size)
+            ),
+            horizon=matrix.shape[0],
+            alphabet=indicators.alphabet,
+            rng=rng,
+        )
+
+    def run_type_sets(
+        self,
+        pipeline,
+        type_sets,
+        *,
+        rng: RngLike = None,
+        horizon: Optional[int] = None,
+    ) -> PipelineResult:
+        """Execute over an iterable of per-window event-type sets.
+
+        The extraction stage runs per chunk, so an unbounded source
+        never materializes beyond ``chunk_size`` windows (with
+        ``materialize=False``).
+        """
+        extractor = pipeline.extractor
+
+        def chunks():
+            buffer = []
+            for window in type_sets:
+                buffer.append(window)
+                if len(buffer) == self.chunk_size:
+                    yield extractor.extract_matrix(buffer)
+                    buffer.clear()
+            if buffer:
+                yield extractor.extract_matrix(buffer)
+
+        return self._run_chunks(
+            pipeline,
+            chunks(),
+            horizon=horizon,
+            alphabet=pipeline.alphabet,
+            rng=rng,
+        )
+
+    def _run_chunks(
+        self, pipeline, chunks, *, horizon, alphabet, rng
+    ) -> PipelineResult:
+        stepper = pipeline.runtime_mechanism.stepper(
+            alphabet, rng=rng, horizon=horizon
+        )
+        matcher = pipeline.matcher
+        sink = MetricsSink(alpha=pipeline.alpha)
+        answer_parts: Dict[str, list] = {
+            name: [] for name in matcher.query_names
+        }
+        truth_parts: Dict[str, list] = {
+            name: [] for name in matcher.query_names
+        }
+        original_parts = []
+        released_parts = []
+        for chunk in chunks:
+            released = stepper.step_block(chunk)
+            chunk_answers = matcher.answer(released)
+            chunk_truth = matcher.answer(chunk)
+            sink.update(chunk_truth, chunk_answers)
+            for name in matcher.query_names:
+                answer_parts[name].append(chunk_answers[name])
+                truth_parts[name].append(chunk_truth[name])
+            if self.materialize:
+                original_parts.append(chunk)
+                released_parts.append(released)
+
+        def join(parts):
+            if not parts:
+                return np.zeros(0, dtype=bool)
+            return np.concatenate(parts)
+
+        answers = {name: join(parts) for name, parts in answer_parts.items()}
+        true_answers = {
+            name: join(parts) for name, parts in truth_parts.items()
+        }
+        original = released_stream = None
+        if self.materialize:
+            width = len(alphabet)
+            original = IndicatorStream(
+                alphabet,
+                np.concatenate(original_parts)
+                if original_parts
+                else np.zeros((0, width), dtype=bool),
+            )
+            released_stream = IndicatorStream(
+                alphabet,
+                np.concatenate(released_parts)
+                if released_parts
+                else np.zeros((0, width), dtype=bool),
+            )
+        return PipelineResult(
+            answers=answers,
+            true_answers=true_answers,
+            original=original,
+            released=released_stream,
+            sink=sink,
+        )

@@ -1,0 +1,260 @@
+"""Vectorized derivation of per-index child generators.
+
+The sequential mechanisms (BD/BA, landmark) and the chunked executor
+derive one child generator per window:
+``derive_rng(rng, *tokens, index)`` for ``index = 0, 1, 2, ...``.  Done
+naively that derivation dominates their runtime — every call pays for a
+``numpy.random.SeedSequence`` construction and a fresh ``Generator``
+(~25 µs each, across 10⁵ windows per Fig. 4 sweep).
+
+:class:`IndexedRngPool` produces *bit-identical* child streams at a
+fraction of the cost by
+
+1. drawing the per-index parent entropy words in one vectorized
+   ``integers`` call (PCG64 produces the same stream whether bounded
+   integers are drawn one at a time or as a block);
+2. re-implementing ``SeedSequence``'s entropy-mixing hash over uint32
+   *arrays*, computing the PCG64 seed material for every index at once;
+3. replaying PCG64's seeding arithmetic (128-bit LCG initialisation)
+   and installing the resulting state on a single reused bit generator
+   instead of constructing a new ``Generator`` per index.
+
+Equality with ``derive_rng`` is pinned by tests
+(``tests/test_runtime_rng_pool.py``) across token shapes and index
+ranges; any numpy change to ``SeedSequence`` hashing would surface
+there.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng, fold_token
+
+# SeedSequence hashing constants (numpy/random/bit_generator.pyx).
+_POOL_SIZE = 4
+_INIT_A = 0x43B0D7E5
+_MULT_A = 0x931E8875
+_INIT_B = 0x8B51F9DD
+_MULT_B = 0x58F38DED
+_MIX_MULT_L = 0xCA01F9DD
+_MIX_MULT_R = 0x4973F715
+_XSHIFT = np.uint32(16)
+_MASK32 = 0xFFFFFFFF
+
+# PCG64 seeding constants (pcg_setseq_128_srandom_r).
+_PCG_MULT = 0x2360ED051FC65DA44385DF649FCCF645
+_MASK128 = (1 << 128) - 1
+
+_WORD_BOUND = 2**63 - 1  # derive_rng's parent-entropy draw bound
+
+
+def _int_words32(value: int) -> List[int]:
+    """An integer's uint32 words, as SeedSequence coerces entropy."""
+    if value < 0:
+        raise ValueError(f"entropy words must be non-negative, got {value}")
+    if value == 0:
+        return [0]
+    words = []
+    while value > 0:
+        words.append(value & _MASK32)
+        value >>= 32
+    return words
+
+
+def _hashmix(values: np.ndarray, const: int) -> Tuple[np.ndarray, int]:
+    """One SeedSequence ``hashmix`` round over a column of values."""
+    values = values ^ np.uint32(const)
+    const = (const * _MULT_A) & _MASK32
+    values = values * np.uint32(const)
+    values = values ^ (values >> _XSHIFT)
+    return values, const
+
+
+def _mix(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """SeedSequence's ``mix`` of a pool word with a hashed word.
+
+    Note the *subtraction* — numpy's variant of the seed_seq_fe mixer
+    combines the multiplied halves with ``-``, not xor.
+    """
+    result = x * np.uint32(_MIX_MULT_L) - y * np.uint32(_MIX_MULT_R)
+    result = result ^ (result >> _XSHIFT)
+    return result
+
+
+def seed_material_from_entropy(entropy: np.ndarray) -> np.ndarray:
+    """``SeedSequence(row).generate_state(4, uint64)`` for every row.
+
+    ``entropy`` is an ``(n, length)`` uint32 array whose rows are the
+    coerced entropy words of each child.  Returns an ``(n, 4)`` uint64
+    array of PCG64 seed words.  All rows must share one entropy length —
+    the hash-constant schedule depends on it.
+    """
+    entropy = np.ascontiguousarray(entropy, dtype=np.uint32)
+    n_rows, length = entropy.shape
+    const = _INIT_A
+    pool: List[np.ndarray] = []
+    for position in range(_POOL_SIZE):
+        if position < length:
+            column = entropy[:, position]
+        else:
+            column = np.zeros(n_rows, dtype=np.uint32)
+        hashed, const = _hashmix(column, const)
+        pool.append(hashed)
+    for i_src in range(_POOL_SIZE):
+        for i_dst in range(_POOL_SIZE):
+            if i_src != i_dst:
+                hashed, const = _hashmix(pool[i_src], const)
+                pool[i_dst] = _mix(pool[i_dst], hashed)
+    for i_src in range(_POOL_SIZE, length):
+        for i_dst in range(_POOL_SIZE):
+            hashed, const = _hashmix(entropy[:, i_src], const)
+            pool[i_dst] = _mix(pool[i_dst], hashed)
+
+    const = _INIT_B
+    state32: List[np.ndarray] = []
+    for position in range(2 * _POOL_SIZE):
+        data = pool[position % _POOL_SIZE] ^ np.uint32(const)
+        const = (const * _MULT_B) & _MASK32
+        data = data * np.uint32(const)
+        data = data ^ (data >> _XSHIFT)
+        state32.append(data)
+    words64 = np.empty((n_rows, _POOL_SIZE), dtype=np.uint64)
+    for pair in range(_POOL_SIZE):
+        low = state32[2 * pair].astype(np.uint64)
+        high = state32[2 * pair + 1].astype(np.uint64)
+        words64[:, pair] = low | (high << np.uint64(32))
+    return words64
+
+
+def pcg64_state_from_words(words: Sequence[int]) -> Tuple[int, int]:
+    """PCG64's (state, inc) after seeding from 4 uint64 seed words.
+
+    Replays ``pcg_setseq_128_srandom``: ``inc = (initseq << 1) | 1``,
+    then two LCG steps folding in ``initstate``.
+    """
+    initstate = (int(words[0]) << 64) | int(words[1])
+    initseq = (int(words[2]) << 64) | int(words[3])
+    inc = ((initseq << 1) | 1) & _MASK128
+    state = ((inc + initstate) * _PCG_MULT + inc) & _MASK128
+    return state, inc
+
+
+class IndexedRngPool:
+    """Children of ``derive_rng(rng, *tokens, index)`` for ``index = 0..``.
+
+    Parameters
+    ----------
+    rng:
+        The parent seed/generator, exactly as ``derive_rng`` takes it.
+    tokens:
+        The fixed token prefix; the running index is appended as the
+        final token.
+    count:
+        When the number of children is known up front, pass it: the
+        parent entropy is drawn in one block of exactly ``count`` words,
+        leaving the parent generator in the same state as ``count``
+        sequential ``derive_rng`` calls would.  Without it, entropy is
+        prefetched in blocks of ``block`` (the children are still
+        bit-identical, but the parent runs ahead of the index actually
+        consumed — callers that hand the pool a *shared* generator and
+        keep drawing from it should pass ``count``).
+    block:
+        Prefetch block size for the unknown-length mode.
+
+    ``generator(index)`` returns a shared :class:`numpy.random.Generator`
+    whose state is the derived child's initial state.  The object is
+    reused: draw from it before requesting the next index, and do not
+    hold references across calls.
+    """
+
+    def __init__(
+        self,
+        rng: RngLike,
+        *tokens: Union[int, str],
+        count: int = None,
+        block: int = 512,
+    ):
+        if count is not None and count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if block <= 0:
+            raise ValueError(f"block must be positive, got {block}")
+        if isinstance(rng, np.random.Generator):
+            # A shared generator advances one word per derivation.
+            self._parent = rng
+            self._fixed_word: Optional[int] = None
+        else:
+            # derive_rng re-seeds a fresh parent from an int/None seed on
+            # every call, so each index sees the same first entropy word.
+            self._parent = None
+            self._fixed_word = int(
+                ensure_rng(rng).integers(0, _WORD_BOUND)
+            )
+        self._token_ints = [fold_token(token) for token in tokens]
+        self._token_words = [
+            word for value in self._token_ints for word in _int_words32(value)
+        ]
+        self._block = block
+        self._states: List[Tuple[int, int]] = []
+        self._bit_generator = np.random.PCG64()
+        self._generator = np.random.Generator(self._bit_generator)
+        if count:
+            self._extend(count)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def generator(self, index: int) -> np.random.Generator:
+        """The child generator for ``index`` (a reused, re-seeded object)."""
+        if index < 0:
+            raise IndexError(f"index must be non-negative, got {index}")
+        while index >= len(self._states):
+            self._extend(self._block)
+        state, inc = self._states[index]
+        self._bit_generator.state = {
+            "bit_generator": "PCG64",
+            "state": {"state": state, "inc": inc},
+            "has_uint32": 0,
+            "uinteger": 0,
+        }
+        return self._generator
+
+    # -- derivation ----------------------------------------------------
+
+    def _extend(self, n_new: int) -> None:
+        start = len(self._states)
+        if self._parent is not None:
+            words = self._parent.integers(0, _WORD_BOUND, size=n_new)
+        else:
+            words = np.full(n_new, self._fixed_word, dtype=np.int64)
+        indices = np.arange(start, start + n_new, dtype=np.int64)
+        # The vectorized hash needs one shared entropy length.  Parent
+        # words below 2**32 coerce to a single uint32 word (probability
+        # ~2**-31 per child) and indices can in principle exceed 2**32;
+        # those rare rows take the scalar SeedSequence path instead.
+        narrow = (words < 2**32) | (indices >= 2**32)
+        wide = ~narrow
+        length = 2 + len(self._token_words) + 1
+        entropy = np.empty((int(wide.sum()), length), dtype=np.uint32)
+        wide_words = words[wide].astype(np.uint64)
+        entropy[:, 0] = (wide_words & _MASK32).astype(np.uint32)
+        entropy[:, 1] = (wide_words >> np.uint64(32)).astype(np.uint32)
+        for position, token_word in enumerate(self._token_words):
+            entropy[:, 2 + position] = np.uint32(token_word)
+        entropy[:, -1] = indices[wide].astype(np.uint32)
+
+        states: List[Tuple[int, int]] = [None] * n_new
+        if entropy.shape[0]:
+            material = seed_material_from_entropy(entropy)
+            for row, offset in enumerate(np.nonzero(wide)[0]):
+                states[int(offset)] = pcg64_state_from_words(material[row])
+        for offset in np.nonzero(narrow)[0]:
+            sequence = np.random.SeedSequence(
+                [int(words[offset]), *self._token_ints, int(indices[offset])]
+            )
+            states[int(offset)] = pcg64_state_from_words(
+                sequence.generate_state(4, np.uint64)
+            )
+        self._states.extend(states)

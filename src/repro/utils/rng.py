@@ -41,6 +41,17 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     )
 
 
+def fold_token(token: Union[int, str]) -> int:
+    """One derivation token as the 63-bit entropy word ``derive_rng`` uses."""
+    if isinstance(token, str):
+        return _fold_string(token)
+    if isinstance(token, (int, np.integer)):
+        return int(token) & (2**63 - 1)
+    raise TypeError(
+        f"rng tokens must be int or str, got {type(token).__name__}"
+    )
+
+
 def derive_rng(rng: RngLike, *tokens: Union[int, str]) -> np.random.Generator:
     """Derive an independent child generator, keyed by ``tokens``.
 
@@ -48,20 +59,18 @@ def derive_rng(rng: RngLike, *tokens: Union[int, str]) -> np.random.Generator:
     produce the same child stream.  Tokens let call sites label their
     sub-streams (for example ``derive_rng(seed, "taxi", taxi_id)``) so that
     streams stay stable when unrelated consumers are added or removed.
+
+    When one call site needs children for a whole *range* of trailing
+    integer tokens (one per window), use
+    :class:`repro.runtime.rng_pool.IndexedRngPool` — it derives the same
+    child streams vectorized.
     """
     parent = ensure_rng(rng)
     # Hash the tokens into 64-bit words; fold in entropy drawn from the
     # parent so distinct parents give distinct children.
     words = [int(parent.integers(0, 2**63 - 1))]
     for token in tokens:
-        if isinstance(token, str):
-            words.append(_fold_string(token))
-        elif isinstance(token, (int, np.integer)):
-            words.append(int(token) & (2**63 - 1))
-        else:
-            raise TypeError(
-                f"rng tokens must be int or str, got {type(token).__name__}"
-            )
+        words.append(fold_token(token))
     return np.random.default_rng(np.random.SeedSequence(words))
 
 
@@ -74,13 +83,21 @@ def spawn_rngs(rng: RngLike, count: int) -> List[np.random.Generator]:
     return [np.random.default_rng(child) for child in seed_seq.spawn(count)]
 
 
+_FOLD_CACHE: dict = {}
+
+
 def _fold_string(text: str) -> int:
-    """Fold a string into a stable 63-bit integer (FNV-1a)."""
+    """Fold a string into a stable 63-bit integer (FNV-1a, memoized)."""
+    cached = _FOLD_CACHE.get(text)
+    if cached is not None:
+        return cached
     acc = 0xCBF29CE484222325
     for byte in text.encode("utf-8"):
         acc ^= byte
         acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
-    return acc & (2**63 - 1)
+    folded = acc & (2**63 - 1)
+    _FOLD_CACHE[text] = folded
+    return folded
 
 
 def bernoulli(rng: np.random.Generator, probability: float) -> bool:

@@ -1,0 +1,118 @@
+"""Property-based parity of the batch and chunked executors.
+
+The chunked executor exists for bounded-memory deployment, not for
+different numbers: under the same seed it must reproduce the batch
+executor bit for bit — identical original/released indicator streams,
+identical per-query matches, identical quality metrics — whatever the
+mechanism, pattern shapes, stream size or chunk size.  Hypothesis
+drives all of those dimensions at once.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.budget_absorption import BudgetAbsorption
+from repro.baselines.budget_distribution import BudgetDistribution
+from repro.baselines.event_level import EventLevelRR
+from repro.baselines.landmark import LandmarkPrivacy
+from repro.cep.patterns import Pattern
+from repro.cep.queries import ContinuousQuery
+from repro.core.ppm import MultiPatternPPM
+from repro.core.uniform import UniformPatternPPM
+from repro.runtime import BatchExecutor, ChunkedExecutor, StreamPipeline
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+
+N_TYPES = 6
+ALPHABET = EventAlphabet.numbered(N_TYPES)
+
+
+@st.composite
+def pipelines_and_streams(draw):
+    n_windows = draw(st.integers(min_value=1, max_value=120))
+    density = draw(st.floats(min_value=0.05, max_value=0.9))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    stream = IndicatorStream(
+        ALPHABET, rng.random((n_windows, N_TYPES)) < density
+    )
+
+    def pattern(name):
+        length = draw(st.integers(min_value=1, max_value=3))
+        types = draw(
+            st.lists(
+                st.sampled_from(ALPHABET.types),
+                min_size=length,
+                max_size=length,
+                unique=True,
+            )
+        )
+        return Pattern.of_types(name, *types)
+
+    private = pattern("private")
+    targets = [pattern(f"t{i}") for i in range(draw(st.integers(1, 3)))]
+    kind = draw(
+        st.sampled_from(["uniform", "multi", "bd", "ba", "event", "landmark"])
+    )
+    epsilon = draw(st.floats(min_value=0.2, max_value=8.0))
+    if kind == "uniform":
+        mechanism = UniformPatternPPM(private, epsilon)
+    elif kind == "multi":
+        mechanism = MultiPatternPPM(
+            [
+                UniformPatternPPM(private, epsilon),
+                UniformPatternPPM(pattern("other"), epsilon / 2),
+            ]
+        )
+    elif kind == "bd":
+        mechanism = BudgetDistribution(epsilon, w=draw(st.integers(1, 12)))
+    elif kind == "ba":
+        mechanism = BudgetAbsorption(epsilon, w=draw(st.integers(1, 12)))
+    elif kind == "event":
+        mechanism = EventLevelRR(epsilon)
+    else:
+        mask = rng.random(n_windows) < 0.3
+        mechanism = LandmarkPrivacy(epsilon, landmarks=mask)
+    queries = [
+        ContinuousQuery(pattern.name, pattern) for pattern in targets
+    ]
+    chunk_size = draw(st.integers(min_value=1, max_value=n_windows + 8))
+    run_seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return (
+        StreamPipeline(ALPHABET, queries=queries, mechanism=mechanism),
+        stream,
+        chunk_size,
+        run_seed,
+    )
+
+
+class TestExecutorParity:
+    @settings(max_examples=60, deadline=None)
+    @given(pipelines_and_streams())
+    def test_chunked_equals_batch(self, case):
+        pipeline, stream, chunk_size, run_seed = case
+        batch = BatchExecutor().run(pipeline, stream, rng=run_seed)
+        chunked = ChunkedExecutor(chunk_size).run(
+            pipeline, stream, rng=run_seed
+        )
+        assert chunked.original == batch.original
+        assert chunked.released == batch.released
+        assert set(chunked.answers) == set(batch.answers)
+        for name, detections in batch.answers.items():
+            assert np.array_equal(chunked.answers[name], detections)
+            assert np.array_equal(
+                chunked.true_answers[name], batch.true_answers[name]
+            )
+        assert chunked.quality() == batch.quality()
+        assert chunked.mre() == pytest.approx(batch.mre())
+
+    @settings(max_examples=20, deadline=None)
+    @given(pipelines_and_streams())
+    def test_chunked_is_deterministic(self, case):
+        pipeline, stream, chunk_size, run_seed = case
+        first = ChunkedExecutor(chunk_size).run(pipeline, stream, rng=run_seed)
+        second = ChunkedExecutor(chunk_size).run(
+            pipeline, stream, rng=run_seed
+        )
+        assert first.released == second.released

@@ -184,3 +184,35 @@ class TestFastPath:
         assert isinstance(
             compile_expr(OR(AND("a", "b"), "c")), DisjAutomaton
         )
+
+
+class TestTypePureFastPath:
+    def test_annotated_composite_predicate_uses_general_path(self):
+        # A predicate may carry event_type= purely as an annotation for
+        # pattern analyses while testing more than the type; the
+        # table-driven fast path must not bypass its test.
+        from repro.cep.matcher import PatternMatcher
+        from repro.cep.patterns import Atom, Pattern
+        from repro.cep.predicates import EventPredicate
+        from repro.streams.events import Event
+        from repro.streams.stream import EventStream
+
+        predicate = EventPredicate(
+            lambda e: e.event_type == "A" and (e.attribute("x") or 0) > 0,
+            name="A(x>0)",
+            event_type="A",
+        )
+        pattern = Pattern("q", Atom(predicate))
+        rejected = EventStream([Event("A", 1.0, attributes={"x": -5})])
+        assert len(PatternMatcher(pattern).match_stream(rejected)) == 0
+        accepted = EventStream([Event("A", 1.0, attributes={"x": 5})])
+        assert len(PatternMatcher(pattern).match_stream(accepted)) == 1
+
+    def test_of_type_predicates_enable_tables(self):
+        from repro.cep.nfa import compile_to_nfa
+        from repro.cep.patterns import Pattern
+
+        nfa = compile_to_nfa(Pattern.of_types("p", "a", "b").expr)
+        assert nfa.type_pure
+        (initial,) = nfa.initials()
+        assert "a" in nfa.successors_by_type(initial)

@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.mechanisms",
     "repro.metrics",
+    "repro.runtime",
     "repro.streams",
     "repro.utils",
 ]

@@ -1,0 +1,307 @@
+"""Tests for the runtime pipeline stages, adapters and executors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.budget_distribution import BudgetDistribution
+from repro.baselines.event_level import EventLevelRR
+from repro.baselines.landmark import LandmarkPrivacy
+from repro.baselines.user_level import UserLevelRR
+from repro.cep.patterns import Pattern
+from repro.cep.queries import ContinuousQuery
+from repro.core.ppm import MultiPatternPPM
+from repro.core.uniform import UniformPatternPPM
+from repro.runtime import (
+    BatchExecutor,
+    ChunkedExecutor,
+    IndicatorExtractor,
+    MetricsSink,
+    QueryMatcher,
+    StreamPipeline,
+    WindowStage,
+    runtime_mechanism,
+)
+from repro.streams.events import Event
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+from repro.streams.stream import EventStream
+from repro.streams.windows import SessionWindows, TumblingWindows
+
+
+@pytest.fixture
+def queries(target_pattern):
+    return [ContinuousQuery("q", target_pattern)]
+
+
+class TestIndicatorExtractor:
+    def test_matches_from_window_sets(self, alphabet6):
+        windows = [
+            {"e1", "e3"},
+            set(),
+            {"e2"},
+            {"e1", "e2", "e3", "e6"},
+        ]
+        extractor = IndicatorExtractor(alphabet6)
+        reference = IndicatorStream.from_window_sets(
+            alphabet6, windows, strict=False
+        )
+        assert extractor.extract(windows) == reference
+
+    def test_strict_rejects_unknown_types(self, alphabet6):
+        extractor = IndicatorExtractor(alphabet6, strict=True)
+        with pytest.raises(KeyError):
+            extractor.extract([{"e1"}, {"nope"}])
+
+    def test_lenient_ignores_unknown_types(self, alphabet6):
+        extractor = IndicatorExtractor(alphabet6)
+        stream = extractor.extract([{"e1", "nope"}])
+        assert stream.window_types(0) == {"e1"}
+
+    def test_empty_input(self, alphabet6):
+        assert IndicatorExtractor(alphabet6).extract([]).n_windows == 0
+
+
+class TestWindowStage:
+    def _events(self, spec):
+        return EventStream([Event(name, ts) for name, ts in spec])
+
+    @pytest.mark.parametrize("emit_empty", [False, True])
+    def test_tumbling_fast_path_matches_assign(self, emit_empty):
+        stream = self._events(
+            [("a", 0.0), ("b", 0.4), ("a", 2.5), ("c", 7.9), ("b", 8.0)]
+        )
+        assigner = TumblingWindows(1.0, emit_empty=emit_empty)
+        stage = WindowStage(assigner)
+        reference = [
+            window.event_types() for window in assigner.assign(stream)
+        ]
+        assert stage.type_sets(stream) == reference
+
+    def test_tumbling_origin_violation(self):
+        stream = self._events([("a", 1.0)])
+        stage = WindowStage(TumblingWindows(1.0, origin=5.0))
+        with pytest.raises(ValueError):
+            stage.type_sets(stream)
+
+    def test_general_assigner_falls_back(self):
+        stream = self._events([("a", 0.0), ("b", 0.5), ("c", 10.0)])
+        assigner = SessionWindows(gap=2.0)
+        stage = WindowStage(assigner)
+        reference = [
+            window.event_types() for window in assigner.assign(stream)
+        ]
+        assert stage.type_sets(stream) == reference
+
+    def test_rejects_non_assigner(self):
+        with pytest.raises(TypeError):
+            WindowStage(object())
+
+
+class TestQueryMatcher:
+    def test_answers_match_detect_all(self, alphabet6, stream200, queries):
+        matcher = QueryMatcher(alphabet6, queries)
+        answers = matcher.answer(stream200.matrix_view())
+        expected = stream200.detect_all(["e2", "e3", "e4"])
+        assert np.array_equal(answers["q"], expected)
+
+    def test_rejects_non_sequential_pattern(self, alphabet6):
+        from repro.cep.patterns import OR
+
+        pattern = Pattern("or", OR("e1", "e2"))
+        with pytest.raises(ValueError, match="non-sequential"):
+            QueryMatcher(alphabet6, [ContinuousQuery("q", pattern)])
+
+
+class TestMetricsSink:
+    def test_micro_average_and_mre(self):
+        sink = MetricsSink(alpha=0.5)
+        truth = {"a": np.array([1, 0, 1, 1], bool)}
+        released = {"a": np.array([1, 1, 0, 1], bool)}
+        sink.update(truth, released)
+        quality = sink.quality()
+        assert quality.precision == pytest.approx(2 / 3)
+        assert quality.recall == pytest.approx(2 / 3)
+        assert sink.mre(1.0) == pytest.approx(1 - quality.q)
+
+
+class TestAdapters:
+    def test_identity(self, alphabet6, stream200):
+        adapter = runtime_mechanism(None)
+        assert adapter.perturb_batch(stream200) is stream200
+        stepper = adapter.stepper(alphabet6)
+        matrix = stream200.matrix_view()
+        assert np.array_equal(stepper.step_block(matrix), matrix)
+
+    def test_batch_only_mechanism_rejected_for_stepping(self, alphabet6):
+        class Opaque:
+            def perturb(self, stream, rng=None):
+                return stream
+
+        adapter = runtime_mechanism(Opaque())
+        with pytest.raises(TypeError):
+            adapter.stepper(alphabet6)
+
+    def test_missing_perturb_rejected(self):
+        with pytest.raises(TypeError):
+            runtime_mechanism(object())
+
+    def test_user_level_needs_horizon(self, alphabet6):
+        adapter = runtime_mechanism(UserLevelRR(1.0))
+        with pytest.raises(TypeError):
+            adapter.stepper(alphabet6, rng=0, horizon=None)
+        stepper = adapter.stepper(alphabet6, rng=0, horizon=10)
+        assert stepper is not None
+
+    def test_flip_stepper_rejects_foreign_elements(self, stream200):
+        small = EventAlphabet(["e1", "e2"])
+        ppm = UniformPatternPPM(Pattern.of_types("p", "e1", "e3"), 2.0)
+        adapter = runtime_mechanism(ppm)
+        with pytest.raises(ValueError):
+            adapter.stepper(small, rng=0)
+
+
+MECHANISMS = {
+    "uniform": lambda: UniformPatternPPM(
+        Pattern.of_types("p", "e1", "e2", "e3"), 2.0
+    ),
+    "multi": lambda: MultiPatternPPM(
+        [
+            UniformPatternPPM(Pattern.of_types("p", "e1", "e2"), 2.0),
+            UniformPatternPPM(Pattern.of_types("r", "e2", "e5"), 1.0),
+        ]
+    ),
+    "event-level": lambda: EventLevelRR(1.0),
+    "user-level": lambda: UserLevelRR(2.0),
+    "bd": lambda: BudgetDistribution(1.0, w=10),
+}
+
+
+class TestChunkedMatchesBatch:
+    @pytest.mark.parametrize("kind", sorted(MECHANISMS))
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64, 1000])
+    def test_bit_identity(
+        self, kind, chunk_size, alphabet6, stream200, queries
+    ):
+        pipeline = StreamPipeline(
+            alphabet6, queries=queries, mechanism=MECHANISMS[kind]()
+        )
+        batch = BatchExecutor().run(pipeline, stream200, rng=42)
+        chunked = ChunkedExecutor(chunk_size).run(pipeline, stream200, rng=42)
+        assert chunked.released == batch.released
+        assert chunked.original == batch.original
+        for name in batch.answers:
+            assert np.array_equal(chunked.answers[name], batch.answers[name])
+            assert np.array_equal(
+                chunked.true_answers[name], batch.true_answers[name]
+            )
+        assert chunked.quality() == batch.quality()
+
+    def test_landmark_bit_identity(self, alphabet6, stream200, queries):
+        mask = stream200.column("e1")
+        pipeline = StreamPipeline(
+            alphabet6,
+            queries=queries,
+            mechanism=LandmarkPrivacy(1.0, landmarks=mask),
+        )
+        batch = BatchExecutor().run(pipeline, stream200, rng=9)
+        chunked = ChunkedExecutor(13).run(pipeline, stream200, rng=9)
+        assert chunked.released == batch.released
+
+    def test_unmaterialized_keeps_metrics(self, alphabet6, stream200, queries):
+        pipeline = StreamPipeline(
+            alphabet6, queries=queries, mechanism=MECHANISMS["uniform"]()
+        )
+        batch = BatchExecutor().run(pipeline, stream200, rng=1)
+        chunked = ChunkedExecutor(32, materialize=False).run(
+            pipeline, stream200, rng=1
+        )
+        assert chunked.released is None and chunked.original is None
+        assert chunked.quality() == batch.quality()
+        assert chunked.n_windows == stream200.n_windows
+
+
+class TestPipelineSources:
+    def test_run_from_events_matches_engine(
+        self, alphabet6, queries, target_pattern
+    ):
+        events = EventStream(
+            [
+                Event("e2", 0.1),
+                Event("e3", 0.2),
+                Event("e4", 0.3),
+                Event("e2", 1.5),
+                Event("e9", 1.6),
+            ]
+        )
+        pipeline = StreamPipeline(
+            alphabet6, queries=queries, windower=TumblingWindows(1.0)
+        )
+        result = pipeline.run(events)
+        reference = IndicatorStream.from_event_windows(
+            alphabet6, TumblingWindows(1.0).assign(events), strict=False
+        )
+        assert result.original == reference
+        assert list(result.answers["q"]) == [True, False]
+
+    def test_run_from_window_objects(self, alphabet6, queries):
+        events = EventStream([Event("e2", 0.0), Event("e3", 0.1)])
+        windows = TumblingWindows(1.0).assign(events)
+        pipeline = StreamPipeline(alphabet6, queries=queries)
+        result = pipeline.run(windows)
+        assert result.original.window_types(0) == {"e2", "e3"}
+
+    def test_run_from_type_sets_chunked(self, alphabet6, queries):
+        type_sets = [{"e2", "e3", "e4"}, {"e1"}, {"e2", "e3", "e4"}]
+        pipeline = StreamPipeline(alphabet6, queries=queries)
+        result = pipeline.run(type_sets, executor=ChunkedExecutor(2))
+        assert list(result.answers["q"]) == [True, False, True]
+
+    def test_events_without_windower_rejected(self, alphabet6, queries):
+        pipeline = StreamPipeline(alphabet6, queries=queries)
+        with pytest.raises(ValueError, match="windower"):
+            pipeline.run(EventStream([Event("e1", 0.0)]))
+
+    def test_with_mechanism_shares_stages(self, alphabet6, queries):
+        pipeline = StreamPipeline(alphabet6, queries=queries)
+        clone = pipeline.with_mechanism(MECHANISMS["uniform"]())
+        assert clone.matcher is pipeline.matcher
+        assert clone.extractor is pipeline.extractor
+        assert clone.mechanism is not None and pipeline.mechanism is None
+
+
+class TestSequentialTraceBookkeeping:
+    def test_chunked_run_populates_last_trace(
+        self, alphabet6, stream200, queries
+    ):
+        from repro.cep.engine import CEPEngine
+
+        engine = CEPEngine(alphabet6)
+        engine.register_query(queries[0])
+        mechanism = BudgetDistribution(1.0, w=5)
+        engine.attach_mechanism(mechanism)
+        engine.process_indicators(
+            stream200, rng=3, executor=ChunkedExecutor(17)
+        )
+        assert mechanism.last_trace is not None
+        assert len(mechanism.last_trace.published) == stream200.n_windows
+
+
+class TestEngineExecutorPlumbing:
+    def test_engine_accepts_chunked_executor(
+        self, alphabet6, stream200, private_pattern, target_pattern
+    ):
+        from repro.cep.engine import CEPEngine
+
+        engine = CEPEngine(alphabet6)
+        engine.register_private_pattern(private_pattern)
+        engine.register_query(ContinuousQuery("q", target_pattern))
+        engine.attach_mechanism(
+            UniformPatternPPM(private_pattern, 2.0)
+        )
+        batch = engine.process_indicators(stream200, rng=5)
+        chunked = engine.process_indicators(
+            stream200, rng=5, executor=ChunkedExecutor(17)
+        )
+        assert list(batch.answers["q"].detections) == list(
+            chunked.answers["q"].detections
+        )
+        assert batch.perturbed == chunked.perturbed
