@@ -1,0 +1,60 @@
+"""Enforce the benchmark regression gates recorded in BENCH_*.json.
+
+Every performance benchmark writes a machine-readable summary through
+:func:`benchmarks.conftest.emit_json`; entries under ``"gates"`` carry
+a pinned floor and the measured value.  This script — the CI bench
+job's last step, equally runnable locally — fails when any measured
+value regresses below its floor, so speedups once achieved cannot be
+silently lost.
+
+Usage: ``python benchmarks/check_gates.py [results_dir]``
+"""
+
+import json
+import os
+import sys
+
+
+def check(results_dir):
+    summaries = sorted(
+        name
+        for name in os.listdir(results_dir)
+        if name.startswith("BENCH_") and name.endswith(".json")
+    )
+    if not summaries:
+        print(f"no BENCH_*.json summaries under {results_dir}", file=sys.stderr)
+        return 1
+    failures = []
+    for filename in summaries:
+        with open(os.path.join(results_dir, filename)) as handle:
+            payload = json.load(handle)
+        gates = payload.get("gates", {})
+        if not gates:
+            print(f"{filename}: no gates (metrics recorded only)")
+            continue
+        for gate, spec in sorted(gates.items()):
+            floor = float(spec["floor"])
+            value = float(spec["value"])
+            verdict = "ok" if value >= floor else "REGRESSION"
+            print(
+                f"{filename}: {gate} = {value:.2f} (floor {floor:.2f}) "
+                f"{verdict}"
+            )
+            if value < floor:
+                failures.append((filename, gate, value, floor))
+    if failures:
+        for filename, gate, value, floor in failures:
+            print(
+                f"FAIL {filename}:{gate}: {value:.2f} < floor {floor:.2f}",
+                file=sys.stderr,
+            )
+        return 1
+    print("all benchmark gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    directory = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        os.path.dirname(__file__), "results"
+    )
+    sys.exit(check(directory))

@@ -6,9 +6,17 @@ under ``benchmarks/results/`` and asserts the expected qualitative
 shape.  Benchmarks run their workload exactly once
 (``benchmark.pedantic(rounds=1)``) — the interesting output is the
 table, the timing is a bonus.
+
+Performance benchmarks additionally persist a machine-readable summary
+— ``benchmarks/results/BENCH_<name>.json`` via :func:`emit_json` — so
+local runs and the CI bench job produce the same artifact and the CI
+regression gate can enforce speedup floors without parsing test
+output.
 """
 
+import json
 import os
+import platform
 
 import pytest
 
@@ -43,3 +51,37 @@ def emit(table, results_dir, name):
     path = os.path.join(results_dir, f"{name}.csv")
     table.write_csv(path)
     print(f"[saved {path}]")
+
+
+#: Schema version of the ``BENCH_*.json`` summaries; bump on breaking
+#: layout changes so the CI gate can detect stale artifacts.
+BENCH_JSON_SCHEMA = 1
+
+
+def emit_json(results_dir, name, metrics, *, rows=None, gates=None):
+    """Persist one benchmark's machine-readable summary.
+
+    Writes ``BENCH_<name>.json`` with a fixed shape shared by local
+    runs and CI:
+
+    - ``metrics`` — flat name → number mapping (wall times, speedup
+      factors);
+    - ``rows`` — optional per-configuration detail rows (the CSV rows);
+    - ``gates`` — optional name → ``{"floor": x, "value": y}`` entries
+      the CI regression gate enforces (``value >= floor``).
+    """
+    payload = {
+        "bench": name,
+        "schema_version": BENCH_JSON_SCHEMA,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "metrics": {key: value for key, value in metrics.items()},
+        "rows": list(rows) if rows is not None else [],
+        "gates": dict(gates) if gates is not None else {},
+    }
+    path = os.path.join(results_dir, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[saved {path}]")
+    return path

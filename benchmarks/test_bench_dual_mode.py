@@ -6,7 +6,6 @@ pattern-level budget each mechanism needs to keep MRE within the data
 consumers' requirement — the dual reading of the same curves.
 """
 
-import pytest
 
 from benchmarks.conftest import BENCH_SYNTHETIC, emit
 from repro.datasets.synthetic import synthesize_dataset

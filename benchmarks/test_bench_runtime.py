@@ -20,9 +20,8 @@ the perf trajectory tracks them.
 import time
 
 import numpy as np
-import pytest
 
-from benchmarks.conftest import BENCH_CONFIG, BENCH_SYNTHETIC, emit
+from benchmarks.conftest import BENCH_CONFIG, BENCH_SYNTHETIC, emit, emit_json
 from repro.core.adaptive import AdaptivePatternPPM
 from repro.core.ppm import MultiPatternPPM
 from repro.core.quality_model import baseline_quality
@@ -203,6 +202,24 @@ def test_runtime_speedup(benchmark, results_dir):
             speedup_vs_legacy=round(legacy_seconds / seconds, 2),
         )
     emit(table, results_dir, "runtime_speedup")
+    emit_json(
+        results_dir,
+        "runtime",
+        {
+            "legacy_seconds": legacy_seconds,
+            "batch_seconds": batch_seconds,
+            "chunked_seconds": chunked_seconds,
+            "speedup_vs_legacy": legacy_seconds / batch_seconds,
+            "best_paired_speedup": max(paired),
+        },
+        rows=table.rows,
+        gates={
+            "runtime_vs_legacy": {
+                "floor": 2.0,
+                "value": max(paired),
+            }
+        },
+    )
 
     benchmark.extra_info["legacy_seconds"] = legacy_seconds
     benchmark.extra_info["chunked_seconds"] = chunked_seconds

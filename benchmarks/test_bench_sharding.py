@@ -1,0 +1,178 @@
+"""Sharded-executor benchmark: bit-identity plus parallel speedup.
+
+Scales the fig4 synthetic sweep workload's evaluation stream to service
+size and runs the same pipeline (the sweep's target queries, its
+uniform pattern-level PPM) three ways on identical seeds:
+
+- **batch** — the serial vectorized :class:`BatchExecutor`;
+- **sharded/thread** — :class:`ShardedExecutor` on a thread pool (the
+  hot stages release the GIL inside numpy);
+- **sharded/process** — the same shards on a process pool.
+
+Every arm must produce *bit-identical* outputs (the seek invariant: a
+shard draws exactly the child-generator words of its absolute window
+range).  On hosts with at least :data:`REQUIRED_CPUS` cores the best
+paired sharded-versus-batch speedup must reach
+:data:`SPEEDUP_FLOOR` — the regression gate CI enforces through
+``BENCH_sharding.json``; on smaller hosts the numbers are recorded but
+the floor is not asserted (parallel wall-clock gains are physically
+impossible on one core).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import (
+    BENCH_CONFIG,
+    BENCH_SYNTHETIC,
+    emit,
+    emit_json,
+)
+from repro.datasets.synthetic import synthesize_dataset
+from repro.experiments.runner import WorkloadEvaluation
+from repro.runtime import BatchExecutor, ShardedExecutor
+from repro.streams.indicator import IndicatorStream
+from repro.utils.rng import derive_rng
+from repro.utils.tables import ResultTable
+
+#: Workers used by the parallel arms (the gate's "≥ 2x on ≥ 4 workers").
+N_WORKERS = 4
+
+#: Minimum host cores for the speedup floor to be enforceable.
+REQUIRED_CPUS = 4
+
+#: The pinned regression floor: best sharded arm at least 2x batch.
+SPEEDUP_FLOOR = 2.0
+
+#: Stream scale: the fig4 sweep workload's evaluation stream is tiled
+#: to this many windows so per-shard numpy work dominates pool
+#: overhead (service-phase shape, not the laptop-sized sweep input).
+N_WINDOWS = 1_000_000
+
+_ROUNDS = 3
+
+
+def _timed(callable_):
+    start = time.perf_counter()
+    result = callable_()
+    return result, time.perf_counter() - start
+
+
+def test_sharded_speedup(benchmark, results_dir):
+    workload = synthesize_dataset(
+        BENCH_SYNTHETIC,
+        rng=derive_rng(BENCH_CONFIG.seed, "sharding-bench"),
+        name="sharding-bench",
+    )
+    context = WorkloadEvaluation(workload)
+    mechanism = context.build_mechanism("uniform", 1.0)
+    pipeline = context.pipeline.with_mechanism(mechanism)
+    base = workload.stream.matrix_view()
+    repeats = -(-N_WINDOWS // base.shape[0])
+    stream = IndicatorStream(
+        workload.stream.alphabet, np.tile(base, (repeats, 1))[:N_WINDOWS]
+    )
+    seed = BENCH_CONFIG.seed
+
+    # -- bit-identity: every backend, same seed, same bits -------------
+    batch = benchmark.pedantic(
+        lambda: BatchExecutor().run(pipeline, stream, rng=seed),
+        rounds=1,
+        iterations=1,
+    )
+    for backend in ("thread", "process"):
+        sharded = ShardedExecutor(N_WORKERS, backend=backend).run(
+            pipeline, stream, rng=seed
+        )
+        assert sharded.released == batch.released, backend
+        for name, detections in batch.answers.items():
+            assert np.array_equal(sharded.answers[name], detections)
+        assert sharded.quality() == batch.quality()
+
+    # -- speedup: interleaved rounds, best paired ratio ----------------
+    # (identical workload per arm; pairing within a round makes the
+    # ratio robust to co-tenant noise, as in test_bench_runtime.py)
+    executors = {
+        "batch": BatchExecutor(),
+        "sharded/thread": ShardedExecutor(
+            N_WORKERS, backend="thread", materialize=False
+        ),
+        "sharded/process": ShardedExecutor(
+            N_WORKERS, backend="process", materialize=False
+        ),
+    }
+    times = {name: [] for name in executors}
+    paired = {"sharded/thread": [], "sharded/process": []}
+    for _ in range(_ROUNDS):
+        round_times = {}
+        for name, executor in executors.items():
+            _, seconds = _timed(
+                lambda executor=executor: executor.run(
+                    pipeline, stream, rng=seed
+                )
+            )
+            times[name].append(seconds)
+            round_times[name] = seconds
+        for name in paired:
+            paired[name].append(round_times["batch"] / round_times[name])
+
+    batch_seconds = min(times["batch"])
+    best_speedup = {name: max(ratios) for name, ratios in paired.items()}
+    overall_best = max(best_speedup.values())
+
+    table = ResultTable(
+        ["executor", "workers", "seconds", "speedup_vs_batch"],
+        title=f"sharded execution over {stream.n_windows} windows",
+    )
+    table.add_row(
+        executor="batch", workers=1, seconds=round(batch_seconds, 4),
+        speedup_vs_batch=1.0,
+    )
+    for name in paired:
+        table.add_row(
+            executor=name,
+            workers=N_WORKERS,
+            seconds=round(min(times[name]), 4),
+            speedup_vs_batch=round(best_speedup[name], 2),
+        )
+    emit(table, results_dir, "sharding_speedup")
+
+    enforceable = (os.cpu_count() or 1) >= REQUIRED_CPUS
+    emit_json(
+        results_dir,
+        "sharding",
+        {
+            "n_windows": stream.n_windows,
+            "n_workers": N_WORKERS,
+            "batch_seconds": batch_seconds,
+            "thread_seconds": min(times["sharded/thread"]),
+            "process_seconds": min(times["sharded/process"]),
+            "thread_speedup": best_speedup["sharded/thread"],
+            "process_speedup": best_speedup["sharded/process"],
+            "best_speedup": overall_best,
+            "floor_enforced": enforceable,
+        },
+        rows=table.rows,
+        gates=(
+            {
+                "sharded_vs_batch": {
+                    "floor": SPEEDUP_FLOOR,
+                    "value": overall_best,
+                }
+            }
+            if enforceable
+            else {}
+        ),
+    )
+    benchmark.extra_info["best_speedup"] = overall_best
+    benchmark.extra_info["floor_enforced"] = enforceable
+
+    if enforceable:
+        assert overall_best >= SPEEDUP_FLOOR, (
+            f"sharded executor only {overall_best:.2f}x faster on "
+            f"{N_WORKERS} workers "
+            f"(thread: {[f'{r:.2f}' for r in paired['sharded/thread']]}, "
+            f"process: {[f'{r:.2f}' for r in paired['sharded/process']]})"
+        )

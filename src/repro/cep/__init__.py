@@ -13,6 +13,7 @@ non-deterministic automaton with skip-till-any-match semantics and
 optional time-window (``within``) pruning.
 """
 
+from repro.cep.async_session import AsyncSession
 from repro.cep.engine import CEPEngine, EngineReport
 from repro.cep.matcher import PatternMatch, PatternMatcher, PatternStream
 from repro.cep.online import OnlineSession
@@ -31,6 +32,7 @@ from repro.cep.queries import ContinuousQuery, QueryAnswer
 
 __all__ = [
     "AND",
+    "AsyncSession",
     "Atom",
     "CEPEngine",
     "ContinuousQuery",

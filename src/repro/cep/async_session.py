@@ -1,0 +1,348 @@
+"""Asynchronous (push-based, backpressured) service sessions.
+
+:class:`~repro.cep.online.OnlineSession` answers queries window by
+window but couples the producer and the consumer: each ``push`` blocks
+the caller for the full perturb-and-match step.  Real ingestion is a
+*pipeline* — events arrive from sockets or brokers while the mechanism
+steps — so :class:`AsyncSession` decouples the two with an asyncio
+queue:
+
+- producers ``await submit(window_types)`` and receive an
+  :class:`asyncio.Future` resolving to that window's private answers;
+- a single drainer task batches whatever is queued (up to
+  ``max_batch`` windows) through the same chunk stepper the
+  synchronous session uses, so answers are identical to one-by-one
+  pushes under the same seed;
+- the queue is bounded (``max_pending``): when the stepper falls
+  behind, ``submit`` suspends — backpressure propagates to the
+  producer instead of buffering unboundedly;
+- closing the session (``aclose`` or leaving the ``async with`` block)
+  flushes every queued window before the drainer exits, so no accepted
+  window is ever dropped.
+
+Mechanisms that only support batch perturbation — and the user-level
+baseline, whose budget split needs the stream horizon — are rejected
+with ``TypeError`` at session construction, exactly like the
+synchronous session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cep.engine import CEPEngine
+from repro.cep.online import session_stepper
+from repro.utils.rng import RngLike
+
+#: Queue sentinel signalling the drainer to flush and exit.
+_CLOSE = object()
+
+
+class AsyncSession:
+    """An asyncio ingestion loop over the service-phase chunk stepper.
+
+    Parameters
+    ----------
+    engine:
+        The configured :class:`~repro.cep.engine.CEPEngine` (queries
+        registered, mechanism attached).  The engine's accountant is
+        charged once, at construction, like every other session/release.
+    rng:
+        Session seed; the same seed over the same windows reproduces
+        the batch and online answers exactly (flip mechanisms).
+    max_pending:
+        Bound on queued-but-unprocessed windows; ``submit`` suspends
+        when full (backpressure).
+    max_batch:
+        Most windows perturbed per stepper step.  Larger batches
+        amortize per-step overhead under load; answers do not depend on
+        batch boundaries.
+    record:
+        Keep the original/released rows of every processed window
+        (:attr:`original_matrix`/:attr:`released_matrix`) — the engine's
+        async batch facade uses this to build its report.
+    """
+
+    def __init__(
+        self,
+        engine: CEPEngine,
+        *,
+        rng: RngLike = None,
+        max_pending: int = 256,
+        max_batch: int = 64,
+        record: bool = False,
+    ):
+        if not engine.queries:
+            raise ValueError("the engine has no registered queries")
+        if max_pending <= 0:
+            raise ValueError(
+                f"max_pending must be positive, got {max_pending}"
+            )
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        self._engine = engine
+        self._pipeline = engine.service_pipeline()
+        # Build the stepper before charging: a rejected mechanism (e.g.
+        # user-level without a horizon) must not consume budget for a
+        # session that never existed.
+        self._stepper = session_stepper(engine, self._pipeline, rng)
+        engine._charge_accountant()
+        self._max_pending = max_pending
+        self._max_batch = max_batch
+        self._record = record
+        self._original_rows: List[np.ndarray] = []
+        self._released_rows: List[np.ndarray] = []
+        self._queue: Optional[asyncio.Queue] = None
+        self._drainer: Optional[asyncio.Task] = None
+        self._closed = False
+        self._submitted = 0
+        self._processed = 0
+        #: Producers currently suspended inside ``queue.put`` — aclose
+        #: must let them land before the close sentinel goes in, or
+        #: their windows would slip in behind it and never be drained.
+        self._inflight = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def __aenter__(self) -> "AsyncSession":
+        self._ensure_started()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose()
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if self._queue is None:
+            self._queue = asyncio.Queue(maxsize=self._max_pending)
+            self._drainer = asyncio.create_task(self._drain())
+        elif self._drainer.done():
+            # A drainer only exits early on failure (normal exit happens
+            # through aclose, which flips _closed first).
+            raise RuntimeError(
+                "session drainer failed; close the session to retrieve "
+                "the error"
+            )
+
+    async def aclose(self) -> None:
+        """Flush every queued window, then stop the drainer.
+
+        Re-raises the drainer's error if stepping failed mid-stream
+        (every pending future is failed with that error first).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._queue is None:
+            return
+        # Let producers already suspended inside queue.put land first —
+        # the sentinel must be the *last* queue entry, or windows behind
+        # it would never be drained.  The drainer keeps consuming while
+        # we wait; a dead drainer cannot wake putters, so stop waiting.
+        while self._inflight > 0 and not self._drainer.done():
+            await asyncio.sleep(0)
+        # put() would deadlock on a full queue if the drainer already
+        # died; poll non-blockingly while it is alive instead.
+        while not self._drainer.done():
+            try:
+                self._queue.put_nowait(_CLOSE)
+                break
+            except asyncio.QueueFull:
+                await asyncio.sleep(0)
+        try:
+            await self._drainer
+        except BaseException as error:
+            # Fail any submissions that raced past the drainer's own
+            # cleanup before re-raising; draining also frees queue
+            # slots, waking producers still stuck in put.
+            while True:
+                while True:
+                    try:
+                        extra = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if extra is not _CLOSE:
+                        _row, future = extra
+                        if not future.done():
+                            future.set_exception(error)
+                if self._inflight == 0 and self._queue.empty():
+                    break
+                await asyncio.sleep(0)
+            raise
+
+    # -- ingestion -----------------------------------------------------
+
+    @property
+    def windows_submitted(self) -> int:
+        return self._submitted
+
+    @property
+    def windows_processed(self) -> int:
+        return self._processed
+
+    @property
+    def backlog(self) -> int:
+        """Queued-but-unprocessed windows (bounded by ``max_pending``)."""
+        return 0 if self._queue is None else self._queue.qsize()
+
+    async def submit(
+        self, window_types: Iterable[str]
+    ) -> "asyncio.Future[Dict[str, bool]]":
+        """Enqueue one closed window; resolve to its private answers.
+
+        Suspends while the queue is full — backpressure — and returns a
+        future so producers may pipeline many windows before awaiting
+        any answer.
+        """
+        return await self._submit_row(
+            self._pipeline.extractor.extract_matrix([window_types])
+        )
+
+    async def _submit_row(
+        self, row: np.ndarray
+    ) -> "asyncio.Future[Dict[str, bool]]":
+        """Enqueue one already-extracted indicator row."""
+        self._ensure_started()
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight += 1
+        try:
+            await self._queue.put((row, future))
+        finally:
+            self._inflight -= 1
+        self._submitted += 1
+        return future
+
+    async def process(
+        self, window_types: Iterable[str]
+    ) -> Dict[str, bool]:
+        """Submit one window and await its answers (no pipelining)."""
+        future = await self.submit(window_types)
+        return await future
+
+    async def run(
+        self, type_sets: Iterable[Iterable[str]]
+    ) -> Dict[str, List[bool]]:
+        """Feed every window of an iterable source, collect all answers.
+
+        Ingestion and stepping overlap (bounded by ``max_pending``);
+        the per-query answer lists are in submission order.
+        """
+        return await self._collect(
+            [await self.submit(window) for window in type_sets]
+        )
+
+    async def run_rows(self, matrix: np.ndarray) -> Dict[str, List[bool]]:
+        """Feed an already-extracted indicator matrix row by row.
+
+        Skips the per-window extraction of :meth:`run` — the engine's
+        async facade uses this after its one vectorized extraction
+        pass.
+        """
+        return await self._collect(
+            [
+                await self._submit_row(matrix[index : index + 1])
+                for index in range(matrix.shape[0])
+            ]
+        )
+
+    async def _collect(
+        self, futures: List["asyncio.Future[Dict[str, bool]]"]
+    ) -> Dict[str, List[bool]]:
+        per_window = [await future for future in futures]
+        answers: Dict[str, List[bool]] = {
+            name: [] for name in self._pipeline.matcher.query_names
+        }
+        for window_answers in per_window:
+            for name, value in window_answers.items():
+                answers[name].append(value)
+        return answers
+
+    # -- recorded streams ----------------------------------------------
+
+    @property
+    def original_matrix(self) -> np.ndarray:
+        """Rows ingested so far (requires ``record=True``)."""
+        return self._joined(self._original_rows)
+
+    @property
+    def released_matrix(self) -> np.ndarray:
+        """Perturbed rows released so far (requires ``record=True``)."""
+        return self._joined(self._released_rows)
+
+    def _joined(self, rows: List[np.ndarray]) -> np.ndarray:
+        if not self._record:
+            raise RuntimeError(
+                "stream recording is off; construct with record=True"
+            )
+        width = len(self._engine.alphabet)
+        if not rows:
+            return np.zeros((0, width), dtype=bool)
+        return np.concatenate(rows)
+
+    # -- the drainer ---------------------------------------------------
+
+    async def _drain(self) -> None:
+        queue = self._queue
+        matcher = self._pipeline.matcher
+        batch: List[Tuple[np.ndarray, asyncio.Future]] = []
+        try:
+            while True:
+                item = await queue.get()
+                if item is _CLOSE:
+                    return
+                batch = [item]
+                closing = False
+                while len(batch) < self._max_batch:
+                    try:
+                        extra = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if extra is _CLOSE:
+                        closing = True
+                        break
+                    batch.append(extra)
+                matrix = np.concatenate([row for row, _future in batch])
+                if self._stepper is None:
+                    released = matrix
+                else:
+                    released = self._stepper.step_block(matrix)
+                if self._record:
+                    self._original_rows.append(matrix)
+                    self._released_rows.append(released)
+                answers = matcher.answer(released)
+                for position, (_row, future) in enumerate(batch):
+                    if not future.done():
+                        future.set_result(
+                            {
+                                name: bool(vector[position])
+                                for name, vector in answers.items()
+                            }
+                        )
+                self._processed += len(batch)
+                batch = []
+                if closing:
+                    return
+                # Yield to producers between batches so backpressured
+                # submitters get queue slots before the next drain.
+                await asyncio.sleep(0)
+        except BaseException as error:
+            # Stepping failed: no accepted window may hang forever.
+            # Fail the in-flight batch and everything still queued, then
+            # surface the error through aclose()/the drainer task.
+            for _row, future in batch:
+                if not future.done():
+                    future.set_exception(error)
+            while True:
+                try:
+                    extra = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if extra is not _CLOSE:
+                    _row, future = extra
+                    if not future.done():
+                        future.set_exception(error)
+            raise

@@ -14,7 +14,10 @@ all consumers.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import SimpleNamespace
 from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.cep.matcher import PatternMatcher, PatternStream
 from repro.cep.patterns import Pattern
@@ -317,6 +320,59 @@ class CEPEngine:
         pipeline = self.service_pipeline()
         indicators = pipeline.extractor.extract(type_sets)
         return self.process_indicators(indicators, rng=rng, executor=executor)
+
+    async def process_events_async(
+        self,
+        stream: EventStream,
+        window_assigner,
+        *,
+        rng: RngLike = None,
+        max_pending: int = 256,
+        max_batch: int = 64,
+    ) -> EngineReport:
+        """Full service phase from raw events, via async ingestion.
+
+        Windows the event stream, then feeds every window through an
+        :class:`~repro.cep.async_session.AsyncSession` — a bounded
+        queue with backpressure draining into the mechanism's chunk
+        stepper — instead of one vectorized batch.  For every flip
+        mechanism the report is identical to :meth:`process_events`
+        under the same seed; sequential mechanisms follow the online
+        session's dedicated randomness stream, and the user-level
+        baseline (whose budget split needs the horizon) is rejected
+        with ``TypeError``.
+        """
+        from repro.cep.async_session import AsyncSession
+
+        type_sets = WindowStage(window_assigner).type_sets(stream)
+        pipeline = self.service_pipeline()
+        indicators = pipeline.extractor.extract(type_sets)
+        session = AsyncSession(
+            self,
+            rng=rng,
+            max_pending=max_pending,
+            max_batch=max_batch,
+            record=True,
+        )
+        async with session:
+            released_answers = await session.run_rows(
+                indicators.matrix_view()
+            )
+        return self._report(
+            indicators,
+            SimpleNamespace(
+                answers={
+                    name: np.asarray(values, dtype=bool)
+                    for name, values in released_answers.items()
+                },
+                true_answers=pipeline.matcher.answer(
+                    indicators.matrix_view()
+                ),
+                released=IndicatorStream(
+                    self.alphabet, session.released_matrix
+                ),
+            ),
+        )
 
     def match(
         self,

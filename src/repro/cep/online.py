@@ -42,6 +42,29 @@ from repro.utils.rng import RngLike, derive_rng
 _RUN_CHUNK = 256
 
 
+def session_stepper(engine: CEPEngine, pipeline, rng: RngLike):
+    """The chunk stepper one service session steps its windows through.
+
+    Shared by the synchronous :class:`OnlineSession` and the
+    asyncio-based :class:`~repro.cep.async_session.AsyncSession` so both
+    ingestion modes perturb identically.  Sequential releasers
+    historically draw from a dedicated ``"online"`` child; per-window
+    flip mechanisms draw from the session seed directly so that a
+    session over the same windows and seed reproduces the batch answers
+    exactly.  Returns ``None`` for an unprotected engine.
+    """
+    mechanism = engine.mechanism
+    if mechanism is None:
+        return None
+    if hasattr(mechanism, "online_releaser"):
+        stepper_rng = derive_rng(rng, "online")
+    else:
+        stepper_rng = rng
+    return pipeline.runtime_mechanism.stepper(
+        engine.alphabet, rng=stepper_rng, horizon=None
+    )
+
+
 class OnlineSession:
     """A service-phase session answering queries window by window."""
 
@@ -50,26 +73,13 @@ class OnlineSession:
             raise ValueError("the engine has no registered queries")
         self._engine = engine
         self._pipeline = engine.service_pipeline()
+        self._pushed = 0
         # A session is one release of the (growing) stream: charge the
         # engine's accountant once, up front, exactly like the batch
-        # path does per process_indicators call.
+        # path does per process_indicators call — but only after the
+        # stepper exists, so a rejected mechanism costs no budget.
+        self._stepper = session_stepper(engine, self._pipeline, rng)
         engine._charge_accountant()
-        self._pushed = 0
-        mechanism = engine.mechanism
-        if mechanism is None:
-            self._stepper = None
-        else:
-            # Sequential releasers historically draw from a dedicated
-            # "online" child; per-window flip mechanisms draw from the
-            # session seed directly so that a session over the same
-            # windows and seed reproduces the batch answers exactly.
-            if hasattr(mechanism, "online_releaser"):
-                stepper_rng = derive_rng(rng, "online")
-            else:
-                stepper_rng = rng
-            self._stepper = self._pipeline.runtime_mechanism.stepper(
-                engine.alphabet, rng=stepper_rng, horizon=None
-            )
 
     @property
     def windows_processed(self) -> int:

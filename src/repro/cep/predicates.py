@@ -12,6 +12,85 @@ from typing import Any, Callable, Optional
 from repro.streams.events import Event
 
 
+class _TypeEquals:
+    """Picklable ``event.event_type == event_type`` test.
+
+    The built-in predicate constructors avoid closures so that patterns
+    (and everything holding them: mechanisms, pipelines, workloads)
+    survive pickling — required by the process backends of
+    :class:`~repro.runtime.executors.ShardedExecutor` and the parallel
+    experiment sweep.
+    """
+
+    __slots__ = ("event_type",)
+
+    def __init__(self, event_type: str):
+        self.event_type = event_type
+
+    def __call__(self, event: Event) -> bool:
+        return event.event_type == self.event_type
+
+
+class _AnyEvent:
+    __slots__ = ()
+
+    def __call__(self, _event: Event) -> bool:
+        return True
+
+
+class _AttrEquals:
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str, value: Any):
+        self.key = key
+        self.value = value
+
+    def __call__(self, event: Event) -> bool:
+        return event.attribute(self.key) == self.value
+
+
+class _SourceEquals:
+    __slots__ = ("source",)
+
+    def __init__(self, source: str):
+        self.source = source
+
+    def __call__(self, event: Event) -> bool:
+        return event.source == self.source
+
+
+class _And:
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: "EventPredicate", right: "EventPredicate"):
+        self.left = left
+        self.right = right
+
+    def __call__(self, event: Event) -> bool:
+        return self.left.matches(event) and self.right.matches(event)
+
+
+class _Or:
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: "EventPredicate", right: "EventPredicate"):
+        self.left = left
+        self.right = right
+
+    def __call__(self, event: Event) -> bool:
+        return self.left.matches(event) or self.right.matches(event)
+
+
+class _Not:
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: "EventPredicate"):
+        self.inner = inner
+
+    def __call__(self, event: Event) -> bool:
+        return not self.inner.matches(event)
+
+
 class EventPredicate:
     """A named boolean test over events.
 
@@ -71,7 +150,7 @@ class EventPredicate:
         if not isinstance(event_type, str) or not event_type:
             raise ValueError("event_type must be a non-empty string")
         predicate = cls(
-            lambda event: event.event_type == event_type,
+            _TypeEquals(event_type),
             name=event_type,
             event_type=event_type,
         )
@@ -81,7 +160,7 @@ class EventPredicate:
     @classmethod
     def any_event(cls) -> "EventPredicate":
         """Match every event."""
-        return cls(lambda _event: True, name="*")
+        return cls(_AnyEvent(), name="*")
 
     @classmethod
     def where(
@@ -93,15 +172,12 @@ class EventPredicate:
     @classmethod
     def attr_equals(cls, key: str, value: Any) -> "EventPredicate":
         """Match events whose attribute ``key`` equals ``value``."""
-        return cls(
-            lambda event: event.attribute(key) == value,
-            name=f"{key}=={value!r}",
-        )
+        return cls(_AttrEquals(key, value), name=f"{key}=={value!r}")
 
     @classmethod
     def from_source(cls, source: str) -> "EventPredicate":
         """Match events originating from one data stream / subject."""
-        return cls(lambda event: event.source == source, name=f"src:{source}")
+        return cls(_SourceEquals(source), name=f"src:{source}")
 
     # -- combinators -----------------------------------------------------
 
@@ -109,19 +185,15 @@ class EventPredicate:
         if not isinstance(other, EventPredicate):
             return NotImplemented
         return EventPredicate(
-            lambda event: self.matches(event) and other.matches(event),
-            name=f"({self.name} & {other.name})",
+            _And(self, other), name=f"({self.name} & {other.name})"
         )
 
     def __or__(self, other: "EventPredicate") -> "EventPredicate":
         if not isinstance(other, EventPredicate):
             return NotImplemented
         return EventPredicate(
-            lambda event: self.matches(event) or other.matches(event),
-            name=f"({self.name} | {other.name})",
+            _Or(self, other), name=f"({self.name} | {other.name})"
         )
 
     def __invert__(self) -> "EventPredicate":
-        return EventPredicate(
-            lambda event: not self.matches(event), name=f"!{self.name}"
-        )
+        return EventPredicate(_Not(self), name=f"!{self.name}")

@@ -11,15 +11,19 @@ Evaluation runs on the streaming runtime: a
 :class:`WorkloadEvaluation` builds the workload's pipeline *once* —
 query matcher, ground-truth detections, ordinary quality, landmark
 masks, budget converters and Algorithm 1 quality estimators — and every
-(mechanism, ε) cell reuses it.  :func:`sweep` shares one such context
-across its whole grid, which is what makes the Fig. 4 regeneration
-cheap; the module-level helpers remain as thin single-cell wrappers.
+(mechanism, ε) cell reuses it.  :meth:`WorkloadEvaluation.sweep` shares
+one such context across its whole grid, which is what makes the Fig. 4
+regeneration cheap, and can fan the grid out over a thread or process
+pool (``workers=``): every cell's child generator is derived *before*
+dispatch, in grid order, so the parallel results are bit-identical to
+the serial sweep whatever the completion order.  The module-level
+helpers remain as thin wrappers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -271,6 +275,126 @@ class WorkloadEvaluation:
             n_trials=n_trials,
         )
 
+    def sweep(
+        self,
+        *,
+        epsilon_grid,
+        mechanisms,
+        alpha: float = 0.5,
+        n_trials: int = 5,
+        conversion_mode: str = "worst_case",
+        rng: RngLike = None,
+        workers: Optional[int] = None,
+        backend: str = "thread",
+    ) -> List[EvaluationResult]:
+        """Evaluate every (mechanism, ε) cell, optionally in parallel.
+
+        ``workers=None`` (or ``1``) keeps the historical serial loop.
+        With ``workers > 1`` the grid fans out over a ``"thread"`` or
+        ``"process"`` pool.  Each cell's child generator is derived up
+        front, in grid order — the same draws the serial loop makes —
+        and results are collected back in grid order, so the parallel
+        sweep is bit-identical to the serial one.  The thread backend
+        shares this context's caches; the process backend rebuilds the
+        context once per worker from the pickled workload.
+        """
+        from repro.runtime.sharding import make_pool, validate_backend
+
+        validate_backend(backend)
+        cells: List[Tuple[str, float]] = [
+            (kind, float(epsilon))
+            for kind in mechanisms
+            for epsilon in epsilon_grid
+        ]
+        cell_rngs = [
+            derive_rng(rng, "sweep", kind, int(epsilon * 1000))
+            for kind, epsilon in cells
+        ]
+        if workers is None or workers <= 1 or len(cells) <= 1:
+            return [
+                self.evaluate(
+                    kind,
+                    epsilon,
+                    alpha=alpha,
+                    n_trials=n_trials,
+                    conversion_mode=conversion_mode,
+                    rng=cell_rng,
+                )
+                for (kind, epsilon), cell_rng in zip(cells, cell_rngs)
+            ]
+        if backend == "thread":
+            # Threads share this context (and its caches) directly.
+            pool = make_pool("thread", workers)
+
+            def submit(kind, epsilon, cell_rng):
+                return pool.submit(
+                    self.evaluate,
+                    kind,
+                    epsilon,
+                    alpha=alpha,
+                    n_trials=n_trials,
+                    conversion_mode=conversion_mode,
+                    rng=cell_rng,
+                )
+
+        else:
+            # Workers rebuild the context once each from the workload.
+            pool = make_pool(
+                "process",
+                workers,
+                initializer=_sweep_worker_init,
+                initargs=(self.workload,),
+            )
+
+            def submit(kind, epsilon, cell_rng):
+                return pool.submit(
+                    _sweep_worker,
+                    kind,
+                    epsilon,
+                    alpha,
+                    n_trials,
+                    conversion_mode,
+                    cell_rng,
+                )
+
+        try:
+            futures = [
+                submit(kind, epsilon, cell_rng)
+                for (kind, epsilon), cell_rng in zip(cells, cell_rngs)
+            ]
+            return [future.result() for future in futures]
+        finally:
+            pool.shutdown(wait=True)
+
+
+#: Per-process evaluation context of the process-backend sweep.  Built
+#: once per worker by the pool initializer — rebuilding the caches per
+#: worker beats pickling the whole context per cell.
+_WORKER_CONTEXT: Optional[WorkloadEvaluation] = None
+
+
+def _sweep_worker_init(workload: Workload) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = WorkloadEvaluation(workload)
+
+
+def _sweep_worker(
+    kind: str,
+    epsilon: float,
+    alpha: float,
+    n_trials: int,
+    conversion_mode: str,
+    rng: RngLike,
+) -> EvaluationResult:
+    return _WORKER_CONTEXT.evaluate(
+        kind,
+        epsilon,
+        alpha=alpha,
+        n_trials=n_trials,
+        conversion_mode=conversion_mode,
+        rng=rng,
+    )
+
 
 def build_mechanism(
     kind: str,
@@ -349,25 +473,24 @@ def sweep(
     n_trials: int = 5,
     conversion_mode: str = "worst_case",
     rng: RngLike = None,
+    workers: Optional[int] = None,
+    backend: str = "thread",
 ) -> List[EvaluationResult]:
     """Evaluate every (mechanism, ε) cell on one workload.
 
     One :class:`WorkloadEvaluation` is shared by the whole grid, so
     windowing, extraction, ground truth and estimator state are
-    computed once rather than per cell.
+    computed once rather than per cell.  ``workers``/``backend`` fan
+    the grid out over a pool (see :meth:`WorkloadEvaluation.sweep`);
+    parallel results are bit-identical to the serial sweep.
     """
-    context = WorkloadEvaluation(workload)
-    results: List[EvaluationResult] = []
-    for kind in mechanisms:
-        for epsilon in epsilon_grid:
-            results.append(
-                context.evaluate(
-                    kind,
-                    epsilon,
-                    alpha=alpha,
-                    n_trials=n_trials,
-                    conversion_mode=conversion_mode,
-                    rng=derive_rng(rng, "sweep", kind, int(epsilon * 1000)),
-                )
-            )
-    return results
+    return WorkloadEvaluation(workload).sweep(
+        epsilon_grid=epsilon_grid,
+        mechanisms=mechanisms,
+        alpha=alpha,
+        n_trials=n_trials,
+        conversion_mode=conversion_mode,
+        rng=rng,
+        workers=workers,
+        backend=backend,
+    )

@@ -10,7 +10,11 @@ interchangeable execution strategies:
   Python loops in windowing, extraction or perturbation);
 - :class:`~repro.runtime.executors.ChunkedExecutor` processes windows
   in bounded chunks for the infinite-stream scenario, producing
-  bit-identical results for every streamable mechanism.
+  bit-identical results for every streamable mechanism;
+- :class:`~repro.runtime.executors.ShardedExecutor` fans contiguous
+  window shards out over a thread or process pool, seeking each
+  shard's stepper to its absolute start window — bit-identical to the
+  batch executor for every seekable mechanism.
 
 See ARCHITECTURE.md for how the layers map onto the runtime.
 """
@@ -24,9 +28,11 @@ from repro.runtime.executors import (
     BatchExecutor,
     ChunkedExecutor,
     PipelineResult,
+    ShardedExecutor,
 )
 from repro.runtime.pipeline import StreamPipeline
 from repro.runtime.rng_pool import IndexedRngPool
+from repro.runtime.sharding import Shard, merge_results, plan_shards
 from repro.runtime.stages import (
     IndicatorExtractor,
     MetricsSink,
@@ -44,7 +50,11 @@ __all__ = [
     "PipelineResult",
     "QueryMatcher",
     "RuntimeMechanism",
+    "Shard",
+    "ShardedExecutor",
     "StreamPipeline",
     "WindowStage",
+    "merge_results",
+    "plan_shards",
     "runtime_mechanism",
 ]

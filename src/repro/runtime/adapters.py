@@ -32,6 +32,14 @@ from repro.utils.rng import RngLike, derive_rng, ensure_rng
 class RuntimeMechanism:
     """Uniform executor-facing view of one privacy mechanism."""
 
+    #: Whether this mechanism's stepper supports ``seek`` — skipping a
+    #: prefix of windows while drawing the *same* randomness the batch
+    #: path would draw for the remaining windows.  Sharded execution
+    #: (:class:`~repro.runtime.executors.ShardedExecutor`) requires it;
+    #: sequential schedulers (BD/BA, landmark) carry data-dependent
+    #: state across windows and therefore cannot seek.
+    shardable: bool = False
+
     def __init__(self, mechanism):
         self.mechanism = mechanism
 
@@ -70,6 +78,8 @@ class RuntimeMechanism:
 
 
 class _IdentityRuntime(RuntimeMechanism):
+    shardable = True
+
     def stepper(self, alphabet, *, rng=None, horizon=None):
         return _IdentityStepper()
 
@@ -77,6 +87,9 @@ class _IdentityRuntime(RuntimeMechanism):
 class _IdentityStepper:
     def step_block(self, matrix: np.ndarray) -> np.ndarray:
         return matrix
+
+    def seek(self, n_windows: int) -> None:
+        """Skip ``n_windows`` windows (the identity draws nothing)."""
 
 
 class FlipStepper:
@@ -131,9 +144,28 @@ class FlipStepper:
                 released[:, column] ^= flips
         return released
 
+    def seek(self, n_windows: int) -> None:
+        """Skip the flip decisions of the first ``n_windows`` windows.
+
+        Every per-type child consumes exactly one PCG64 word per window
+        (one ``float64`` per flip decision), so advancing each child's
+        bit generator by ``n_windows`` leaves the stepper in the state a
+        sequential run over those windows would — the foundation of the
+        sharded executor's bit-identity with the batch path.
+        """
+        if n_windows < 0:
+            raise ValueError(f"n_windows must be >= 0, got {n_windows}")
+        if n_windows == 0:
+            return
+        for entries in self._plan:
+            for _column, _probability, child in entries:
+                child.bit_generator.advance(n_windows)
+
 
 class _FlipRuntime(RuntimeMechanism):
     """Pattern-level PPMs: single or multi-pattern per-type flips."""
+
+    shardable = True
 
     def __init__(self, mechanism, layers, *, layered):
         super().__init__(mechanism)
@@ -151,6 +183,8 @@ class _FlipRuntime(RuntimeMechanism):
 
 class _MatrixRRRuntime(RuntimeMechanism):
     """Whole-matrix randomized response (event-/user-level baselines)."""
+
+    shardable = True
 
     def stepper(self, alphabet, *, rng=None, horizon=None):
         mechanism = self.mechanism
@@ -176,17 +210,33 @@ class _MatrixRRRuntime(RuntimeMechanism):
                 probability = epsilon_to_flip_probability(
                     mechanism.epsilon / bits
                 )
-        return _MatrixRRStepper(ensure_rng(rng), probability)
+        return _MatrixRRStepper(
+            ensure_rng(rng), probability, len(alphabet)
+        )
 
 
 class _MatrixRRStepper:
-    def __init__(self, generator, probability: float):
+    def __init__(self, generator, probability: float, width: int):
         self._generator = generator
         self._probability = probability
+        self._width = width
 
     def step_block(self, matrix: np.ndarray) -> np.ndarray:
         flips = self._generator.random(matrix.shape) < self._probability
         return matrix ^ flips
+
+    def seek(self, n_windows: int) -> None:
+        """Skip the whole-matrix draws of the first ``n_windows`` windows.
+
+        The batch draw is row-major over ``(n_windows, width)``, one
+        PCG64 word per cell, so skipping ``n_windows`` rows means
+        advancing ``n_windows * width`` words.
+        """
+        if n_windows < 0:
+            raise ValueError(f"n_windows must be >= 0, got {n_windows}")
+        if n_windows == 0:
+            return
+        self._generator.bit_generator.advance(n_windows * self._width)
 
 
 class _SequentialRuntime(RuntimeMechanism):

@@ -10,10 +10,18 @@ Both executors take the same prepared pipeline and produce the same
   mechanism stepper, for the infinite-stream deployment shape.  Under
   the same seed its outputs are bit-identical to the batch executor for
   every streamable mechanism (pinned by
-  ``tests/property/test_property_runtime.py``).
+  ``tests/property/test_property_runtime.py``);
+- :class:`ShardedExecutor` partitions the windows into contiguous
+  shards and runs each through a seeked chunk stepper on a worker pool
+  (threads or processes).  For seekable mechanisms its outputs are
+  bit-identical to the batch executor under the same seed, because
+  every shard draws its randomness by absolute window index (see
+  :mod:`repro.runtime.sharding`).
 """
 
 from __future__ import annotations
+
+import os
 
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -214,4 +222,149 @@ class ChunkedExecutor:
             original=original,
             released=released_stream,
             sink=sink,
+        )
+
+
+class ShardedExecutor:
+    """Parallel execution over contiguous window shards.
+
+    Splits the stream into (at most) ``n_shards`` balanced contiguous
+    shards and executes each through the mechanism's chunk stepper on a
+    worker pool, seeking every shard's stepper to its absolute start
+    window first.  Because seeking reproduces exactly the randomness a
+    sequential run would have consumed, the merged result is
+    *bit-identical* to :class:`BatchExecutor` under the same seed —
+    whatever the backend or worker count (pinned by
+    ``tests/test_runtime_sharding.py`` and
+    ``benchmarks/test_bench_sharding.py``).
+
+    Only mechanisms whose steppers can seek are supported: the
+    pattern-level flip PPMs, whole-matrix randomized response and the
+    identity.  Sequential schedulers (BD/BA, landmark) carry
+    data-dependent state across windows and raise ``TypeError`` — run
+    those under :class:`ChunkedExecutor`.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    backend:
+        ``"thread"`` (default; the hot stages release the GIL inside
+        numpy) or ``"process"``.
+    n_shards:
+        Shard count; defaults to ``n_workers``.
+    min_shard_size:
+        Lower bound on windows per shard — tiny streams collapse to
+        fewer shards rather than paying pool overhead per window.
+    materialize:
+        Keep the original/released indicator streams on the result
+        (matching :class:`BatchExecutor`); ``False`` returns only the
+        per-query answers and metrics.
+    """
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        *,
+        backend: str = "thread",
+        n_shards: Optional[int] = None,
+        min_shard_size: int = 1,
+        materialize: bool = True,
+    ):
+        from repro.runtime.sharding import validate_backend
+
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
+        if n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {n_workers}")
+        validate_backend(backend)
+        if n_shards is not None and n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        self.n_workers = n_workers
+        self.backend = backend
+        self.n_shards = n_shards if n_shards is not None else n_workers
+        self.min_shard_size = min_shard_size
+        self.materialize = materialize
+
+    def run(
+        self,
+        pipeline,
+        indicators: IndicatorStream,
+        *,
+        rng: RngLike = None,
+    ) -> PipelineResult:
+        from repro.runtime.sharding import (
+            clone_rng,
+            make_pool,
+            merge_results,
+            plan_shards,
+            run_shard,
+        )
+
+        runtime = pipeline.runtime_mechanism
+        if not runtime.shardable:
+            if hasattr(runtime.mechanism, "online_releaser"):
+                raise TypeError(
+                    f"mechanism {runtime.name!r} is sequential "
+                    "(window-to-window state) and cannot be sharded; use "
+                    "ChunkedExecutor"
+                )
+            raise TypeError(
+                f"mechanism {runtime.name!r} supports only batch "
+                "perturbation and cannot be sharded; use BatchExecutor"
+            )
+        if isinstance(rng, np.random.Generator):
+            # Shards replay the generator's *current* state (first use is
+            # bit-identical to a batch run from that state); advance the
+            # caller's generator one derivation word — as derive_rng
+            # would — so consecutive runs off one shared generator draw
+            # fresh randomness instead of repeating the previous run's.
+            shard_source = clone_rng(rng)
+            rng.integers(0, 2**63 - 1)
+        else:
+            shard_source = rng
+        matrix = indicators.matrix_view()
+        horizon = matrix.shape[0]
+        shards = plan_shards(
+            horizon, self.n_shards, min_shard_size=self.min_shard_size
+        )
+        if len(shards) <= 1:
+            # Zero or one shard: run in-process, no pool overhead.
+            parts = [
+                run_shard(
+                    pipeline,
+                    matrix[shard.start : shard.stop],
+                    shard,
+                    alphabet=indicators.alphabet,
+                    horizon=horizon,
+                    rng=clone_rng(shard_source),
+                    materialize=self.materialize,
+                )
+                for shard in shards
+            ]
+        else:
+            pool = make_pool(self.backend, self.n_workers)
+            try:
+                futures = [
+                    pool.submit(
+                        run_shard,
+                        pipeline,
+                        matrix[shard.start : shard.stop],
+                        shard,
+                        alphabet=indicators.alphabet,
+                        horizon=horizon,
+                        rng=clone_rng(shard_source),
+                        materialize=self.materialize,
+                    )
+                    for shard in shards
+                ]
+                parts = [future.result() for future in futures]
+            finally:
+                pool.shutdown(wait=True)
+        return merge_results(
+            parts,
+            alphabet=indicators.alphabet,
+            query_names=pipeline.matcher.query_names,
+            alpha=pipeline.alpha,
+            materialize=self.materialize,
         )

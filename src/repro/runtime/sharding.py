@@ -1,0 +1,238 @@
+"""Shard planning, per-shard execution and result merging.
+
+The service phase is embarrassingly parallel across windows for every
+mechanism whose stepper can *seek* — skip a prefix of windows while
+still drawing the randomness the batch path would draw for the
+remainder (per-type flip PPMs, whole-matrix randomized response, the
+identity).  :class:`~repro.runtime.executors.ShardedExecutor` splits
+the stream into contiguous shards, runs each shard's windows through a
+seeked chunk stepper on a worker pool, and merges the partial results
+in shard order.
+
+Bit-identity with :class:`~repro.runtime.executors.BatchExecutor` under
+the same seed rests on two invariants:
+
+1. **RNG by absolute window index** — every shard constructs its
+   stepper from the *same* parent entropy (seeds re-derive, generators
+   are state-cloned), then seeks to the shard's absolute start window,
+   so each shard consumes exactly the slice of the child streams the
+   batch path would spend on those windows;
+2. **order-preserving merge** — per-query answer vectors, indicator
+   slices and confusion counts concatenate/sum in shard order, which is
+   window order.
+
+Sequential schedulers (BD/BA, landmark) carry data-dependent state from
+window to window and are rejected at planning time — use
+:class:`~repro.runtime.executors.ChunkedExecutor` for those.
+"""
+
+from __future__ import annotations
+
+import copy
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.confusion import ConfusionCounts
+from repro.runtime.stages import MetricsSink
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+from repro.utils.rng import RngLike
+
+BACKENDS = ("thread", "process")
+
+
+def validate_backend(backend: str) -> str:
+    """Reject unknown worker-pool backends (shared by every consumer)."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {list(BACKENDS)}"
+        )
+    return backend
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice of window indices, ``[start, stop)``."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self):
+        if self.start < 0:
+            raise ValueError(f"shard start must be >= 0, got {self.start}")
+        if self.stop < self.start:
+            raise ValueError(
+                f"shard stop {self.stop} precedes start {self.start}"
+            )
+
+    @property
+    def n_windows(self) -> int:
+        return self.stop - self.start
+
+
+def plan_shards(
+    n_windows: int, n_shards: int, *, min_shard_size: int = 1
+) -> List[Shard]:
+    """Split ``[0, n_windows)`` into at most ``n_shards`` balanced shards.
+
+    Shards are contiguous, cover every window exactly once, and differ
+    in size by at most one window.  The plan never produces empty
+    shards: the shard count is capped so that each shard holds at least
+    ``min_shard_size`` windows (and never exceeds ``n_windows``).
+    """
+    if n_windows < 0:
+        raise ValueError(f"n_windows must be >= 0, got {n_windows}")
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    if min_shard_size <= 0:
+        raise ValueError(
+            f"min_shard_size must be positive, got {min_shard_size}"
+        )
+    if n_windows == 0:
+        return []
+    count = min(n_shards, max(1, n_windows // min_shard_size), n_windows)
+    base, extra = divmod(n_windows, count)
+    shards: List[Shard] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        shards.append(Shard(start, start + size))
+        start += size
+    return shards
+
+
+def clone_rng(rng: RngLike) -> RngLike:
+    """An equivalent-but-independent rng for one shard worker.
+
+    Seeds (``int``/``None``) pass through — ``derive_rng`` re-seeds a
+    fresh parent from them on every call, so every shard derives the
+    same children the batch path derives.  Generators are deep-copied so
+    that each shard replays the *same* parent state the batch path
+    consumed at stepper construction, without racing the caller's
+    generator across workers.
+    """
+    if isinstance(rng, np.random.Generator):
+        return copy.deepcopy(rng)
+    return rng
+
+
+@dataclass
+class ShardResult:
+    """The partial pipeline outcome of one shard, ready to merge."""
+
+    shard: Shard
+    answers: Dict[str, np.ndarray]
+    true_answers: Dict[str, np.ndarray]
+    counts: ConfusionCounts
+    original: Optional[np.ndarray] = None
+    released: Optional[np.ndarray] = None
+
+
+def run_shard(
+    pipeline,
+    matrix: np.ndarray,
+    shard: Shard,
+    *,
+    alphabet: EventAlphabet,
+    horizon: int,
+    rng: RngLike,
+    materialize: bool = True,
+) -> ShardResult:
+    """Execute one shard's windows through a seeked chunk stepper.
+
+    ``matrix`` is the shard's slice of the indicator matrix (rows
+    ``shard.start:shard.stop`` of the full stream); ``horizon`` is the
+    *full* stream length, which budget-per-horizon mechanisms
+    (user-level RR) need regardless of shard boundaries.
+    """
+    stepper = pipeline.runtime_mechanism.stepper(
+        alphabet, rng=rng, horizon=horizon
+    )
+    stepper.seek(shard.start)
+    released = stepper.step_block(matrix)
+    matcher = pipeline.matcher
+    answers = matcher.answer(released)
+    true_answers = matcher.answer(matrix)
+    # Accumulate through the sink so sharded counting can never diverge
+    # from the batch/chunked micro-averaging rule.
+    sink = MetricsSink()
+    sink.update(true_answers, answers)
+    counts = sink.confusion
+    return ShardResult(
+        shard=shard,
+        answers=answers,
+        true_answers=true_answers,
+        counts=counts,
+        original=matrix if materialize else None,
+        released=released if materialize else None,
+    )
+
+
+def merge_results(
+    parts: Sequence[ShardResult],
+    *,
+    alphabet: EventAlphabet,
+    query_names: Sequence[str],
+    alpha: float = 0.5,
+    materialize: bool = True,
+):
+    """Merge per-shard results into one ``PipelineResult``.
+
+    ``parts`` must already be in shard (window) order; concatenation is
+    then exactly the batch layout.
+    """
+    from repro.runtime.executors import PipelineResult
+
+    parts = sorted(parts, key=lambda part: part.shard.start)
+
+    def join(vectors):
+        if not vectors:
+            return np.zeros(0, dtype=bool)
+        return np.concatenate(vectors)
+
+    answers = {
+        name: join([part.answers[name] for part in parts])
+        for name in query_names
+    }
+    true_answers = {
+        name: join([part.true_answers[name] for part in parts])
+        for name in query_names
+    }
+    sink = MetricsSink(alpha=alpha)
+    for part in parts:
+        sink.absorb(part.counts)
+    original = released = None
+    if materialize:
+        width = len(alphabet)
+
+        def join_matrix(blocks):
+            if not blocks:
+                return np.zeros((0, width), dtype=bool)
+            return np.concatenate(blocks)
+
+        original = IndicatorStream(
+            alphabet, join_matrix([part.original for part in parts])
+        )
+        released = IndicatorStream(
+            alphabet, join_matrix([part.released for part in parts])
+        )
+    return PipelineResult(
+        answers=answers,
+        true_answers=true_answers,
+        original=original,
+        released=released,
+        sink=sink,
+    )
+
+
+def make_pool(backend: str, n_workers: int, *, initializer=None, initargs=()):
+    """A worker pool for the chosen backend (caller must shut it down)."""
+    validate_backend(backend)
+    pool_type = (
+        ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
+    )
+    return pool_type(
+        max_workers=n_workers, initializer=initializer, initargs=initargs
+    )

@@ -196,6 +196,15 @@ class MetricsSink:
                 truth, released_answers[name]
             )
 
+    def absorb(self, counts: ConfusionCounts) -> None:
+        """Fold pre-accumulated confusion counts into the sink.
+
+        Sharded execution accumulates counts per shard and merges them
+        here; addition of counts is associative, so the merged quality
+        equals the sequentially-accumulated one.
+        """
+        self._counts = self._counts + counts
+
     @property
     def confusion(self) -> ConfusionCounts:
         return self._counts

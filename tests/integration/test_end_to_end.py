@@ -5,7 +5,6 @@ extraction → windows → indicators → engine+PPM → quality, plus the
 round trips between the harness pieces.
 """
 
-import numpy as np
 import pytest
 
 from repro.cep.engine import CEPEngine

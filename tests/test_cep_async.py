@@ -1,0 +1,288 @@
+"""Async ingestion sessions: parity, backpressure and flush-on-close."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.baselines.budget_distribution import BudgetDistribution
+from repro.baselines.user_level import UserLevelRR
+from repro.cep import (
+    AsyncSession,
+    CEPEngine,
+    ContinuousQuery,
+    OnlineSession,
+    Pattern,
+)
+from repro.core.uniform import UniformPatternPPM
+from repro.streams.events import Event
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+from repro.streams.stream import EventStream
+from repro.streams.windows import TumblingWindows
+
+ALPHABET = EventAlphabet.numbered(5)
+
+
+def make_engine(mechanism="uniform"):
+    engine = CEPEngine(ALPHABET)
+    engine.register_query(
+        ContinuousQuery("q1", Pattern.of_types("q1", "e1", "e2"))
+    )
+    engine.register_query(ContinuousQuery("q2", Pattern.of_types("q2", "e3")))
+    if mechanism == "uniform":
+        engine.attach_mechanism(
+            UniformPatternPPM(Pattern.of_types("p", "e1"), 1.0)
+        )
+    elif mechanism is not None:
+        engine.attach_mechanism(mechanism)
+    return engine
+
+
+def make_stream(n_windows, seed=3):
+    rng = np.random.default_rng(seed)
+    return IndicatorStream(ALPHABET, rng.random((n_windows, 5)) < 0.4)
+
+
+def type_sets_of(stream):
+    return [stream.window_types(i) for i in range(stream.n_windows)]
+
+
+class TestAsyncSession:
+    def test_matches_online_session_bit_for_bit(self):
+        stream = make_stream(150)
+        sync_answers = OnlineSession(make_engine(), rng=11).run(stream)
+
+        async def go():
+            async with AsyncSession(
+                make_engine(), rng=11, max_pending=8, max_batch=16
+            ) as session:
+                return await session.run(type_sets_of(stream))
+
+        assert asyncio.run(go()) == sync_answers
+
+    def test_batch_boundaries_do_not_change_answers(self):
+        stream = make_stream(97)
+
+        async def go(max_pending, max_batch):
+            async with AsyncSession(
+                make_engine(),
+                rng=5,
+                max_pending=max_pending,
+                max_batch=max_batch,
+            ) as session:
+                return await session.run(type_sets_of(stream))
+
+        one_by_one = asyncio.run(go(1, 1))
+        large_batches = asyncio.run(go(64, 64))
+        assert one_by_one == large_batches
+
+    def test_backpressure_bounds_backlog(self):
+        async def go():
+            session = AsyncSession(
+                make_engine(), rng=2, max_pending=4, max_batch=2
+            )
+            async with session:
+                for window in type_sets_of(make_stream(50)):
+                    await session.submit(window)
+                    assert session.backlog <= 4
+            return session.windows_processed
+
+        assert asyncio.run(go()) == 50
+
+    def test_flush_on_close_resolves_every_future(self):
+        async def go():
+            session = AsyncSession(
+                make_engine(), rng=4, max_pending=8, max_batch=4
+            )
+            session._ensure_started()
+            futures = [
+                await session.submit(window)
+                for window in type_sets_of(make_stream(37))
+            ]
+            await session.aclose()
+            assert session.windows_processed == 37
+            return [await future for future in futures]
+
+        answers = asyncio.run(go())
+        assert len(answers) == 37
+        assert all(set(a) == {"q1", "q2"} for a in answers)
+
+    def test_submit_after_close_raises(self):
+        async def go():
+            session = AsyncSession(make_engine(), rng=1)
+            async with session:
+                await session.process(["e1"])
+            with pytest.raises(RuntimeError, match="closed"):
+                await session.submit(["e2"])
+
+        asyncio.run(go())
+
+    def test_identity_engine_releases_truth(self):
+        stream = make_stream(40)
+
+        async def go():
+            async with AsyncSession(make_engine(None), rng=0) as session:
+                return await session.run(type_sets_of(stream))
+
+        answers = asyncio.run(go())
+        matcher_truth = make_engine(None).service_pipeline().matcher.answer(
+            stream.matrix_view()
+        )
+        for name, vector in matcher_truth.items():
+            assert answers[name] == [bool(v) for v in vector]
+
+    def test_recorded_streams_require_flag(self):
+        async def go():
+            async with AsyncSession(make_engine(), rng=1) as session:
+                await session.process(["e1", "e3"])
+                with pytest.raises(RuntimeError, match="record"):
+                    session.released_matrix
+
+        asyncio.run(go())
+
+    def test_close_races_with_blocked_producers(self):
+        # Producers suspended inside submit() when aclose() starts must
+        # land and be flushed — not stranded behind the close sentinel.
+        async def go():
+            session = AsyncSession(
+                make_engine(), rng=6, max_pending=1, max_batch=1
+            )
+            windows = type_sets_of(make_stream(6))
+
+            async def producer(window):
+                future = await session.submit(window)
+                return await future
+
+            async with session:
+                tasks = [
+                    asyncio.create_task(producer(window))
+                    for window in windows
+                ]
+                # Let every producer start (most block in queue.put).
+                await asyncio.sleep(0)
+            # aclose() ran with producers mid-put; all must resolve.
+            answers = await asyncio.wait_for(asyncio.gather(*tasks), 5)
+            assert len(answers) == len(windows)
+            assert session.windows_processed == len(windows)
+
+        asyncio.run(go())
+
+    def test_user_level_rejected(self):
+        with pytest.raises(TypeError):
+            AsyncSession(make_engine(UserLevelRR(100.0)))
+
+    def test_rejected_mechanism_charges_no_budget(self):
+        engine = make_engine(UserLevelRR(5.0))
+        accountant = engine.enable_accounting(10.0)
+        for _ in range(3):
+            with pytest.raises(TypeError):
+                AsyncSession(engine)
+        assert accountant.spent() == 0.0
+        with pytest.raises(TypeError):
+            OnlineSession(engine)
+        assert accountant.spent() == 0.0
+
+    def test_engine_without_queries_rejected(self):
+        with pytest.raises(ValueError):
+            AsyncSession(CEPEngine(ALPHABET))
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            AsyncSession(make_engine(), max_pending=0)
+        with pytest.raises(ValueError):
+            AsyncSession(make_engine(), max_batch=0)
+
+    def test_drainer_failure_fails_futures_and_close(self):
+        class ExplodingStepper:
+            def step_block(self, matrix):
+                raise RuntimeError("stepper blew up")
+
+        async def failing():
+            session = AsyncSession(make_engine(), rng=1, max_pending=4)
+            session._stepper = ExplodingStepper()
+            future = await session.submit(["e1"])
+            with pytest.raises(RuntimeError, match="stepper blew up"):
+                await session.aclose()
+            # the accepted window's future carries the same error
+            with pytest.raises(RuntimeError, match="stepper blew up"):
+                await future
+            return session
+
+        asyncio.run(failing())
+
+    def test_submit_after_drainer_failure_raises(self):
+        class ExplodingStepper:
+            def step_block(self, matrix):
+                raise RuntimeError("stepper blew up")
+
+        async def go():
+            session = AsyncSession(make_engine(), rng=1, max_pending=4)
+            session._stepper = ExplodingStepper()
+            future = await session.submit(["e1"])
+            with pytest.raises(RuntimeError):
+                await future
+            with pytest.raises(RuntimeError, match="drainer failed"):
+                await session.submit(["e2"])
+            with pytest.raises(RuntimeError, match="stepper blew up"):
+                await session.aclose()
+
+        asyncio.run(go())
+
+    def test_sequential_mechanism_supported(self):
+        stream = make_stream(30)
+
+        async def go():
+            async with AsyncSession(
+                make_engine(BudgetDistribution(1.0, w=5)), rng=9
+            ) as session:
+                return await session.run(type_sets_of(stream))
+
+        sync_answers = OnlineSession(
+            make_engine(BudgetDistribution(1.0, w=5)), rng=9
+        ).run(stream)
+        assert asyncio.run(go()) == sync_answers
+
+
+class TestProcessEventsAsync:
+    def make_events(self, n=300, seed=8):
+        rng = np.random.default_rng(seed)
+        return EventStream(
+            [
+                Event(f"e{rng.integers(1, 6)}", float(t))
+                for t in range(n)
+            ]
+        )
+
+    def test_report_matches_batch_for_flip_mechanisms(self):
+        events = self.make_events()
+        engine = make_engine()
+        batch = engine.process_events(events, TumblingWindows(10.0), rng=7)
+        report = asyncio.run(
+            engine.process_events_async(events, TumblingWindows(10.0), rng=7)
+        )
+        assert report.perturbed == batch.perturbed
+        assert report.original == batch.original
+        for name in batch.answers:
+            assert np.array_equal(
+                report.answers[name].detections,
+                batch.answers[name].detections,
+            )
+            assert np.array_equal(
+                report.true_answers[name].detections,
+                batch.true_answers[name].detections,
+            )
+        assert report.measured_quality() == batch.measured_quality()
+
+    def test_accounting_charged_once_per_async_run(self):
+        events = self.make_events(100)
+        engine = make_engine()
+        accountant = engine.enable_accounting(10.0)
+        asyncio.run(
+            engine.process_events_async(events, TumblingWindows(10.0), rng=1)
+        )
+        spent_once = accountant.spent()
+        assert spent_once > 0
+        asyncio.run(
+            engine.process_events_async(events, TumblingWindows(10.0), rng=2)
+        )
+        assert accountant.spent() == pytest.approx(2 * spent_once)

@@ -1,6 +1,5 @@
 """Tests for repro.cep.online — push-based service sessions."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.budget_absorption import BudgetAbsorption

@@ -1,6 +1,5 @@
 """Tests for repro.core.verification — exact DP checking."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,0 +1,299 @@
+"""Sharded execution: planning, determinism and batch bit-identity.
+
+The sharded executor's contract is that parallelism is *invisible* in
+the output: same seed ⇒ same ``PipelineResult`` as the batch executor,
+whatever the backend (thread/process), worker count or shard layout.
+That rests on the seek invariant — every shard's stepper consumes the
+child-generator words of its absolute window range — which these tests
+pin alongside the shard planner's arithmetic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.budget_absorption import BudgetAbsorption
+from repro.baselines.event_level import EventLevelRR
+from repro.baselines.landmark import LandmarkPrivacy
+from repro.baselines.user_level import UserLevelRR
+from repro.cep.patterns import Pattern
+from repro.cep.queries import ContinuousQuery
+from repro.core.ppm import MultiPatternPPM
+from repro.core.uniform import UniformPatternPPM
+from repro.runtime import (
+    BatchExecutor,
+    ShardedExecutor,
+    StreamPipeline,
+)
+from repro.runtime.sharding import Shard, clone_rng, plan_shards
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+
+ALPHABET = EventAlphabet.numbered(6)
+QUERIES = [
+    ContinuousQuery("q1", Pattern.of_types("q1", "e1", "e3")),
+    ContinuousQuery("q2", Pattern.of_types("q2", "e2")),
+]
+
+
+def make_stream(n_windows, seed=5):
+    rng = np.random.default_rng(seed)
+    return IndicatorStream(ALPHABET, rng.random((n_windows, 6)) < 0.3)
+
+
+def seekable_mechanisms():
+    return {
+        "identity": None,
+        "uniform": UniformPatternPPM(Pattern.of_types("p", "e1", "e2"), 1.0),
+        "multi": MultiPatternPPM(
+            [
+                UniformPatternPPM(Pattern.of_types("p", "e1", "e2"), 1.0),
+                UniformPatternPPM(Pattern.of_types("p2", "e4"), 2.0),
+            ]
+        ),
+        "event-level": EventLevelRR(1.0),
+        "user-level": UserLevelRR(500.0),
+    }
+
+
+def assert_bit_identical(left, right):
+    assert left.original == right.original
+    assert left.released == right.released
+    assert set(left.answers) == set(right.answers)
+    for name, detections in right.answers.items():
+        assert np.array_equal(left.answers[name], detections)
+        assert np.array_equal(
+            left.true_answers[name], right.true_answers[name]
+        )
+    assert left.quality() == right.quality()
+
+
+class TestShardPlanner:
+    def test_balanced_contiguous_cover(self):
+        shards = plan_shards(10, 3)
+        assert shards == [Shard(0, 4), Shard(4, 7), Shard(7, 10)]
+        assert sum(shard.n_windows for shard in shards) == 10
+
+    def test_more_shards_than_windows_collapses(self):
+        shards = plan_shards(3, 8)
+        assert len(shards) == 3
+        assert all(shard.n_windows == 1 for shard in shards)
+
+    def test_min_shard_size_caps_shard_count(self):
+        shards = plan_shards(100, 16, min_shard_size=25)
+        assert len(shards) == 4
+        assert all(shard.n_windows == 25 for shard in shards)
+
+    def test_empty_stream_plans_no_shards(self):
+        assert plan_shards(0, 4) == []
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            plan_shards(-1, 2)
+        with pytest.raises(ValueError):
+            plan_shards(10, 0)
+        with pytest.raises(ValueError):
+            plan_shards(10, 2, min_shard_size=0)
+        with pytest.raises(ValueError):
+            Shard(3, 1)
+
+
+class TestShardedExecutor:
+    @pytest.mark.parametrize("kind", list(seekable_mechanisms()))
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_bit_identical_to_batch(self, kind, backend):
+        pipeline = StreamPipeline(
+            ALPHABET, queries=QUERIES, mechanism=seekable_mechanisms()[kind]
+        )
+        stream = make_stream(257)
+        batch = BatchExecutor().run(pipeline, stream, rng=42)
+        sharded = ShardedExecutor(4, backend=backend).run(
+            pipeline, stream, rng=42
+        )
+        assert_bit_identical(sharded, batch)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("n_workers", [1, 2, 8])
+    def test_deterministic_across_worker_counts(self, backend, n_workers):
+        pipeline = StreamPipeline(
+            ALPHABET,
+            queries=QUERIES,
+            mechanism=seekable_mechanisms()["multi"],
+        )
+        stream = make_stream(190)
+        reference = BatchExecutor().run(pipeline, stream, rng=7)
+        executor = ShardedExecutor(n_workers, backend=backend)
+        first = executor.run(pipeline, stream, rng=7)
+        second = executor.run(pipeline, stream, rng=7)
+        assert_bit_identical(first, reference)
+        assert_bit_identical(second, first)
+
+    def test_generator_rng_matches_batch(self):
+        pipeline = StreamPipeline(
+            ALPHABET,
+            queries=QUERIES,
+            mechanism=seekable_mechanisms()["uniform"],
+        )
+        stream = make_stream(120)
+        batch = BatchExecutor().run(
+            pipeline, stream, rng=np.random.default_rng(99)
+        )
+        sharded = ShardedExecutor(3).run(
+            pipeline, stream, rng=np.random.default_rng(99)
+        )
+        assert_bit_identical(sharded, batch)
+
+    def test_shared_generator_advances_between_runs(self):
+        # Repeated releases off one generator must draw fresh
+        # randomness — identical repeated perturbations would leak more
+        # than their accounted budget.
+        pipeline = StreamPipeline(
+            ALPHABET,
+            queries=QUERIES,
+            mechanism=seekable_mechanisms()["uniform"],
+        )
+        stream = make_stream(150)
+        generator = np.random.default_rng(21)
+        executor = ShardedExecutor(4)
+        first = executor.run(pipeline, stream, rng=generator)
+        second = executor.run(pipeline, stream, rng=generator)
+        assert first.released != second.released
+
+    def test_explicit_shard_count(self):
+        pipeline = StreamPipeline(
+            ALPHABET,
+            queries=QUERIES,
+            mechanism=seekable_mechanisms()["uniform"],
+        )
+        stream = make_stream(100)
+        batch = BatchExecutor().run(pipeline, stream, rng=13)
+        sharded = ShardedExecutor(2, n_shards=7).run(
+            pipeline, stream, rng=13
+        )
+        assert_bit_identical(sharded, batch)
+
+    def test_materialize_false_keeps_answers_and_metrics(self):
+        pipeline = StreamPipeline(
+            ALPHABET,
+            queries=QUERIES,
+            mechanism=seekable_mechanisms()["uniform"],
+        )
+        stream = make_stream(80)
+        batch = BatchExecutor().run(pipeline, stream, rng=3)
+        sharded = ShardedExecutor(4, materialize=False).run(
+            pipeline, stream, rng=3
+        )
+        assert sharded.original is None and sharded.released is None
+        for name, detections in batch.answers.items():
+            assert np.array_equal(sharded.answers[name], detections)
+        assert sharded.quality() == batch.quality()
+
+    def test_empty_stream(self):
+        pipeline = StreamPipeline(
+            ALPHABET,
+            queries=QUERIES,
+            mechanism=seekable_mechanisms()["uniform"],
+        )
+        result = ShardedExecutor(4).run(pipeline, make_stream(0), rng=1)
+        assert result.n_windows == 0
+        for vector in result.answers.values():
+            assert vector.shape == (0,)
+
+    @pytest.mark.parametrize(
+        "mechanism",
+        [
+            BudgetAbsorption(1.0, w=4),
+            LandmarkPrivacy(
+                1.0, landmarks=np.zeros(50, dtype=bool) | (np.arange(50) % 7 == 0)
+            ),
+        ],
+        ids=["ba", "landmark"],
+    )
+    def test_sequential_mechanisms_rejected(self, mechanism):
+        pipeline = StreamPipeline(
+            ALPHABET, queries=QUERIES, mechanism=mechanism
+        )
+        with pytest.raises(TypeError, match="ChunkedExecutor"):
+            ShardedExecutor(2).run(pipeline, make_stream(50), rng=1)
+
+    def test_batch_only_mechanism_directed_to_batch_executor(self):
+        class BatchOnly:
+            name = "batch-only"
+
+            def perturb(self, stream, *, rng=None):
+                return stream
+
+        pipeline = StreamPipeline(
+            ALPHABET, queries=QUERIES, mechanism=BatchOnly()
+        )
+        with pytest.raises(TypeError, match="BatchExecutor"):
+            ShardedExecutor(2).run(pipeline, make_stream(50), rng=1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ShardedExecutor(0)
+        with pytest.raises(ValueError):
+            ShardedExecutor(2, backend="gpu")
+        with pytest.raises(ValueError):
+            ShardedExecutor(2, n_shards=0)
+
+    def test_clone_rng_passes_seeds_and_copies_generators(self):
+        assert clone_rng(None) is None
+        assert clone_rng(11) == 11
+        parent = np.random.default_rng(4)
+        clone = clone_rng(parent)
+        assert clone is not parent
+        assert clone.random() == np.random.default_rng(4).random()
+        # the clone advanced; the parent did not
+        assert parent.random() == np.random.default_rng(4).random()
+
+
+class TestParallelSweep:
+    def test_thread_and_process_sweeps_match_serial(self):
+        from repro.datasets.synthetic import SyntheticConfig, synthesize_dataset
+        from repro.experiments.runner import sweep
+        from repro.utils.rng import derive_rng
+
+        workload = synthesize_dataset(
+            SyntheticConfig(n_windows=90, n_history_windows=60),
+            rng=derive_rng(3, "sweep-parity"),
+            name="sweep-parity",
+        )
+        kwargs = dict(
+            epsilon_grid=(0.5, 2.0),
+            mechanisms=("uniform", "bd"),
+            n_trials=2,
+            rng=77,
+        )
+        serial = sweep(workload, **kwargs)
+        threaded = sweep(workload, workers=4, backend="thread", **kwargs)
+        forked = sweep(workload, workers=2, backend="process", **kwargs)
+        assert threaded == serial
+        assert forked == serial
+
+    def test_unknown_backend_rejected(self):
+        from repro.datasets.synthetic import SyntheticConfig, synthesize_dataset
+        from repro.experiments.runner import sweep
+        from repro.utils.rng import derive_rng
+
+        workload = synthesize_dataset(
+            SyntheticConfig(n_windows=40, n_history_windows=30),
+            rng=derive_rng(3, "sweep-backend"),
+            name="sweep-backend",
+        )
+        with pytest.raises(ValueError, match="backend"):
+            sweep(
+                workload,
+                epsilon_grid=(1.0, 2.0),
+                mechanisms=("uniform",),
+                workers=2,
+                backend="gpu",
+            )
+        # Misconfiguration surfaces even when the sweep would run
+        # serially (one worker), not only once the grid fans out.
+        with pytest.raises(ValueError, match="backend"):
+            sweep(
+                workload,
+                epsilon_grid=(1.0,),
+                mechanisms=("uniform",),
+                workers=1,
+                backend="gpu",
+            )
