@@ -26,28 +26,52 @@ def check(results_dir):
         return 1
     failures = []
     for filename in summaries:
-        with open(os.path.join(results_dir, filename)) as handle:
-            payload = json.load(handle)
+        try:
+            with open(os.path.join(results_dir, filename)) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as error:
+            # A summary the bench job failed to write fully is itself a
+            # regression signal; report it and keep checking the rest.
+            failures.append((filename, "<file>", f"unreadable: {error}"))
+            continue
         gates = payload.get("gates", {})
+        if not isinstance(gates, dict):
+            failures.append(
+                (filename, "<gates>", f"not a mapping: {gates!r}")
+            )
+            continue
         if not gates:
             print(f"{filename}: no gates (metrics recorded only)")
             continue
         for gate, spec in sorted(gates.items()):
-            floor = float(spec["floor"])
-            value = float(spec["value"])
+            try:
+                floor = float(spec["floor"])
+                value = float(spec["value"])
+            except (KeyError, TypeError, ValueError) as error:
+                failures.append(
+                    (
+                        filename,
+                        gate,
+                        f"malformed gate spec {spec!r} ({error!r})",
+                    )
+                )
+                continue
             verdict = "ok" if value >= floor else "REGRESSION"
             print(
                 f"{filename}: {gate} = {value:.2f} (floor {floor:.2f}) "
                 f"{verdict}"
             )
             if value < floor:
-                failures.append((filename, gate, value, floor))
+                failures.append(
+                    (
+                        filename,
+                        gate,
+                        f"{value:.2f} < floor {floor:.2f}",
+                    )
+                )
     if failures:
-        for filename, gate, value, floor in failures:
-            print(
-                f"FAIL {filename}:{gate}: {value:.2f} < floor {floor:.2f}",
-                file=sys.stderr,
-            )
+        for filename, gate, reason in failures:
+            print(f"FAIL {filename}:{gate}: {reason}", file=sys.stderr)
         return 1
     print("all benchmark gates passed")
     return 0

@@ -47,6 +47,12 @@ class BudgetAbsorption(WEventMechanism):
         state["nullified_until"] = t + absorbed_units - 1
         state["last_publication"] = t
 
+    def _zero_budget_until(self, t: int, state: Dict) -> int:
+        # Nullified timestamps get budget 0 whatever the data; the
+        # release loop bulk-approximates [t, nullified_until] without
+        # drawing randomness.
+        return state["nullified_until"] + 1
+
     @property
     def max_single_publication_budget(self) -> float:
         """The largest budget one publication can receive (``ε_2``)."""

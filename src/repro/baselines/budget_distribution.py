@@ -20,15 +20,33 @@ class BudgetDistribution(WEventMechanism):
 
     mechanism_name = "bd"
 
+    def _initial_scheduler_state(self) -> Dict:
+        # Publications still inside the sliding window, as (t, budget)
+        # pairs.  Summing these is bit-identical to summing the trace's
+        # publication-budget slice — skipped timestamps contribute
+        # exactly 0.0 there, and adding 0.0 never changes a float — but
+        # costs O(publications in window), not O(w), per step.
+        return {"recent": []}
+
     def _publication_budget(
         self, t: int, trace: ReleaseTrace, state: Dict
     ) -> float:
-        start = max(0, t - (self.w - 1))
-        spent_recently = sum(trace.publication_budgets[start:t])
+        start = t - (self.w - 1)
+        recent = state["recent"]
+        while recent and recent[0][0] < start:
+            del recent[0]
+        spent_recently = 0.0
+        for _when, budget in recent:
+            spent_recently += budget
         remaining = self.epsilon_publication - spent_recently
         if remaining <= 0:
             return 0.0
         return remaining / 2.0
+
+    def _after_publication(
+        self, t: int, budget: float, trace: ReleaseTrace, state: Dict
+    ) -> None:
+        state["recent"].append((t, budget))
 
     @property
     def max_single_publication_budget(self) -> float:

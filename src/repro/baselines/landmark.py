@@ -77,6 +77,11 @@ class LandmarkReleaser:
                 f"expected a vector of {self.n_types} statistics, got "
                 f"shape {true_vector.shape}"
             )
+        released = self._advance(true_vector)
+        return np.array(released, dtype=float, copy=True)
+
+    def _advance(self, true_vector: np.ndarray) -> np.ndarray:
+        """One release step; returns the released row without copying."""
         if self.t >= self._landmarks.shape[0]:
             raise ValueError(
                 f"landmark mask covers {self._landmarks.shape[0]} windows; "
@@ -125,14 +130,77 @@ class LandmarkReleaser:
             )
             released = true_vector + noise
         self.t += 1
-        return np.array(released, dtype=float, copy=True)
+        return released
 
     def step_block(self, matrix: np.ndarray) -> np.ndarray:
         """Release a block of timestamps; rows are indicator vectors."""
-        released = np.empty_like(matrix, dtype=float)
+        matrix = np.asarray(matrix, dtype=float)
+        released = np.empty_like(matrix)
         for row in range(matrix.shape[0]):
-            released[row] = self.step(matrix[row])
+            released[row] = self._advance(matrix[row])
         return released
+
+    def advance_block(self, matrix: np.ndarray) -> None:
+        """Step through a block without materializing the released rows.
+
+        Used by the checkpoint prepass: state and randomness evolve
+        exactly as under :meth:`step_block`.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        for row in range(matrix.shape[0]):
+            self._advance(matrix[row])
+
+    # -- checkpointing -------------------------------------------------
+
+    def snapshot(self, *, include_trace: bool = True) -> dict:
+        """A picklable checkpoint of the release state at time ``t``.
+
+        Captures the adaptive budget threading (remaining publication
+        budget, landmarks left), the last release, the step counter and
+        the rng-pool derivation source; the landmark mask itself is
+        configuration, fixed at construction, and only its length is
+        recorded for validation.  ``include_trace`` exists for protocol
+        uniformity with the w-event releasers — landmark keeps no
+        accounting trace, so it has no effect.
+        """
+        return {
+            "format": 1,
+            "t": self.t,
+            "n_types": self.n_types,
+            "n_windows": int(self._landmarks.shape[0]),
+            "remaining_publication": self._remaining_publication,
+            "landmarks_left": self._landmarks_left,
+            "last_release": (
+                None
+                if self.last_release is None
+                else np.array(self.last_release, copy=True)
+            ),
+            "rng": self._children.snapshot(),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Adopt a checkpoint produced by :meth:`snapshot`."""
+        if snapshot["n_types"] != self.n_types:
+            raise ValueError(
+                f"checkpoint covers {snapshot['n_types']} event types, "
+                f"this releaser has {self.n_types}"
+            )
+        if snapshot["n_windows"] != self._landmarks.shape[0]:
+            raise ValueError(
+                f"checkpoint was taken under a landmark mask of "
+                f"{snapshot['n_windows']} windows, this releaser has "
+                f"{self._landmarks.shape[0]}"
+            )
+        self.t = int(snapshot["t"])
+        self._remaining_publication = float(
+            snapshot["remaining_publication"]
+        )
+        self._landmarks_left = int(snapshot["landmarks_left"])
+        last_release = snapshot["last_release"]
+        self.last_release = (
+            None if last_release is None else np.array(last_release, copy=True)
+        )
+        self._children.restore(snapshot["rng"])
 
 
 class LandmarkPrivacy(StreamMechanism):

@@ -31,8 +31,10 @@ the binary pattern queries.
 from __future__ import annotations
 
 import abc
+import copy
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,25 +52,43 @@ class ReleaseTrace:
     publication_budgets: List[float] = field(default_factory=list)
     dissimilarity_budgets: List[float] = field(default_factory=list)
 
+    def _spend_prefix(self) -> np.ndarray:
+        """Prefix sums of the per-timestamp total spend.
+
+        ``prefix[t]`` is the budget spent strictly before timestamp
+        ``t``, so any window's spend is one subtraction.  Both window
+        accessors read through this, keeping them mutually consistent.
+        """
+        totals = np.asarray(self.publication_budgets, dtype=float) + (
+            np.asarray(self.dissimilarity_budgets, dtype=float)
+        )
+        prefix = np.empty(totals.shape[0] + 1)
+        prefix[0] = 0.0
+        np.cumsum(totals, out=prefix[1:])
+        return prefix
+
     def spent_in_window(self, start: int, w: int) -> float:
         """Total budget spent in the ``w`` timestamps from ``start``."""
-        stop = min(start + w, len(self.published))
-        return float(
-            sum(self.publication_budgets[start:stop])
-            + sum(self.dissimilarity_budgets[start:stop])
-        )
+        n = len(self.published)
+        start = min(max(start, 0), n)
+        stop = min(start + w, n)
+        prefix = self._spend_prefix()
+        return float(prefix[stop] - prefix[start])
 
     def max_window_spend(self, w: int) -> float:
         """The largest spend over any sliding window of ``w`` timestamps.
 
-        The w-event guarantee requires this never to exceed ε.
+        The w-event guarantee requires this never to exceed ε.  Computed
+        from the spend prefix sums in O(n) — not O(n·w) slicing — so the
+        guarantee checks stay cheap on long traces.
         """
         if not self.published:
             return 0.0
-        return max(
-            self.spent_in_window(start, w)
-            for start in range(len(self.published))
-        )
+        prefix = self._spend_prefix()
+        n = len(self.published)
+        starts = np.arange(n)
+        stops = np.minimum(starts + w, n)
+        return float(np.max(prefix[stops] - prefix[starts]))
 
 
 class OnlineReleaser:
@@ -104,6 +124,24 @@ class OnlineReleaser:
         self.last_release: Optional[np.ndarray] = None
         self.t = 0
         self.scheduler_state: Dict = mechanism._initial_scheduler_state()
+        # Per-step constants, hoisted out of the hot loop (identical
+        # floating-point values to recomputing them per timestamp).
+        self._dissimilarity_draw_scale = (
+            mechanism.w
+            * mechanism.sensitivity
+            / mechanism.epsilon_dissimilarity
+            / n_types
+        )
+        self._dissimilarity_charge = (
+            mechanism.epsilon_dissimilarity / mechanism.w
+        )
+
+    #: Blocks at least this long precompute their dissimilarity
+    #: uniforms vectorized (:meth:`IndexedRngPool.first_uniforms`);
+    #: shorter blocks — single pushes, async micro-batches — draw
+    #: per-step, which is cheaper below this size.  Both paths produce
+    #: bit-identical draws.
+    _UNIFORM_PREFETCH_MIN = 32
 
     def step(self, true_vector: np.ndarray) -> np.ndarray:
         """Release one timestamp's statistics."""
@@ -113,59 +151,318 @@ class OnlineReleaser:
                 f"expected a vector of {self.n_types} statistics, got "
                 f"shape {true_vector.shape}"
             )
-        mechanism = self.mechanism
-        rng_t = self._children.generator(self.t)
-        budget = mechanism._publication_budget(
-            self.t, self.trace, self.scheduler_state
-        )
-        dissimilarity_scale = (
-            mechanism.w * mechanism.sensitivity
-            / mechanism.epsilon_dissimilarity
-        )
-        publish = False
-        if self.last_release is None:
-            publish = budget > 0
-        elif budget > 0:
-            # Private dissimilarity: mean absolute deviation from the
-            # last release, plus Laplace noise (Kellaris' `dis`).  The
-            # reduce spelling is bit-identical to .mean() and skips its
-            # dispatch overhead in this per-window hot loop.
-            true_distance = float(
-                np.add.reduce(np.abs(true_vector - self.last_release))
-                / self.n_types
-            )
-            noisy_distance = true_distance + float(
-                rng_t.laplace(0.0, dissimilarity_scale / self.n_types)
-            )
-            publish = noisy_distance > mechanism.sensitivity / budget
-        self.trace.dissimilarity_budgets.append(
-            mechanism.epsilon_dissimilarity / mechanism.w
-        )
-        if publish:
-            noise = rng_t.laplace(
-                0.0, mechanism.sensitivity / budget, size=self.n_types
-            )
-            self.last_release = true_vector + noise
-            self.trace.published.append(True)
-            self.trace.publication_budgets.append(budget)
-            mechanism._after_publication(
-                self.t, budget, self.trace, self.scheduler_state
-            )
-        else:
-            if self.last_release is None:
-                # Nothing released yet and no budget: emit pure noise
-                # around 1/2 so the output is data-independent.
-                self.last_release = np.full(self.n_types, 0.5)
-            self.trace.published.append(False)
-            self.trace.publication_budgets.append(0.0)
-        self.t += 1
+        self._run_block(true_vector.reshape(1, -1), None)
         return self.last_release.copy()
 
     def step_block(self, matrix: np.ndarray) -> np.ndarray:
         """Release a block of timestamps; rows are indicator vectors."""
-        released = np.empty_like(matrix, dtype=float)
-        for row in range(matrix.shape[0]):
-            released[row] = self.step(matrix[row])
+        matrix = np.asarray(matrix, dtype=float)
+        released = np.empty_like(matrix)
+        self._run_block(matrix, released)
+        return released
+
+    def advance_block(self, matrix: np.ndarray) -> None:
+        """Step the scheduler through a block without materializing output.
+
+        The checkpoint prepass of
+        :class:`~repro.runtime.executors.ShardedExecutor` walks the whole
+        stream through this — state, trace and randomness evolve exactly
+        as under :meth:`step_block`, only the released rows are not
+        built.
+        """
+        self._run_block(np.asarray(matrix, dtype=float), None)
+
+    def _run_block(
+        self, matrix: np.ndarray, released: Optional[np.ndarray]
+    ) -> None:
+        """The release loop over a block (``released=None`` ⇒ prepass).
+
+        Per-timestamp draws come from the index-derived child streams
+        (``derive_rng(rng, "w-event", t)``), so the loop is free to
+        consume them smartly without changing a single output bit:
+
+        - the dissimilarity uniforms of a whole block are precomputed
+          vectorized (one PCG64-emulation pass instead of a generator
+          install + Laplace call per step), and the Laplace transform is
+          replayed in scalar C-``log`` arithmetic exactly as numpy's
+          ``random_laplace`` computes it;
+        - timestamps inside a data-independent zero-budget stretch
+          (BA's nullified periods, declared through
+          :meth:`WEventMechanism._zero_budget_until`) are
+          bulk-approximated: no draws, constant trace appends;
+        - only publishing timestamps touch a real generator (the child
+          is installed, repositioned past the dissimilarity word, and
+          the publication noise drawn from it as usual).
+        """
+        mechanism = self.mechanism
+        n = matrix.shape[0]
+        if n == 0:
+            return
+        block_start = self.t
+        uniforms = (
+            self._children.first_uniforms(block_start, block_start + n)
+            if n >= self._UNIFORM_PREFETCH_MIN
+            else None
+        )
+        trace = self.trace
+        published = trace.published
+        publication_budgets = trace.publication_budgets
+        dissimilarity_budgets = trace.dissimilarity_budgets
+        charge = self._dissimilarity_charge
+        scale = self._dissimilarity_draw_scale
+        sensitivity = mechanism.sensitivity
+        state = self.scheduler_state
+        log = math.log
+        row = 0
+        while row < n:
+            last_release = self.last_release
+            if last_release is not None:
+                skip = min(
+                    mechanism._zero_budget_until(self.t, state) - self.t,
+                    n - row,
+                )
+                if skip > 0:
+                    # Zero budget, data-independent: approximate in bulk
+                    # (no randomness is consumed at these timestamps).
+                    if released is not None:
+                        released[row : row + skip] = last_release
+                    published.extend([False] * skip)
+                    publication_budgets.extend([0.0] * skip)
+                    dissimilarity_budgets.extend([charge] * skip)
+                    self.t += skip
+                    row += skip
+                    continue
+            budget = mechanism._publication_budget(self.t, trace, state)
+            publish = False
+            rng_t = None
+            if last_release is None:
+                publish = budget > 0
+            elif budget > 0:
+                # Private dissimilarity: mean absolute deviation from
+                # the last release, plus Laplace noise (Kellaris'
+                # `dis`).  The reduce spelling is bit-identical to
+                # .mean() and skips its dispatch overhead.
+                if uniforms is None:
+                    rng_t = self._children.generator(self.t)
+                    noise = float(rng_t.laplace(0.0, scale))
+                else:
+                    uniform = uniforms[row]
+                    if uniform >= 0.5:
+                        # numpy random_laplace, loc=0: branch and
+                        # arithmetic order replayed exactly.
+                        noise = 0.0 - scale * log(2.0 - uniform - uniform)
+                    elif uniform > 0.0:
+                        noise = 0.0 + scale * log(uniform + uniform)
+                    else:
+                        # U == 0 retries inside numpy; take the real
+                        # generator for this (astronomically rare) step.
+                        rng_t = self._children.generator(self.t)
+                        noise = float(rng_t.laplace(0.0, scale))
+                true_distance = float(
+                    np.add.reduce(np.abs(matrix[row] - last_release))
+                    / self.n_types
+                )
+                publish = true_distance + noise > sensitivity / budget
+            dissimilarity_budgets.append(charge)
+            if publish:
+                if rng_t is None:
+                    rng_t = self._children.generator(self.t)
+                    if last_release is not None:
+                        # The stepped stream spent one word on the
+                        # dissimilarity draw; reposition past it.
+                        rng_t.laplace(0.0, scale)
+                noise_vector = rng_t.laplace(
+                    0.0, sensitivity / budget, size=self.n_types
+                )
+                self.last_release = matrix[row] + noise_vector
+                published.append(True)
+                publication_budgets.append(budget)
+                mechanism._after_publication(self.t, budget, trace, state)
+            else:
+                if last_release is None:
+                    # Nothing released yet and no budget: emit pure
+                    # noise around 1/2 so the output is
+                    # data-independent.
+                    self.last_release = np.full(self.n_types, 0.5)
+                published.append(False)
+                publication_budgets.append(0.0)
+            if released is not None:
+                released[row] = self.last_release
+            self.t += 1
+            row += 1
+
+    # -- checkpointing -------------------------------------------------
+
+    def snapshot(self, *, include_trace: bool = True) -> Dict:
+        """A picklable checkpoint of the full release state at time ``t``.
+
+        Captures everything a bit-identical continuation needs: the
+        scheduler state, the accounting trace, the last release, the
+        step counter and the rng-pool derivation source.  Restoring it
+        on a fresh releaser (same mechanism parameters) and stepping on
+        reproduces an uninterrupted run exactly.
+
+        ``include_trace=False`` omits the trace prefix (its length
+        grows with ``t``, and copying/pickling it at every shard
+        boundary would make the checkpoint prepass quadratic).  The
+        built-in schedulers never read the trace — BD budgets come
+        from the in-window publication state, BA from its markers —
+        so shard replicas replay identically without it; only session
+        checkpoints, whose restored trace must equal the uninterrupted
+        run's, need the full form.
+        """
+        return {
+            "format": 1,
+            "t": self.t,
+            "n_types": self.n_types,
+            "scheduler_state": copy.deepcopy(self.scheduler_state),
+            "last_release": (
+                None
+                if self.last_release is None
+                else np.array(self.last_release, copy=True)
+            ),
+            "trace": (
+                (
+                    list(self.trace.published),
+                    list(self.trace.publication_budgets),
+                    list(self.trace.dissimilarity_budgets),
+                )
+                if include_trace
+                else None
+            ),
+            "rng": self._children.snapshot(),
+        }
+
+    def restore(self, snapshot: Dict) -> None:
+        """Adopt a checkpoint produced by :meth:`snapshot`.
+
+        The trace object is mutated in place (not replaced) so callers
+        holding a reference — ``mechanism.last_trace``, the runtime
+        stepper — keep observing the restored run.  A trace-free
+        checkpoint leaves the current trace untouched.
+        """
+        if snapshot["n_types"] != self.n_types:
+            raise ValueError(
+                f"checkpoint covers {snapshot['n_types']} event types, "
+                f"this releaser has {self.n_types}"
+            )
+        self.t = int(snapshot["t"])
+        self.scheduler_state = copy.deepcopy(snapshot["scheduler_state"])
+        last_release = snapshot["last_release"]
+        self.last_release = (
+            None if last_release is None else np.array(last_release, copy=True)
+        )
+        if snapshot["trace"] is not None:
+            published, publication_budgets, dissimilarity_budgets = snapshot[
+                "trace"
+            ]
+            self.trace.published[:] = published
+            self.trace.publication_budgets[:] = publication_budgets
+            self.trace.dissimilarity_budgets[:] = dissimilarity_budgets
+        self._children.restore(snapshot["rng"])
+
+    # -- decision replay -----------------------------------------------
+
+    def decision_slice(self, start: int, stop: int) -> Tuple:
+        """The recorded scheduler decisions for timestamps [start, stop).
+
+        Only meaningful after the trace covers ``stop`` (i.e. on a
+        releaser that already advanced past it — the checkpoint
+        prepass).  Feed the result to :meth:`replay_block` on a restored
+        releaser to reproduce those timestamps without re-running the
+        scheduler.
+        """
+        if stop > len(self.trace.published):
+            raise ValueError(
+                f"trace covers {len(self.trace.published)} timestamps; "
+                f"cannot slice decisions up to {stop}"
+            )
+        return (
+            list(self.trace.published[start:stop]),
+            list(self.trace.publication_budgets[start:stop]),
+        )
+
+    def replay_block(self, matrix: np.ndarray, decisions: Tuple) -> np.ndarray:
+        """Reproduce :meth:`step_block` from recorded scheduler decisions.
+
+        ``decisions`` is :meth:`decision_slice` of a completed run for
+        exactly the rows of ``matrix`` (absolute timestamps ``t`` to
+        ``t + n``).  Bit-identity with stepping holds because the
+        per-timestamp randomness is index-derived: a publishing
+        timestamp draws its dissimilarity word (when one preceded it)
+        and its Laplace noise from the same child generator the stepped
+        run used, and non-publishing timestamps repeat the previous
+        release — their dissimilarity draws never touch the output, and
+        skipping them cannot shift any other timestamp's stream.  Only
+        the publishing timestamps cost Python-loop work, which is what
+        makes sharded replay fast on the sparse publication schedules
+        BD/BA produce.
+
+        State, trace and step counter advance exactly as under
+        :meth:`step_block`, so stepping may resume afterwards.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        n = matrix.shape[0]
+        published, budgets = decisions
+        if len(published) != n or len(budgets) != n:
+            raise ValueError(
+                f"decisions cover {len(published)} timestamps but the "
+                f"block has {n} rows"
+            )
+        mechanism = self.mechanism
+        released = np.empty_like(matrix)
+        publish_rows = [row for row in range(n) if published[row]]
+        values = []
+        current = self.last_release
+        for row in publish_rows:
+            rng_t = self._children.generator(self.t + row)
+            if not (row == 0 and current is None):
+                # The stepped run drew the noisy dissimilarity estimate
+                # before publishing whenever a previous release existed;
+                # consume the same word so the noise stream aligns.
+                rng_t.laplace(0.0, self._dissimilarity_draw_scale)
+            noise = rng_t.laplace(
+                0.0,
+                mechanism.sensitivity / budgets[row],
+                size=self.n_types,
+            )
+            value = matrix[row] + noise
+            values.append(value)
+            released[row] = value
+        # Forward-fill approximating timestamps from the publication
+        # at-or-before them, vectorized (no per-row Python work).
+        ordinals = np.cumsum(np.asarray(published, dtype=bool)) - 1
+        approx = ~np.asarray(published, dtype=bool)
+        before_first = approx & (ordinals < 0)
+        after = approx & (ordinals >= 0)
+        if np.any(after):
+            stacked = np.stack(values)
+            released[after] = stacked[ordinals[after]]
+        if np.any(before_first):
+            if current is None:
+                current = np.full(self.n_types, 0.5)
+            released[before_first] = current
+        # Bring state, trace and accounting to where stepping would be.
+        self.trace.published.extend(bool(flag) for flag in published)
+        self.trace.publication_budgets.extend(
+            float(budget) for budget in budgets
+        )
+        self.trace.dissimilarity_budgets.extend(
+            [self._dissimilarity_charge] * n
+        )
+        for row in publish_rows:
+            mechanism._after_publication(
+                self.t + row,
+                float(budgets[row]),
+                self.trace,
+                self.scheduler_state,
+            )
+        if n:
+            if publish_rows and publish_rows[-1] == n - 1:
+                self.last_release = values[-1].copy()
+            else:
+                self.last_release = np.array(released[n - 1], copy=True)
+        self.t += n
         return released
 
 
@@ -202,6 +499,17 @@ class WEventMechanism(StreamMechanism):
         self, t: int, budget: float, trace: ReleaseTrace, state: Dict
     ) -> None:
         """Hook invoked after a publication is committed."""
+
+    def _zero_budget_until(self, t: int, state: Dict) -> int:
+        """Exclusive end of a data-independent zero-budget stretch at ``t``.
+
+        When every timestamp in ``[t, end)`` is guaranteed publication
+        budget 0 regardless of the data (BA's nullified periods), the
+        release loop bulk-approximates them without consuming any
+        randomness — bit-identical to stepping, since zero-budget steps
+        never draw.  The default declares no stretch.
+        """
+        return t
 
     # -- release -----------------------------------------------------------
 

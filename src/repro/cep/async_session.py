@@ -174,6 +174,51 @@ class AsyncSession:
                 await asyncio.sleep(0)
             raise
 
+    # -- checkpointing -------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """A picklable checkpoint of the session's release state.
+
+        Only meaningful while the session is quiescent — every
+        submitted window fully processed — because windows sitting in
+        the queue are not part of the stepper state yet; a snapshot
+        taken mid-drain would silently drop them on restore.  Raises
+        ``RuntimeError`` when windows are still in flight.
+        """
+        if self._submitted != self._processed:
+            raise RuntimeError(
+                f"cannot snapshot with {self._submitted - self._processed} "
+                "windows still queued; await their answers first"
+            )
+        return {
+            "format": 1,
+            "windows": self._processed,
+            "stepper": (
+                None if self._stepper is None else self._stepper.snapshot()
+            ),
+        }
+
+    def restore(self, snapshot: Dict) -> None:
+        """Resume from a checkpoint produced by :meth:`snapshot`.
+
+        The session must be freshly configured like the snapshotted one
+        (same engine configuration and seed) and must not have
+        processed any windows yet.
+        """
+        if self._submitted != self._processed:
+            raise RuntimeError(
+                "cannot restore while windows are still queued"
+            )
+        stepper_state = snapshot["stepper"]
+        if (self._stepper is None) != (stepper_state is None):
+            raise ValueError(
+                "checkpoint does not match this session's mechanism "
+                "(protected vs unprotected)"
+            )
+        if self._stepper is not None:
+            self._stepper.restore(stepper_state)
+        self._submitted = self._processed = int(snapshot["windows"])
+
     # -- ingestion -----------------------------------------------------
 
     @property

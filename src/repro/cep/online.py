@@ -86,6 +86,47 @@ class OnlineSession:
         """Number of windows pushed so far."""
         return self._pushed
 
+    # -- checkpointing -------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """A picklable checkpoint of the session's release state.
+
+        Captures the window counter and the stepper's full state — for
+        sequential mechanisms (BD/BA, landmark) the scheduler state,
+        accounting trace, last release and rng-pool position; for flip
+        and matrix-RR mechanisms the per-type child generator
+        positions.  Restoring it on a fresh session over the same
+        engine configuration and seed resumes mid-stream with exactly
+        the randomness and budget state an uninterrupted run would
+        have had.
+        """
+        return {
+            "format": 1,
+            "windows": self._pushed,
+            "stepper": (
+                None if self._stepper is None else self._stepper.snapshot()
+            ),
+        }
+
+    def restore(self, snapshot: Dict) -> None:
+        """Resume from a checkpoint produced by :meth:`snapshot`.
+
+        The session must be configured like the snapshotted one (same
+        engine queries/mechanism and session seed); the engine's
+        accountant is *not* re-credited — a restored session was
+        already charged at construction, so a crash-and-resume cycle
+        never undercounts spent budget.
+        """
+        stepper_state = snapshot["stepper"]
+        if (self._stepper is None) != (stepper_state is None):
+            raise ValueError(
+                "checkpoint does not match this session's mechanism "
+                "(protected vs unprotected)"
+            )
+        if self._stepper is not None:
+            self._stepper.restore(stepper_state)
+        self._pushed = int(snapshot["windows"])
+
     def push(self, window_types: Iterable[str]) -> Dict[str, bool]:
         """Process one closed window; return per-query binary answers."""
         row = np.zeros((1, len(self._engine.alphabet)), dtype=bool)

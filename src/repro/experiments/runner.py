@@ -286,6 +286,7 @@ class WorkloadEvaluation:
         rng: RngLike = None,
         workers: Optional[int] = None,
         backend: str = "thread",
+        executor=None,
     ) -> List[EvaluationResult]:
         """Evaluate every (mechanism, ε) cell, optionally in parallel.
 
@@ -297,6 +298,15 @@ class WorkloadEvaluation:
         sweep is bit-identical to the serial one.  The thread backend
         shares this context's caches; the process backend rebuilds the
         context once per worker from the pickled workload.
+
+        ``executor`` selects the runtime strategy each cell's trials
+        run under (vectorized batch by default).  Passing a
+        :class:`~repro.runtime.executors.ShardedExecutor` parallelizes
+        *within* each trial as well — including the w-event schedulers
+        (BD/BA) and the landmark mechanism, which shard through the
+        checkpoint prepass — without changing a single released bit
+        (sharded execution is bit-identical to batch under the same
+        seed).
         """
         from repro.runtime.sharding import make_pool, validate_backend
 
@@ -319,6 +329,7 @@ class WorkloadEvaluation:
                     n_trials=n_trials,
                     conversion_mode=conversion_mode,
                     rng=cell_rng,
+                    executor=executor,
                 )
                 for (kind, epsilon), cell_rng in zip(cells, cell_rngs)
             ]
@@ -335,6 +346,7 @@ class WorkloadEvaluation:
                     n_trials=n_trials,
                     conversion_mode=conversion_mode,
                     rng=cell_rng,
+                    executor=executor,
                 )
 
         else:
@@ -355,6 +367,7 @@ class WorkloadEvaluation:
                     n_trials,
                     conversion_mode,
                     cell_rng,
+                    executor,
                 )
 
         try:
@@ -385,6 +398,7 @@ def _sweep_worker(
     n_trials: int,
     conversion_mode: str,
     rng: RngLike,
+    executor=None,
 ) -> EvaluationResult:
     return _WORKER_CONTEXT.evaluate(
         kind,
@@ -393,6 +407,7 @@ def _sweep_worker(
         n_trials=n_trials,
         conversion_mode=conversion_mode,
         rng=rng,
+        executor=executor,
     )
 
 
@@ -475,14 +490,16 @@ def sweep(
     rng: RngLike = None,
     workers: Optional[int] = None,
     backend: str = "thread",
+    executor=None,
 ) -> List[EvaluationResult]:
     """Evaluate every (mechanism, ε) cell on one workload.
 
     One :class:`WorkloadEvaluation` is shared by the whole grid, so
     windowing, extraction, ground truth and estimator state are
     computed once rather than per cell.  ``workers``/``backend`` fan
-    the grid out over a pool (see :meth:`WorkloadEvaluation.sweep`);
-    parallel results are bit-identical to the serial sweep.
+    the grid out over a pool and ``executor`` selects the per-trial
+    runtime strategy (see :meth:`WorkloadEvaluation.sweep`); parallel
+    results are bit-identical to the serial sweep.
     """
     return WorkloadEvaluation(workload).sweep(
         epsilon_grid=epsilon_grid,
@@ -493,4 +510,5 @@ def sweep(
         rng=rng,
         workers=workers,
         backend=backend,
+        executor=executor,
     )

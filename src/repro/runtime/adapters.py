@@ -34,11 +34,19 @@ class RuntimeMechanism:
 
     #: Whether this mechanism's stepper supports ``seek`` — skipping a
     #: prefix of windows while drawing the *same* randomness the batch
-    #: path would draw for the remaining windows.  Sharded execution
-    #: (:class:`~repro.runtime.executors.ShardedExecutor`) requires it;
-    #: sequential schedulers (BD/BA, landmark) carry data-dependent
-    #: state across windows and therefore cannot seek.
+    #: path would draw for the remaining windows.
+    #: :class:`~repro.runtime.executors.ShardedExecutor` shards seekable
+    #: mechanisms directly.
     shardable: bool = False
+
+    #: Whether this mechanism's stepper supports the checkpoint
+    #: protocol — ``snapshot()``/``restore()`` of the full release state
+    #: (scheduler state, trace, last release, rng-pool position).
+    #: Sequential schedulers (BD/BA, landmark) cannot seek, but the
+    #: sharded executor parallelizes them anyway through a sequential
+    #: scheduler-state prepass that checkpoints at every shard boundary
+    #: (see :mod:`repro.runtime.sharding`).
+    checkpointable: bool = False
 
     def __init__(self, mechanism):
         self.mechanism = mechanism
@@ -90,6 +98,13 @@ class _IdentityStepper:
 
     def seek(self, n_windows: int) -> None:
         """Skip ``n_windows`` windows (the identity draws nothing)."""
+
+    def snapshot(self) -> dict:
+        """The identity holds no state; sessions persist only counters."""
+        return {}
+
+    def restore(self, snapshot: dict) -> None:
+        """Nothing to restore (stateless)."""
 
 
 class FlipStepper:
@@ -160,6 +175,29 @@ class FlipStepper:
         for entries in self._plan:
             for _column, _probability, child in entries:
                 child.bit_generator.advance(n_windows)
+
+    def snapshot(self) -> dict:
+        """Per-type child generator states, in plan order (picklable)."""
+        return {
+            "children": [
+                [child.bit_generator.state for _c, _p, child in entries]
+                for entries in self._plan
+            ]
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Put every per-type child back at the snapshotted position."""
+        children = snapshot["children"]
+        if len(children) != len(self._plan) or any(
+            len(states) != len(entries)
+            for states, entries in zip(children, self._plan)
+        ):
+            raise ValueError(
+                "snapshot layer/type layout does not match this stepper"
+            )
+        for entries, states in zip(self._plan, children):
+            for (_column, _probability, child), state in zip(entries, states):
+                child.bit_generator.state = state
 
 
 class _FlipRuntime(RuntimeMechanism):
@@ -238,30 +276,97 @@ class _MatrixRRStepper:
             return
         self._generator.bit_generator.advance(n_windows * self._width)
 
+    def snapshot(self) -> dict:
+        """The matrix generator's position (one stream for all cells)."""
+        return {"generator": self._generator.bit_generator.state}
+
+    def restore(self, snapshot: dict) -> None:
+        self._generator.bit_generator.state = snapshot["generator"]
+
 
 class _SequentialRuntime(RuntimeMechanism):
     """Scheduler mechanisms exposing an online releaser (BD/BA, landmark)."""
 
-    def stepper(self, alphabet, *, rng=None, horizon=None):
+    checkpointable = True
+
+    def stepper(self, alphabet, *, rng=None, horizon=None, publish_trace=True):
         releaser = self.mechanism.online_releaser(
             len(alphabet), rng=rng, horizon=horizon
         )
-        # Mirror the batch path's trace bookkeeping: the trace object is
-        # mutated in place as the releaser steps, so publishing it now
-        # keeps ``mechanism.last_trace`` current through a chunked run.
-        if hasattr(self.mechanism, "last_trace"):
-            trace = getattr(releaser, "trace", None)
-            if trace is not None:
-                self.mechanism.last_trace = trace
-        return _SequentialStepper(releaser)
+        return _SequentialStepper(
+            releaser, self.mechanism if publish_trace else None
+        )
 
 
 class _SequentialStepper:
-    def __init__(self, releaser):
+    """Chunk stepper over an online releaser (BD/BA, landmark).
+
+    Mirrors the batch path's trace bookkeeping lazily: the releaser's
+    trace is published to ``mechanism.last_trace`` when this stepper
+    *first steps*, not at construction — so building a stepper (or a
+    speculative one that never runs) cannot discard the trace of a
+    completed run.  The trace object is then mutated in place as the
+    releaser steps, keeping ``last_trace`` current through a chunked
+    run.  Shard replicas are built with ``publish_trace=False`` so
+    partial traces never race the authoritative prepass trace.
+    """
+
+    def __init__(self, releaser, mechanism=None):
         self.releaser = releaser
+        self._trace_owner = (
+            mechanism if hasattr(mechanism, "last_trace") else None
+        )
+
+    def _publish_trace(self) -> None:
+        if self._trace_owner is None:
+            return
+        trace = getattr(self.releaser, "trace", None)
+        if trace is not None:
+            self._trace_owner.last_trace = trace
+        self._trace_owner = None
 
     def step_block(self, matrix: np.ndarray) -> np.ndarray:
+        self._publish_trace()
         released = self.releaser.step_block(matrix.astype(float))
+        return released >= 0.5
+
+    def advance_block(self, matrix: np.ndarray) -> None:
+        """Advance scheduler state without materializing released rows."""
+        self._publish_trace()
+        self.releaser.advance_block(matrix.astype(float))
+
+    # -- checkpoint protocol -------------------------------------------
+
+    def snapshot(self, *, include_trace: bool = True) -> dict:
+        """Checkpoint of the full release state (see the releasers).
+
+        ``include_trace=False`` yields the compact shard-replica form:
+        the accounting-trace prefix is omitted (replay never reads it;
+        the prepass trace stays authoritative).
+        """
+        return self.releaser.snapshot(include_trace=include_trace)
+
+    def restore(self, snapshot: dict) -> None:
+        self.releaser.restore(snapshot)
+
+    def decision_slice(self, start: int, stop: int):
+        """Recorded scheduler decisions for [start, stop), if supported.
+
+        Returns ``None`` for releasers without decision replay (the
+        landmark mechanism draws fresh noise at every regular timestamp,
+        so replaying its decisions would not skip any work).
+        """
+        releaser = self.releaser
+        if hasattr(releaser, "decision_slice"):
+            return releaser.decision_slice(start, stop)
+        return None
+
+    def replay_block(self, matrix: np.ndarray, decisions) -> np.ndarray:
+        """Reproduce a stepped block from recorded decisions."""
+        self._publish_trace()
+        released = self.releaser.replay_block(
+            matrix.astype(float), decisions
+        )
         return released >= 0.5
 
 

@@ -238,11 +238,17 @@ class ShardedExecutor:
     ``tests/test_runtime_sharding.py`` and
     ``benchmarks/test_bench_sharding.py``).
 
-    Only mechanisms whose steppers can seek are supported: the
-    pattern-level flip PPMs, whole-matrix randomized response and the
-    identity.  Sequential schedulers (BD/BA, landmark) carry
-    data-dependent state across windows and raise ``TypeError`` — run
-    those under :class:`ChunkedExecutor`.
+    Mechanisms whose steppers can seek — the pattern-level flip PPMs,
+    whole-matrix randomized response and the identity — shard directly.
+    Sequential schedulers (BD/BA, landmark) carry data-dependent state
+    across windows and cannot seek, but their releasers *checkpoint*:
+    a sequential scheduler-state prepass walks the stream once without
+    materializing outputs, snapshotting at every shard boundary, and
+    the shards then replay their window ranges in parallel from the
+    nearest checkpoint — still bit-identical to :class:`BatchExecutor`
+    under the same seed (see
+    :func:`repro.runtime.sharding.checkpoint_prepass`).  Mechanisms
+    supporting only batch perturbation raise ``TypeError``.
 
     Parameters
     ----------
@@ -303,12 +309,8 @@ class ShardedExecutor:
 
         runtime = pipeline.runtime_mechanism
         if not runtime.shardable:
-            if hasattr(runtime.mechanism, "online_releaser"):
-                raise TypeError(
-                    f"mechanism {runtime.name!r} is sequential "
-                    "(window-to-window state) and cannot be sharded; use "
-                    "ChunkedExecutor"
-                )
+            if getattr(runtime, "checkpointable", False):
+                return self._run_checkpointed(pipeline, indicators, rng=rng)
             raise TypeError(
                 f"mechanism {runtime.name!r} supports only batch "
                 "perturbation and cannot be sharded; use BatchExecutor"
@@ -361,6 +363,113 @@ class ShardedExecutor:
                 parts = [future.result() for future in futures]
             finally:
                 pool.shutdown(wait=True)
+        return merge_results(
+            parts,
+            alphabet=indicators.alphabet,
+            query_names=pipeline.matcher.query_names,
+            alpha=pipeline.alpha,
+            materialize=self.materialize,
+        )
+
+    def _run_checkpointed(
+        self,
+        pipeline,
+        indicators: IndicatorStream,
+        *,
+        rng: RngLike = None,
+    ) -> PipelineResult:
+        """Two-phase execution for checkpointable sequential schedulers.
+
+        Phase one runs the scheduler sequentially over the whole stream
+        without materializing outputs, checkpointing at every shard
+        boundary; phase two replays each shard's window range on the
+        worker pool from the checkpoint at its start.  Randomness is
+        derived by absolute window index, so the merged result — and the
+        mechanism's ``last_trace`` — is bit-identical to
+        :class:`BatchExecutor` under the same seed.
+        """
+        from repro.runtime.sharding import (
+            checkpoint_prepass,
+            clone_rng,
+            make_pool,
+            merge_results,
+            plan_shards,
+            run_shard_from_checkpoint,
+        )
+        from repro.runtime.sharding import _shard_result
+
+        runtime = pipeline.runtime_mechanism
+        if isinstance(rng, np.random.Generator):
+            # Same policy as the seekable path: replay the generator's
+            # current state everywhere, advance the caller's generator
+            # one derivation word so repeated runs draw fresh noise.
+            shard_source = clone_rng(rng)
+            rng.integers(0, 2**63 - 1)
+        else:
+            shard_source = rng
+        matrix = indicators.matrix_view()
+        horizon = matrix.shape[0]
+        shards = plan_shards(
+            horizon, self.n_shards, min_shard_size=self.min_shard_size
+        )
+        if len(shards) <= 1:
+            # Zero or one shard: a plain sequential in-process run (the
+            # prepass would just duplicate it).
+            stepper = runtime.stepper(
+                indicators.alphabet,
+                rng=clone_rng(shard_source),
+                horizon=horizon,
+            )
+            released = stepper.step_block(matrix)
+            parts = [
+                _shard_result(
+                    pipeline,
+                    matrix[shard.start : shard.stop],
+                    shard,
+                    released[shard.start : shard.stop],
+                    materialize=self.materialize,
+                )
+                for shard in shards
+            ]
+        else:
+            plan = checkpoint_prepass(
+                pipeline,
+                matrix,
+                shards,
+                alphabet=indicators.alphabet,
+                horizon=horizon,
+                rng=clone_rng(shard_source),
+            )
+            pool = make_pool(self.backend, self.n_workers)
+            try:
+                futures = [
+                    pool.submit(
+                        run_shard_from_checkpoint,
+                        pipeline,
+                        matrix[shard.start : shard.stop],
+                        shard,
+                        snapshot,
+                        decisions,
+                        alphabet=indicators.alphabet,
+                        horizon=horizon,
+                        rng=clone_rng(shard_source),
+                        materialize=self.materialize,
+                    )
+                    for shard, snapshot, decisions in zip(
+                        plan.shards, plan.snapshots, plan.decisions
+                    )
+                ]
+                parts = [future.result() for future in futures]
+            finally:
+                pool.shutdown(wait=True)
+            # The prepass trace is the authoritative accounting record
+            # of the run — identical to the batch path's — and is
+            # published once, after every shard finished, so partial
+            # shard traces never race it.
+            if plan.trace is not None and hasattr(
+                runtime.mechanism, "last_trace"
+            ):
+                runtime.mechanism.last_trace = plan.trace
         return merge_results(
             parts,
             alphabet=indicators.alphabet,

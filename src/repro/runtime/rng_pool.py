@@ -47,6 +47,11 @@ _MASK32 = 0xFFFFFFFF
 # PCG64 seeding constants (pcg_setseq_128_srandom_r).
 _PCG_MULT = 0x2360ED051FC65DA44385DF649FCCF645
 _MASK128 = (1 << 128) - 1
+_PCG_MULT_HI = np.uint64(_PCG_MULT >> 64)
+_PCG_MULT_LO = np.uint64(_PCG_MULT & 0xFFFFFFFFFFFFFFFF)
+
+#: next_double's mantissa scaling (53-bit uniform in [0, 1)).
+_DOUBLE_SCALE = 1.0 / 9007199254740992.0
 
 _WORD_BOUND = 2**63 - 1  # derive_rng's parent-entropy draw bound
 
@@ -129,6 +134,89 @@ def seed_material_from_entropy(entropy: np.ndarray) -> np.ndarray:
     return words64
 
 
+def _mul128(
+    a_hi: np.ndarray, a_lo: np.ndarray, b_hi: np.uint64, b_lo: np.uint64
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(a * b) mod 2**128`` over (hi, lo) uint64 limb arrays.
+
+    The 64×64→128 low product is assembled from 32-bit half-limbs;
+    numpy's uint64 arithmetic wraps, which is exactly mod-2**64.
+    """
+    mask32 = np.uint64(0xFFFFFFFF)
+    a0 = a_lo & mask32
+    a1 = a_lo >> np.uint64(32)
+    b0 = b_lo & mask32
+    b1 = b_lo >> np.uint64(32)
+    carry = a1 * b0 + ((a0 * b0) >> np.uint64(32))
+    mid = (carry & mask32) + a0 * b1
+    hi64 = a1 * b1 + (carry >> np.uint64(32)) + (mid >> np.uint64(32))
+    lo = a_lo * b_lo
+    hi = hi64 + a_lo * b_hi + a_hi * b_lo
+    return hi, lo
+
+
+def _add128(
+    a_hi: np.ndarray, a_lo: np.ndarray, b_hi: np.ndarray, b_lo: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(a + b) mod 2**128`` over (hi, lo) uint64 limb arrays."""
+    lo = a_lo + b_lo
+    carry = (lo < a_lo).astype(np.uint64)
+    return a_hi + b_hi + carry, lo
+
+
+def pcg64_limbs_from_seed_material(
+    words64: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized PCG64 seeding over ``(n, 4)`` uint64 seed words.
+
+    Replays ``pcg_setseq_128_srandom`` — ``inc = (initseq << 1) | 1``,
+    then one LCG step folding in ``initstate`` — over uint64 limb
+    arrays, returning ``(state_hi, state_lo, inc_hi, inc_lo)``:
+    the same (state, inc) pairs :func:`pcg64_state_from_words` computes
+    one at a time (pinned by ``tests/test_runtime_rng_pool.py``).
+    """
+    words64 = np.ascontiguousarray(words64, dtype=np.uint64)
+    initstate_hi = words64[:, 0]
+    initstate_lo = words64[:, 1]
+    initseq_hi = words64[:, 2]
+    initseq_lo = words64[:, 3]
+    one = np.uint64(1)
+    s63 = np.uint64(63)
+    inc_hi = (initseq_hi << one) | (initseq_lo >> s63)
+    inc_lo = (initseq_lo << one) | one
+    # state = (inc + initstate) * MULT + inc.
+    hi, lo = _add128(inc_hi, inc_lo, initstate_hi, initstate_lo)
+    hi, lo = _mul128(hi, lo, _PCG_MULT_HI, _PCG_MULT_LO)
+    hi, lo = _add128(hi, lo, inc_hi, inc_lo)
+    return hi, lo, inc_hi, inc_lo
+
+
+def first_uniforms_from_limbs(
+    state_hi: np.ndarray,
+    state_lo: np.ndarray,
+    inc_hi: np.ndarray,
+    inc_lo: np.ndarray,
+) -> np.ndarray:
+    """Each child's first ``next_double`` draw, vectorized.
+
+    Replays one PCG64 step (``state = state * MULT + inc``), the XSL-RR
+    output function and numpy's ``next_double`` scaling over uint64
+    limb arrays — bit-identical to installing each child and calling
+    ``.random()`` once (pinned by ``tests/test_runtime_rng_pool.py``).
+    The sequential schedulers use this to precompute their
+    per-timestamp dissimilarity uniforms without paying a per-step
+    generator install.
+    """
+    s63 = np.uint64(63)
+    hi, lo = _mul128(state_hi, state_lo, _PCG_MULT_HI, _PCG_MULT_LO)
+    hi, lo = _add128(hi, lo, inc_hi, inc_lo)
+    # XSL-RR: rotr64(hi ^ lo, hi >> 58).
+    value = hi ^ lo
+    rot = hi >> np.uint64(58)
+    out = (value >> rot) | (value << ((np.uint64(64) - rot) & s63))
+    return (out >> np.uint64(11)) * _DOUBLE_SCALE
+
+
 def pcg64_state_from_words(words: Sequence[int]) -> Tuple[int, int]:
     """PCG64's (state, inc) after seeding from 4 uint64 seed words.
 
@@ -140,6 +228,23 @@ def pcg64_state_from_words(words: Sequence[int]) -> Tuple[int, int]:
     inc = ((initseq << 1) | 1) & _MASK128
     state = ((inc + initstate) * _PCG_MULT + inc) & _MASK128
     return state, inc
+
+
+def first_uniform_scalar(state: int, inc: int) -> float:
+    """``next_double`` of one (state, inc) pair, via Python ints.
+
+    The readable scalar reference for
+    :func:`first_uniforms_from_limbs` — one PCG64 step, the XSL-RR
+    output, ``next_double`` scaling — against which the vectorized
+    limb arithmetic is pinned in ``tests/test_runtime_rng_pool.py``.
+    """
+    state = (state * _PCG_MULT + inc) & _MASK128
+    value = ((state >> 64) ^ state) & 0xFFFFFFFFFFFFFFFF
+    rot = state >> 122
+    out = ((value >> rot) | (value << ((64 - rot) & 63))) & (
+        0xFFFFFFFFFFFFFFFF
+    )
+    return (out >> 11) * _DOUBLE_SCALE
 
 
 class IndexedRngPool:
@@ -182,13 +287,24 @@ class IndexedRngPool:
         if block <= 0:
             raise ValueError(f"block must be positive, got {block}")
         if isinstance(rng, np.random.Generator):
-            # A shared generator advances one word per derivation.
+            # A shared generator advances one word per derivation.  The
+            # parent's pre-draw state is stashed so a snapshot can later
+            # rebuild the identical pool (see :meth:`snapshot`), and the
+            # post-extend state is tracked so interleaved foreign draws
+            # from a *shared* parent are detected rather than silently
+            # breaking replay-from-initial-state.
             self._parent = rng
+            self._parent_initial_state = rng.bit_generator.state
+            self._parent_resume_state = self._parent_initial_state
+            self._parent_interleaved = False
             self._fixed_word: Optional[int] = None
         else:
             # derive_rng re-seeds a fresh parent from an int/None seed on
             # every call, so each index sees the same first entropy word.
             self._parent = None
+            self._parent_initial_state = None
+            self._parent_resume_state = None
+            self._parent_interleaved = False
             self._fixed_word = int(
                 ensure_rng(rng).integers(0, _WORD_BOUND)
             )
@@ -197,43 +313,156 @@ class IndexedRngPool:
             word for value in self._token_ints for word in _int_words32(value)
         ]
         self._block = block
-        self._states: List[Tuple[int, int]] = []
+        #: Derived child states as four uint64 limb arrays — (state,
+        #: inc) split into (hi, lo) halves.  Vectorized storage keeps
+        #: derivation free of per-index Python work and lets
+        #: :meth:`first_uniforms` replay outputs in one pass; capacity
+        #: doubles on growth, ``_n`` children are valid.
+        self._n = 0
+        self._limbs = [np.zeros(0, dtype=np.uint64) for _ in range(4)]
         self._bit_generator = np.random.PCG64()
         self._generator = np.random.Generator(self._bit_generator)
         if count:
             self._extend(count)
 
     def __len__(self) -> int:
-        return len(self._states)
+        return self._n
 
     def generator(self, index: int) -> np.random.Generator:
         """The child generator for ``index`` (a reused, re-seeded object)."""
         if index < 0:
             raise IndexError(f"index must be non-negative, got {index}")
-        while index >= len(self._states):
+        while index >= self._n:
             self._extend(self._block)
-        state, inc = self._states[index]
+        state_hi, state_lo, inc_hi, inc_lo = self._limbs
         self._bit_generator.state = {
             "bit_generator": "PCG64",
-            "state": {"state": state, "inc": inc},
+            "state": {
+                "state": (int(state_hi[index]) << 64)
+                | int(state_lo[index]),
+                "inc": (int(inc_hi[index]) << 64) | int(inc_lo[index]),
+            },
             "has_uint32": 0,
             "uinteger": 0,
         }
         return self._generator
 
+    # -- checkpointing -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A picklable description of this pool's derivations.
+
+        The pool's children are normally fully determined by the
+        derivation source — the fixed entropy word (seed parents) or
+        the parent generator's pre-draw state (generator parents) —
+        plus the token prefix, so the snapshot records only those and
+        the number of children derived so far, and :meth:`restore`
+        re-derives the identical child streams on any pool with the
+        same tokens.  One exception: when a *shared* parent generator
+        was drawn from by another consumer between the pool's lazy
+        extends, replaying from the pre-draw state would weave those
+        foreign draws into the entropy words.  The pool detects that
+        (the parent no longer sits at its post-extend state when an
+        extend begins) and the snapshot then carries the derived state
+        limbs verbatim plus the parent's current state, staying exact
+        at the price of compactness.
+        """
+        state = {
+            "tokens": list(self._token_ints),
+            "n_derived": self._n,
+        }
+        if self._parent is None:
+            state["fixed_word"] = self._fixed_word
+        elif not self._parent_interleaved:
+            state["parent_initial_state"] = dict(self._parent_initial_state)
+        else:
+            state["limbs"] = [
+                np.array(limb[: self._n], copy=True)
+                for limb in self._limbs
+            ]
+            state["parent_resume_state"] = self._parent.bit_generator.state
+        return state
+
+    def restore(self, snapshot: dict) -> None:
+        """Re-derive the snapshotted pool's children on this pool.
+
+        After restoring, ``generator(index)`` returns exactly the child
+        the snapshotted pool would return for every index — already
+        derived or not — and future extends draw the same parent words
+        an uninterrupted pool would have drawn.
+        """
+        tokens = list(snapshot["tokens"])
+        if tokens != self._token_ints:
+            raise ValueError(
+                f"snapshot was taken under rng tokens {tokens}, this pool "
+                f"derives under {self._token_ints}"
+            )
+        n_derived = int(snapshot["n_derived"])
+        if "fixed_word" in snapshot:
+            fixed_word = int(snapshot["fixed_word"])
+            if self._parent is None and self._fixed_word == fixed_word:
+                # Same derivation source: every index already coincides.
+                return
+            self._parent = None
+            self._parent_initial_state = None
+            self._parent_resume_state = None
+            self._parent_interleaved = False
+            self._fixed_word = fixed_word
+            self._reset_storage()
+            return
+        if "limbs" in snapshot:
+            # Interleaved shared-parent snapshot: adopt the derived
+            # states verbatim and resume the parent where it stood.
+            # The restored pool stays in limb-carrying snapshot mode —
+            # its early indices are no longer derivable from any single
+            # parent state.
+            self._install_parent(dict(snapshot["parent_resume_state"]))
+            self._parent_interleaved = True
+            limbs = snapshot["limbs"]
+            self._reset_storage()
+            self._grow(n_derived)
+            for position in range(4):
+                self._limbs[position][:n_derived] = np.asarray(
+                    limbs[position], dtype=np.uint64
+                )
+            self._n = n_derived
+            return
+        parent_state = dict(snapshot["parent_initial_state"])
+        if (
+            self._parent is not None
+            and not self._parent_interleaved
+            and self._parent_initial_state == parent_state
+        ):
+            return
+        self._install_parent(parent_state)
+        self._parent_initial_state = parent_state
+        self._reset_storage()
+        if n_derived:
+            self._extend(n_derived)
+
+    def _install_parent(self, parent_state: dict) -> None:
+        bit_generator = np.random.PCG64()
+        bit_generator.state = parent_state
+        self._parent = np.random.Generator(bit_generator)
+        self._parent_initial_state = parent_state
+        self._parent_resume_state = parent_state
+        self._parent_interleaved = False
+        self._fixed_word = None
+
+    def _reset_storage(self) -> None:
+        self._n = 0
+        self._limbs = [np.zeros(0, dtype=np.uint64) for _ in range(4)]
+
     # -- derivation ----------------------------------------------------
 
-    def _extend(self, n_new: int) -> None:
-        start = len(self._states)
-        if self._parent is not None:
-            words = self._parent.integers(0, _WORD_BOUND, size=n_new)
-        else:
-            words = np.full(n_new, self._fixed_word, dtype=np.int64)
-        indices = np.arange(start, start + n_new, dtype=np.int64)
-        # The vectorized hash needs one shared entropy length.  Parent
-        # words below 2**32 coerce to a single uint32 word (probability
-        # ~2**-31 per child) and indices can in principle exceed 2**32;
-        # those rare rows take the scalar SeedSequence path instead.
+    def _split_rows(self, words: np.ndarray, indices: np.ndarray):
+        """Wide/narrow row split plus the wide rows' entropy array.
+
+        The vectorized hash needs one shared entropy length.  Parent
+        words below 2**32 coerce to a single uint32 word (probability
+        ~2**-31 per child) and indices can in principle exceed 2**32;
+        those rare rows take the scalar SeedSequence path instead.
+        """
         narrow = (words < 2**32) | (indices >= 2**32)
         wide = ~narrow
         length = 2 + len(self._token_words) + 1
@@ -244,17 +473,77 @@ class IndexedRngPool:
         for position, token_word in enumerate(self._token_words):
             entropy[:, 2 + position] = np.uint32(token_word)
         entropy[:, -1] = indices[wide].astype(np.uint32)
+        return wide, narrow, entropy
 
-        states: List[Tuple[int, int]] = [None] * n_new
+    def _grow(self, n_total: int) -> None:
+        """Ensure limb-array capacity for ``n_total`` children."""
+        capacity = self._limbs[0].shape[0]
+        if n_total <= capacity:
+            return
+        new_capacity = max(2 * capacity, n_total)
+        for position in range(4):
+            grown = np.zeros(new_capacity, dtype=np.uint64)
+            grown[: self._n] = self._limbs[position][: self._n]
+            self._limbs[position] = grown
+
+    def _extend(self, n_new: int) -> None:
+        start = self._n
+        if self._parent is not None:
+            if (
+                not self._parent_interleaved
+                and self._parent.bit_generator.state
+                != self._parent_resume_state
+            ):
+                # Another consumer drew from the shared parent between
+                # extends; replay-from-initial-state can no longer
+                # reproduce the entropy words, so snapshots must carry
+                # the derived limbs from here on.
+                self._parent_interleaved = True
+            words = self._parent.integers(0, _WORD_BOUND, size=n_new)
+            self._parent_resume_state = self._parent.bit_generator.state
+        else:
+            words = np.full(n_new, self._fixed_word, dtype=np.int64)
+        indices = np.arange(start, start + n_new, dtype=np.int64)
+        wide, narrow, entropy = self._split_rows(words, indices)
+        self._grow(start + n_new)
+        window = slice(start, start + n_new)
         if entropy.shape[0]:
             material = seed_material_from_entropy(entropy)
-            for row, offset in enumerate(np.nonzero(wide)[0]):
-                states[int(offset)] = pcg64_state_from_words(material[row])
+            limbs = pcg64_limbs_from_seed_material(material)
+            for position in range(4):
+                self._limbs[position][window][wide] = limbs[position]
+        mask64 = 0xFFFFFFFFFFFFFFFF
         for offset in np.nonzero(narrow)[0]:
             sequence = np.random.SeedSequence(
                 [int(words[offset]), *self._token_ints, int(indices[offset])]
             )
-            states[int(offset)] = pcg64_state_from_words(
+            state, inc = pcg64_state_from_words(
                 sequence.generate_state(4, np.uint64)
             )
-        self._states.extend(states)
+            row = start + int(offset)
+            self._limbs[0][row] = state >> 64
+            self._limbs[1][row] = state & mask64
+            self._limbs[2][row] = inc >> 64
+            self._limbs[3][row] = inc & mask64
+        self._n = start + n_new
+
+    def first_uniforms(self, start: int, stop: int) -> np.ndarray:
+        """Each child's first ``next_double``, for indices [start, stop).
+
+        Bit-identical to ``generator(index).random()`` per index, but
+        computed in one vectorized pass over the stored state limbs —
+        no per-index generator installs.  The sequential schedulers
+        (BD/BA, landmark) precompute their per-timestamp dissimilarity
+        uniforms through this, which is what makes their release loops
+        cheap enough to be worth sharding.
+        """
+        if start < 0 or stop < start:
+            raise ValueError(f"invalid uniform range [{start}, {stop})")
+        while stop > self._n:
+            self._extend(max(self._block, stop - self._n))
+        if stop == start:
+            return np.zeros(0)
+        window = slice(start, stop)
+        return first_uniforms_from_limbs(
+            *(self._limbs[position][window] for position in range(4))
+        )

@@ -22,15 +22,23 @@ the same seed rests on two invariants:
    window order.
 
 Sequential schedulers (BD/BA, landmark) carry data-dependent state from
-window to window and are rejected at planning time — use
-:class:`~repro.runtime.executors.ChunkedExecutor` for those.
+window to window and cannot seek, but they *can* checkpoint: their
+releasers snapshot and restore the full release state (scheduler state,
+accounting trace, last release, rng-pool position).  The sharded
+executor parallelizes them in two phases — a cheap sequential
+scheduler-state prepass (:func:`checkpoint_prepass`) walks the stream
+once without materializing outputs, snapshotting at every shard
+boundary; then every shard replays its window range in parallel from
+the checkpoint at its start (:func:`run_shard_from_checkpoint`),
+bit-identical to the batch path because the per-timestamp randomness is
+derived by absolute index.
 """
 
 from __future__ import annotations
 
 import copy
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -130,6 +138,33 @@ class ShardResult:
     released: Optional[np.ndarray] = None
 
 
+def _shard_result(
+    pipeline,
+    matrix: np.ndarray,
+    shard: Shard,
+    released: np.ndarray,
+    *,
+    materialize: bool,
+) -> ShardResult:
+    """Match and count one shard's released windows (shared tail)."""
+    matcher = pipeline.matcher
+    answers = matcher.answer(released)
+    true_answers = matcher.answer(matrix)
+    # Accumulate through the sink so sharded counting can never diverge
+    # from the batch/chunked micro-averaging rule.
+    sink = MetricsSink()
+    sink.update(true_answers, answers)
+    counts = sink.confusion
+    return ShardResult(
+        shard=shard,
+        answers=answers,
+        true_answers=true_answers,
+        counts=counts,
+        original=matrix if materialize else None,
+        released=released if materialize else None,
+    )
+
+
 def run_shard(
     pipeline,
     matrix: np.ndarray,
@@ -152,21 +187,99 @@ def run_shard(
     )
     stepper.seek(shard.start)
     released = stepper.step_block(matrix)
-    matcher = pipeline.matcher
-    answers = matcher.answer(released)
-    true_answers = matcher.answer(matrix)
-    # Accumulate through the sink so sharded counting can never diverge
-    # from the batch/chunked micro-averaging rule.
-    sink = MetricsSink()
-    sink.update(true_answers, answers)
-    counts = sink.confusion
-    return ShardResult(
-        shard=shard,
-        answers=answers,
-        true_answers=true_answers,
-        counts=counts,
-        original=matrix if materialize else None,
-        released=released if materialize else None,
+    return _shard_result(
+        pipeline, matrix, shard, released, materialize=materialize
+    )
+
+
+@dataclass
+class CheckpointPlan:
+    """Outcome of the sequential scheduler-state prepass.
+
+    ``snapshots[i]`` is the full release state *before* shard ``i``'s
+    first window; ``decisions[i]`` is the recorded scheduler-decision
+    slice for shard ``i``'s window range (``None`` when the mechanism
+    has no decision replay and shards re-step instead).  ``trace`` is
+    the authoritative accounting trace of the whole run — the merged
+    result publishes it to ``mechanism.last_trace`` so partial shard
+    traces never race it.
+    """
+
+    shards: List[Shard]
+    snapshots: List[dict] = field(default_factory=list)
+    decisions: List[Optional[tuple]] = field(default_factory=list)
+    trace: Optional[object] = None
+
+
+def checkpoint_prepass(
+    pipeline,
+    matrix: np.ndarray,
+    shards: Sequence[Shard],
+    *,
+    alphabet: EventAlphabet,
+    horizon: int,
+    rng: RngLike,
+) -> CheckpointPlan:
+    """Phase one of checkpointed sharding: walk, snapshot, record.
+
+    Runs the sequential scheduler over the whole stream *without
+    materializing released rows* (``advance_block``), snapshotting the
+    release state at every shard boundary and extracting each shard's
+    decision slice afterwards.  Cheap relative to a full sequential run:
+    no output rows, no query matching, no per-row copies — and the
+    replay phase it enables only pays Python-loop work at publishing
+    timestamps.
+    """
+    stepper = pipeline.runtime_mechanism.stepper(
+        alphabet, rng=rng, horizon=horizon, publish_trace=False
+    )
+    plan = CheckpointPlan(shards=list(shards))
+    for shard in plan.shards:
+        # Trace-free snapshots: replay never reads the trace prefix,
+        # and copying it at every boundary would be quadratic in the
+        # stream length.  The prepass trace on the plan stays the
+        # authoritative accounting record.
+        plan.snapshots.append(stepper.snapshot(include_trace=False))
+        stepper.advance_block(matrix[shard.start : shard.stop])
+    plan.decisions = [
+        stepper.decision_slice(shard.start, shard.stop)
+        for shard in plan.shards
+    ]
+    plan.trace = getattr(stepper.releaser, "trace", None)
+    return plan
+
+
+def run_shard_from_checkpoint(
+    pipeline,
+    matrix: np.ndarray,
+    shard: Shard,
+    snapshot: dict,
+    decisions: Optional[tuple],
+    *,
+    alphabet: EventAlphabet,
+    horizon: int,
+    rng: RngLike,
+    materialize: bool = True,
+) -> ShardResult:
+    """Phase two: replay one shard's windows from its checkpoint.
+
+    A fresh stepper is restored to the prepass state at ``shard.start``
+    and either replays the recorded decisions (BD/BA — only publishing
+    timestamps cost loop work) or re-steps the range (landmark).  Both
+    are bit-identical to an uninterrupted sequential run because every
+    timestamp's randomness comes from the same index-derived child
+    stream.
+    """
+    stepper = pipeline.runtime_mechanism.stepper(
+        alphabet, rng=rng, horizon=horizon, publish_trace=False
+    )
+    stepper.restore(snapshot)
+    if decisions is not None:
+        released = stepper.replay_block(matrix, decisions)
+    else:
+        released = stepper.step_block(matrix)
+    return _shard_result(
+        pipeline, matrix, shard, released, materialize=materialize
     )
 
 

@@ -21,7 +21,12 @@ from repro.cep.patterns import Pattern
 from repro.cep.queries import ContinuousQuery
 from repro.core.ppm import MultiPatternPPM
 from repro.core.uniform import UniformPatternPPM
-from repro.runtime import BatchExecutor, ChunkedExecutor, StreamPipeline
+from repro.runtime import (
+    BatchExecutor,
+    ChunkedExecutor,
+    ShardedExecutor,
+    StreamPipeline,
+)
 from repro.streams.indicator import EventAlphabet, IndicatorStream
 
 N_TYPES = 6
@@ -116,3 +121,69 @@ class TestExecutorParity:
             pipeline, stream, rng=run_seed
         )
         assert first.released == second.released
+
+    @settings(max_examples=25, deadline=None)
+    @given(pipelines_and_streams(), st.integers(min_value=1, max_value=8))
+    def test_sharded_equals_batch(self, case, n_shards):
+        # The seek invariant for seekable mechanisms, and the
+        # checkpoint/replay invariant for sequential schedulers
+        # (BD/BA, landmark): sharding must be invisible in the output.
+        pipeline, stream, _chunk_size, run_seed = case
+        batch = BatchExecutor().run(pipeline, stream, rng=run_seed)
+        sharded = ShardedExecutor(2, n_shards=n_shards).run(
+            pipeline, stream, rng=run_seed
+        )
+        assert sharded.original == batch.original
+        assert sharded.released == batch.released
+        for name, detections in batch.answers.items():
+            assert np.array_equal(sharded.answers[name], detections)
+        assert sharded.quality() == batch.quality()
+
+
+class TestCheckpointResume:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.sampled_from(["bd", "ba", "landmark"]),
+        st.integers(min_value=1, max_value=119),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_restored_releaser_continues_uninterrupted(
+        self, kind, cut, seed
+    ):
+        # A snapshot taken mid-stream and restored on a fresh releaser
+        # must continue with exactly the randomness and budget state a
+        # single uninterrupted run would have had.
+        n_windows = 120
+        rng = np.random.default_rng(seed)
+        matrix = (rng.random((n_windows, N_TYPES)) < 0.4).astype(float)
+        if kind == "bd":
+            mechanism = BudgetDistribution(1.0, w=6)
+        elif kind == "ba":
+            mechanism = BudgetAbsorption(1.0, w=6)
+        else:
+            mechanism = LandmarkPrivacy(
+                1.0, landmarks=rng.random(n_windows) < 0.3
+            )
+        straight = mechanism.online_releaser(
+            N_TYPES, rng=seed, horizon=n_windows
+        )
+        expected = straight.step_block(matrix)
+        partial = mechanism.online_releaser(
+            N_TYPES, rng=seed, horizon=n_windows
+        )
+        head = partial.step_block(matrix[:cut])
+        snapshot = partial.snapshot()
+        resumed = mechanism.online_releaser(
+            N_TYPES, rng=seed, horizon=n_windows
+        )
+        resumed.restore(snapshot)
+        tail = resumed.step_block(matrix[cut:])
+        assert np.array_equal(np.concatenate([head, tail]), expected)
+        if hasattr(straight, "trace"):
+            assert (
+                resumed.trace.published == straight.trace.published
+            )
+            assert (
+                resumed.trace.publication_budgets
+                == straight.trace.publication_budgets
+            )

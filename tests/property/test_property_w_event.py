@@ -7,6 +7,7 @@ shapes designed to stress the schedulers (constant runs, jumps, noise).
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -75,6 +76,35 @@ class TestWEventInvariant:
         mechanism.perturb(stream, rng=seed)
         budgets = mechanism.last_trace.publication_budgets
         assert max(budgets, default=0.0) <= epsilon / 2.0 + 1e-9
+
+    @given(stream=stress_streams(), params=mechanism_params)
+    @settings(max_examples=40, deadline=None)
+    def test_window_spend_accessors_match_naive_slicing(
+        self, stream, params
+    ):
+        # The O(n) prefix-sum spend accessors must agree with the
+        # definitional O(n·w) slice sums on every window, for both
+        # schedulers, whatever the trace shape.
+        epsilon, w, seed = params
+        for mechanism_cls in (BudgetDistribution, BudgetAbsorption):
+            mechanism = mechanism_cls(epsilon, w=w)
+            mechanism.perturb(stream, rng=seed)
+            trace = mechanism.last_trace
+            n = len(trace.published)
+            naive = [
+                sum(trace.publication_budgets[start : min(start + w, n)])
+                + sum(
+                    trace.dissimilarity_budgets[start : min(start + w, n)]
+                )
+                for start in range(n)
+            ]
+            for start in range(0, n, max(1, n // 7)):
+                assert trace.spent_in_window(start, w) == pytest.approx(
+                    naive[start], abs=1e-9
+                )
+            assert trace.max_window_spend(w) == pytest.approx(
+                max(naive), abs=1e-9
+            )
 
     @given(stream=stress_streams(), params=mechanism_params)
     @settings(max_examples=40, deadline=None)

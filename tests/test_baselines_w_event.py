@@ -5,7 +5,17 @@ import pytest
 
 from repro.baselines.budget_absorption import BudgetAbsorption
 from repro.baselines.budget_distribution import BudgetDistribution
+from repro.baselines.w_event import WEventMechanism
 from repro.streams.indicator import EventAlphabet, IndicatorStream
+
+
+class _ZeroBudget(WEventMechanism):
+    """A scheduler that never grants publication budget (edge cases)."""
+
+    mechanism_name = "zero"
+
+    def _publication_budget(self, t, trace, state):
+        return 0.0
 
 
 @pytest.fixture
@@ -83,6 +93,71 @@ class TestCommonBehaviour:
             mechanism_cls(0.0, w=10)
         with pytest.raises(Exception):
             mechanism_cls(1.0, w=0)
+
+
+class TestAccountingEdgeCases:
+    """w-event accounting at its boundaries (skips, no-release, windows)."""
+
+    def test_skipped_timestamps_still_charge_dissimilarity(self):
+        # A timestamp with zero publication budget never publishes, but
+        # the private dissimilarity estimate is still bought: every
+        # timestamp owes ε₁/w, publications or not.
+        epsilon, w, n = 2.0, 5, 12
+        mechanism = _ZeroBudget(epsilon, w=w)
+        releaser = mechanism.online_releaser(3, rng=0, horizon=n)
+        releaser.step_block(np.ones((n, 3)))
+        assert releaser.trace.published == [False] * n
+        assert releaser.trace.publication_budgets == [0.0] * n
+        assert releaser.trace.dissimilarity_budgets == [
+            epsilon / 2.0 / w
+        ] * n
+        assert releaser.trace.max_window_spend(w) == pytest.approx(
+            epsilon / 2.0 / w * w
+        )
+
+    def test_no_budget_first_release_is_data_independent(self):
+        # With nothing released yet and no budget, the output must be
+        # the 0.5 vector whatever the data — releasing anything else
+        # would leak without spending budget.
+        mechanism = _ZeroBudget(1.0, w=4)
+        for row in (np.zeros((1, 3)), np.ones((1, 3))):
+            releaser = mechanism.online_releaser(3, rng=0, horizon=4)
+            released = releaser.step_block(row)
+            assert np.array_equal(released, np.full((1, 3), 0.5))
+
+    @pytest.mark.parametrize(
+        "mechanism_cls", [BudgetDistribution, BudgetAbsorption]
+    )
+    def test_window_spend_accessors_agree(
+        self, mechanism_cls, indicator_stream
+    ):
+        # The O(n) prefix-sum accessors must agree with naive slicing.
+        epsilon, w = 1.5, 7
+        mechanism = mechanism_cls(epsilon, w=w)
+        mechanism.perturb(indicator_stream, rng=6)
+        trace = mechanism.last_trace
+        n = len(trace.published)
+        naive = [
+            sum(trace.publication_budgets[start : min(start + w, n)])
+            + sum(trace.dissimilarity_budgets[start : min(start + w, n)])
+            for start in range(n)
+        ]
+        for start in (0, 1, n // 2, n - 1):
+            assert trace.spent_in_window(start, w) == pytest.approx(
+                naive[start], abs=1e-12
+            )
+        assert trace.max_window_spend(w) == pytest.approx(
+            max(naive), abs=1e-12
+        )
+        # Out-of-range starts spend nothing.
+        assert trace.spent_in_window(n + 3, w) == 0.0
+
+    def test_empty_trace_spends_nothing(self):
+        from repro.baselines.w_event import ReleaseTrace
+
+        trace = ReleaseTrace()
+        assert trace.max_window_spend(5) == 0.0
+        assert trace.spent_in_window(0, 5) == 0.0
 
 
 class TestBudgetDistributionSpecifics:

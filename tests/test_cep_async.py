@@ -243,6 +243,60 @@ class TestAsyncSession:
         assert asyncio.run(go()) == sync_answers
 
 
+class TestAsyncCheckpointResume:
+    @pytest.mark.parametrize(
+        "mechanism_factory",
+        [
+            lambda: "uniform",
+            lambda: BudgetDistribution(1.0, w=5),
+        ],
+        ids=["uniform", "bd"],
+    )
+    def test_restored_session_matches_uninterrupted(
+        self, mechanism_factory
+    ):
+        import pickle
+
+        stream = make_stream(60)
+        windows = type_sets_of(stream)
+
+        async def straight():
+            async with AsyncSession(
+                make_engine(mechanism_factory()), rng=6
+            ) as session:
+                return await session.run(windows)
+
+        async def crash_and_resume():
+            first = AsyncSession(make_engine(mechanism_factory()), rng=6)
+            async with first:
+                head = await first.run(windows[:25])
+                snapshot = pickle.loads(pickle.dumps(first.snapshot()))
+            resumed = AsyncSession(make_engine(mechanism_factory()), rng=6)
+            resumed.restore(snapshot)
+            async with resumed:
+                tail = await resumed.run(windows[25:])
+            return {
+                name: head[name] + tail[name] for name in head
+            }, resumed.windows_processed
+
+        expected = asyncio.run(straight())
+        resumed_answers, processed = asyncio.run(crash_and_resume())
+        assert resumed_answers == expected
+        assert processed == stream.n_windows
+
+    def test_snapshot_requires_quiescence(self):
+        async def go():
+            async with AsyncSession(make_engine(), rng=1) as session:
+                # Submit without awaiting the answer: the window may
+                # still be queued, so a snapshot must be refused.
+                await session.submit(["e1"])
+                if session.windows_processed != session.windows_submitted:
+                    with pytest.raises(RuntimeError, match="queued"):
+                        session.snapshot()
+
+        asyncio.run(go())
+
+
 class TestProcessEventsAsync:
     def make_events(self, n=300, seed=8):
         rng = np.random.default_rng(seed)

@@ -100,6 +100,74 @@ class TestBatchEquivalence:
         assert len(answers["q"]) == stream200.n_windows
 
 
+class TestSessionCheckpointResume:
+    @pytest.mark.parametrize(
+        "make_mechanism",
+        [
+            lambda pattern: UniformPatternPPM(pattern, 2.0),
+            lambda pattern: BudgetDistribution(1.0, w=10),
+            lambda pattern: BudgetAbsorption(1.0, w=10),
+            lambda pattern: EventLevelRR(1.0),
+        ],
+        ids=["uniform", "bd", "ba", "event-level"],
+    )
+    def test_restored_session_matches_uninterrupted(
+        self, engine, stream200, private_pattern, make_mechanism
+    ):
+        import pickle
+
+        engine.attach_mechanism(make_mechanism(private_pattern))
+        straight = OnlineSession(engine, rng=5).run(stream200)
+
+        crashed = OnlineSession(engine, rng=5)
+        head = [
+            crashed.push(stream200.window_types(index))
+            for index in range(80)
+        ]
+        snapshot = pickle.loads(pickle.dumps(crashed.snapshot()))
+        # "Crash": a brand-new session over the same configuration and
+        # seed, restored mid-stream, continues with exactly the
+        # randomness and budget state the uninterrupted run had.
+        resumed = OnlineSession(engine, rng=5)
+        resumed.restore(snapshot)
+        assert resumed.windows_processed == 80
+        tail = [
+            resumed.push(stream200.window_types(index))
+            for index in range(80, stream200.n_windows)
+        ]
+        combined = [answers["q"] for answers in head + tail]
+        assert combined == straight["q"]
+
+    def test_w_event_resume_preserves_trace(self, engine, stream200):
+        mechanism = BudgetDistribution(1.0, w=10)
+        engine.attach_mechanism(mechanism)
+        OnlineSession(engine, rng=3).run(stream200)
+        straight_trace = (
+            list(mechanism.last_trace.published),
+            list(mechanism.last_trace.publication_budgets),
+        )
+        crashed = OnlineSession(engine, rng=3)
+        for index in range(60):
+            crashed.push(stream200.window_types(index))
+        snapshot = crashed.snapshot()
+        resumed = OnlineSession(engine, rng=3)
+        resumed.restore(snapshot)
+        for index in range(60, stream200.n_windows):
+            resumed.push(stream200.window_types(index))
+        assert (
+            list(mechanism.last_trace.published),
+            list(mechanism.last_trace.publication_budgets),
+        ) == straight_trace
+
+    def test_restore_rejects_mechanism_mismatch(self, engine, stream200):
+        unprotected = OnlineSession(engine)
+        snapshot = unprotected.snapshot()
+        engine.attach_mechanism(BudgetDistribution(1.0, w=5))
+        protected = OnlineSession(engine, rng=1)
+        with pytest.raises(ValueError, match="mechanism"):
+            protected.restore(snapshot)
+
+
 class TestOnlineAccounting:
     def test_session_charges_once(self, engine, stream200, private_pattern):
         engine.attach_mechanism(UniformPatternPPM(private_pattern, 1.0))

@@ -11,6 +11,9 @@ import pytest
 
 from repro.runtime.rng_pool import (
     IndexedRngPool,
+    first_uniform_scalar,
+    first_uniforms_from_limbs,
+    pcg64_limbs_from_seed_material,
     pcg64_state_from_words,
     seed_material_from_entropy,
 )
@@ -107,6 +110,102 @@ class TestSeedMaterial:
             "uinteger": 0,
         }
         assert np.array_equal(rebuilt.random(8), reference.random(8))
+
+
+class TestFirstUniforms:
+    """The vectorized PCG64 step/output emulation behind first_uniforms."""
+
+    def test_limb_seeding_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        material = rng.integers(
+            0, 2**63 - 1, size=(64, 4), dtype=np.int64
+        ).astype(np.uint64)
+        state_hi, state_lo, inc_hi, inc_lo = pcg64_limbs_from_seed_material(
+            material
+        )
+        for row in range(material.shape[0]):
+            state, inc = pcg64_state_from_words(material[row])
+            assert (int(state_hi[row]) << 64) | int(state_lo[row]) == state
+            assert (int(inc_hi[row]) << 64) | int(inc_lo[row]) == inc
+
+    def test_limb_outputs_match_scalar_reference(self):
+        material = np.random.default_rng(9).integers(
+            0, 2**63 - 1, size=(64, 4), dtype=np.int64
+        ).astype(np.uint64)
+        limbs = pcg64_limbs_from_seed_material(material)
+        vectorized = first_uniforms_from_limbs(*limbs)
+        for row in range(material.shape[0]):
+            state, inc = pcg64_state_from_words(material[row])
+            assert vectorized[row] == first_uniform_scalar(state, inc)
+
+    @pytest.mark.parametrize("parent_kind", ["seed", "generator"])
+    def test_pool_uniforms_match_generator_draws(self, parent_kind):
+        parent = 7 if parent_kind == "seed" else np.random.default_rng(7)
+        pool = IndexedRngPool(parent, "w-event", count=200)
+        fast = pool.first_uniforms(40, 200)
+        slow = np.array(
+            [pool.generator(index).random() for index in range(40, 200)]
+        )
+        assert np.array_equal(fast, slow)
+
+    def test_pool_uniforms_extend_lazily(self):
+        pool = IndexedRngPool(11, "w-event", block=32)
+        fast = pool.first_uniforms(50, 120)
+        slow = np.array(
+            [pool.generator(index).random() for index in range(50, 120)]
+        )
+        assert np.array_equal(fast, slow)
+
+    def test_uniforms_match_laplace_first_draw(self):
+        # The schedulers transform these uniforms through numpy's
+        # random_laplace arithmetic; the first draw of .laplace must
+        # therefore consume exactly the word first_uniforms replays.
+        import math
+
+        pool = IndexedRngPool(13, "w-event", count=100)
+        scale = 0.731
+        uniforms = pool.first_uniforms(0, 100)
+        for index in range(100):
+            expected = float(pool.generator(index).laplace(0.0, scale))
+            uniform = uniforms[index]
+            if uniform >= 0.5:
+                mine = 0.0 - scale * math.log(2.0 - uniform - uniform)
+            elif uniform > 0.0:
+                mine = 0.0 + scale * math.log(uniform + uniform)
+            else:
+                continue
+            assert mine == expected
+
+    def test_invalid_range_rejected(self):
+        pool = IndexedRngPool(1, "w-event")
+        with pytest.raises(ValueError):
+            pool.first_uniforms(5, 2)
+        with pytest.raises(ValueError):
+            pool.first_uniforms(-1, 2)
+
+
+class TestSharedParentInterleaving:
+    """Foreign draws from a shared parent must not corrupt snapshots."""
+
+    def test_interleaved_pool_snapshot_stays_exact(self):
+        parent = np.random.default_rng(5)
+        pool = IndexedRngPool(parent, "w-event", block=4)
+        pool.generator(0)
+        parent.integers(0, 100)  # foreign consumer draws in between
+        pool.generator(5)
+        draws = [pool.generator(index).random() for index in range(8)]
+        snapshot = pool.snapshot()
+        fresh = IndexedRngPool(1, "w-event")
+        fresh.restore(snapshot)
+        assert [
+            fresh.generator(index).random() for index in range(8)
+        ] == draws
+        # ...and snapshots of the restored pool stay exact too.
+        again = IndexedRngPool(2, "w-event")
+        again.restore(fresh.snapshot())
+        assert [
+            again.generator(index).random() for index in range(8)
+        ] == draws
 
 
 class TestValidation:

@@ -202,17 +202,27 @@ class TestShardedExecutor:
         [
             BudgetAbsorption(1.0, w=4),
             LandmarkPrivacy(
-                1.0, landmarks=np.zeros(50, dtype=bool) | (np.arange(50) % 7 == 0)
+                1.0,
+                landmarks=np.zeros(50, dtype=bool) | (np.arange(50) % 7 == 0),
             ),
         ],
         ids=["ba", "landmark"],
     )
-    def test_sequential_mechanisms_rejected(self, mechanism):
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_sequential_mechanisms_shard_via_checkpoints(
+        self, mechanism, backend
+    ):
+        # Sequential schedulers cannot seek, but they checkpoint: the
+        # prepass + replay path must still be bit-identical to batch.
         pipeline = StreamPipeline(
             ALPHABET, queries=QUERIES, mechanism=mechanism
         )
-        with pytest.raises(TypeError, match="ChunkedExecutor"):
-            ShardedExecutor(2).run(pipeline, make_stream(50), rng=1)
+        stream = make_stream(50)
+        batch = BatchExecutor().run(pipeline, stream, rng=1)
+        sharded = ShardedExecutor(2, backend=backend).run(
+            pipeline, stream, rng=1
+        )
+        assert_bit_identical(sharded, batch)
 
     def test_batch_only_mechanism_directed_to_batch_executor(self):
         class BatchOnly:
@@ -268,6 +278,33 @@ class TestParallelSweep:
         forked = sweep(workload, workers=2, backend="process", **kwargs)
         assert threaded == serial
         assert forked == serial
+
+    def test_sharded_executor_sweep_matches_serial(self):
+        # The sharded executor now covers every sweep mechanism —
+        # including the w-event schedulers via the checkpoint prepass —
+        # so a sweep can parallelize within each trial without changing
+        # a single released bit.
+        from repro.datasets.synthetic import (
+            SyntheticConfig,
+            synthesize_dataset,
+        )
+        from repro.experiments.runner import sweep
+        from repro.utils.rng import derive_rng
+
+        workload = synthesize_dataset(
+            SyntheticConfig(n_windows=80, n_history_windows=50),
+            rng=derive_rng(3, "sweep-sharded"),
+            name="sweep-sharded",
+        )
+        kwargs = dict(
+            epsilon_grid=(1.0,),
+            mechanisms=("uniform", "bd", "ba", "landmark"),
+            n_trials=2,
+            rng=55,
+        )
+        serial = sweep(workload, **kwargs)
+        sharded = sweep(workload, executor=ShardedExecutor(2), **kwargs)
+        assert sharded == serial
 
     def test_unknown_backend_rejected(self):
         from repro.datasets.synthetic import SyntheticConfig, synthesize_dataset
