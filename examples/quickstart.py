@@ -1,12 +1,16 @@
 """Quickstart: protect a private pattern with pattern-level DP.
 
-The smallest end-to-end use of the library:
+The smallest end-to-end use of the library, on the declarative service
+API:
 
 1. model a windowed event stream as existence indicators;
-2. declare a private pattern (what the data subject hides) and a target
-   pattern (what the data consumer queries);
-3. protect the stream with the uniform pattern-level PPM;
-4. answer the target query on the protected stream and measure the cost;
+2. declare the whole service as data — alphabet, the private pattern
+   (what the data subject hides), the target query (what the data
+   consumer asks), the mechanism and a seed — in one ``ServiceSpec``;
+3. build the service and run it: the uniform pattern-level PPM perturbs
+   the stream once and the query is answered from the protected data;
+4. measure the cost, and show the run is reproducible from nothing but
+   the spec's JSON form;
 5. verify the delivered guarantee *exactly* (no sampling).
 
 Run:  python examples/quickstart.py
@@ -18,8 +22,7 @@ from repro import (
     AnalyticQualityEstimator,
     EventAlphabet,
     IndicatorStream,
-    Pattern,
-    UniformPatternPPM,
+    ServiceSpec,
     verify_instance_dp,
     verify_single_event_dp,
 )
@@ -28,39 +31,57 @@ from repro.metrics import ConfusionCounts, mean_relative_error
 
 def main() -> None:
     # 1. A stream of 500 windows over six event types.  In a deployment
-    #    these indicators come from the CEP engine's window reduction;
-    #    here we synthesize them.
+    #    these indicators come from the engine's window reduction; here
+    #    we synthesize them.
     alphabet = EventAlphabet.numbered(6)
     rng = np.random.default_rng(7)
     stream = IndicatorStream(alphabet, rng.random((500, 6)) < 0.4)
 
     # 2. The data subject hides `seq(e1, e2, e3)`; the consumer queries
     #    `seq(e2, e3, e4)`.  They overlap on e2 and e3, so protection
-    #    must cost some quality — the question is how little.
-    private = Pattern.of_types("private", "e1", "e2", "e3")
-    target = Pattern.of_types("target", "e2", "e3", "e4")
-    print(f"private pattern: {private.expr.render()}")
-    print(f"target pattern:  {target.expr.render()}")
+    #    must cost some quality — the question is how little.  The whole
+    #    service is one declarative spec.
+    spec = ServiceSpec(
+        alphabet=alphabet,
+        patterns=[("private", ("e1", "e2", "e3"))],
+        queries=[("target", ("e2", "e3", "e4"))],
+        mechanism="uniform-ppm",
+        mechanism_options={"epsilon": 2.0},
+        seed=1,
+    )
+    service = spec.build()
+    print(f"private pattern: {spec.patterns[0].elements}")
+    print(f"target query:    {spec.queries[0].pattern.elements}")
 
     # 3. The uniform pattern-level PPM spends epsilon/m per element
     #    (Section V-A) and touches *only* e1, e2, e3.
-    ppm = UniformPatternPPM(private, epsilon=2.0)
+    ppm = service.mechanism.ppms[0]
     print(f"\nguarantee: {ppm.privacy_statement()}")
     print(f"per-element budgets: {ppm.allocation}")
     print(f"flip probabilities:  {ppm.flip_probability_by_type()}")
 
-    # 4. Answer the target query on the protected stream.
-    answers = ppm.answer(stream, target, rng=1)
-    truth = stream.detect_all(list(target.elements))
+    # 4. Run the service phase and measure the cost of protection.
+    report = service.run(stream)
+    answers = report.answers["target"].detections
+    truth = report.true_answers["target"].detections
     counts = ConfusionCounts.from_vectors(truth, answers)
     quality = counts.precision * 0.5 + counts.recall * 0.5
     print(f"\nprecision={counts.precision:.3f} recall={counts.recall:.3f}")
     print(f"MRE_Q = {mean_relative_error(1.0, quality):.3f}")
 
     # The analytic model predicts the same numbers without sampling.
+    private = spec.pattern_objects()[0]
+    target = spec.query_objects()[0].pattern
     estimator = AnalyticQualityEstimator(stream, private, [target])
     expected = estimator.evaluate(ppm.allocation)
     print(f"analytic expectation: {expected}")
+
+    # The run is reproducible from the spec's JSON plus the seed alone.
+    clone = ServiceSpec.from_json(spec.to_json()).build().run(stream)
+    identical = bool(
+        np.array_equal(clone.answers["target"].detections, answers)
+    )
+    print(f"rebuilt from JSON, same answers: {identical}")
 
     # 5. Exact verification of Definition 4 (enumerates the output
     #    distribution — no trust in the algebra required).

@@ -2,18 +2,19 @@
 
 Real CEP deployments do not materialize the whole stream before
 answering — windows close one at a time and consumers expect answers
-immediately.  This example runs the engine's push-based
-:class:`~repro.cep.online.OnlineSession` in two configurations:
+immediately.  This example stands the service up from a declarative
+``ServiceSpec`` and drives it in three configurations:
 
-1. a pattern-level PPM (per-window independent flips — the online
-   answers are bit-identical to the batch API under the same seed);
-2. the w-event BD baseline through its incremental releaser (the same
-   sequential scheduler the batch path uses).
-
-It also demonstrates the event-stream form of Definition 5
-(:class:`~repro.core.event_ppm.EventStreamPPM`): perturbing raw events
-(suppress/inject) and showing the result reduces to exactly the same
-indicators as the windowed mechanism.
+1. a pattern-level PPM behind a push-based session
+   (``service.open_session()`` — the online answers are bit-identical
+   to the batch ``service.run()`` under the same seed);
+2. the w-event BD baseline through the same session surface, with a
+   mid-stream ``service.checkpoint()`` / ``StreamService.resume()``
+   crash-recovery cycle (the PR-3 snapshot protocol, one call away);
+3. the event-stream form of Definition 5
+   (:class:`~repro.core.event_ppm.EventStreamPPM`): perturbing raw
+   events (suppress/inject) and showing the result reduces to exactly
+   the same indicators as the windowed mechanism.
 
 Run:  python examples/streaming_service.py
 """
@@ -21,16 +22,13 @@ Run:  python examples/streaming_service.py
 import numpy as np
 
 from repro import (
-    CEPEngine,
-    ContinuousQuery,
     EventAlphabet,
     EventStreamPPM,
     IndicatorStream,
-    OnlineSession,
     Pattern,
-    UniformPatternPPM,
+    ServiceSpec,
+    StreamService,
 )
-from repro.baselines import BudgetDistribution
 from repro.core.ppm import apply_randomized_response
 from repro.streams.events import Event
 from repro.streams.stream import EventStream
@@ -42,16 +40,18 @@ def main() -> None:
     rng = np.random.default_rng(4)
     stream = IndicatorStream(alphabet, rng.random((300, 5)) < 0.45)
 
-    private = Pattern.of_types("private", "e1", "e2")
-    target = Pattern.of_types("target", "e2", "e3")
-
-    engine = CEPEngine(alphabet)
-    engine.register_private_pattern(private)
-    engine.register_query(ContinuousQuery("q", target))
-    engine.attach_mechanism(UniformPatternPPM(private, epsilon=2.0))
+    spec = ServiceSpec(
+        alphabet=alphabet,
+        patterns=[("private", ("e1", "e2"))],
+        queries=[("q", ("e2", "e3"))],
+        mechanism="uniform-ppm",
+        mechanism_options={"epsilon": 2.0},
+        seed=11,
+    )
 
     # --- 1. Push-based service with the pattern-level PPM. ------------
-    session = OnlineSession(engine, rng=11)
+    service = spec.build()
+    session = service.open_session()
     positives = 0
     for index in range(stream.n_windows):
         answers = session.push(stream.window_types(index))
@@ -59,20 +59,38 @@ def main() -> None:
     print(f"online session: {session.windows_processed} windows pushed, "
           f"{positives} positive answers")
 
-    batch = engine.process_indicators(stream, rng=11)
+    batch = spec.build().run(stream)
     batch_positives = batch.answers["q"].detection_count()
-    print(f"batch API (same seed): {batch_positives} positive answers "
+    print(f"batch API (same spec+seed): {batch_positives} positive answers "
           f"(identical: {positives == batch_positives})")
 
-    # --- 2. The w-event baseline runs online through its releaser. ----
-    engine.attach_mechanism(BudgetDistribution(1.0, w=10))
-    bd_session = OnlineSession(engine, rng=11)
-    bd_answers = bd_session.run(stream)
-    trace_positives = sum(bd_answers["q"])
+    # --- 2. The w-event baseline, with checkpoint/resume. -------------
+    bd_spec = spec.with_(
+        mechanism="bd", mechanism_options={"epsilon": 1.0, "w": 10}
+    )
+    bd_service = bd_spec.build()
+    bd_session = bd_service.open_session()
+    first_half = [
+        bd_session.push(stream.window_types(index))["q"]
+        for index in range(150)
+    ]
+    checkpoint = bd_service.checkpoint()  # spec + full release state
+
+    # ... the process dies here; a fresh one resumes mid-stream.
+    resumed = StreamService.resume(bd_spec, checkpoint)
+    second_half = [
+        resumed.session.push(stream.window_types(index))["q"]
+        for index in range(150, stream.n_windows)
+    ]
+    trace_positives = sum(first_half) + sum(second_half)
+    uninterrupted = sum(bd_spec.build().open_session().run(stream)["q"])
     print(f"\nw-event BD online: {trace_positives} positive answers "
           f"(sequential scheduler, one step per window)")
+    print(f"checkpoint/resume matches an uninterrupted run: "
+          f"{trace_positives == uninterrupted}")
 
     # --- 3. Definition 5 on raw events: suppress/inject. --------------
+    private = Pattern.of_types("private", "e1", "e2")
     events = []
     for window in range(50):
         base = window * 10.0

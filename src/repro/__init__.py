@@ -21,6 +21,7 @@ from repro.baselines import (
 )
 from repro.cep import (
     AND,
+    AsyncSession,
     Atom,
     CEPEngine,
     ContinuousQuery,
@@ -72,7 +73,16 @@ from repro.metrics import ConfusionCounts, DataQuality, mean_relative_error
 from repro.runtime import (
     BatchExecutor,
     ChunkedExecutor,
+    ShardedExecutor,
     StreamPipeline,
+)
+from repro.service import (
+    ServiceSpec,
+    StreamService,
+    register_executor,
+    register_mechanism,
+    registered_executors,
+    registered_mechanisms,
 )
 from repro.streams import (
     DataStream,
@@ -82,12 +92,53 @@ from repro.streams import (
     IndicatorStream,
 )
 
-__version__ = "1.0.0"
+
+def _resolve_version() -> str:
+    """Single-source the package version from the build metadata.
+
+    A source checkout (``PYTHONPATH=src``) reads ``pyproject.toml``
+    next to the imported tree — consulted *first*, so a stale installed
+    distribution can never shadow the tree actually being imported;
+    installed packages (no pyproject on disk) answer through
+    ``importlib.metadata``.
+    """
+    try:
+        from pathlib import Path
+
+        pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+        text = pyproject.read_text(encoding="utf-8")
+        try:
+            import tomllib
+
+            project = tomllib.loads(text)["project"]
+            if project.get("name") == "repro-pattern-dp":
+                return project["version"]
+        except ModuleNotFoundError:  # Python 3.10: no tomllib
+            import re
+
+            if 'name = "repro-pattern-dp"' in text:
+                match = re.search(
+                    r'^version\s*=\s*"([^"]+)"', text, flags=re.MULTILINE
+                )
+                if match:
+                    return match.group(1)
+    except (OSError, KeyError):
+        pass
+    import importlib.metadata
+
+    try:
+        return importlib.metadata.version("repro-pattern-dp")
+    except importlib.metadata.PackageNotFoundError:
+        return "0+unknown"
+
+
+__version__ = _resolve_version()
 
 __all__ = [
     "AND",
     "AdaptivePatternPPM",
     "AnalyticQualityEstimator",
+    "AsyncSession",
     "Atom",
     "BatchExecutor",
     "BudgetAbsorption",
@@ -126,7 +177,10 @@ __all__ = [
     "PrivacyAccountant",
     "RandomizedResponse",
     "SEQ",
+    "ServiceSpec",
+    "ShardedExecutor",
     "StreamPipeline",
+    "StreamService",
     "SyntheticConfig",
     "TaxiConfig",
     "UniformPatternPPM",
@@ -135,6 +189,10 @@ __all__ = [
     "build_taxi_workload",
     "discover_relevant_events",
     "mean_relative_error",
+    "register_executor",
+    "register_mechanism",
+    "registered_executors",
+    "registered_mechanisms",
     "run_fig4_synthetic",
     "run_fig4_taxi",
     "synthesize_dataset",

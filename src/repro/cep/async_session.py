@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.cep.engine import CEPEngine
 from repro.cep.online import session_stepper
+from repro.utils.deprecation import warn_imperative
 from repro.utils.rng import RngLike
 
 #: Queue sentinel signalling the drainer to flush and exit.
@@ -75,6 +76,10 @@ class AsyncSession:
         max_batch: int = 64,
         record: bool = False,
     ):
+        warn_imperative(
+            "Constructing AsyncSession directly",
+            "open sessions with StreamService.open_async_session()",
+        )
         if not engine.queries:
             raise ValueError("the engine has no registered queries")
         if max_pending <= 0:

@@ -9,6 +9,12 @@ Service phase: raw events are windowed, reduced to existence indicators,
 perturbed once by the mechanism, and every registered query is answered
 from the *perturbed* indicators — so the mechanism's guarantee covers
 all consumers.
+
+Since PR 4 the engine is the *compiled artifact* of a declarative
+:class:`~repro.service.ServiceSpec`: the imperative setup-phase
+mutators below keep working but emit ``DeprecationWarning``s pointing
+at the spec API (:mod:`repro.service`), which builds engines through
+them internally without warning.
 """
 
 from __future__ import annotations
@@ -27,6 +33,10 @@ from repro.runtime.pipeline import StreamPipeline
 from repro.runtime.stages import WindowStage
 from repro.streams.indicator import EventAlphabet, IndicatorStream
 from repro.streams.stream import EventStream
+from repro.utils.deprecation import (
+    suppress_imperative_warnings,
+    warn_imperative,
+)
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_positive
 
@@ -130,14 +140,28 @@ class CEPEngine:
     # -- setup phase -----------------------------------------------------
 
     def register_private_pattern(self, pattern: Pattern) -> None:
-        """Data subject declares a pattern whose existence is private."""
+        """Data subject declares a pattern whose existence is private.
+
+        .. deprecated:: declare the pattern in ``ServiceSpec(patterns=)``.
+        """
+        warn_imperative(
+            "CEPEngine.register_private_pattern()",
+            "declare the pattern in ServiceSpec(patterns=...)",
+        )
         self._check_pattern(pattern)
         if pattern.name in self._private_patterns:
             raise ValueError(f"private pattern {pattern.name!r} already registered")
         self._private_patterns[pattern.name] = pattern
 
     def register_query(self, query: ContinuousQuery) -> None:
-        """Data consumer registers a continuous target-pattern query."""
+        """Data consumer registers a continuous target-pattern query.
+
+        .. deprecated:: declare the query in ``ServiceSpec(queries=)``.
+        """
+        warn_imperative(
+            "CEPEngine.register_query()",
+            "declare the query in ServiceSpec(queries=...)",
+        )
         if query.name in self._queries:
             raise ValueError(f"query {query.name!r} already registered")
         self._check_pattern(query.pattern)
@@ -145,7 +169,14 @@ class CEPEngine:
         self._pipeline = None
 
     def set_quality_requirement(self, requirement: QualityRequirement) -> None:
-        """Data consumer declares the required output data quality."""
+        """Data consumer declares the required output data quality.
+
+        .. deprecated:: declare it in ``ServiceSpec(quality=)``.
+        """
+        warn_imperative(
+            "CEPEngine.set_quality_requirement()",
+            "declare the requirement in ServiceSpec(quality=...)",
+        )
         self._quality = requirement
 
     def attach_mechanism(self, mechanism) -> None:
@@ -153,7 +184,15 @@ class CEPEngine:
 
         Any object exposing ``perturb(stream, rng=...) -> IndicatorStream``
         qualifies (the pattern-level PPMs and all baselines do).
+
+        .. deprecated:: choose a registered mechanism spec via
+           ``ServiceSpec(mechanism=..., mechanism_options=...)``.
         """
+        warn_imperative(
+            "CEPEngine.attach_mechanism()",
+            "choose a registered mechanism spec via "
+            "ServiceSpec(mechanism=..., mechanism_options=...)",
+        )
         if not hasattr(mechanism, "perturb"):
             raise TypeError(
                 "mechanism must expose perturb(IndicatorStream, rng=...)"
@@ -168,7 +207,13 @@ class CEPEngine:
         perturbation of the data, and repeated releases compose
         sequentially; the accountant makes the cumulative spend explicit
         and refuses runs that would exceed ``total_epsilon``.
+
+        .. deprecated:: declare the cap in ``ServiceSpec(accounting=)``.
         """
+        warn_imperative(
+            "CEPEngine.enable_accounting()",
+            "declare the budget cap in ServiceSpec(accounting=...)",
+        )
         check_positive("total_epsilon", total_epsilon, allow_inf=True)
         self._accountant = PrivacyAccountant(total_epsilon)
         return self._accountant
@@ -347,13 +392,14 @@ class CEPEngine:
         type_sets = WindowStage(window_assigner).type_sets(stream)
         pipeline = self.service_pipeline()
         indicators = pipeline.extractor.extract(type_sets)
-        session = AsyncSession(
-            self,
-            rng=rng,
-            max_pending=max_pending,
-            max_batch=max_batch,
-            record=True,
-        )
+        with suppress_imperative_warnings():
+            session = AsyncSession(
+                self,
+                rng=rng,
+                max_pending=max_pending,
+                max_batch=max_batch,
+                record=True,
+            )
         async with session:
             released_answers = await session.run_rows(
                 indicators.matrix_view()

@@ -27,22 +27,15 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.baselines.budget_absorption import BudgetAbsorption
-from repro.baselines.budget_distribution import BudgetDistribution
 from repro.baselines.conversion import BudgetConverter
-from repro.baselines.event_level import EventLevelRR
-from repro.baselines.landmark import LandmarkPrivacy
-from repro.baselines.user_level import UserLevelRR
 from repro.cep.queries import ContinuousQuery
-from repro.core.adaptive import AdaptivePatternPPM
-from repro.core.ppm import MultiPatternPPM
 from repro.core.quality_model import AnalyticQualityEstimator
-from repro.core.uniform import UniformPatternPPM
 from repro.datasets.workload import Workload
 from repro.metrics.mre import mean_relative_error
 from repro.metrics.quality import DataQuality
 from repro.runtime.executors import BatchExecutor
 from repro.runtime.pipeline import StreamPipeline
+from repro.utils.deprecation import warn_imperative
 from repro.utils.rng import RngLike, derive_rng
 from repro.utils.validation import check_positive, check_positive_int
 
@@ -150,60 +143,65 @@ class WorkloadEvaluation:
     ):
         """Build a mechanism calibrated to a target pattern-level ε.
 
-        The pattern-level PPMs take ε natively (one independent PPM per
-        private pattern, Section V-A); the baselines take the converted
-        budget from :class:`~repro.baselines.conversion.BudgetConverter`
-        using the workload's longest private pattern (worst case over
-        the protected types).
+        Dispatches through the service layer's mechanism registry
+        (:mod:`repro.service.registry`), so ``kind`` is any registered
+        mechanism spec — the built-ins (``"uniform-ppm"``/``"uniform"``,
+        ``"adaptive-ppm"``/``"adaptive"``, ``"bd"``, ``"ba"``,
+        ``"landmark"``, ``"event-rr"``/``"event-level"``,
+        ``"user-rr"``/``"user-level"``) or a plugin's.  The
+        pattern-level PPMs take ε natively (one independent PPM per
+        private pattern, Section V-A); the baseline factories convert
+        the pattern-level budget per Section VI-A.2 using this
+        workload's longest private pattern (worst case over the
+        protected types) via the shared converter cache.
         """
+        from repro.service.registry import (
+            MechanismContext,
+            build_mechanism_from_spec,
+            mechanism_factory_accepts,
+        )
+
         check_positive("pattern_epsilon", pattern_epsilon)
         workload = self.workload
-        if kind == "uniform":
-            return MultiPatternPPM(
-                [
-                    UniformPatternPPM(pattern, pattern_epsilon)
-                    for pattern in workload.private_patterns
-                ]
+        context = MechanismContext(
+            alphabet=workload.stream.alphabet,
+            private_patterns=tuple(workload.private_patterns),
+            target_patterns=tuple(workload.target_patterns),
+            alpha=alpha,
+            extras={
+                "history": workload.history,
+                "w": workload.w,
+                "landmark_mask": self.landmark_mask,
+                "n_windows": workload.stream.n_windows,
+                "converter_factory": self.converter,
+                "estimator_factory": self._estimator_factory,
+            },
+        )
+        # Factories that understand pattern-level budgets convert them
+        # themselves; a plugin taking only its native epsilon gets the
+        # grid value uninterpreted (no conversion the runner could do
+        # on its behalf).
+        if mechanism_factory_accepts(kind, "pattern_epsilon"):
+            options = {"pattern_epsilon": pattern_epsilon}
+        elif mechanism_factory_accepts(kind, "epsilon"):
+            options = {"epsilon": pattern_epsilon}
+        else:
+            raise TypeError(
+                f"mechanism spec {kind!r} takes neither pattern_epsilon "
+                "nor epsilon; its factory cannot participate in a "
+                "budget sweep"
             )
-        if kind == "adaptive":
-            fitted = [
-                AdaptivePatternPPM.fit(
-                    pattern,
-                    pattern_epsilon,
-                    workload.history,
-                    workload.target_patterns,
-                    alpha=alpha,
-                    step_size=adaptive_step_size,
-                    max_iterations=adaptive_max_iterations,
-                    estimator_factory=self._estimator_factory,
-                )
-                for pattern in workload.private_patterns
-            ]
-            return MultiPatternPPM(fitted)
-
-        converter = self.converter(conversion_mode)
-        if kind == "bd":
-            native = converter.bd_native(pattern_epsilon, workload.w)
-            return BudgetDistribution(native, workload.w)
-        if kind == "ba":
-            native = converter.ba_native(pattern_epsilon, workload.w)
-            return BudgetAbsorption(native, workload.w)
-        if kind == "landmark":
-            mask = self.landmark_mask()
-            n_landmarks = max(1, int(mask.sum()))
-            native = converter.landmark_native(pattern_epsilon, n_landmarks)
-            return LandmarkPrivacy(native, landmarks=mask)
-        if kind == "event-level":
-            native = converter.event_level_native(pattern_epsilon)
-            return EventLevelRR(native)
-        if kind == "user-level":
-            native = converter.user_level_native(
-                pattern_epsilon,
-                workload.stream.n_windows,
-                len(workload.stream.alphabet),
-            )
-            return UserLevelRR(native)
-        raise ValueError(f"unknown mechanism kind {kind!r}")
+        # Tuning knobs only some factories declare; thread them through
+        # where supported so unknown *user* options stay hard errors.
+        tuning = {
+            "conversion_mode": conversion_mode,
+            "step_size": adaptive_step_size,
+            "max_iterations": adaptive_max_iterations,
+        }
+        for name, value in tuning.items():
+            if mechanism_factory_accepts(kind, name):
+                options[name] = value
+        return build_mechanism_from_spec(kind, context, **options)
 
     # -- measurement ---------------------------------------------------
 
@@ -426,7 +424,17 @@ def build_mechanism(
     Single-cell wrapper over :meth:`WorkloadEvaluation.build_mechanism`;
     when evaluating many cells on one workload, build the context once
     and reuse it.
+
+    .. deprecated:: build mechanisms through the registry
+       (:func:`repro.service.build_mechanism_from_spec`) or declare
+       them on a :class:`~repro.service.ServiceSpec`.
     """
+    warn_imperative(
+        "repro.experiments.build_mechanism()",
+        "build mechanisms through the service registry "
+        "(repro.service.build_mechanism_from_spec) or declare them on "
+        "a ServiceSpec",
+    )
     return WorkloadEvaluation(workload).build_mechanism(
         kind,
         pattern_epsilon,

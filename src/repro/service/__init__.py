@@ -1,0 +1,54 @@
+"""The declarative service API: ``ServiceSpec`` → ``StreamService``.
+
+One way to stand up the paper's service phase (Section III-A, Fig. 2):
+describe the run as data — alphabet, private patterns, queries, a
+mechanism spec, an executor spec, accounting, quality, seed — in a
+frozen, JSON-serializable :class:`ServiceSpec`, then compile it with
+``spec.build()`` (or ``StreamService(spec)``) and drive the full
+lifecycle from the resulting :class:`StreamService`: batch runs,
+push-based and async sessions, checkpoint/resume, and evaluation
+sweeps.
+
+Mechanisms and executors are chosen by *registered string specs*
+(``"uniform-ppm"``, ``"sharded:process:8"``, ...); third-party backends
+hook in through :func:`register_mechanism` / :func:`register_executor`
+without touching core.  Runs are reproducible from a JSON blob plus a
+seed, bit-identical to the imperative ``CEPEngine`` path under the same
+seed.
+"""
+
+from repro.service.registry import (
+    MechanismContext,
+    UnknownSpecError,
+    build_executor_from_spec,
+    build_mechanism_from_spec,
+    parse_spec,
+    register_executor,
+    register_mechanism,
+    registered_executors,
+    registered_mechanisms,
+)
+from repro.service.spec import (
+    PatternSpec,
+    QualitySpec,
+    QuerySpec,
+    ServiceSpec,
+)
+from repro.service.service import StreamService
+
+__all__ = [
+    "MechanismContext",
+    "PatternSpec",
+    "QualitySpec",
+    "QuerySpec",
+    "ServiceSpec",
+    "StreamService",
+    "UnknownSpecError",
+    "build_executor_from_spec",
+    "build_mechanism_from_spec",
+    "parse_spec",
+    "register_executor",
+    "register_mechanism",
+    "registered_executors",
+    "registered_mechanisms",
+]

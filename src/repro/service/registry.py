@@ -1,0 +1,592 @@
+"""Plugin registries resolving string specs to mechanisms and executors.
+
+The declarative service API names its components by *spec strings*:
+``mechanism="uniform-ppm"``, ``executor="sharded:process:8"``.  A spec
+string is a registered name optionally followed by colon-separated
+positional arguments (coerced to ``int``/``float`` when they parse);
+keyword options ride along separately
+(:attr:`~repro.service.spec.ServiceSpec.mechanism_options` /
+``executor_options``).
+
+Third-party backends extend the service without touching core:
+
+>>> from repro.service import register_executor
+>>> @register_executor("my-accelerator")
+... def _build(device="gpu0"):
+...     '''Executor offloading perturbation to an accelerator.'''
+...     return MyAcceleratorExecutor(device)
+
+and ``ServiceSpec(executor="my-accelerator:gpu1", ...)`` just works —
+this is the hook the ROADMAP's distributed-shard and accelerator
+executors plug into.
+
+Mechanism factories receive a :class:`MechanismContext` (the spec's
+alphabet, private patterns, target queries and quality weight, plus
+run-time extras like the adaptive PPM's history stream) and take the
+budget either natively (``epsilon=``, the mechanism's own parameter) or
+as a pattern-level budget (``pattern_epsilon=``, converted per
+Section VI-A.2 exactly as the experiment harness converts it — the
+conversion now lives *with* each mechanism's factory instead of in the
+runner's kind-dispatch).
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cep.patterns import Pattern
+from repro.streams.indicator import EventAlphabet
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "MechanismContext",
+    "UnknownSpecError",
+    "build_executor_from_spec",
+    "build_mechanism_from_spec",
+    "mechanism_factory_accepts",
+    "parse_spec",
+    "register_executor",
+    "register_mechanism",
+    "registered_executors",
+    "registered_mechanisms",
+]
+
+
+class UnknownSpecError(ValueError):
+    """A spec string names no registered mechanism/executor."""
+
+
+def parse_spec(spec: str) -> Tuple[str, Tuple[object, ...]]:
+    """Split ``"name:arg1:arg2"`` into the name and coerced arguments.
+
+    Arguments parse to ``int`` then ``float`` when possible and stay
+    strings otherwise: ``"sharded:process:8"`` →
+    ``("sharded", ("process", 8))``.
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise ValueError(f"spec must be a non-empty string, got {spec!r}")
+    head, *raw_args = spec.strip().split(":")
+    return head, tuple(_coerce(argument) for argument in raw_args)
+
+
+def _coerce(argument: str) -> object:
+    for kind in (int, float):
+        try:
+            return kind(argument)
+        except ValueError:
+            continue
+    return argument
+
+
+class _Registry:
+    """One name → factory table with alias support."""
+
+    def __init__(self, kind: str):
+        self._kind = kind
+        self._factories: Dict[str, Callable] = {}
+        self._canonical: Dict[str, str] = {}
+
+    def register(self, name: str, *, aliases: Sequence[str] = ()):
+        def decorator(factory: Callable) -> Callable:
+            keys = (name, *aliases)
+            # Check every key before inserting any, so a collision
+            # leaves no partial registration behind.
+            taken = [key for key in keys if key in self._factories]
+            if taken:
+                raise ValueError(
+                    f"{self._kind} spec(s) {taken} already registered"
+                )
+            for key in keys:
+                self._factories[key] = factory
+                self._canonical[key] = name
+            return factory
+
+        return decorator
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered spec names (canonical names and aliases)."""
+        return tuple(sorted(self._factories))
+
+    def resolve(self, spec: str) -> Tuple[Callable, Tuple[object, ...]]:
+        name, args = parse_spec(spec)
+        if name not in self._factories:
+            raise UnknownSpecError(
+                f"unknown {self._kind} spec {name!r}; registered "
+                f"{self._kind} specs: {', '.join(self.names())}"
+            )
+        return self._factories[name], args
+
+    def canonical(self, spec: str) -> str:
+        name, _args = parse_spec(spec)
+        if name not in self._canonical:
+            raise UnknownSpecError(
+                f"unknown {self._kind} spec {name!r}; registered "
+                f"{self._kind} specs: {', '.join(self.names())}"
+            )
+        return self._canonical[name]
+
+
+_MECHANISMS = _Registry("mechanism")
+_EXECUTORS = _Registry("executor")
+
+
+def register_mechanism(name: str, *, aliases: Sequence[str] = ()):
+    """Register a mechanism factory under a spec name (plus aliases).
+
+    The factory is called as ``factory(context, *spec_args, **options)``
+    with a :class:`MechanismContext` and must return an object exposing
+    ``perturb(IndicatorStream, rng=...)``.
+    """
+    return _MECHANISMS.register(name, aliases=aliases)
+
+
+def register_executor(name: str, *, aliases: Sequence[str] = ()):
+    """Register an executor factory under a spec name (plus aliases).
+
+    The factory is called as ``factory(*spec_args, **options)`` and must
+    return an executor exposing
+    ``run(pipeline, indicators, rng=...) -> PipelineResult``.
+    """
+    return _EXECUTORS.register(name, aliases=aliases)
+
+
+def registered_mechanisms() -> Tuple[str, ...]:
+    """The mechanism spec names the service API currently accepts."""
+    return _MECHANISMS.names()
+
+
+def registered_executors() -> Tuple[str, ...]:
+    """The executor spec names the service API currently accepts."""
+    return _EXECUTORS.names()
+
+
+def validate_mechanism_spec(spec: str) -> str:
+    """Check the spec's head names a registered mechanism; return it."""
+    return _MECHANISMS.canonical(spec)
+
+
+def validate_executor_spec(spec: str) -> str:
+    """Check the spec's head names a registered executor; return it."""
+    return _EXECUTORS.canonical(spec)
+
+
+def mechanism_factory_accepts(spec: str, parameter: str) -> bool:
+    """Whether the spec's factory takes ``parameter`` as a keyword.
+
+    The experiment runner uses this to thread optional tuning knobs
+    (``conversion_mode``, ``step_size``, ...) only to factories that
+    declare them, keeping unknown *user* options a hard error.
+    """
+    factory, _args = _MECHANISMS.resolve(spec)
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # pragma: no cover - C callables
+        return True
+    if any(
+        param.kind is inspect.Parameter.VAR_KEYWORD
+        for param in signature.parameters.values()
+    ):
+        return True
+    return parameter in signature.parameters
+
+
+def build_mechanism_from_spec(
+    spec: str, context: "MechanismContext", **options
+):
+    """Instantiate the mechanism a spec string names.
+
+    ``options`` merge keyword options over the spec string's positional
+    arguments; unknown names raise :class:`UnknownSpecError` listing
+    every registered spec.
+    """
+    factory, args = _MECHANISMS.resolve(spec)
+    return factory(context, *args, **options)
+
+
+def build_executor_from_spec(spec: str, **options):
+    """Instantiate the executor a spec string names."""
+    factory, args = _EXECUTORS.resolve(spec)
+    return factory(*args, **options)
+
+
+# ---------------------------------------------------------------------------
+# The mechanism build context
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MechanismContext:
+    """Everything a mechanism factory may draw on while building.
+
+    Attributes
+    ----------
+    alphabet:
+        The service alphabet (fixes indicator columns).
+    private_patterns:
+        The data subjects' protected patterns.
+    target_patterns:
+        The data consumers' queried patterns.
+    alpha:
+        Precision weight of the quality requirement (Eq. (3)).
+    extras:
+        Run-time inputs that are data rather than configuration: the
+        adaptive PPM's ``history`` stream, a precomputed
+        ``landmark_mask``, the evaluation stream's ``n_windows`` (for
+        the user-level budget split), ``w`` (the w-event parameter),
+        and optionally a ``converter_factory`` /
+        ``estimator_factory`` so harness callers can share caches.
+    """
+
+    alphabet: EventAlphabet
+    private_patterns: Tuple[Pattern, ...] = ()
+    target_patterns: Tuple[Pattern, ...] = ()
+    alpha: float = 0.5
+    extras: Mapping = field(default_factory=dict)
+
+    def extra(self, name: str, default=None):
+        """One run-time extra (``default`` when absent or ``None``)."""
+        value = self.extras.get(name, default)
+        return default if value is None else value
+
+    def require_extra(self, name: str, *, hint: str):
+        value = self.extras.get(name)
+        if value is None:
+            raise ValueError(
+                f"building this mechanism needs {name!r}: {hint}"
+            )
+        return value
+
+    @property
+    def max_private_length(self) -> int:
+        """The longest private pattern's ``m`` (conversion worst case)."""
+        lengths = [
+            len(pattern.elements)
+            for pattern in self.private_patterns
+            if pattern.elements is not None
+        ]
+        if not lengths:
+            raise ValueError(
+                "budget conversion needs at least one private pattern "
+                "with an element list"
+            )
+        return max(lengths)
+
+    def converter(self, mode: str = "worst_case"):
+        """A budget converter for this context (Section VI-A.2).
+
+        Uses the caller-provided ``converter_factory`` extra when
+        present (the experiment harness shares its per-mode cache this
+        way) and builds a fresh
+        :class:`~repro.baselines.conversion.BudgetConverter` otherwise.
+        """
+        factory = self.extras.get("converter_factory")
+        if factory is not None:
+            return factory(mode)
+        from repro.baselines.conversion import BudgetConverter
+
+        return BudgetConverter(self.max_private_length, mode=mode)
+
+
+def _native_budget(
+    spec_name: str,
+    epsilon: Optional[float],
+    pattern_epsilon: Optional[float],
+    convert: Callable[[float], float],
+) -> float:
+    """Resolve the mechanism's native budget from exactly one source."""
+    if (epsilon is None) == (pattern_epsilon is None):
+        raise ValueError(
+            f"mechanism {spec_name!r} takes exactly one of epsilon= "
+            "(the mechanism's native budget) or pattern_epsilon= (a "
+            "pattern-level budget converted per Section VI-A.2)"
+        )
+    if epsilon is not None:
+        return check_positive("epsilon", epsilon)
+    check_positive("pattern_epsilon", pattern_epsilon)
+    return convert(pattern_epsilon)
+
+
+def _require_private(context: MechanismContext, spec_name: str):
+    if not context.private_patterns:
+        raise ValueError(
+            f"mechanism {spec_name!r} protects private patterns; the "
+            "spec declares none (patterns=)"
+        )
+    return context.private_patterns
+
+
+# ---------------------------------------------------------------------------
+# Built-in mechanism specs
+# ---------------------------------------------------------------------------
+
+
+@register_mechanism("uniform-ppm", aliases=("uniform",))
+def _build_uniform_ppm(
+    context: MechanismContext,
+    epsilon: Optional[float] = None,
+    *,
+    pattern_epsilon: Optional[float] = None,
+):
+    """One uniform pattern-level PPM per private pattern (Section V-A)."""
+    from repro.core.ppm import MultiPatternPPM
+    from repro.core.uniform import UniformPatternPPM
+
+    budget = _native_budget(
+        "uniform-ppm", epsilon, pattern_epsilon, lambda value: value
+    )
+    return MultiPatternPPM(
+        [
+            UniformPatternPPM(pattern, budget)
+            for pattern in _require_private(context, "uniform-ppm")
+        ]
+    )
+
+
+@register_mechanism("adaptive-ppm", aliases=("adaptive",))
+def _build_adaptive_ppm(
+    context: MechanismContext,
+    epsilon: Optional[float] = None,
+    *,
+    pattern_epsilon: Optional[float] = None,
+    step_size: Optional[float] = None,
+    max_iterations: int = 200,
+):
+    """Adaptive PPMs fitted on history by Algorithm 1 (Section V-B)."""
+    from repro.core.adaptive import AdaptivePatternPPM
+    from repro.core.ppm import MultiPatternPPM
+
+    budget = _native_budget(
+        "adaptive-ppm", epsilon, pattern_epsilon, lambda value: value
+    )
+    history = context.require_extra(
+        "history",
+        hint="the adaptive PPM fits its allocation on historical "
+        "windows; pass history= to ServiceSpec.build() / StreamService",
+    )
+    return MultiPatternPPM(
+        [
+            AdaptivePatternPPM.fit(
+                pattern,
+                budget,
+                history,
+                list(context.target_patterns),
+                alpha=context.alpha,
+                step_size=step_size,
+                max_iterations=max_iterations,
+                estimator_factory=context.extras.get("estimator_factory"),
+            )
+            for pattern in _require_private(context, "adaptive-ppm")
+        ]
+    )
+
+
+@register_mechanism("bd", aliases=("budget-distribution",))
+def _build_bd(
+    context: MechanismContext,
+    epsilon: Optional[float] = None,
+    w: Optional[int] = None,
+    *,
+    pattern_epsilon: Optional[float] = None,
+    conversion_mode: str = "worst_case",
+    sensitivity: float = 1.0,
+):
+    """The w-event budget-distribution scheduler baseline."""
+    from repro.baselines.budget_distribution import BudgetDistribution
+
+    w = w if w is not None else context.extra("w")
+    if w is None:
+        raise ValueError(
+            "mechanism 'bd' needs the w-event window parameter; pass "
+            "w= in the mechanism options"
+        )
+    native = _native_budget(
+        "bd",
+        epsilon,
+        pattern_epsilon,
+        lambda value: context.converter(conversion_mode).bd_native(value, w),
+    )
+    return BudgetDistribution(native, w, sensitivity=sensitivity)
+
+
+@register_mechanism("ba", aliases=("budget-absorption",))
+def _build_ba(
+    context: MechanismContext,
+    epsilon: Optional[float] = None,
+    w: Optional[int] = None,
+    *,
+    pattern_epsilon: Optional[float] = None,
+    conversion_mode: str = "worst_case",
+    sensitivity: float = 1.0,
+):
+    """The w-event budget-absorption scheduler baseline."""
+    from repro.baselines.budget_absorption import BudgetAbsorption
+
+    w = w if w is not None else context.extra("w")
+    if w is None:
+        raise ValueError(
+            "mechanism 'ba' needs the w-event window parameter; pass "
+            "w= in the mechanism options"
+        )
+    native = _native_budget(
+        "ba",
+        epsilon,
+        pattern_epsilon,
+        lambda value: context.converter(conversion_mode).ba_native(value, w),
+    )
+    return BudgetAbsorption(native, w, sensitivity=sensitivity)
+
+
+@register_mechanism("landmark")
+def _build_landmark(
+    context: MechanismContext,
+    epsilon: Optional[float] = None,
+    *,
+    pattern_epsilon: Optional[float] = None,
+    landmarks: Optional[Sequence[bool]] = None,
+    conversion_mode: str = "worst_case",
+    rho: float = 0.5,
+    sensitivity: float = 1.0,
+):
+    """Landmark privacy over the private patterns' sensitive windows."""
+    from repro.baselines.landmark import LandmarkPrivacy
+
+    if landmarks is None:
+        landmarks = context.extras.get("landmark_mask")
+        if callable(landmarks):
+            landmarks = landmarks()
+    mask = (
+        None if landmarks is None else np.asarray(landmarks, dtype=bool)
+    )
+
+    def convert(value: float) -> float:
+        if mask is None:
+            raise ValueError(
+                "converting a pattern-level budget for 'landmark' needs "
+                "the landmark mask; pass landmarks= in the mechanism "
+                "options (or epsilon= for the native budget)"
+            )
+        n_landmarks = max(1, int(mask.sum()))
+        return context.converter(conversion_mode).landmark_native(
+            value, n_landmarks
+        )
+
+    native = _native_budget("landmark", epsilon, pattern_epsilon, convert)
+    return LandmarkPrivacy(
+        native, landmarks=mask, rho=rho, sensitivity=sensitivity
+    )
+
+
+@register_mechanism("event-rr", aliases=("event-level",))
+def _build_event_rr(
+    context: MechanismContext,
+    epsilon: Optional[float] = None,
+    *,
+    pattern_epsilon: Optional[float] = None,
+    conversion_mode: str = "worst_case",
+):
+    """Event-level randomized response (per-indicator ε)."""
+    from repro.baselines.event_level import EventLevelRR
+
+    native = _native_budget(
+        "event-rr",
+        epsilon,
+        pattern_epsilon,
+        lambda value: context.converter(conversion_mode).event_level_native(
+            value
+        ),
+    )
+    return EventLevelRR(native)
+
+
+@register_mechanism("user-rr", aliases=("user-level",))
+def _build_user_rr(
+    context: MechanismContext,
+    epsilon: Optional[float] = None,
+    *,
+    pattern_epsilon: Optional[float] = None,
+    n_windows: Optional[int] = None,
+    conversion_mode: str = "worst_case",
+):
+    """User-level randomized response (budget split over the stream)."""
+    from repro.baselines.user_level import UserLevelRR
+
+    def convert(value: float) -> float:
+        horizon = (
+            n_windows if n_windows is not None else context.extra("n_windows")
+        )
+        if horizon is None:
+            raise ValueError(
+                "converting a pattern-level budget for 'user-rr' needs "
+                "the stream horizon; pass n_windows= in the mechanism "
+                "options (or epsilon= for the native budget)"
+            )
+        return context.converter(conversion_mode).user_level_native(
+            value, horizon, len(context.alphabet)
+        )
+
+    native = _native_budget("user-rr", epsilon, pattern_epsilon, convert)
+    return UserLevelRR(native)
+
+
+# ---------------------------------------------------------------------------
+# Built-in executor specs
+# ---------------------------------------------------------------------------
+
+
+@register_executor("batch")
+def _build_batch_executor():
+    """The vectorized whole-stream executor (the default)."""
+    from repro.runtime.executors import BatchExecutor
+
+    return BatchExecutor()
+
+
+@register_executor("chunked")
+def _build_chunked_executor(
+    chunk_size: int = 256, *, materialize: bool = True
+):
+    """Bounded-memory chunked execution: ``"chunked:512"``."""
+    from repro.runtime.executors import ChunkedExecutor
+
+    return ChunkedExecutor(chunk_size, materialize=materialize)
+
+
+@register_executor("sharded")
+def _build_sharded_executor(*args, **options):
+    """Parallel sharded execution: ``"sharded[:backend][:workers]"``.
+
+    Positional spec arguments may name the backend (``thread`` /
+    ``process``) and/or give the worker count, in either order:
+    ``"sharded:process:8"``, ``"sharded:4"``, ``"sharded:thread"``.
+    Keyword options pass through to
+    :class:`~repro.runtime.executors.ShardedExecutor`.
+    """
+    from repro.runtime.executors import ShardedExecutor
+    from repro.runtime.sharding import validate_backend
+
+    backend = options.pop("backend", None)
+    n_workers = options.pop("n_workers", None)
+    for argument in args:
+        if isinstance(argument, int):
+            if n_workers is not None:
+                raise ValueError(
+                    f"sharded executor spec gives two worker counts: "
+                    f"{n_workers} and {argument}"
+                )
+            n_workers = argument
+        else:
+            if backend is not None:
+                raise ValueError(
+                    f"sharded executor spec gives two backends: "
+                    f"{backend!r} and {argument!r}"
+                )
+            validate_backend(argument)
+            backend = argument
+    return ShardedExecutor(
+        n_workers, backend=backend or "thread", **options
+    )

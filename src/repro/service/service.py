@@ -1,0 +1,383 @@
+"""The compiled service: one coherent lifecycle over the runtime.
+
+:class:`StreamService` compiles a :class:`~repro.service.spec.ServiceSpec`
+into the existing runtime — the engine, pipeline, executors and
+sessions from PRs 1–3 — and exposes the full lifecycle behind one
+surface:
+
+- :meth:`run` / :meth:`run_indicators` — the batch service phase under
+  the spec's executor;
+- :meth:`open_session` / :meth:`open_async_session` — push-based
+  ingestion, resumable through :meth:`checkpoint` /
+  :meth:`StreamService.resume` (the PR-3 ``snapshot()``/``restore()``
+  protocol);
+- :meth:`sweep` — the (mechanism × ε) evaluation grid, bridging into
+  :class:`~repro.experiments.runner.WorkloadEvaluation`.
+
+Everything is driven by the spec's seed, so a service rebuilt from the
+same JSON blob reproduces its runs bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.cep.engine import CEPEngine, EngineReport
+from repro.service.registry import (
+    MechanismContext,
+    build_executor_from_spec,
+    build_mechanism_from_spec,
+)
+from repro.service.spec import ServiceSpec
+from repro.streams.indicator import IndicatorStream
+from repro.streams.stream import EventStream
+from repro.utils.deprecation import suppress_imperative_warnings
+from repro.utils.rng import RngLike
+
+__all__ = ["StreamService"]
+
+
+class StreamService:
+    """A private stream service stood up from one declarative spec.
+
+    Construction compiles the spec: the alphabet, patterns, queries,
+    quality requirement and accounting budget configure a
+    :class:`~repro.cep.engine.CEPEngine`; the mechanism and executor
+    spec strings resolve through the plugin registries.  ``history``
+    supplies historical windows for data-driven mechanisms (the
+    adaptive PPM's Algorithm 1 fit).
+    """
+
+    def __init__(
+        self,
+        spec: Union[ServiceSpec, Mapping, str],
+        *,
+        history: Optional[IndicatorStream] = None,
+    ):
+        if isinstance(spec, str):
+            spec = ServiceSpec.from_json(spec)
+        elif isinstance(spec, Mapping):
+            spec = ServiceSpec.from_dict(spec)
+        if not isinstance(spec, ServiceSpec):
+            raise TypeError(
+                "StreamService takes a ServiceSpec (or its dict/JSON "
+                f"form), got {type(spec).__name__}"
+            )
+        self._spec = spec
+        self._history = history
+        self._session = None
+        self._session_kind: Optional[str] = None
+        self._session_options: Dict = {}
+        alphabet = spec.event_alphabet()
+        with suppress_imperative_warnings():
+            engine = CEPEngine(alphabet)
+            for pattern in spec.pattern_objects():
+                engine.register_private_pattern(pattern)
+            for query in spec.query_objects():
+                engine.register_query(query)
+            engine.set_quality_requirement(spec.quality.to_requirement())
+            if spec.mechanism is not None:
+                engine.attach_mechanism(
+                    build_mechanism_from_spec(
+                        spec.mechanism,
+                        self._mechanism_context(),
+                        **spec.mechanism_options,
+                    )
+                )
+            if spec.accounting is not None:
+                engine.enable_accounting(spec.accounting)
+        self._engine = engine
+        self._executor = build_executor_from_spec(
+            spec.executor, **spec.executor_options
+        )
+
+    def _mechanism_context(self) -> MechanismContext:
+        spec = self._spec
+        extras = {}
+        if self._history is not None:
+            # Deliberately NOT exported as "n_windows": that extra is the
+            # *evaluation* horizon (the user-level budget split), and the
+            # history length is unrelated to it — user-rr specs must name
+            # their horizon explicitly (n_windows= in the options).
+            extras["history"] = self._history
+        return MechanismContext(
+            alphabet=spec.event_alphabet(),
+            private_patterns=spec.pattern_objects(),
+            target_patterns=tuple(
+                query.pattern for query in spec.query_objects()
+            ),
+            alpha=spec.quality.alpha,
+            extras=extras,
+        )
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def spec(self) -> ServiceSpec:
+        """The declarative spec this service was compiled from."""
+        return self._spec
+
+    @property
+    def engine(self) -> CEPEngine:
+        """The compiled engine (the spec's runtime artifact)."""
+        return self._engine
+
+    @property
+    def mechanism(self):
+        """The instantiated privacy mechanism (``None`` unprotected)."""
+        return self._engine.mechanism
+
+    @property
+    def executor(self):
+        """The instantiated runtime executor."""
+        return self._executor
+
+    @property
+    def accountant(self):
+        """The budget ledger (``None`` without ``accounting=``)."""
+        return self._engine.accountant
+
+    @property
+    def session(self):
+        """The most recently opened (or resumed) session, if any."""
+        return self._session
+
+    def _seeded(self, rng: RngLike) -> RngLike:
+        return self._spec.seed if rng is None else rng
+
+    # -- batch service phase -------------------------------------------
+
+    def run(
+        self,
+        source,
+        *,
+        rng: RngLike = None,
+        window=None,
+    ) -> EngineReport:
+        """The full service phase over ``source``.
+
+        ``source`` may be raw events (an
+        :class:`~repro.streams.stream.EventStream`, windowed by the
+        spec's ``window`` grammar or an explicit ``window=`` assigner),
+        an :class:`~repro.streams.indicator.IndicatorStream`, or
+        per-window event-type collections.  Runs under the spec's
+        executor and seed (``rng=`` overrides the seed for one run) and
+        answers every declared query; accounting is charged when
+        enabled.
+        """
+        if isinstance(source, EventStream):
+            assigner = (
+                window if window is not None else self._spec.window_assigner()
+            )
+            if assigner is None:
+                raise ValueError(
+                    "running from raw events needs a window: declare "
+                    "window= on the spec (e.g. 'tumbling:10') or pass "
+                    "window= here"
+                )
+            return self._engine.process_events(
+                source,
+                assigner,
+                rng=self._seeded(rng),
+                executor=self._executor,
+            )
+        if not isinstance(source, IndicatorStream):
+            source = self._engine.service_pipeline().indicators_from(source)
+        return self.run_indicators(source, rng=rng)
+
+    def run_indicators(
+        self, stream: IndicatorStream, *, rng: RngLike = None
+    ) -> EngineReport:
+        """The service phase over an already-extracted indicator stream."""
+        return self._engine.process_indicators(
+            stream, rng=self._seeded(rng), executor=self._executor
+        )
+
+    # -- push-based sessions -------------------------------------------
+
+    def open_session(self, *, rng: RngLike = None):
+        """Open a synchronous push-based session (window in, answers out).
+
+        Uses the spec seed unless overridden; the session is retained on
+        :attr:`session` and is what :meth:`checkpoint` snapshots.
+        """
+        from repro.cep.online import OnlineSession
+
+        with suppress_imperative_warnings():
+            session = OnlineSession(self._engine, rng=self._seeded(rng))
+        self._session = session
+        self._session_kind = "online"
+        return session
+
+    def open_async_session(
+        self,
+        *,
+        rng: RngLike = None,
+        max_pending: int = 256,
+        max_batch: int = 64,
+        record: bool = False,
+    ):
+        """Open a backpressured asyncio ingestion session."""
+        from repro.cep.async_session import AsyncSession
+
+        with suppress_imperative_warnings():
+            session = AsyncSession(
+                self._engine,
+                rng=self._seeded(rng),
+                max_pending=max_pending,
+                max_batch=max_batch,
+                record=record,
+            )
+        self._session = session
+        self._session_kind = "async"
+        # Remembered so checkpoints can rebuild an equivalent session
+        # (a resumed async session must keep recording, queue bounds...).
+        self._session_options = {
+            "max_pending": max_pending,
+            "max_batch": max_batch,
+            "record": record,
+        }
+        return session
+
+    # -- checkpoint / resume -------------------------------------------
+
+    def checkpoint(self) -> Dict:
+        """A picklable checkpoint of the open session plus its spec.
+
+        Captures the spec (as a dict) and the session's full release
+        state — window counter, scheduler state, accounting trace and
+        rng position (see the PR-3 ``snapshot()`` protocol).  Restoring
+        it via :meth:`resume` continues mid-stream with exactly the
+        randomness and budget state an uninterrupted run would have
+        had.  Async sessions must be quiescent (all submitted windows
+        answered).
+        """
+        if self._session is None:
+            raise RuntimeError(
+                "no open session to checkpoint; call open_session() or "
+                "open_async_session() first"
+            )
+        checkpoint = {
+            "format": 1,
+            "kind": self._session_kind,
+            "spec": self._spec.to_dict(),
+            "session": self._session.snapshot(),
+        }
+        if self._session_kind == "async":
+            checkpoint["session_options"] = dict(self._session_options)
+        return checkpoint
+
+    @classmethod
+    def resume(
+        cls,
+        spec: Union[ServiceSpec, Mapping, str],
+        checkpoint: Mapping,
+        *,
+        history: Optional[IndicatorStream] = None,
+    ) -> "StreamService":
+        """Rebuild a service and continue from a :meth:`checkpoint`.
+
+        ``spec`` must equal the checkpointed spec (the checkpoint's
+        release state is only meaningful under the same configuration
+        and seed).  Returns the rebuilt service with the restored
+        session available on :attr:`session`.
+        """
+        if isinstance(spec, str):
+            spec = ServiceSpec.from_json(spec)
+        elif isinstance(spec, Mapping):
+            spec = ServiceSpec.from_dict(spec)
+        recorded = checkpoint.get("spec")
+        if recorded is not None and ServiceSpec.from_dict(recorded) != spec:
+            raise ValueError(
+                "checkpoint was taken under a different spec; resume "
+                "with the spec recorded in the checkpoint"
+            )
+        service = cls(spec, history=history)
+        kind = checkpoint.get("kind", "online")
+        if kind == "async":
+            session = service.open_async_session(
+                **checkpoint.get("session_options", {})
+            )
+        else:
+            session = service.open_session()
+        session.restore(checkpoint["session"])
+        return service
+
+    # -- evaluation ----------------------------------------------------
+
+    def sweep(
+        self,
+        epsilon_grid,
+        *,
+        stream: IndicatorStream,
+        mechanisms=("uniform-ppm", "bd", "ba", "landmark", "event-rr",
+                    "user-rr"),
+        history: Optional[IndicatorStream] = None,
+        w: int = 10,
+        n_trials: int = 5,
+        conversion_mode: str = "worst_case",
+        rng: RngLike = None,
+        workers: Optional[int] = None,
+        backend: str = "thread",
+        executor=None,
+    ) -> List:
+        """Evaluate mechanism specs over an ε grid on this service's
+        patterns and queries.
+
+        Bridges into the experiment harness: the spec's patterns and
+        queries plus the given evaluation ``stream`` form a
+        :class:`~repro.datasets.workload.Workload`, and every
+        (mechanism, ε) cell is built through the mechanism registry and
+        measured by
+        :meth:`~repro.experiments.runner.WorkloadEvaluation.sweep`
+        (``workers=`` fans the grid out; parallel results are
+        bit-identical to serial).  ``history`` (or the service's build
+        history) enables ``"adaptive-ppm"`` cells; ``executor`` may be
+        an executor object or a registered executor spec string and
+        defaults to this service's executor.
+        """
+        from repro.datasets.workload import Workload
+        from repro.experiments.runner import WorkloadEvaluation
+        from repro.service.registry import validate_mechanism_spec
+
+        history = history if history is not None else self._history
+        if history is None:
+            data_driven = [
+                mechanism
+                for mechanism in mechanisms
+                if validate_mechanism_spec(mechanism) == "adaptive-ppm"
+            ]
+            if data_driven:
+                raise ValueError(
+                    f"sweeping {data_driven} needs historical windows "
+                    "disjoint from the evaluation stream (fitting on "
+                    "the stream under evaluation would leak); pass "
+                    "history= here or at build time"
+                )
+        workload = Workload(
+            name="service",
+            stream=stream,
+            # Non-adaptive cells never read the history; reusing the
+            # evaluation stream keeps the workload constructible.
+            history=history if history is not None else stream,
+            private_patterns=list(self._spec.pattern_objects()),
+            target_patterns=[
+                query.pattern for query in self._spec.query_objects()
+            ],
+            w=w,
+        )
+        if isinstance(executor, str):
+            executor = build_executor_from_spec(executor)
+        elif executor is None:
+            executor = self._executor
+        return WorkloadEvaluation(workload).sweep(
+            epsilon_grid=epsilon_grid,
+            mechanisms=list(mechanisms),
+            alpha=self._spec.quality.alpha,
+            n_trials=n_trials,
+            conversion_mode=conversion_mode,
+            rng=self._seeded(rng),
+            workers=workers,
+            backend=backend,
+            executor=executor,
+        )

@@ -1,0 +1,59 @@
+"""Deprecation plumbing for the imperative service surface.
+
+PR 4 made :class:`~repro.service.ServiceSpec` /
+:class:`~repro.service.StreamService` the one way to stand up a private
+stream service; the old imperative surface (mutating a ``CEPEngine``,
+constructing sessions directly, the experiment runner's kind-dispatch)
+keeps working behind pointed ``DeprecationWarning``s.
+
+The service layer itself is built *on top of* those entry points, so a
+plain ``warnings.warn`` in them would fire on every internal call.
+:func:`suppress_imperative_warnings` is the escape hatch: the service
+layer wraps its internal construction in it, and
+:func:`warn_imperative` stays silent inside the context — a spec-built
+service emits zero deprecation warnings while every direct imperative
+call emits exactly one.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import warnings
+
+_SUPPRESSED: contextvars.ContextVar[bool] = contextvars.ContextVar(
+    "repro-imperative-warnings-suppressed", default=False
+)
+
+
+@contextlib.contextmanager
+def suppress_imperative_warnings():
+    """Silence :func:`warn_imperative` within the ``with`` block.
+
+    Used by the service layer (and non-deprecated facades built on the
+    imperative entry points) so internal construction never warns.
+    Context-local, so concurrent user code in other tasks/threads still
+    warns normally.
+    """
+    token = _SUPPRESSED.set(True)
+    try:
+        yield
+    finally:
+        _SUPPRESSED.reset(token)
+
+
+def warn_imperative(old: str, new: str, *, stacklevel: int = 3) -> None:
+    """Emit one ``DeprecationWarning`` pointing from ``old`` to ``new``.
+
+    No-op while :func:`suppress_imperative_warnings` is active.  The
+    default ``stacklevel`` of 3 attributes the warning to the caller of
+    the deprecated entry point (user code), not the entry point itself.
+    """
+    if _SUPPRESSED.get():
+        return
+    warnings.warn(
+        f"{old} is part of the deprecated imperative service surface: "
+        f"{new} instead (see repro.service.ServiceSpec / StreamService).",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

@@ -1,11 +1,14 @@
 """Surface tests of the public API.
 
 Guards the contract a downstream user relies on: everything in
-``__all__`` resolves, carries a docstring, and the package imports
-without side effects on global RNG state.
+``__all__`` resolves, carries a docstring, matches the committed
+surface manifest (``tests/data/public_api.txt``), and the package
+imports without side effects on global RNG state.
 """
 
 import importlib
+
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -21,9 +24,12 @@ SUBPACKAGES = [
     "repro.mechanisms",
     "repro.metrics",
     "repro.runtime",
+    "repro.service",
     "repro.streams",
     "repro.utils",
 ]
+
+MANIFEST = Path(__file__).parent / "data" / "public_api.txt"
 
 
 class TestAllResolvable:
@@ -48,6 +54,39 @@ class TestAllResolvable:
         )
 
 
+class TestSurfaceManifest:
+    """Surface changes must be deliberate: ``__all__`` is committed."""
+
+    def test_all_matches_committed_manifest(self):
+        expected = [
+            line.strip()
+            for line in MANIFEST.read_text().splitlines()
+            if line.strip() and not line.startswith("#")
+        ]
+        added = sorted(set(repro.__all__) - set(expected))
+        removed = sorted(set(expected) - set(repro.__all__))
+        assert list(repro.__all__) == expected, (
+            "repro.__all__ drifted from tests/data/public_api.txt "
+            f"(added: {added}, removed: {removed}); if the surface "
+            "change is intentional, update the manifest in the same "
+            "commit"
+        )
+
+    def test_session_and_service_exports_present(self):
+        # The PR-2/PR-3 executors and sessions, and the PR-4 service
+        # API, are public, tested surface.
+        for name in (
+            "AsyncSession",
+            "ShardedExecutor",
+            "ServiceSpec",
+            "StreamService",
+            "register_executor",
+            "register_mechanism",
+        ):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+
 class TestDocstrings:
     @pytest.mark.parametrize("module_name", SUBPACKAGES)
     def test_subpackages_documented(self, module_name):
@@ -65,12 +104,18 @@ class TestDocstrings:
 
 class TestVersion:
     def test_version_matches_pyproject(self):
+        """``__version__`` is single-sourced: it must always equal the
+        pyproject version, whether resolved from installed metadata or
+        from the source tree fallback."""
         import tomllib
-        from pathlib import Path
 
         pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
         data = tomllib.loads(pyproject.read_text())
         assert repro.__version__ == data["project"]["version"]
+
+    def test_version_is_resolved(self):
+        assert repro.__version__ != "0+unknown"
+        assert repro.__version__.strip()
 
 
 class TestNoGlobalRngSideEffects:
