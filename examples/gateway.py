@@ -1,0 +1,105 @@
+"""Multi-tenant gateway: two declarative services, one asyncio loop.
+
+Real deployments do not run one pipeline at a time — a gateway serves
+many data consumers, each with their own patterns, mechanism, budget
+and seed, over the same event infrastructure.  This example stands up
+a :class:`~repro.service.StreamGateway` with two tenants described
+entirely as data:
+
+- ``fleet`` — a pattern-level uniform PPM over a synthetic feed,
+  egressing its released stream quality into a ``metrics`` sink;
+- ``grid`` — the w-event BD baseline over a different feed (its own
+  seed and ε ledger), collecting the sanitized stream in memory.
+
+Both are served concurrently on one loop, sliced mid-stream by a
+gateway-wide checkpoint (sessions *and* source offsets), and resumed —
+the combined answers are identical to an uninterrupted run.
+
+Run:  python examples/gateway.py
+"""
+
+import asyncio
+
+from repro import ServiceSpec, StreamGateway
+
+
+def tenant_specs():
+    fleet = ServiceSpec(
+        alphabet=tuple(f"e{i}" for i in range(1, 7)),
+        patterns=[("depot-visit", ("e1", "e2"))],
+        queries=[("congestion", ("e2", "e3")), ("transfer", ("e4", "e5"))],
+        mechanism="uniform-ppm",
+        mechanism_options={"epsilon": 2.0},
+        source="synthetic:bernoulli:400:21",
+        sink="metrics",
+        accounting=10.0,
+        seed=7,
+    )
+    grid = ServiceSpec(
+        alphabet=tuple(f"e{i}" for i in range(1, 7)),
+        patterns=[("outage", ("e5", "e6"))],
+        queries=[("load-spike", ("e1", "e6"))],
+        mechanism="bd",
+        mechanism_options={"epsilon": 1.0, "w": 10},
+        source="synthetic:uniform:400:22",
+        sink="memory",
+        seed=8,
+    )
+    return fleet, grid
+
+
+def main() -> None:
+    fleet, grid = tenant_specs()
+
+    # --- 1. Serve both tenants to completion on one loop. -------------
+    gateway = StreamGateway()
+    gateway.add_tenant("fleet", fleet)
+    gateway.add_tenant("grid", grid)
+    results = gateway.run()
+    for name in gateway.tenant_names:
+        answered = sum(len(v) for v in results[name].values())
+        print(f"tenant {name!r}: {answered} answers over "
+              f"{gateway.windows_served()[name]} windows")
+    quality = gateway.sink_result("fleet")["quality"]
+    print(f"fleet metrics sink: Q={quality.q:.3f} "
+          f"(precision {quality.precision:.3f}, recall {quality.recall:.3f})")
+    released = gateway.sink_result("grid")["released"]
+    print(f"grid memory sink collected {released.n_windows} sanitized "
+          f"windows")
+
+    # --- 2. Crash mid-stream, checkpoint, resume. ----------------------
+    sliced = StreamGateway()
+    sliced.add_tenant("fleet", fleet)
+    sliced.add_tenant("grid", grid)
+    asyncio.run(sliced.serve(max_windows=150))
+    checkpoint = sliced.checkpoint()
+    offsets = {
+        name: tenant["source_offset"]
+        for name, tenant in checkpoint["tenants"].items()
+    }
+    print(f"\ncheckpoint taken at source offsets {offsets}")
+
+    # ... the process dies here; a fresh gateway resumes the fleet.
+    resumed = StreamGateway.resume(checkpoint)
+    asyncio.run(resumed.serve())
+    identical = all(
+        {
+            query: sliced.results()[name][query]
+            + resumed.results()[name][query]
+            for query in results[name]
+        }
+        == results[name]
+        for name in results
+    )
+    print(f"resumed outputs identical to the uninterrupted run: "
+          f"{identical}")
+
+    # --- 3. Per-tenant isolation: budgets are separate ledgers. --------
+    spent = gateway.service("fleet").accountant.spent()
+    print(f"\nfleet budget ledger: ε={spent:g} of 10 spent; "
+          f"grid runs without accounting — one tenant cannot spend "
+          f"another's budget")
+
+
+if __name__ == "__main__":
+    main()

@@ -76,8 +76,17 @@ from repro.runtime import (
     ShardedExecutor,
     StreamPipeline,
 )
+from repro.io import (
+    CallbackSink,
+    QueueSource,
+    register_sink,
+    register_source,
+    registered_sinks,
+    registered_sources,
+)
 from repro.service import (
     ServiceSpec,
+    StreamGateway,
     StreamService,
     register_executor,
     register_mechanism,
@@ -146,6 +155,7 @@ __all__ = [
     "BudgetConverter",
     "BudgetDistribution",
     "CEPEngine",
+    "CallbackSink",
     "ChunkedExecutor",
     "ConfusionCounts",
     "ContinuousQuery",
@@ -175,10 +185,12 @@ __all__ = [
     "PatternMatcher",
     "PatternStream",
     "PrivacyAccountant",
+    "QueueSource",
     "RandomizedResponse",
     "SEQ",
     "ServiceSpec",
     "ShardedExecutor",
+    "StreamGateway",
     "StreamPipeline",
     "StreamService",
     "SyntheticConfig",
@@ -191,8 +203,12 @@ __all__ = [
     "mean_relative_error",
     "register_executor",
     "register_mechanism",
+    "register_sink",
+    "register_source",
     "registered_executors",
     "registered_mechanisms",
+    "registered_sinks",
+    "registered_sources",
     "run_fig4_synthetic",
     "run_fig4_taxi",
     "synthesize_dataset",

@@ -98,6 +98,13 @@ class AsyncSession:
         self._max_pending = max_pending
         self._max_batch = max_batch
         self._record = record
+        #: Optional per-window egress hook, called in the drainer as
+        #: ``on_release(index, released_row, answers)`` in submission
+        #: order — the service layer's pump attaches sink connectors
+        #: here so sanitized rows stream out without recording the
+        #: whole session in memory.  Exceptions fail the drainer like
+        #: any stepping error (no accepted window hangs).
+        self._on_release = None
         self._original_rows: List[np.ndarray] = []
         self._released_rows: List[np.ndarray] = []
         self._queue: Optional[asyncio.Queue] = None
@@ -365,12 +372,20 @@ class AsyncSession:
                     self._released_rows.append(released)
                 answers = matcher.answer(released)
                 for position, (_row, future) in enumerate(batch):
+                    window_answers = {
+                        name: bool(vector[position])
+                        for name, vector in answers.items()
+                    }
                     if not future.done():
-                        future.set_result(
-                            {
-                                name: bool(vector[position])
-                                for name, vector in answers.items()
-                            }
+                        future.set_result(window_answers)
+                    if self._on_release is not None:
+                        # A copy: the hook runs user callbacks, which
+                        # must not be able to mutate the dict already
+                        # handed to the future's awaiter.
+                        self._on_release(
+                            self._processed + position,
+                            released[position],
+                            dict(window_answers),
                         )
                 self._processed += len(batch)
                 batch = []

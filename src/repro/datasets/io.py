@@ -1,22 +1,32 @@
-"""Persistence of indicator streams and workloads (CSV + JSON).
+"""Legacy persistence helpers, reimplemented on the I/O connectors.
 
-Lets users export generated workloads, run external tools on them, and
-reload them for evaluation — and lets the examples ship reproducible
-artefacts without binary formats.
+.. deprecated::
+    The save/load helpers below predate the connector layer
+    (:mod:`repro.io`) and are kept as thin compatibility shims: each
+    call emits exactly one ``DeprecationWarning`` and delegates to the
+    streamed connector implementations
+    (:func:`repro.io.read_indicator_csv` /
+    :func:`repro.io.write_indicator_csv`).  New code should read and
+    write through connectors — ``ServiceSpec(source="csv:...",
+    sink="csv:...")`` — or call the ``repro.io`` helpers directly;
+    neither path warns.
+
+The CSV format itself is unchanged (header = alphabet, rows = 0/1) and
+round-trips between both APIs.
 """
 
 from __future__ import annotations
 
-import csv
 import json
 import os
-from typing import List
-
-import numpy as np
 
 from repro.cep.patterns import Pattern
 from repro.datasets.workload import Workload
-from repro.streams.indicator import EventAlphabet, IndicatorStream
+from repro.streams.indicator import IndicatorStream
+from repro.utils.deprecation import (
+    suppress_imperative_warnings,
+    warn_superseded_io,
+)
 
 _STREAM_FILE = "stream.csv"
 _HISTORY_FILE = "history.csv"
@@ -24,41 +34,37 @@ _META_FILE = "workload.json"
 
 
 def save_indicator_csv(stream: IndicatorStream, path: str) -> None:
-    """Write an indicator stream as CSV (header = alphabet, rows = 0/1)."""
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(stream.alphabet.types)
-        for row in stream.matrix_view():
-            writer.writerow([int(value) for value in row])
+    """Write an indicator stream as CSV (header = alphabet, rows = 0/1).
+
+    .. deprecated:: use :func:`repro.io.write_indicator_csv` or a
+       ``csv:`` sink connector.
+    """
+    warn_superseded_io(
+        "save_indicator_csv()",
+        "write through repro.io.write_indicator_csv or a 'csv:' sink",
+    )
+    from repro.io.sinks import write_indicator_csv
+
+    write_indicator_csv(stream, path)
 
 
 def load_indicator_csv(path: str) -> IndicatorStream:
-    """Read an indicator stream written by :func:`save_indicator_csv`."""
-    with open(path, newline="") as handle:
-        reader = csv.reader(handle)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise ValueError(f"{path} is empty; expected an alphabet header")
-        alphabet = EventAlphabet(header)
-        rows: List[List[int]] = []
-        for line_number, row in enumerate(reader, start=2):
-            if len(row) != len(header):
-                raise ValueError(
-                    f"{path}:{line_number}: expected {len(header)} columns, "
-                    f"got {len(row)}"
-                )
-            try:
-                rows.append([int(value) for value in row])
-            except ValueError:
-                raise ValueError(
-                    f"{path}:{line_number}: non-integer indicator value"
-                ) from None
-    if rows:
-        matrix = np.array(rows, dtype=int)
-    else:
-        matrix = np.zeros((0, len(alphabet)), dtype=int)
-    return IndicatorStream(alphabet, matrix)
+    """Read an indicator stream written by :func:`save_indicator_csv`.
+
+    Rows are streamed into preallocated buffers (never materialized as
+    Python lists), so loading a large replay file no longer doubles
+    peak memory.
+
+    .. deprecated:: use :func:`repro.io.read_indicator_csv` or a
+       ``csv:`` source connector.
+    """
+    warn_superseded_io(
+        "load_indicator_csv()",
+        "read through repro.io.read_indicator_csv or a 'csv:' source",
+    )
+    from repro.io.sources import read_indicator_csv
+
+    return read_indicator_csv(path)
 
 
 def _pattern_to_dict(pattern: Pattern) -> dict:
@@ -75,44 +81,72 @@ def _pattern_from_dict(data: dict) -> Pattern:
 
 
 def save_workload(workload: Workload, directory: str) -> None:
-    """Persist a workload into ``directory`` (created if missing)."""
-    os.makedirs(directory, exist_ok=True)
-    save_indicator_csv(
-        workload.stream, os.path.join(directory, _STREAM_FILE)
+    """Persist a workload into ``directory`` (created if missing).
+
+    .. deprecated:: persist streams through ``csv:`` connectors; the
+       pattern/window metadata lives in a ``ServiceSpec`` JSON today.
+    """
+    warn_superseded_io(
+        "save_workload()",
+        "persist streams through 'csv:' connectors and metadata "
+        "through ServiceSpec JSON",
     )
-    save_indicator_csv(
-        workload.history, os.path.join(directory, _HISTORY_FILE)
-    )
-    meta = {
-        "name": workload.name,
-        "w": workload.w,
-        "private_patterns": [
-            _pattern_to_dict(p) for p in workload.private_patterns
-        ],
-        "target_patterns": [
-            _pattern_to_dict(p) for p in workload.target_patterns
-        ],
-    }
-    with open(os.path.join(directory, _META_FILE), "w") as handle:
-        json.dump(meta, handle, indent=2)
+    from repro.io.sinks import write_indicator_csv
+
+    with suppress_imperative_warnings():
+        os.makedirs(directory, exist_ok=True)
+        write_indicator_csv(
+            workload.stream, os.path.join(directory, _STREAM_FILE)
+        )
+        write_indicator_csv(
+            workload.history, os.path.join(directory, _HISTORY_FILE)
+        )
+        meta = {
+            "name": workload.name,
+            "w": workload.w,
+            "private_patterns": [
+                _pattern_to_dict(p) for p in workload.private_patterns
+            ],
+            "target_patterns": [
+                _pattern_to_dict(p) for p in workload.target_patterns
+            ],
+        }
+        with open(os.path.join(directory, _META_FILE), "w") as handle:
+            json.dump(meta, handle, indent=2)
 
 
 def load_workload(directory: str) -> Workload:
-    """Reload a workload persisted by :func:`save_workload`."""
-    meta_path = os.path.join(directory, _META_FILE)
-    if not os.path.exists(meta_path):
-        raise FileNotFoundError(f"no workload metadata at {meta_path}")
-    with open(meta_path) as handle:
-        meta = json.load(handle)
-    return Workload(
-        name=meta["name"],
-        stream=load_indicator_csv(os.path.join(directory, _STREAM_FILE)),
-        history=load_indicator_csv(os.path.join(directory, _HISTORY_FILE)),
-        private_patterns=[
-            _pattern_from_dict(d) for d in meta["private_patterns"]
-        ],
-        target_patterns=[
-            _pattern_from_dict(d) for d in meta["target_patterns"]
-        ],
-        w=int(meta["w"]),
+    """Reload a workload persisted by :func:`save_workload`.
+
+    .. deprecated:: load streams through ``csv:`` connectors; the
+       pattern/window metadata lives in a ``ServiceSpec`` JSON today.
+    """
+    warn_superseded_io(
+        "load_workload()",
+        "load streams through 'csv:' connectors and metadata through "
+        "ServiceSpec JSON",
     )
+    from repro.io.sources import read_indicator_csv
+
+    with suppress_imperative_warnings():
+        meta_path = os.path.join(directory, _META_FILE)
+        if not os.path.exists(meta_path):
+            raise FileNotFoundError(f"no workload metadata at {meta_path}")
+        with open(meta_path) as handle:
+            meta = json.load(handle)
+        return Workload(
+            name=meta["name"],
+            stream=read_indicator_csv(
+                os.path.join(directory, _STREAM_FILE)
+            ),
+            history=read_indicator_csv(
+                os.path.join(directory, _HISTORY_FILE)
+            ),
+            private_patterns=[
+                _pattern_from_dict(d) for d in meta["private_patterns"]
+            ],
+            target_patterns=[
+                _pattern_from_dict(d) for d in meta["target_patterns"]
+            ],
+            w=int(meta["w"]),
+        )

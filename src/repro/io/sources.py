@@ -1,0 +1,640 @@
+"""Declarative stream sources: where the service's windows come from.
+
+A :class:`StreamSource` produces the per-window indicator rows a
+:class:`~repro.service.StreamService` consumes — from memory, from
+files (streamed, never materialized as Python lists), from a synthetic
+generator, from a timestamped replay, or from a live
+``asyncio.Queue``-fed producer.  Sources are resolved from registered
+spec strings (:mod:`repro.io.registry`) or passed as objects when
+their payload cannot live in JSON.
+
+The common contract:
+
+- :meth:`StreamSource.bind` fixes the service alphabet (column
+  layout) and validates the source against it;
+- :meth:`StreamSource.rows` / :meth:`StreamSource.arows` yield one
+  boolean indicator row per window, exactly once — a source is a
+  single pass over its data, like the stream it models;
+- :attr:`StreamSource.offset` counts rows emitted so far and
+  :meth:`StreamSource.skip` fast-forwards a fresh source to a
+  checkpointed offset without emitting, which is how the
+  :class:`~repro.service.gateway.StreamGateway` resumes in-flight
+  sources (file sources discard rows; synthetic sources regenerate
+  deterministically; live queues cannot seek and refuse).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import csv
+import json
+import os
+import time
+
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.io.registry import register_source
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+
+__all__ = [
+    "CsvSource",
+    "JsonlSource",
+    "MemorySource",
+    "QueueSource",
+    "ReplaySource",
+    "StreamSource",
+    "SyntheticSource",
+    "iter_indicator_csv",
+    "read_indicator_csv",
+]
+
+#: Rows per preallocated buffer block when assembling streamed rows
+#: into one matrix (bounds the assembly overhead without doubling peak
+#: memory the way a Python list-of-lists did).
+_CHUNK_ROWS = 4096
+
+
+# ---------------------------------------------------------------------------
+# Streamed CSV plumbing (shared with the datasets.io compatibility shims)
+# ---------------------------------------------------------------------------
+
+
+def iter_indicator_csv(path: str):
+    """Open an indicator CSV; return ``(alphabet, row_iterator)``.
+
+    The header row becomes the :class:`EventAlphabet`; the iterator
+    yields one validated boolean row per line *as it reads*, so a large
+    replay file never exists as Python lists.  Malformed lines raise
+    ``ValueError`` naming the file and line.
+    """
+    handle = open(path, newline="")
+    reader = csv.reader(handle)
+    try:
+        header = next(reader)
+    except StopIteration:
+        handle.close()
+        raise ValueError(f"{path} is empty; expected an alphabet header")
+    try:
+        alphabet = EventAlphabet(header)
+    except ValueError:
+        handle.close()
+        raise
+
+    def rows() -> Iterator[np.ndarray]:
+        width = len(header)
+        with handle:
+            for line_number, row in enumerate(reader, start=2):
+                if len(row) != width:
+                    raise ValueError(
+                        f"{path}:{line_number}: expected {width} columns, "
+                        f"got {len(row)}"
+                    )
+                try:
+                    values = [int(value) for value in row]
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{line_number}: non-integer indicator value"
+                    ) from None
+                if any(value not in (0, 1) for value in values):
+                    raise ValueError(
+                        f"{path}:{line_number}: indicator values must be "
+                        "0/1"
+                    )
+                yield np.asarray(values, dtype=bool)
+
+    return alphabet, rows()
+
+
+def assemble_rows(rows: Iterable[np.ndarray], width: int) -> np.ndarray:
+    """Collect streamed indicator rows into one boolean matrix.
+
+    Fills fixed-size preallocated blocks and concatenates them once at
+    the end — peak memory is the final matrix plus one block, not a
+    Python list of the whole file.
+    """
+    blocks = []
+    buffer: Optional[np.ndarray] = None
+    fill = 0
+    for row in rows:
+        if buffer is None:
+            buffer = np.empty((_CHUNK_ROWS, width), dtype=bool)
+            fill = 0
+        buffer[fill] = row
+        fill += 1
+        if fill == _CHUNK_ROWS:
+            blocks.append(buffer)
+            buffer = None
+    if buffer is not None:
+        blocks.append(buffer[:fill])
+    if not blocks:
+        return np.zeros((0, width), dtype=bool)
+    if len(blocks) == 1:
+        return blocks[0]
+    return np.concatenate(blocks)
+
+
+def read_indicator_csv(path: str) -> IndicatorStream:
+    """Read an indicator CSV into a stream, row-streamed (not list-built)."""
+    alphabet, rows = iter_indicator_csv(path)
+    return IndicatorStream(alphabet, assemble_rows(rows, len(alphabet)))
+
+
+# ---------------------------------------------------------------------------
+# The source contract
+# ---------------------------------------------------------------------------
+
+
+class StreamSource:
+    """Base class of all stream sources (one pass of indicator rows).
+
+    Subclasses implement :meth:`_rows` — a generator of boolean rows
+    over the bound alphabet, starting from the first window.  The base
+    class provides offset tracking, checkpoint fast-forward
+    (:meth:`skip`), paced emission (:attr:`delay` seconds between
+    rows, used by the replay source) and the async view
+    (:meth:`arows`).
+    """
+
+    #: Seconds to wait before each emitted row (0 = emit immediately).
+    delay: float = 0.0
+
+    #: Whether a fresh instance can :meth:`skip` to a checkpointed
+    #: offset (replayable data: files, memory, generators).  Live
+    #: feeds (``queue:``) cannot — resume binds a fresh feed carrying
+    #: the remainder instead.
+    seekable: bool = True
+
+    def __init__(self):
+        self._alphabet: Optional[EventAlphabet] = None
+        self._offset = 0
+        self._pending_skip = 0
+        self._iterator: Optional[Iterator[np.ndarray]] = None
+        #: Rows drawn but returned unconsumed (see :meth:`unemit`);
+        #: re-emitted before the underlying iterator continues.
+        self._pushback: list = []
+
+    # -- lifecycle -----------------------------------------------------
+
+    def bind(self, alphabet: EventAlphabet) -> "StreamSource":
+        """Fix the service alphabet; validate the source against it."""
+        if not isinstance(alphabet, EventAlphabet):
+            raise TypeError(
+                f"alphabet must be EventAlphabet, got "
+                f"{type(alphabet).__name__}"
+            )
+        if self._alphabet is not None and self._alphabet != alphabet:
+            raise ValueError(
+                "source is already bound to a different alphabet"
+            )
+        self._alphabet = alphabet
+        self._bind(alphabet)
+        return self
+
+    def _bind(self, alphabet: EventAlphabet) -> None:
+        """Subclass hook: validate/prepare against the bound alphabet."""
+
+    @property
+    def alphabet(self) -> EventAlphabet:
+        if self._alphabet is None:
+            raise RuntimeError(
+                "source is not bound; call bind(alphabet) first (the "
+                "service does this when compiling its spec)"
+            )
+        return self._alphabet
+
+    # -- offsets and checkpointing -------------------------------------
+
+    @property
+    def offset(self) -> int:
+        """Windows emitted so far (including any skipped prefix)."""
+        return self._offset
+
+    def skip(self, count: int) -> "StreamSource":
+        """Fast-forward over the first ``count`` windows without emitting.
+
+        Used to resume a checkpointed pipeline: a fresh source over the
+        same data, skipped to the checkpoint's offset, continues with
+        exactly the windows an uninterrupted run would have seen next.
+        Must be called before iteration starts.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if self._iterator is not None:
+            raise RuntimeError(
+                "cannot skip after iteration has started; skip a fresh "
+                "source"
+            )
+        self._pending_skip += count
+        self._offset += count
+        return self
+
+    def unemit(self, row: np.ndarray) -> None:
+        """Return a drawn-but-unconsumed row to the front of the stream.
+
+        Used by the pump's cancellation path: a row already drawn from
+        the iterator but never accepted by the session is pushed back,
+        so both continuation styles see it again — a later pump on the
+        *same* source re-emits it, and a checkpoint's offset (rolled
+        back with it) makes a *fresh* source re-read it.
+        """
+        self._pushback.append(row)
+        self._offset -= 1
+
+    # -- iteration -----------------------------------------------------
+
+    def _emitter(self) -> Iterator[np.ndarray]:
+        if self._iterator is None:
+            iterator = self._rows()
+            for _ in range(self._pending_skip):
+                next(iterator, None)
+            self._pending_skip = 0
+            self._iterator = iterator
+        return self._iterator
+
+    def _next_row(self) -> Optional[np.ndarray]:
+        if self._pushback:
+            return self._pushback.pop()
+        return next(self._emitter(), None)
+
+    def rows(self) -> Iterator[np.ndarray]:
+        """Yield one boolean indicator row per window (single pass)."""
+        self.alphabet  # bound check
+        while True:
+            # Pace *before* drawing: an interruption while waiting then
+            # loses nothing (a row drawn but never delivered would be
+            # silently dropped from the single-pass iterator).
+            if self.delay:
+                time.sleep(self.delay)
+            row = self._next_row()
+            if row is None:
+                return
+            self._offset += 1
+            yield row
+
+    async def arows(self):
+        """Async view of :meth:`rows` (``delay`` awaits the loop)."""
+        self.alphabet  # bound check
+        while True:
+            if self.delay:
+                await asyncio.sleep(self.delay)
+            row = self._next_row()
+            if row is None:
+                return
+            self._offset += 1
+            yield row
+
+    def indicator_stream(self) -> IndicatorStream:
+        """Materialize the remaining windows as one indicator stream.
+
+        The batch service phase needs the whole matrix at once; rows
+        are streamed into preallocated blocks (:func:`assemble_rows`),
+        never into Python lists.
+        """
+        return IndicatorStream(
+            self.alphabet,
+            assemble_rows(self.rows(), len(self.alphabet)),
+        )
+
+    def _rows(self) -> Iterator[np.ndarray]:
+        raise NotImplementedError
+
+    # -- helpers -------------------------------------------------------
+
+    def _row_from_types(self, types: Iterable[str]) -> np.ndarray:
+        """An indicator row from a window's event-type collection.
+
+        Types outside the alphabet are ignored, matching the engine's
+        service-phase extraction.
+        """
+        alphabet = self.alphabet
+        row = np.zeros(len(alphabet), dtype=bool)
+        for name in types:
+            if name in alphabet:
+                row[alphabet.index(name)] = True
+        return row
+
+    def _coerce_row(self, item) -> np.ndarray:
+        """One submitted item (type collection or 0/1 vector) as a row."""
+        if isinstance(item, np.ndarray):
+            row = np.asarray(item).reshape(-1).astype(bool)
+            if row.shape[0] != len(self.alphabet):
+                raise ValueError(
+                    f"row has {row.shape[0]} entries but the alphabet "
+                    f"has {len(self.alphabet)} types"
+                )
+            return row
+        if isinstance(item, str):
+            return self._row_from_types((item,))
+        return self._row_from_types(item)
+
+
+# ---------------------------------------------------------------------------
+# Built-in sources
+# ---------------------------------------------------------------------------
+
+
+@register_source("memory")
+class MemorySource(StreamSource):
+    """In-memory windows: an indicator stream, a 0/1 matrix, or
+    per-window event-type collections.
+
+    ``source="memory"`` in a spec declares that data arrives at run
+    time (``service.run(data)``); resolving the bare spec without data
+    fails pointedly on use.
+    """
+
+    def __init__(self, data=None):
+        super().__init__()
+        self._data = data
+
+    def _bind(self, alphabet: EventAlphabet) -> None:
+        if isinstance(self._data, IndicatorStream):
+            if self._data.alphabet != alphabet:
+                raise ValueError(
+                    "in-memory stream alphabet differs from the "
+                    "service alphabet"
+                )
+
+    def _rows(self) -> Iterator[np.ndarray]:
+        data = self._data
+        if data is None:
+            raise ValueError(
+                "the 'memory' source has no data bound; pass the "
+                "stream to run()/pump() or construct "
+                "MemorySource(data)"
+            )
+        if isinstance(data, IndicatorStream):
+            matrix = data.matrix_view()
+        elif isinstance(data, np.ndarray):
+            matrix = np.asarray(data)
+            if matrix.ndim != 2 or matrix.shape[1] != len(self.alphabet):
+                raise ValueError(
+                    f"matrix shape {matrix.shape} does not match the "
+                    f"{len(self.alphabet)}-type alphabet"
+                )
+        else:
+            for window in data:
+                yield self._row_from_types(window)
+            return
+        for index in range(matrix.shape[0]):
+            yield matrix[index].astype(bool)
+
+
+@register_source("csv", raw_tail=True)
+class CsvSource(StreamSource):
+    """Windows streamed from an indicator CSV (``csv:<path>``).
+
+    The file's header must equal the service alphabet; rows are read
+    lazily, so the file is never materialized whole.  The whole spec
+    tail is the path — colons inside it are preserved.
+    """
+
+    def __init__(self, path: str):
+        super().__init__()
+        if not isinstance(path, str) or not path:
+            raise ValueError("csv source needs a path: 'csv:<path>'")
+        self.path = path
+
+    def _bind(self, alphabet: EventAlphabet) -> None:
+        with open(self.path, newline="") as handle:
+            try:
+                header = EventAlphabet(next(csv.reader(handle)))
+            except StopIteration:
+                raise ValueError(
+                    f"{self.path} is empty; expected an alphabet header"
+                ) from None
+        if header != alphabet:
+            raise ValueError(
+                f"{self.path} has alphabet {list(header.types)} but the "
+                f"service alphabet is {list(alphabet.types)}"
+            )
+
+    def _rows(self) -> Iterator[np.ndarray]:
+        _header, rows = iter_indicator_csv(self.path)
+        return rows
+
+
+@register_source("jsonl", raw_tail=True)
+class JsonlSource(StreamSource):
+    """Windows streamed from a JSON-lines file (``jsonl:<path>``).
+
+    Each line is one window: either a JSON array of event-type names
+    or an object with a ``"types"`` array (the form
+    :class:`~repro.io.sinks.JsonlSink` writes, so a sink's output can
+    be replayed as a source).  Types outside the service alphabet are
+    ignored, matching the engine's extraction.
+    """
+
+    def __init__(self, path: str):
+        super().__init__()
+        if not isinstance(path, str) or not path:
+            raise ValueError("jsonl source needs a path: 'jsonl:<path>'")
+        self.path = path
+
+    def _bind(self, alphabet: EventAlphabet) -> None:
+        if not os.path.exists(self.path):
+            raise FileNotFoundError(f"no such jsonl source: {self.path}")
+
+    def _rows(self) -> Iterator[np.ndarray]:
+        with open(self.path) as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    raise ValueError(
+                        f"{self.path}:{line_number}: invalid JSON"
+                    ) from None
+                if isinstance(record, dict):
+                    try:
+                        types = record["types"]
+                    except KeyError:
+                        raise ValueError(
+                            f"{self.path}:{line_number}: window object "
+                            "lacks a 'types' array"
+                        ) from None
+                elif isinstance(record, list):
+                    types = record
+                else:
+                    raise ValueError(
+                        f"{self.path}:{line_number}: expected a JSON "
+                        "array of event types or a window object"
+                    )
+                yield self._row_from_types(types)
+
+
+#: Synthetic generator kinds accepted by ``synthetic:<generator>:...``.
+_SYNTHETIC_GENERATORS = ("bernoulli", "uniform")
+
+
+@register_source("synthetic")
+class SyntheticSource(StreamSource):
+    """Deterministic generated windows
+    (``synthetic:<generator>:<n>:<seed>``).
+
+    Generators:
+
+    - ``bernoulli`` — Algorithm 2's window sampler: per-type occurrence
+      probabilities drawn uniformly from the seed, then each window
+      includes a type with its occurrence probability;
+    - ``uniform`` — every type occurs with the same probability
+      (``p=`` option, default 0.5).
+
+    The same spec string regenerates the same windows, so a resumed
+    pipeline can skip to its checkpointed offset and continue exactly.
+    """
+
+    def __init__(
+        self,
+        generator: str = "bernoulli",
+        n_windows: int = 1000,
+        seed: int = 0,
+        *,
+        p: float = 0.5,
+    ):
+        super().__init__()
+        if generator not in _SYNTHETIC_GENERATORS:
+            raise ValueError(
+                f"unknown synthetic generator {generator!r}; known: "
+                f"{', '.join(_SYNTHETIC_GENERATORS)}"
+            )
+        if not isinstance(n_windows, int) or n_windows < 0:
+            raise ValueError(
+                f"n_windows must be a non-negative int, got {n_windows!r}"
+            )
+        if not isinstance(seed, int):
+            raise ValueError(f"seed must be an int, got {seed!r}")
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        self.generator = generator
+        self.n_windows = n_windows
+        self.seed = seed
+        self.p = p
+
+    def _rows(self) -> Iterator[np.ndarray]:
+        width = len(self.alphabet)
+        rng = np.random.default_rng(self.seed)
+        if self.generator == "bernoulli":
+            occurrence = rng.random(width)
+        else:
+            occurrence = np.full(width, self.p)
+        for _ in range(self.n_windows):
+            yield rng.random(width) < occurrence
+
+
+class ReplaySource(StreamSource):
+    """Timestamped re-emission of a recorded file
+    (``replay:<path>:<rate>``).
+
+    Replays a ``csv``/``jsonl`` file (chosen by extension) at ``rate``
+    windows per second — a soak-test source that exercises the
+    backpressure path with realistic pacing.  ``rate`` 0 replays as
+    fast as the consumer drains.  Skipping to a checkpointed offset
+    discards rows without waiting.
+    """
+
+    def __init__(self, path: str, rate: float = 0.0):
+        super().__init__()
+        if not isinstance(path, str) or not path:
+            raise ValueError(
+                "replay source needs a path: 'replay:<path>:<rate>'"
+            )
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        if path.endswith(".jsonl"):
+            self._inner: StreamSource = JsonlSource(path)
+        else:
+            self._inner = CsvSource(path)
+        self.path = path
+        self.rate = float(rate)
+        self.delay = 1.0 / rate if rate > 0 else 0.0
+
+    def _bind(self, alphabet: EventAlphabet) -> None:
+        self._inner.bind(alphabet)
+
+    def _rows(self) -> Iterator[np.ndarray]:
+        return self._inner._rows()
+
+
+@register_source("replay", raw_tail=True)
+def _build_replay(tail: str = "", **options) -> ReplaySource:
+    """Split ``<path>[:<rate>]`` from the tail's end, keeping any
+    colons inside the path itself."""
+    path, sep, rate_text = tail.rpartition(":")
+    if sep:
+        try:
+            rate = float(rate_text)
+        except ValueError:
+            pass  # not a rate — the colon belongs to the path
+        else:
+            return ReplaySource(path, rate, **options)
+    return ReplaySource(tail, **options)
+
+
+@register_source("queue")
+class QueueSource(StreamSource):
+    """A live broker-shaped feed: any ``asyncio.Queue``-like producer.
+
+    Producers put windows (event-type collections or 0/1 rows) on the
+    queue; ``None`` signals end-of-stream.  The source is asynchronous
+    only — it is consumed through
+    :meth:`~repro.service.StreamService.pump`, where the bounded
+    :class:`~repro.cep.async_session.AsyncSession` queue is the
+    flow-control boundary: when the mechanism falls behind, ``submit``
+    suspends the pump, the pump stops taking from this queue, and the
+    producer blocks on its own bounded ``put`` — backpressure
+    propagates end to end.
+
+    ``source="queue"`` in a spec declares the intent; the live queue
+    object rides in at run time (``QueueSource(queue)``).
+    """
+
+    seekable = False
+
+    def __init__(self, queue=None):
+        super().__init__()
+        if queue is not None and not hasattr(queue, "get"):
+            raise TypeError(
+                "queue must expose asyncio.Queue-like get(), got "
+                f"{type(queue).__name__}"
+            )
+        self._queue = queue
+
+    def skip(self, count: int) -> "StreamSource":
+        """A live feed cannot seek; resume binds a fresh queue instead."""
+        if count:
+            raise RuntimeError(
+                "a live 'queue' source cannot skip past data it has "
+                "not received; resume it by binding a fresh queue"
+            )
+        return self
+
+    def _rows(self) -> Iterator[np.ndarray]:
+        raise TypeError(
+            "the 'queue' source is asynchronous; drive it with "
+            "StreamService.pump() / StreamGateway.serve() instead of a "
+            "synchronous run"
+        )
+
+    async def arows(self):
+        self.alphabet  # bound check
+        queue = self._queue
+        if queue is None:
+            raise ValueError(
+                "the 'queue' source has no live queue bound; construct "
+                "QueueSource(queue) and pass it at run time"
+            )
+        while True:
+            if self._pushback:
+                row = self._pushback.pop()
+            else:
+                item = await queue.get()
+                if item is None:
+                    return
+                row = self._coerce_row(item)
+            self._offset += 1
+            yield row

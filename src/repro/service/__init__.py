@@ -15,6 +15,13 @@ hook in through :func:`register_mechanism` / :func:`register_executor`
 without touching core.  Runs are reproducible from a JSON blob plus a
 seed, bit-identical to the imperative ``CEPEngine`` path under the same
 seed.
+
+Ingestion and egress are declarative too: ``source=``/``sink=`` fields
+name registered I/O connectors (:mod:`repro.io` — streamed files,
+synthetic generators, replays, live queues; file/metrics/callback
+sinks), and :class:`StreamGateway` serves many named specs over one
+asyncio loop with per-tenant isolation and fleet-wide
+checkpoint/resume of sessions *and* in-flight source offsets.
 """
 
 from repro.service.registry import (
@@ -35,6 +42,7 @@ from repro.service.spec import (
     ServiceSpec,
 )
 from repro.service.service import StreamService
+from repro.service.gateway import StreamGateway
 
 __all__ = [
     "MechanismContext",
@@ -42,6 +50,7 @@ __all__ = [
     "QualitySpec",
     "QuerySpec",
     "ServiceSpec",
+    "StreamGateway",
     "StreamService",
     "UnknownSpecError",
     "build_executor_from_spec",

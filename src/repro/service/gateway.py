@@ -1,0 +1,276 @@
+"""The multi-tenant gateway: many declarative services, one loop.
+
+A :class:`StreamGateway` multiplexes several *named*
+:class:`~repro.service.ServiceSpec` pipelines — each with its own
+source connector, sink connector, seed, mechanism and budget — over a
+single asyncio event loop.  Tenants are fully isolated:
+
+- **randomness** — every tenant's session draws from its own spec
+  seed, so concurrent serving is bit-identical to running each spec
+  alone;
+- **budgets** — every tenant's accountant is its own ledger; one
+  tenant exhausting its ε cannot spend another's;
+- **flow control** — each tenant pumps through its own bounded
+  :class:`~repro.cep.async_session.AsyncSession` queue, so one slow
+  mechanism backpressures only its own source.
+
+The gateway checkpoints as a unit: :meth:`checkpoint` captures every
+tenant's session snapshot (the PR-3 protocol) *plus its in-flight
+source offset*, and :meth:`StreamGateway.resume` rebuilds the fleet —
+sources skipped to their offsets, sessions restored — so a crashed
+gateway continues exactly where an uninterrupted one would be.
+
+>>> gateway = StreamGateway()
+>>> gateway.add_tenant("fleet", taxi_spec)
+>>> gateway.add_tenant("grid", grid_spec)
+>>> gateway.run()                      # serve both on one loop
+>>> gateway.results()["fleet"]["q"]    # per-tenant answers
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.service.service import StreamService
+from repro.service.spec import ServiceSpec
+
+__all__ = ["StreamGateway"]
+
+
+class _Tenant:
+    """One named pipeline: a compiled service plus its connectors."""
+
+    def __init__(
+        self,
+        name: str,
+        service: StreamService,
+        *,
+        source=None,
+        sink=None,
+        max_pending: int,
+        max_batch: int,
+    ):
+        self.name = name
+        self.service = service
+        self.source = source
+        self.sink = sink
+        self.max_pending = max_pending
+        self.max_batch = max_batch
+        self.answers: Dict[str, List[bool]] = {}
+        self._sink_opened = False
+
+    async def serve(self, max_windows: Optional[int]) -> None:
+        answers = await self.service.pump(
+            self.source,
+            sink=self.sink,
+            max_pending=self.max_pending,
+            max_batch=self.max_batch,
+            max_windows=max_windows,
+            append_sink=self._sink_opened,
+        )
+        # Later slices keep appending to the same sink file/aggregate.
+        self._sink_opened = self._sink_opened or (
+            self.service.last_sink is not None
+        )
+        self.sink = self.service.last_sink or self.sink
+        self.source = self.service.last_source
+        for name, values in answers.items():
+            self.answers.setdefault(name, []).extend(values)
+
+
+class StreamGateway:
+    """Serve many named ``ServiceSpec`` pipelines on one asyncio loop."""
+
+    def __init__(self):
+        self._tenants: Dict[str, _Tenant] = {}
+
+    # -- tenancy -------------------------------------------------------
+
+    def add_tenant(
+        self,
+        name: str,
+        spec: Union[ServiceSpec, Mapping, str],
+        *,
+        source=None,
+        sink=None,
+        history=None,
+        max_pending: int = 256,
+        max_batch: int = 64,
+    ) -> StreamService:
+        """Register one named pipeline; returns its compiled service.
+
+        ``source``/``sink`` override the spec's own connector fields
+        (that is how live queues and callbacks — payloads JSON cannot
+        carry — ride in).  Each tenant's spec needs its own ``seed``;
+        isolation is only meaningful when tenants do not share
+        randomness by accident.
+        """
+        if not isinstance(name, str) or not name:
+            raise ValueError("tenant name must be a non-empty string")
+        if name in self._tenants:
+            raise ValueError(f"tenant {name!r} already registered")
+        service = (
+            spec if isinstance(spec, StreamService)
+            else StreamService(spec, history=history)
+        )
+        if source is None and service.spec.source is None:
+            raise ValueError(
+                f"tenant {name!r} has no source: declare source= on "
+                "the spec or pass source= here"
+            )
+        self._tenants[name] = _Tenant(
+            name,
+            service,
+            source=source,
+            sink=sink,
+            max_pending=max_pending,
+            max_batch=max_batch,
+        )
+        return service
+
+    @property
+    def tenant_names(self) -> List[str]:
+        """Registered tenant names, in registration order."""
+        return list(self._tenants)
+
+    def service(self, name: str) -> StreamService:
+        """The compiled service of one tenant."""
+        return self._tenant(name).service
+
+    def sink_result(self, name: str):
+        """What one tenant's sink accumulated so far (``None`` without
+        a sink)."""
+        sink = self._tenant(name).sink
+        from repro.io.sinks import StreamSink
+
+        if isinstance(sink, StreamSink):
+            return sink.result()
+        return None
+
+    def _tenant(self, name: str) -> _Tenant:
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown tenant {name!r}; registered: "
+                f"{list(self._tenants)}"
+            ) from None
+
+    # -- serving -------------------------------------------------------
+
+    async def serve(self, *, max_windows: Optional[int] = None) -> None:
+        """Pump every tenant concurrently on the running loop.
+
+        Each tenant draws from its own source through its own bounded
+        session into its own sink; ``max_windows`` caps the windows
+        served *per tenant* this call (leaving sources mid-stream for
+        a later :meth:`serve` or :meth:`checkpoint`).  A tenant
+        failure cancels the others' current slice and re-raises.
+        """
+        if not self._tenants:
+            raise RuntimeError("no tenants registered; add_tenant() first")
+        tasks = [
+            asyncio.ensure_future(tenant.serve(max_windows))
+            for tenant in self._tenants.values()
+        ]
+        try:
+            await asyncio.gather(*tasks)
+        finally:
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    def run(self, *, max_windows: Optional[int] = None) -> Dict:
+        """Serve every tenant to completion on a fresh event loop."""
+        asyncio.run(self.serve(max_windows=max_windows))
+        return self.results()
+
+    def results(self) -> Dict[str, Dict[str, List[bool]]]:
+        """Per-tenant, per-query answers accumulated so far."""
+        return {
+            name: {
+                query: list(values)
+                for query, values in tenant.answers.items()
+            }
+            for name, tenant in self._tenants.items()
+        }
+
+    def windows_served(self) -> Dict[str, int]:
+        """Per-tenant windows answered so far."""
+        return {
+            name: tenant.service.session.windows_processed
+            if tenant.service.session is not None
+            else 0
+            for name, tenant in self._tenants.items()
+        }
+
+    # -- checkpoint / resume -------------------------------------------
+
+    def checkpoint(self) -> Dict:
+        """One picklable checkpoint of the whole fleet.
+
+        Per tenant: the spec, the session's full release state and the
+        in-flight source offset (see
+        :meth:`StreamService.checkpoint`).  Sessions must be quiescent
+        — between :meth:`serve` slices they always are.
+        """
+        tenants = {}
+        for name, tenant in self._tenants.items():
+            if tenant.service.session is None:
+                raise RuntimeError(
+                    f"tenant {name!r} has no open session to "
+                    "checkpoint; serve() at least one slice first"
+                )
+            tenants[name] = tenant.service.checkpoint()
+        return {"format": 1, "tenants": tenants}
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint: Mapping,
+        *,
+        sources: Optional[Mapping] = None,
+        sinks: Optional[Mapping] = None,
+        histories: Optional[Mapping] = None,
+    ) -> "StreamGateway":
+        """Rebuild a gateway mid-stream from a :meth:`checkpoint`.
+
+        Every tenant's service is rebuilt from its recorded spec, its
+        session restored, and its source re-resolved and skipped to
+        the checkpointed offset.  ``sources``/``sinks`` map tenant
+        names to replacement connector objects for payloads JSON
+        cannot carry (live queues, callbacks); file sinks are reopened
+        in append mode by the next :meth:`serve`.
+        """
+        sources = dict(sources or {})
+        sinks = dict(sinks or {})
+        histories = dict(histories or {})
+        gateway = cls()
+        for name, tenant_checkpoint in checkpoint["tenants"].items():
+            spec = ServiceSpec.from_dict(tenant_checkpoint["spec"])
+            service = StreamService.resume(
+                spec,
+                tenant_checkpoint,
+                history=histories.get(name),
+                source=sources.get(name),
+            )
+            tenant = _Tenant(
+                name,
+                service,
+                source=service.last_source,
+                sink=sinks.get(name),
+                max_pending=tenant_checkpoint.get(
+                    "session_options", {}
+                ).get("max_pending", 256),
+                max_batch=tenant_checkpoint.get(
+                    "session_options", {}
+                ).get("max_batch", 64),
+            )
+            # A resumed file sink must append, not truncate, what the
+            # pre-crash run already egressed.
+            tenant._sink_opened = True
+            gateway._tenants[name] = tenant
+        return gateway

@@ -90,8 +90,20 @@ class _Registry:
         self._kind = kind
         self._factories: Dict[str, Callable] = {}
         self._canonical: Dict[str, str] = {}
+        self._raw_tail: Dict[str, bool] = {}
 
-    def register(self, name: str, *, aliases: Sequence[str] = ()):
+    def register(
+        self,
+        name: str,
+        *,
+        aliases: Sequence[str] = (),
+        raw_tail: bool = False,
+    ):
+        """``raw_tail=True`` hands the factory everything after the
+        first colon as one uncoerced string — for connectors whose
+        argument is a path (paths may contain colons, and a numeric
+        filename must stay a string)."""
+
         def decorator(factory: Callable) -> Callable:
             keys = (name, *aliases)
             # Check every key before inserting any, so a collision
@@ -104,6 +116,7 @@ class _Registry:
             for key in keys:
                 self._factories[key] = factory
                 self._canonical[key] = name
+                self._raw_tail[key] = raw_tail
             return factory
 
         return decorator
@@ -119,6 +132,12 @@ class _Registry:
                 f"unknown {self._kind} spec {name!r}; registered "
                 f"{self._kind} specs: {', '.join(self.names())}"
             )
+        if self._raw_tail[name]:
+            # Even an empty tail is passed through, so the connector's
+            # own pointed needs-a-path error fires instead of a bare
+            # arity TypeError.
+            _head, _sep, tail = spec.strip().partition(":")
+            args = (tail,)
         return self._factories[name], args
 
     def canonical(self, spec: str) -> str:
@@ -127,6 +146,11 @@ class _Registry:
             raise UnknownSpecError(
                 f"unknown {self._kind} spec {name!r}; registered "
                 f"{self._kind} specs: {', '.join(self.names())}"
+            )
+        if self._raw_tail.get(name) and not spec.strip().partition(":")[2]:
+            raise ValueError(
+                f"{self._kind} spec {name!r} needs an argument: "
+                f"'{name}:<path>'"
             )
         return self._canonical[name]
 

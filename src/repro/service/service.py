@@ -11,6 +11,11 @@ surface:
   ingestion, resumable through :meth:`checkpoint` /
   :meth:`StreamService.resume` (the PR-3 ``snapshot()``/``restore()``
   protocol);
+- :meth:`pump` — continuous ingestion from a declarative *source
+  connector* into a declarative *sink connector* (:mod:`repro.io`),
+  with the async session's bounded queue as the backpressure
+  boundary; checkpoints additionally capture the in-flight source
+  offset;
 - :meth:`sweep` — the (mechanism × ε) evaluation grid, bridging into
   :class:`~repro.experiments.runner.WorkloadEvaluation`.
 
@@ -19,6 +24,8 @@ same JSON blob reproduces its runs bit for bit.
 """
 
 from __future__ import annotations
+
+import asyncio
 
 from typing import Dict, List, Mapping, Optional, Union
 
@@ -68,6 +75,11 @@ class StreamService:
         self._session = None
         self._session_kind: Optional[str] = None
         self._session_options: Dict = {}
+        self._source = None
+        self._sink = None
+        #: Set by resume(): the pre-crash run already egressed output,
+        #: so the next pump must append to (not truncate) file sinks.
+        self._sink_append = False
         alphabet = spec.event_alphabet()
         with suppress_imperative_warnings():
             engine = CEPEngine(alphabet)
@@ -145,26 +157,138 @@ class StreamService:
     def _seeded(self, rng: RngLike) -> RngLike:
         return self._spec.seed if rng is None else rng
 
+    # -- connector compilation -----------------------------------------
+
+    @property
+    def last_source(self):
+        """The active *streaming* source (pump/resume), if any.
+
+        Batch :meth:`run` passes are independent and never appear
+        here; this is the source whose offset :meth:`checkpoint`
+        records.
+        """
+        return self._source
+
+    @property
+    def last_sink(self):
+        """The most recently compiled sink connector, if any.
+
+        After a :meth:`run`/:meth:`pump` with a ``sink=`` (spec field
+        or argument), ``service.last_sink.result()`` holds whatever
+        the sink accumulated (the memory sink's collected stream, the
+        metrics sink's quality aggregate, ...).
+        """
+        return self._sink
+
+    def _compile_source(
+        self, source, *, reuse: bool = False, track: bool = True
+    ):
+        """Resolve a source argument/spec into a bound StreamSource.
+
+        ``reuse=True`` continues the service's active source when no
+        argument is given (a resumed/partially pumped stream picks up
+        exactly where it left off instead of starting over).
+        ``track=False`` keeps the compiled source off
+        :attr:`last_source` — batch runs are independent full passes,
+        and must not masquerade as the session's streaming position
+        when a checkpoint records its source offset.
+        """
+        from repro.io.registry import resolve_source
+        from repro.io.sources import MemorySource, StreamSource
+
+        spec = self._spec
+        if source is None:
+            if reuse and self._source is not None:
+                return self._source
+            if spec.source is None:
+                raise ValueError(
+                    "no data to serve: pass a stream/source here or "
+                    "declare source= on the spec (e.g. 'csv:<path>')"
+                )
+            source = resolve_source(spec.source, **spec.source_options)
+        elif isinstance(source, str):
+            source = resolve_source(source)
+        elif not isinstance(source, StreamSource):
+            source = MemorySource(source)
+        source = source.bind(self._engine.alphabet)
+        if track:
+            self._source = source
+        return source
+
+    def _compile_sink(self, sink, *, append: bool = False):
+        """Resolve a sink argument/spec and open it (``None`` passes)."""
+        from repro.io.registry import resolve_sink
+        from repro.io.sinks import StreamSink
+
+        spec = self._spec
+        if sink is None:
+            if spec.sink is None:
+                return None
+            sink = resolve_sink(spec.sink, **spec.sink_options)
+        elif isinstance(sink, str):
+            sink = resolve_sink(sink)
+        elif not isinstance(sink, StreamSink):
+            raise TypeError(
+                "sink must be a registered sink spec string or a "
+                f"StreamSink, got {type(sink).__name__}"
+            )
+        sink.open(
+            alphabet=self._engine.alphabet,
+            query_names=tuple(
+                query.name for query in self._spec.query_objects()
+            ),
+            append=append,
+        )
+        self._sink = sink
+        return sink
+
+    def _egress_report(self, report: EngineReport, sink) -> None:
+        """Write a batch report through a sink, window by window."""
+        matrix = report.perturbed.matrix_view()
+        names = list(report.answers)
+        try:
+            for index in range(matrix.shape[0]):
+                answers = {
+                    name: bool(report.answers[name].detections[index])
+                    for name in names
+                }
+                truth = None
+                if sink.wants_truth:
+                    truth = {
+                        name: bool(report.true_answers[name].detections[index])
+                        for name in names
+                    }
+                sink.write(index, matrix[index], answers, truth)
+        finally:
+            sink.close()
+
     # -- batch service phase -------------------------------------------
 
     def run(
         self,
-        source,
+        source=None,
         *,
         rng: RngLike = None,
         window=None,
+        sink=None,
     ) -> EngineReport:
         """The full service phase over ``source``.
 
         ``source`` may be raw events (an
         :class:`~repro.streams.stream.EventStream`, windowed by the
         spec's ``window`` grammar or an explicit ``window=`` assigner),
-        an :class:`~repro.streams.indicator.IndicatorStream`, or
-        per-window event-type collections.  Runs under the spec's
-        executor and seed (``rng=`` overrides the seed for one run) and
-        answers every declared query; accounting is charged when
-        enabled.
+        an :class:`~repro.streams.indicator.IndicatorStream`, per-window
+        event-type collections, a :class:`~repro.io.StreamSource`, or a
+        registered source spec string; omitted, the spec's own
+        ``source=`` connector supplies the windows.  Runs under the
+        spec's executor and seed (``rng=`` overrides the seed for one
+        run) and answers every declared query; accounting is charged
+        when enabled.  The released stream and answers are additionally
+        egressed through ``sink`` (or the spec's ``sink=``) when one is
+        declared; the opened connector stays on :attr:`last_sink`.
         """
+        from repro.io.sources import StreamSource
+
         if isinstance(source, EventStream):
             assigner = (
                 window if window is not None else self._spec.window_assigner()
@@ -175,15 +299,34 @@ class StreamService:
                     "window= on the spec (e.g. 'tumbling:10') or pass "
                     "window= here"
                 )
-            return self._engine.process_events(
+            report = self._engine.process_events(
                 source,
                 assigner,
                 rng=self._seeded(rng),
                 executor=self._executor,
             )
-        if not isinstance(source, IndicatorStream):
+            return self._after_run(report, sink)
+        if source is None or isinstance(source, (str, StreamSource)):
+            # A batch run is an independent full pass over the data; it
+            # does not advance (or pose as) the session's streaming
+            # position — only pump() moves the checkpointed offset.
+            source = self._compile_source(
+                source, track=False
+            ).indicator_stream()
+        elif not isinstance(source, IndicatorStream):
             source = self._engine.service_pipeline().indicators_from(source)
-        return self.run_indicators(source, rng=rng)
+        return self._after_run(self.run_indicators(source, rng=rng), sink)
+
+    def _after_run(self, report: EngineReport, sink) -> EngineReport:
+        if sink is None and self._sink is not None:
+            # Continue the service's active egress (a resumed or
+            # already-pumping service must append, not truncate).
+            compiled = self._compile_sink(self._sink, append=True)
+        else:
+            compiled = self._compile_sink(sink, append=self._sink_append)
+        if compiled is not None:
+            self._egress_report(report, compiled)
+        return report
 
     def run_indicators(
         self, stream: IndicatorStream, *, rng: RngLike = None
@@ -239,6 +382,165 @@ class StreamService:
         }
         return session
 
+    # -- continuous ingestion (source → session → sink) ----------------
+
+    async def pump(
+        self,
+        source=None,
+        *,
+        sink=None,
+        rng: RngLike = None,
+        max_pending: int = 256,
+        max_batch: int = 64,
+        max_windows: Optional[int] = None,
+        append_sink: bool = False,
+        collect: bool = True,
+    ) -> Optional[Dict[str, List[bool]]]:
+        """Drive a source connector through an async session into a sink.
+
+        The end-to-end streaming pipeline: windows are drawn from
+        ``source`` (a :class:`~repro.io.StreamSource`, a registered
+        spec string, in-memory data, or — omitted — the spec's own
+        ``source=``), submitted to a backpressured
+        :class:`~repro.cep.async_session.AsyncSession` (reusing the
+        open/restored one when present, else opening a fresh one with
+        ``max_pending``/``max_batch``), and every answered window is
+        egressed through ``sink`` (or the spec's ``sink=``) in
+        submission order.  The session's bounded queue is the
+        flow-control boundary: when the mechanism falls behind,
+        ``submit`` suspends the pump, which stops drawing from the
+        source — a ``queue:`` source then stops taking from its live
+        queue and the producer blocks on its own ``put``.
+
+        ``max_windows`` stops after that many windows, leaving the
+        source mid-stream (the gateway serves in slices this way);
+        ``append_sink`` continues a previous run's sink output instead
+        of starting fresh.  Returns the per-query answer lists in
+        submission order, or ``None`` with ``collect=False`` (unbounded
+        feeds should not accumulate answers in memory).
+        """
+        source = self._compile_source(source, reuse=True)
+        if sink is None and self._sink is not None:
+            # Continue the service's active sink (a sliced/cancelled
+            # pump keeps appending to the same egress, like the source
+            # keeps emitting the same stream).
+            compiled_sink = self._compile_sink(self._sink, append=True)
+        else:
+            compiled_sink = self._compile_sink(
+                sink, append=append_sink or self._sink_append
+            )
+        session = None
+        if (
+            self._session is not None
+            and self._session_kind == "async"
+            and not self._session._closed
+        ):
+            session = self._session
+            if session._queue is not None and (
+                session._drainer is None or session._drainer.done()
+            ):
+                # The session was started under a previous event loop
+                # whose teardown killed its drainer (each asyncio.run
+                # cancels pending tasks).  Between pumps the session is
+                # quiescent, so rebuilding it from its snapshot is
+                # exact — sliced serving can span asyncio.run calls.
+                # The rebuild continues the SAME logical session, so
+                # the construction-time accountant charge must not
+                # land a second time: restore the ledger afterwards.
+                snapshot = session.snapshot()
+                accountant = self._engine.accountant
+                ledger = None
+                if accountant is not None:
+                    # Park the ledger while the replacement session is
+                    # constructed (construction charges — and with the
+                    # session's own spend already recorded, would raise
+                    # or double-count), then put it back verbatim.
+                    ledger = accountant.spends
+                    accountant.reset()
+                try:
+                    session = self.open_async_session(
+                        **self._session_options
+                    )
+                finally:
+                    if accountant is not None:
+                        accountant._spends = ledger
+                session.restore(snapshot)
+        if session is None:
+            session = self.open_async_session(
+                rng=rng, max_pending=max_pending, max_batch=max_batch
+            )
+        matcher = self._engine.service_pipeline().matcher
+        wants_truth = compiled_sink is not None and compiled_sink.wants_truth
+        truths: Dict[int, Dict[str, bool]] = {}
+        if compiled_sink is not None:
+            # Egress happens inside the drainer, window by window in
+            # submission order, on the *released* rows — the sink never
+            # sees original data and nothing is buffered beyond the
+            # bounded queue.
+            def egress(index, released_row, window_answers):
+                compiled_sink.write(
+                    index, released_row, window_answers, truths.pop(index, None)
+                )
+
+            session._on_release = egress
+        pending: List = []
+        answers: Optional[Dict[str, List[bool]]] = (
+            {name: [] for name in matcher.query_names} if collect else None
+        )
+
+        async def settle(future) -> None:
+            window_answers = await future
+            if answers is not None:
+                for name, value in window_answers.items():
+                    answers[name].append(value)
+
+        try:
+            pumped = 0
+            async for row in source.arows():
+                block = row.reshape(1, -1)
+                if wants_truth:
+                    truths[session.windows_submitted] = {
+                        name: bool(vector[0])
+                        for name, vector in matcher.answer(block).items()
+                    }
+                try:
+                    future = await session._submit_row(block)
+                except BaseException:
+                    # Cancelled/failed inside submit: the drawn row was
+                    # never accepted — push it back so neither a later
+                    # pump on this source nor a checkpointed fresh one
+                    # skips a window no run released.
+                    source.unemit(row)
+                    truths.pop(session.windows_submitted, None)
+                    raise
+                pending.append(future)
+                while pending and (
+                    pending[0].done() or len(pending) > session._max_pending
+                ):
+                    await settle(pending.pop(0))
+                pumped += 1
+                if max_windows is not None and pumped >= max_windows:
+                    break
+            for future in pending:
+                await settle(future)
+        finally:
+            # Windows the session already accepted will be released by
+            # the drainer regardless; wait for quiescence so a
+            # cancelled pump leaves the session checkpointable and
+            # every released window egressed before the sink closes
+            # (sink, session counters and offsets stay consistent).
+            drainer = session._drainer
+            while (
+                session.windows_processed < session.windows_submitted
+                and drainer is not None
+                and not drainer.done()
+            ):
+                await asyncio.sleep(0)
+            if compiled_sink is not None:
+                session._on_release = None
+                compiled_sink.close()
+        return answers
+
     # -- checkpoint / resume -------------------------------------------
 
     def checkpoint(self) -> Dict:
@@ -265,6 +567,14 @@ class StreamService:
         }
         if self._session_kind == "async":
             checkpoint["session_options"] = dict(self._session_options)
+        if self._source is not None:
+            # The in-flight ingestion position: a resumed service skips
+            # a fresh source here and continues with exactly the
+            # windows an uninterrupted run would have seen next.
+            checkpoint["source_offset"] = self._source.offset
+        # Whether output was already egressed (a resumed pump must then
+        # append to file sinks instead of truncating them).
+        checkpoint["sink_opened"] = self._sink is not None
         return checkpoint
 
     @classmethod
@@ -274,6 +584,7 @@ class StreamService:
         checkpoint: Mapping,
         *,
         history: Optional[IndicatorStream] = None,
+        source=None,
     ) -> "StreamService":
         """Rebuild a service and continue from a :meth:`checkpoint`.
 
@@ -281,6 +592,13 @@ class StreamService:
         release state is only meaningful under the same configuration
         and seed).  Returns the rebuilt service with the restored
         session available on :attr:`session`.
+
+        When the checkpoint carries an in-flight source offset (taken
+        mid-:meth:`pump`), the source — ``source=`` here, or the
+        spec's own ``source=`` connector — is rebuilt and skipped to
+        that offset, so the next :meth:`pump` continues with exactly
+        the windows an uninterrupted run would have seen (live
+        ``queue:`` feeds cannot seek; bind a fresh queue instead).
         """
         if isinstance(spec, str):
             spec = ServiceSpec.from_json(spec)
@@ -301,6 +619,20 @@ class StreamService:
         else:
             session = service.open_session()
         session.restore(checkpoint["session"])
+        offset = checkpoint.get("source_offset")
+        if source is not None or (
+            offset is not None and spec.source is not None
+        ):
+            compiled = service._compile_source(source)
+            if offset:
+                if compiled.seekable:
+                    compiled.skip(int(offset))
+                else:
+                    # A live feed supplies the remainder itself, but the
+                    # count must continue where the pre-crash run left
+                    # off, or later checkpoints would under-report it.
+                    compiled._offset = int(offset)
+        service._sink_append = bool(checkpoint.get("sink_opened"))
         return service
 
     # -- evaluation ----------------------------------------------------

@@ -276,6 +276,22 @@ class ServiceSpec:
         ``"sharded:process:8"``, ...).
     executor_options:
         Keyword options for the executor factory.
+    source:
+        Registered source connector spec naming where windows come
+        from (``"csv:<path>"``, ``"jsonl:<path>"``,
+        ``"synthetic:<generator>:<n>:<seed>"``,
+        ``"replay:<path>:<rate>"``, ``"queue"``, ``"memory"``; see
+        :mod:`repro.io`).  ``None`` (the default) keeps today's
+        behavior: data is passed to ``run()``/sessions directly.
+    source_options:
+        Keyword options for the source factory.
+    sink:
+        Registered sink connector spec naming where the released
+        stream and answers go (``"csv:<path>"``, ``"jsonl:<path>"``,
+        ``"metrics"``, ``"memory"``, ``"callback"``).  ``None`` (the
+        default) egresses nothing beyond the returned report.
+    sink_options:
+        Keyword options for the sink factory.
     accounting:
         Total service budget; when set, the built engine refuses runs
         whose cumulative spend would exceed it.
@@ -297,6 +313,10 @@ class ServiceSpec:
     mechanism_options: Mapping = field(default_factory=dict)
     executor: str = "batch"
     executor_options: Mapping = field(default_factory=dict)
+    source: Optional[str] = None
+    source_options: Mapping = field(default_factory=dict)
+    sink: Optional[str] = None
+    sink_options: Mapping = field(default_factory=dict)
     accounting: Optional[float] = None
     quality: QualitySpec = field(default_factory=QualitySpec)
     window: Optional[str] = None
@@ -359,6 +379,26 @@ class ServiceSpec:
             self,
             "executor_options",
             _jsonish(dict(self.executor_options), where="executor_options"),
+        )
+
+        from repro.io.registry import (
+            validate_sink_spec,
+            validate_source_spec,
+        )
+
+        if self.source is not None:
+            validate_source_spec(self.source)
+        object.__setattr__(
+            self,
+            "source_options",
+            _jsonish(dict(self.source_options), where="source_options"),
+        )
+        if self.sink is not None:
+            validate_sink_spec(self.sink)
+        object.__setattr__(
+            self,
+            "sink_options",
+            _jsonish(dict(self.sink_options), where="sink_options"),
         )
 
         if self.accounting is not None:
@@ -461,6 +501,10 @@ class ServiceSpec:
             "mechanism_options": dict(self.mechanism_options),
             "executor": self.executor,
             "executor_options": dict(self.executor_options),
+            "source": self.source,
+            "source_options": dict(self.source_options),
+            "sink": self.sink,
+            "sink_options": dict(self.sink_options),
             "accounting": self.accounting,
             "quality": self.quality.to_dict(),
             "window": self.window,

@@ -42,6 +42,21 @@ def suppress_imperative_warnings():
         _SUPPRESSED.reset(token)
 
 
+def warn_superseded(message: str, *, stacklevel: int = 3) -> None:
+    """Emit one pointed ``DeprecationWarning`` with the given message.
+
+    The shared primitive behind every deprecation shim in the library:
+    a no-op while :func:`suppress_imperative_warnings` is active, so
+    non-deprecated facades built *on* deprecated entry points never
+    warn.  The default ``stacklevel`` of 3 attributes the warning to
+    the caller of the deprecated entry point (user code), not the
+    entry point itself.
+    """
+    if _SUPPRESSED.get():
+        return
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel + 1)
+
+
 def warn_imperative(old: str, new: str, *, stacklevel: int = 3) -> None:
     """Emit one ``DeprecationWarning`` pointing from ``old`` to ``new``.
 
@@ -49,11 +64,21 @@ def warn_imperative(old: str, new: str, *, stacklevel: int = 3) -> None:
     default ``stacklevel`` of 3 attributes the warning to the caller of
     the deprecated entry point (user code), not the entry point itself.
     """
-    if _SUPPRESSED.get():
-        return
-    warnings.warn(
+    warn_superseded(
         f"{old} is part of the deprecated imperative service surface: "
         f"{new} instead (see repro.service.ServiceSpec / StreamService).",
-        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def warn_superseded_io(old: str, new: str, *, stacklevel: int = 3) -> None:
+    """Emit one ``DeprecationWarning`` pointing at the connector API.
+
+    Used by the legacy ``datasets.io`` persistence helpers, which are
+    reimplemented on the :mod:`repro.io` connectors.
+    """
+    warn_superseded(
+        f"{old} is superseded by the I/O connector API: {new} instead "
+        "(see repro.io and ServiceSpec source=/sink=).",
         stacklevel=stacklevel,
     )

@@ -340,3 +340,128 @@ class TestProcessEventsAsync:
             engine.process_events_async(events, TumblingWindows(10.0), rng=2)
         )
         assert accountant.spent() == pytest.approx(2 * spent_once)
+
+
+class TestQueueSourceBackpressure:
+    """The PR-5 satellite pin: a queue: source faster than the drainer
+    blocks on submit at the configured bound, never grows the backlog
+    past it, and stays snapshot/restore-exact mid-stream."""
+
+    def test_submit_suspends_at_the_bound_while_drainer_stalls(self):
+        async def go():
+            session = AsyncSession(
+                make_engine(), rng=2, max_pending=4, max_batch=2
+            )
+            # Gate the drainer so the producer is strictly faster.
+            gate = asyncio.Event()
+            original_drain = session._drain
+
+            async def gated_drain():
+                await gate.wait()
+                await original_drain()
+
+            session._drain = gated_drain
+            stream = make_stream(12)
+            futures = [
+                await session.submit(stream.window_types(index))
+                for index in range(4)
+            ]
+            assert session.backlog == 4  # the bound is reached...
+
+            extra = asyncio.ensure_future(
+                session.submit(stream.window_types(4))
+            )
+            for _ in range(10):
+                await asyncio.sleep(0)
+                # ...the fifth submit suspends instead of growing it.
+                assert not extra.done()
+                assert session.backlog == 4
+
+            gate.set()  # drainer catches up; the producer resumes
+            futures.append(await extra)
+            answers = [await future for future in futures]
+            await session.aclose()
+            assert session.backlog == 0
+            return answers
+
+        answers = asyncio.run(go())
+        assert len(answers) == 5
+
+    def test_pump_backlog_never_exceeds_bound(self):
+        from repro.io import QueueSource
+        from repro.service import ServiceSpec
+
+        stream = make_stream(80)
+        spec = ServiceSpec(
+            alphabet=ALPHABET,
+            patterns=[("p", ("e1",))],
+            queries=[("q1", ("e1", "e2")), ("q2", ("e3",))],
+            mechanism="uniform-ppm",
+            mechanism_options={"epsilon": 1.0},
+            seed=2,
+        )
+
+        async def go():
+            queue = asyncio.Queue(maxsize=2)
+            service = spec.build()
+            observed = []
+
+            async def produce():
+                for index in range(stream.n_windows):
+                    await queue.put(stream.window_types(index))
+                    observed.append(service.session.backlog)
+                await queue.put(None)
+
+            session = service.open_async_session(max_pending=4, max_batch=2)
+            producer = asyncio.ensure_future(produce())
+            answers = await service.pump(QueueSource(queue))
+            await producer
+            assert max(observed) <= 4
+            assert session.windows_processed == stream.n_windows
+            return answers
+
+        answers = asyncio.run(go())
+        expected = asyncio.run(spec.build().pump(stream))
+        assert answers == expected
+
+    def test_queue_pump_snapshot_restore_exact_mid_stream(self):
+        from repro.io import QueueSource
+        from repro.service import ServiceSpec, StreamService
+
+        stream = make_stream(90)
+        spec = ServiceSpec(
+            alphabet=ALPHABET,
+            patterns=[("p", ("e1",))],
+            queries=[("q1", ("e1", "e2")), ("q2", ("e3",))],
+            mechanism="bd",
+            mechanism_options={"epsilon": 1.0, "w": 10},
+            source="queue",
+            seed=3,
+        )
+
+        def feed(indices):
+            queue = asyncio.Queue()
+            for index in indices:
+                queue.put_nowait(stream.window_types(index))
+            queue.put_nowait(None)
+            return queue
+
+        service = spec.build()
+        first = asyncio.run(
+            service.pump(QueueSource(feed(range(45))))
+        )
+        checkpoint = service.checkpoint()
+        assert checkpoint["source_offset"] == 45
+
+        # The live queue cannot seek: resume binds a fresh queue that
+        # carries the not-yet-received remainder.
+        resumed = StreamService.resume(
+            spec, checkpoint, source=QueueSource(feed(range(45, 90)))
+        )
+        second = asyncio.run(resumed.pump())
+
+        uninterrupted = asyncio.run(
+            spec.build().pump(QueueSource(feed(range(90))))
+        )
+        for name in uninterrupted:
+            assert first[name] + second[name] == uninterrupted[name], name

@@ -48,6 +48,14 @@ class TestExamplesRun:
         assert "identical: True" in output
         assert "commutes with the window reduction exactly: True" in output
 
+    def test_gateway(self, capsys):
+        load_example("gateway").main()
+        output = capsys.readouterr().out
+        assert "tenant 'fleet'" in output
+        assert "tenant 'grid'" in output
+        assert "metrics sink" in output
+        assert "identical to the uninterrupted run: True" in output
+
     def test_taxi_fleet_scaled_down(self, capsys, monkeypatch):
         module = load_example("taxi_fleet")
         from repro.datasets import TaxiConfig

@@ -1,0 +1,257 @@
+"""Tests for repro.io sinks: egress formats, appends, metrics."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    CallbackSink,
+    CsvSink,
+    JsonlSink,
+    MemorySink,
+    MetricsSink,
+    read_indicator_csv,
+    register_sink,
+    registered_sinks,
+    resolve_sink,
+)
+from repro.service.registry import UnknownSpecError
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+
+ALPHABET = EventAlphabet.numbered(4)
+
+
+@pytest.fixture
+def stream():
+    rng = np.random.default_rng(21)
+    return IndicatorStream(ALPHABET, rng.random((30, 4)) < 0.5)
+
+
+def drain(sink, stream, answers=None, truth=None, *, append=False):
+    sink.open(alphabet=ALPHABET, query_names=("q",), append=append)
+    matrix = stream.matrix_view()
+    for index in range(matrix.shape[0]):
+        sink.write(
+            index,
+            matrix[index],
+            {"q": bool(answers[index])} if answers is not None else {},
+            {"q": bool(truth[index])} if truth is not None else None,
+        )
+    sink.close()
+    return sink
+
+
+class TestRegistry:
+    def test_builtin_sinks_registered(self):
+        for name in ("memory", "csv", "jsonl", "metrics", "callback"):
+            assert name in registered_sinks()
+
+    def test_unknown_sink_lists_registered_names(self):
+        with pytest.raises(UnknownSpecError) as excinfo:
+            resolve_sink("s3:bucket")
+        message = str(excinfo.value)
+        assert "unknown sink spec 's3'" in message
+        for name in registered_sinks():
+            assert name in message
+
+    def test_sink_object_passes_through(self):
+        sink = MemorySink()
+        assert resolve_sink(sink) is sink
+
+    def test_third_party_sink_registers(self, stream):
+        writes = []
+
+        @register_sink("test-collect")
+        class CollectSink(CallbackSink):
+            """Collects written window indices."""
+
+            def __init__(self):
+                super().__init__(lambda i, row, answers: writes.append(i))
+
+        try:
+            drain(resolve_sink("test-collect"), stream)
+            assert writes == list(range(stream.n_windows))
+        finally:
+            from repro.io.registry import _SINKS
+
+            del _SINKS._factories["test-collect"]
+            del _SINKS._canonical["test-collect"]
+
+    def test_unopened_sink_fails_pointedly(self):
+        with pytest.raises(RuntimeError, match="not open"):
+            MemorySink().write(0, np.zeros(4, dtype=bool), {})
+
+
+class TestMemorySink:
+    def test_collects_stream_and_answers(self, stream):
+        answers = [i % 3 == 0 for i in range(stream.n_windows)]
+        sink = drain(MemorySink(), stream, answers)
+        result = sink.result()
+        assert result["released"] == stream
+        assert result["answers"]["q"] == answers
+
+    def test_append_keeps_accumulating(self, stream):
+        sink = MemorySink()
+        drain(sink, stream.slice_windows(0, 10), [True] * 10)
+        drain(
+            sink,
+            stream.slice_windows(10, 30),
+            [False] * 20,
+            append=True,
+        )
+        result = sink.result()
+        assert result["released"] == stream
+        assert result["answers"]["q"] == [True] * 10 + [False] * 20
+
+    def test_fresh_open_resets(self, stream):
+        sink = MemorySink()
+        drain(sink, stream, [True] * stream.n_windows)
+        drain(sink, stream.slice_windows(0, 5), [False] * 5)
+        assert sink.result()["released"] == stream.slice_windows(0, 5)
+
+    def test_empty_result(self):
+        sink = MemorySink()
+        sink.open(alphabet=ALPHABET, query_names=("q",))
+        result = sink.result()
+        assert result["released"].n_windows == 0
+        assert result["answers"]["q"] == []
+
+
+class TestCsvSink:
+    def test_output_is_the_indicator_csv_format(self, stream, tmp_path):
+        path = str(tmp_path / "released.csv")
+        drain(CsvSink(path), stream)
+        assert read_indicator_csv(path) == stream
+
+    def test_append_continues_without_second_header(
+        self, stream, tmp_path
+    ):
+        path = str(tmp_path / "released.csv")
+        drain(CsvSink(path), stream.slice_windows(0, 12))
+        drain(CsvSink(path), stream.slice_windows(12, 30), append=True)
+        assert read_indicator_csv(path) == stream
+
+    def test_append_to_missing_file_starts_fresh(self, stream, tmp_path):
+        path = str(tmp_path / "fresh.csv")
+        drain(CsvSink(path), stream, append=True)
+        assert read_indicator_csv(path) == stream
+
+    def test_write_after_close_rejected(self, tmp_path):
+        sink = CsvSink(str(tmp_path / "x.csv"))
+        sink.open(alphabet=ALPHABET, query_names=())
+        sink.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            sink.write(0, np.zeros(4, dtype=bool), {})
+
+
+class TestJsonlSink:
+    def test_writes_types_and_answers(self, stream, tmp_path):
+        path = str(tmp_path / "out.jsonl")
+        answers = [i % 2 == 0 for i in range(stream.n_windows)]
+        drain(JsonlSink(path), stream, answers)
+        lines = [
+            json.loads(line)
+            for line in open(path).read().splitlines()
+        ]
+        assert len(lines) == stream.n_windows
+        assert lines[3] == {
+            "window": 3,
+            "types": sorted(
+                stream.window_types(3),
+                key=ALPHABET.index,
+            ),
+            "answers": {"q": answers[3]},
+        }
+
+    def test_round_trips_through_jsonl_source(self, stream, tmp_path):
+        from repro.io import JsonlSource
+
+        path = str(tmp_path / "out.jsonl")
+        drain(JsonlSink(path), stream)
+        reloaded = JsonlSource(path).bind(ALPHABET).indicator_stream()
+        assert reloaded == stream
+
+
+class TestMetricsSink:
+    def test_aggregates_confusion_and_quality(self, stream):
+        truth = [i % 2 == 0 for i in range(stream.n_windows)]
+        answers = list(truth)
+        answers[0] = not answers[0]  # one false negative
+        answers[1] = not answers[1]  # one false positive
+        sink = drain(MetricsSink(), stream, answers, truth)
+        result = sink.result()
+        counts = result["confusion"]
+        assert counts.fn == 1 and counts.fp == 1
+        assert counts.total == stream.n_windows
+        assert result["windows"] == stream.n_windows
+        assert 0 < result["quality"].q < 1
+        assert result["mre"] == pytest.approx(1 - result["quality"].q)
+        assert set(result["per_query"]) == {"q"}
+
+    def test_perfect_answers_zero_mre(self, stream):
+        truth = [i % 2 == 0 for i in range(stream.n_windows)]
+        sink = drain(MetricsSink(), stream, truth, truth)
+        result = sink.result()
+        assert result["quality"].q == 1.0
+        assert result["mre"] == 0.0
+
+    def test_wants_truth_and_missing_truth_rejected(self, stream):
+        sink = MetricsSink()
+        assert sink.wants_truth
+        sink.open(alphabet=ALPHABET, query_names=("q",))
+        with pytest.raises(ValueError, match="true answers"):
+            sink.write(0, stream.matrix_view()[0], {"q": True})
+
+    def test_alpha_weighting(self, stream):
+        truth = [True] * stream.n_windows
+        answers = [i != 0 for i in range(stream.n_windows)]  # 1 FN
+        precision_only = drain(
+            MetricsSink(alpha=1.0), stream, answers, truth
+        ).result()
+        assert precision_only["quality"].q == 1.0  # no false positives
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            MetricsSink(alpha=1.5)
+
+
+class TestCallbackSink:
+    def test_invokes_callable_per_window(self, stream):
+        seen = []
+        sink = CallbackSink(
+            lambda index, row, answers: seen.append(
+                (index, row.sum(), answers["q"])
+            )
+        )
+        drain(sink, stream, [True] * stream.n_windows)
+        assert len(seen) == stream.n_windows
+        assert seen[0][0] == 0 and seen[0][2] is True
+        assert sink.result() == {"windows": stream.n_windows}
+
+    def test_unbound_callback_fails_pointedly(self, stream):
+        sink = resolve_sink("callback")
+        sink.open(alphabet=ALPHABET, query_names=("q",))
+        with pytest.raises(ValueError, match="no callable"):
+            sink.write(0, stream.matrix_view()[0], {"q": True})
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError, match="callable"):
+            CallbackSink("not-a-function")
+
+
+class TestWindowsWrittenResets:
+    def test_fresh_open_resets_the_counter(self, stream):
+        sink = MetricsSink()
+        truth = [True] * stream.n_windows
+        drain(sink, stream, truth, truth)
+        drain(sink, stream.slice_windows(0, 5), [True] * 5, [True] * 5)
+        result = sink.result()
+        assert result["windows"] == 5
+        assert result["confusion"].total == 5
+
+    def test_empty_tail_spec_rejected_at_validation(self):
+        from repro.io.registry import validate_sink_spec
+
+        with pytest.raises(ValueError, match="csv:<path>"):
+            validate_sink_spec("csv:")

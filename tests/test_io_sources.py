@@ -1,0 +1,390 @@
+"""Tests for repro.io sources: registry, streaming, offsets, skip."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    CsvSource,
+    JsonlSource,
+    MemorySource,
+    QueueSource,
+    ReplaySource,
+    SyntheticSource,
+    read_indicator_csv,
+    register_source,
+    registered_sources,
+    resolve_source,
+    write_indicator_csv,
+)
+from repro.io.registry import resolve_sink
+from repro.io.sources import assemble_rows
+from repro.service.registry import UnknownSpecError
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+
+ALPHABET = EventAlphabet.numbered(5)
+
+
+@pytest.fixture
+def stream():
+    rng = np.random.default_rng(13)
+    return IndicatorStream(ALPHABET, rng.random((80, 5)) < 0.4)
+
+
+@pytest.fixture
+def csv_path(stream, tmp_path):
+    path = str(tmp_path / "stream.csv")
+    write_indicator_csv(stream, path)
+    return path
+
+
+def materialized(source):
+    return source.bind(ALPHABET).indicator_stream()
+
+
+class TestRegistry:
+    def test_builtin_sources_registered(self):
+        for name in (
+            "memory", "csv", "jsonl", "synthetic", "replay", "queue",
+        ):
+            assert name in registered_sources()
+
+    def test_unknown_source_lists_registered_names(self):
+        with pytest.raises(UnknownSpecError) as excinfo:
+            resolve_source("kafka:trips")
+        message = str(excinfo.value)
+        assert "unknown source spec 'kafka'" in message
+        for name in registered_sources():
+            assert name in message
+
+    def test_source_object_passes_through(self, stream):
+        source = MemorySource(stream)
+        assert resolve_source(source) is source
+
+    def test_options_rejected_on_objects(self, stream):
+        with pytest.raises(ValueError, match="spec strings"):
+            resolve_source(MemorySource(stream), p=0.5)
+
+    def test_third_party_source_registers(self, stream):
+        @register_source("test-constant")
+        class ConstantSource(MemorySource):
+            """Every window contains every event type."""
+
+            def __init__(self, n=3):
+                super().__init__(np.ones((n, len(ALPHABET)), dtype=bool))
+
+        try:
+            out = materialized(resolve_source("test-constant:2"))
+            assert out.n_windows == 2
+            assert out.matrix_view().all()
+        finally:
+            from repro.io.registry import _SOURCES
+
+            del _SOURCES._factories["test-constant"]
+            del _SOURCES._canonical["test-constant"]
+
+
+class TestCsvSource:
+    def test_round_trips_written_stream(self, stream, csv_path):
+        assert materialized(CsvSource(csv_path)) == stream
+        assert materialized(resolve_source(f"csv:{csv_path}")) == stream
+
+    def test_read_indicator_csv_round_trip(self, stream, csv_path):
+        assert read_indicator_csv(csv_path) == stream
+
+    def test_rows_are_streamed_not_materialized(self, stream, csv_path):
+        source = CsvSource(csv_path).bind(ALPHABET)
+        rows = source.rows()
+        first = next(rows)
+        assert first.dtype == bool
+        assert np.array_equal(first, stream.matrix_view()[0])
+        assert source.offset == 1  # only what was consumed
+
+    def test_alphabet_mismatch_rejected(self, csv_path):
+        with pytest.raises(ValueError, match="alphabet"):
+            CsvSource(csv_path).bind(EventAlphabet.numbered(3))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            CsvSource(str(path)).bind(ALPHABET)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("e1,e2,e3,e4,e5\n1,0\n")
+        source = CsvSource(str(path)).bind(ALPHABET)
+        with pytest.raises(ValueError, match="columns"):
+            list(source.rows())
+
+    def test_non_integer_value_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("e1,e2,e3,e4,e5\n1,0,x,0,1\n")
+        source = CsvSource(str(path)).bind(ALPHABET)
+        with pytest.raises(ValueError, match="non-integer"):
+            list(source.rows())
+
+    def test_non_binary_value_rejected(self, tmp_path):
+        path = tmp_path / "two.csv"
+        path.write_text("e1,e2,e3,e4,e5\n1,0,2,0,1\n")
+        source = CsvSource(str(path)).bind(ALPHABET)
+        with pytest.raises(ValueError, match="0/1"):
+            list(source.rows())
+
+    def test_skip_fast_forwards(self, stream, csv_path):
+        source = CsvSource(csv_path).bind(ALPHABET).skip(30)
+        assert source.offset == 30
+        assert source.indicator_stream() == stream.slice_windows(30, 80)
+        assert source.offset == stream.n_windows
+
+    def test_skip_after_iteration_rejected(self, csv_path):
+        source = CsvSource(csv_path).bind(ALPHABET)
+        next(source.rows())
+        with pytest.raises(RuntimeError, match="skip"):
+            source.skip(1)
+
+
+class TestJsonlSource:
+    def test_reads_arrays_and_objects(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        path.write_text(
+            json.dumps(["e1", "e3"]) + "\n"
+            + json.dumps({"types": ["e2"], "answers": {"q": True}}) + "\n"
+            + "\n"  # blank lines are skipped
+            + json.dumps([]) + "\n"
+        )
+        out = materialized(JsonlSource(str(path)))
+        expected = IndicatorStream.from_window_sets(
+            ALPHABET, [["e1", "e3"], ["e2"], []]
+        )
+        assert out == expected
+
+    def test_unknown_types_ignored_like_the_engine(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        path.write_text(json.dumps(["e1", "not-an-event"]) + "\n")
+        out = materialized(JsonlSource(str(path)))
+        assert out == IndicatorStream.from_window_sets(ALPHABET, [["e1"]])
+
+    def test_invalid_json_rejected_with_line(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        path.write_text('["e1"]\n{oops\n')
+        source = JsonlSource(str(path)).bind(ALPHABET)
+        with pytest.raises(ValueError, match=":2"):
+            list(source.rows())
+
+    def test_object_without_types_rejected(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        path.write_text('{"answers": {}}\n')
+        source = JsonlSource(str(path)).bind(ALPHABET)
+        with pytest.raises(ValueError, match="types"):
+            list(source.rows())
+
+    def test_missing_file_rejected_at_bind(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            JsonlSource(str(tmp_path / "nope.jsonl")).bind(ALPHABET)
+
+
+class TestSyntheticSource:
+    def test_same_spec_same_windows(self):
+        one = materialized(resolve_source("synthetic:bernoulli:40:9"))
+        two = materialized(resolve_source("synthetic:bernoulli:40:9"))
+        assert one == two
+        assert one.n_windows == 40
+
+    def test_skip_regenerates_deterministically(self):
+        full = materialized(resolve_source("synthetic:bernoulli:40:9"))
+        tail = materialized(
+            resolve_source("synthetic:bernoulli:40:9").skip(15)
+        )
+        assert tail == full.slice_windows(15, 40)
+
+    def test_uniform_generator_rate(self):
+        dense = materialized(
+            resolve_source("synthetic:uniform:200:1", p=0.95)
+        )
+        assert dense.matrix_view().mean() > 0.8
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(ValueError, match="generator"):
+            SyntheticSource("gauss", 10, 0)
+
+    def test_seeds_differ(self):
+        assert materialized(
+            resolve_source("synthetic:bernoulli:40:1")
+        ) != materialized(resolve_source("synthetic:bernoulli:40:2"))
+
+
+class TestReplaySource:
+    def test_replays_csv_contents(self, stream, csv_path):
+        assert materialized(
+            resolve_source(f"replay:{csv_path}:0")
+        ) == stream
+
+    def test_rate_paces_emission(self, stream, csv_path):
+        import time
+
+        source = ReplaySource(csv_path, rate=1000.0).bind(ALPHABET)
+        start = time.perf_counter()
+        rows = source.rows()
+        for _ in range(20):
+            next(rows)
+        elapsed = time.perf_counter() - start
+        assert elapsed >= 0.018  # ≥ 20 windows / 1000 per second-ish
+
+    def test_skip_does_not_wait(self, stream, csv_path):
+        import time
+
+        source = ReplaySource(csv_path, rate=10.0).bind(ALPHABET)
+        source.skip(stream.n_windows - 1)
+        start = time.perf_counter()
+        remaining = list(source.rows())
+        assert len(remaining) == 1
+        assert time.perf_counter() - start < 5.0  # one delay, not eighty
+
+    def test_negative_rate_rejected(self, csv_path):
+        with pytest.raises(ValueError, match="rate"):
+            ReplaySource(csv_path, rate=-1.0)
+
+
+class TestMemorySource:
+    def test_accepts_stream_matrix_and_type_sets(self, stream):
+        as_stream = materialized(MemorySource(stream))
+        as_matrix = materialized(MemorySource(stream.matrix()))
+        sets = [stream.window_types(i) for i in range(stream.n_windows)]
+        as_sets = materialized(MemorySource(sets))
+        assert as_stream == stream
+        assert as_matrix == stream
+        assert as_sets == stream
+
+    def test_unbound_memory_spec_fails_pointedly(self):
+        source = resolve_source("memory").bind(ALPHABET)
+        with pytest.raises(ValueError, match="no data"):
+            list(source.rows())
+
+    def test_foreign_alphabet_rejected(self, stream):
+        with pytest.raises(ValueError, match="alphabet"):
+            MemorySource(stream).bind(EventAlphabet.numbered(3))
+
+
+class TestQueueSource:
+    def test_sync_iteration_rejected(self):
+        source = QueueSource(asyncio.Queue()).bind(ALPHABET)
+        with pytest.raises(TypeError, match="asynchronous"):
+            list(source.rows())
+
+    def test_skip_rejected(self):
+        with pytest.raises(RuntimeError, match="cannot skip"):
+            QueueSource(asyncio.Queue()).skip(3)
+
+    def test_unbound_queue_fails_pointedly(self):
+        async def drive():
+            source = resolve_source("queue").bind(ALPHABET)
+            async for _row in source.arows():
+                pass
+
+        with pytest.raises(ValueError, match="no live queue"):
+            asyncio.run(drive())
+
+    def test_drains_type_sets_and_rows_until_sentinel(self, stream):
+        async def drive():
+            queue = asyncio.Queue()
+            source = QueueSource(queue).bind(ALPHABET)
+            queue.put_nowait(stream.window_types(0))
+            queue.put_nowait(stream.matrix_view()[1])
+            queue.put_nowait("e1")  # a single type name
+            queue.put_nowait(None)
+            return [row async for row in source.arows()]
+
+        rows = asyncio.run(drive())
+        assert np.array_equal(rows[0], stream.matrix_view()[0])
+        assert np.array_equal(rows[1], stream.matrix_view()[1])
+        assert np.array_equal(
+            rows[2], [True, False, False, False, False]
+        )
+
+
+class TestAssembleRows:
+    def test_empty_iterator(self):
+        assert assemble_rows(iter([]), 4).shape == (0, 4)
+
+    def test_spans_multiple_blocks(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.random((10000, 3)) < 0.5
+        out = assemble_rows((row for row in matrix), 3)
+        assert np.array_equal(out, matrix)
+
+    def test_csv_sink_output_feeds_csv_source(self, stream, tmp_path):
+        # The sanitized-egress format is itself a valid source.
+        path = str(tmp_path / "released.csv")
+        sink = resolve_sink(f"csv:{path}")
+        sink.open(alphabet=ALPHABET, query_names=("q",))
+        for index in range(stream.n_windows):
+            sink.write(index, stream.matrix_view()[index], {"q": False})
+        sink.close()
+        assert materialized(CsvSource(path)) == stream
+
+
+class TestColonPaths:
+    """Path-taking specs keep colons and numeric names verbatim."""
+
+    def test_csv_path_with_colon_and_numeric_name(self, stream, tmp_path):
+        for name in ("we:ird.csv", "2024"):
+            path = str(tmp_path / name)
+            write_indicator_csv(stream, path)
+            assert materialized(resolve_source(f"csv:{path}")) == stream
+
+    def test_replay_path_with_colon_keeps_rate(self, stream, tmp_path):
+        path = str(tmp_path / "we:ird.csv")
+        write_indicator_csv(stream, path)
+        source = resolve_source(f"replay:{path}:250")
+        assert source.path == path
+        assert source.rate == 250.0
+        source_no_rate = resolve_source(f"replay:{path}")
+        assert source_no_rate.path == path
+        assert source_no_rate.rate == 0.0
+
+    def test_jsonl_sink_path_with_colon(self, stream, tmp_path):
+        from repro.io import JsonlSource
+
+        path = str(tmp_path / "out:put.jsonl")
+        sink = resolve_sink(f"jsonl:{path}")
+        sink.open(alphabet=ALPHABET, query_names=("q",))
+        matrix = stream.matrix_view()
+        for index in range(stream.n_windows):
+            sink.write(index, matrix[index], {"q": False})
+        sink.close()
+        assert materialized(JsonlSource(path)) == stream
+
+
+class TestPacedCancellation:
+    def test_cancel_during_delay_loses_no_row(self, stream, csv_path):
+        import asyncio
+
+        async def go():
+            source = ReplaySource(csv_path, rate=200.0).bind(ALPHABET)
+            collected = []
+
+            async def consume():
+                async for row in source.arows():
+                    collected.append(row)
+
+            task = asyncio.ensure_future(consume())
+            await asyncio.sleep(0.012)  # mid-stream, likely mid-delay
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            before = len(collected)
+            assert source.offset == before
+            # Continuing on the SAME source yields every remaining row.
+            source.delay = 0.0
+            async for row in source.arows():
+                collected.append(row)
+            return collected
+
+        collected = asyncio.run(go())
+        assert len(collected) == stream.n_windows
+        assert np.array_equal(np.stack(collected), stream.matrix_view())

@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.core",
     "repro.datasets",
     "repro.experiments",
+    "repro.io",
     "repro.mechanisms",
     "repro.metrics",
     "repro.runtime",
@@ -79,9 +80,12 @@ class TestSurfaceManifest:
             "AsyncSession",
             "ShardedExecutor",
             "ServiceSpec",
+            "StreamGateway",
             "StreamService",
             "register_executor",
             "register_mechanism",
+            "register_sink",
+            "register_source",
         ):
             assert name in repro.__all__
             assert hasattr(repro, name)

@@ -215,3 +215,108 @@ class TestServicePathNeverWarns:
             warnings.simplefilter("error", DeprecationWarning)
             context = WorkloadEvaluation(tiny_workload)
             context.evaluate("uniform", 2.0, n_trials=1, rng=3)
+
+
+class TestIoShimsWarnExactlyOnce:
+    """PR 5: the legacy datasets.io persistence helpers warn once per
+    callsite and point at the connector API; the connector path itself
+    (repro.io readers/writers, source=/sink= runs) never warns."""
+
+    @pytest.fixture
+    def csv_stream(self):
+        rng = np.random.default_rng(8)
+        return IndicatorStream(ALPHABET, rng.random((20, 4)) < 0.4)
+
+    def assert_one_io_warning(self, callsite, *, mentions):
+        emitted = deprecation_warnings(callsite)
+        assert len(emitted) == 1, (
+            f"expected exactly one DeprecationWarning, got "
+            f"{[str(entry.message) for entry in emitted]}"
+        )
+        message = str(emitted[0].message)
+        assert mentions in message
+        assert "repro.io" in message  # every shim points at connectors
+
+    def test_save_indicator_csv(self, csv_stream, tmp_path):
+        from repro.datasets.io import save_indicator_csv
+
+        self.assert_one_io_warning(
+            lambda: save_indicator_csv(
+                csv_stream, str(tmp_path / "s.csv")
+            ),
+            mentions="save_indicator_csv",
+        )
+
+    def test_load_indicator_csv(self, csv_stream, tmp_path):
+        from repro.datasets.io import load_indicator_csv
+        from repro.io import write_indicator_csv
+
+        path = str(tmp_path / "s.csv")
+        write_indicator_csv(csv_stream, path)
+        self.assert_one_io_warning(
+            lambda: load_indicator_csv(path),
+            mentions="load_indicator_csv",
+        )
+
+    def test_save_workload_warns_once_despite_nested_saves(
+        self, tiny_workload, tmp_path
+    ):
+        from repro.datasets.io import save_workload
+
+        self.assert_one_io_warning(
+            lambda: save_workload(tiny_workload, str(tmp_path / "w")),
+            mentions="save_workload",
+        )
+
+    def test_load_workload_warns_once_despite_nested_loads(
+        self, tiny_workload, tmp_path
+    ):
+        from repro.datasets.io import load_workload, save_workload
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            save_workload(tiny_workload, str(tmp_path / "w"))
+        self.assert_one_io_warning(
+            lambda: load_workload(str(tmp_path / "w")),
+            mentions="load_workload",
+        )
+
+    def test_shims_round_trip_like_the_connectors(
+        self, csv_stream, tmp_path
+    ):
+        from repro.datasets.io import load_indicator_csv, save_indicator_csv
+
+        path = str(tmp_path / "s.csv")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            save_indicator_csv(csv_stream, path)
+            assert load_indicator_csv(path) == csv_stream
+
+    def test_connector_path_never_warns(self, csv_stream, tmp_path):
+        import asyncio
+
+        from repro.io import read_indicator_csv, write_indicator_csv
+        from repro.service import StreamGateway
+
+        path = str(tmp_path / "s.csv")
+        out = str(tmp_path / "out.csv")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            write_indicator_csv(csv_stream, path)
+            read_indicator_csv(path)
+            spec = ServiceSpec(
+                alphabet=ALPHABET,
+                patterns=[PRIVATE],
+                queries=[("q", TARGET)],
+                mechanism="uniform-ppm",
+                mechanism_options={"epsilon": 2.0},
+                source=f"csv:{path}",
+                sink=f"csv:{out}",
+                seed=7,
+            )
+            service = spec.build()
+            service.run()
+            asyncio.run(spec.build().pump(sink="memory"))
+            gateway = StreamGateway()
+            gateway.add_tenant("a", spec)
+            gateway.run()

@@ -1,0 +1,515 @@
+"""Tests for StreamGateway: tenancy, isolation, checkpoint/resume."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.io import CallbackSink, QueueSource, write_indicator_csv
+from repro.mechanisms.accountant import BudgetExceededError
+from repro.service import ServiceSpec, StreamGateway, StreamService
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+
+ALPHABET = EventAlphabet.numbered(5)
+
+
+def make_stream(seed, n=100):
+    rng = np.random.default_rng(seed)
+    return IndicatorStream(ALPHABET, rng.random((n, 5)) < 0.4)
+
+
+def make_spec(seed=7, **overrides):
+    kwargs = dict(
+        alphabet=ALPHABET,
+        patterns=[("private", ("e1", "e2"))],
+        queries=[("q", ("e2", "e3"))],
+        mechanism="uniform-ppm",
+        mechanism_options={"epsilon": 2.0},
+        seed=seed,
+    )
+    kwargs.update(overrides)
+    return ServiceSpec(**kwargs)
+
+
+@pytest.fixture
+def csv_specs(tmp_path):
+    """Two tenants' specs over distinct csv files."""
+    specs = {}
+    for name, seed, mech, opts in [
+        ("a", 7, "uniform-ppm", {"epsilon": 2.0}),
+        ("b", 8, "bd", {"epsilon": 1.0, "w": 10}),
+    ]:
+        path = str(tmp_path / f"{name}.csv")
+        write_indicator_csv(make_stream(seed + 100), path)
+        specs[name] = make_spec(
+            seed, mechanism=mech, mechanism_options=opts,
+            source=f"csv:{path}",
+        )
+    return specs
+
+
+class TestTenancy:
+    def test_duplicate_tenant_rejected(self, csv_specs):
+        gateway = StreamGateway()
+        gateway.add_tenant("a", csv_specs["a"])
+        with pytest.raises(ValueError, match="already registered"):
+            gateway.add_tenant("a", csv_specs["b"])
+
+    def test_empty_name_rejected(self, csv_specs):
+        with pytest.raises(ValueError, match="name"):
+            StreamGateway().add_tenant("", csv_specs["a"])
+
+    def test_sourceless_tenant_rejected(self):
+        with pytest.raises(ValueError, match="no source"):
+            StreamGateway().add_tenant("a", make_spec())
+
+    def test_unknown_tenant_lookup(self, csv_specs):
+        gateway = StreamGateway()
+        gateway.add_tenant("a", csv_specs["a"])
+        with pytest.raises(KeyError, match="unknown tenant"):
+            gateway.service("nope")
+
+    def test_serving_empty_gateway_rejected(self):
+        with pytest.raises(RuntimeError, match="no tenants"):
+            asyncio.run(StreamGateway().serve())
+
+    def test_tenant_names_in_registration_order(self, csv_specs):
+        gateway = StreamGateway()
+        gateway.add_tenant("b", csv_specs["b"])
+        gateway.add_tenant("a", csv_specs["a"])
+        assert gateway.tenant_names == ["b", "a"]
+
+
+class TestIsolation:
+    def test_per_tenant_budgets_are_independent(self, tmp_path):
+        path = str(tmp_path / "s.csv")
+        write_indicator_csv(make_stream(1, 40), path)
+        # Tenant "small" can afford exactly one ε=2 release; tenant
+        # "large" has plenty.  Serving both must charge each ledger
+        # separately.
+        gateway = StreamGateway()
+        gateway.add_tenant(
+            "small",
+            make_spec(1, source=f"csv:{path}", accounting=2.0),
+        )
+        gateway.add_tenant(
+            "large",
+            make_spec(2, source=f"csv:{path}", accounting=100.0),
+        )
+        gateway.run()
+        small = gateway.service("small").accountant
+        large = gateway.service("large").accountant
+        assert small.remaining() == pytest.approx(0.0)
+        assert large.remaining() == pytest.approx(98.0)
+        # The exhausted tenant refuses another session; the other works.
+        with pytest.raises(BudgetExceededError):
+            gateway.service("small").open_session()
+        gateway.service("large").open_session()
+
+    def test_seeds_do_not_leak_between_tenants(self, tmp_path):
+        # Same data, same seed → identical outputs even when served
+        # concurrently with a third, different tenant.
+        path = str(tmp_path / "s.csv")
+        write_indicator_csv(make_stream(1, 60), path)
+        twin_spec = make_spec(5, source=f"csv:{path}")
+
+        solo = StreamGateway()
+        solo.add_tenant("twin", twin_spec)
+        expected = solo.run()["twin"]
+
+        crowded = StreamGateway()
+        crowded.add_tenant("twin", twin_spec)
+        crowded.add_tenant(
+            "noisy",
+            make_spec(
+                6,
+                source="synthetic:bernoulli:200:3",
+                mechanism="event-rr",
+                mechanism_options={"epsilon": 0.5},
+            ),
+        )
+        assert crowded.run()["twin"] == expected
+
+
+class TestQueueAndCallbackTenants:
+    def test_live_queue_source_and_callback_sink(self):
+        stream = make_stream(42, 30)
+        egressed = []
+
+        async def drive():
+            queue = asyncio.Queue(maxsize=8)
+            gateway = StreamGateway()
+            gateway.add_tenant(
+                "live",
+                make_spec(3, source="queue"),
+                source=QueueSource(queue),
+                sink=CallbackSink(
+                    lambda index, row, answers: egressed.append(index)
+                ),
+            )
+
+            async def produce():
+                for index in range(stream.n_windows):
+                    await queue.put(stream.window_types(index))
+                await queue.put(None)
+
+            producer = asyncio.ensure_future(produce())
+            await gateway.serve()
+            await producer
+            return gateway.results()
+
+        results = asyncio.run(drive())
+        assert len(results["live"]["q"]) == stream.n_windows
+        assert egressed == list(range(stream.n_windows))
+        # Identical to feeding the same windows in memory.
+        alone = asyncio.run(make_spec(3).build().pump(stream))
+        assert results["live"] == alone
+
+
+class TestCheckpointResume:
+    def test_sliced_serving_resumes_bit_identically(self, csv_specs):
+        uninterrupted = StreamGateway()
+        for name, spec in csv_specs.items():
+            uninterrupted.add_tenant(name, spec)
+        expected = uninterrupted.run()
+
+        gateway = StreamGateway()
+        for name, spec in csv_specs.items():
+            gateway.add_tenant(name, spec)
+        asyncio.run(gateway.serve(max_windows=35))
+        checkpoint = gateway.checkpoint()
+
+        # ... the process dies; a fresh gateway resumes mid-stream.
+        resumed = StreamGateway.resume(checkpoint)
+        assert resumed.tenant_names == list(csv_specs)
+        asyncio.run(resumed.serve())
+        for name in csv_specs:
+            combined = {
+                query: gateway.results()[name][query]
+                + resumed.results()[name][query]
+                for query in expected[name]
+            }
+            assert combined == expected[name], name
+
+    def test_checkpoint_records_source_offsets(self, csv_specs):
+        gateway = StreamGateway()
+        for name, spec in csv_specs.items():
+            gateway.add_tenant(name, spec)
+        asyncio.run(gateway.serve(max_windows=20))
+        checkpoint = gateway.checkpoint()
+        for name in csv_specs:
+            assert checkpoint["tenants"][name]["source_offset"] == 20
+
+    def test_checkpoint_before_serving_rejected(self, csv_specs):
+        gateway = StreamGateway()
+        gateway.add_tenant("a", csv_specs["a"])
+        with pytest.raises(RuntimeError, match="no open session"):
+            gateway.checkpoint()
+
+    def test_resumed_csv_sink_appends(self, csv_specs, tmp_path):
+        from repro.io import read_indicator_csv
+
+        out = str(tmp_path / "released.csv")
+        spec = csv_specs["a"].with_(sink=f"csv:{out}")
+
+        gateway = StreamGateway()
+        gateway.add_tenant("a", spec)
+        asyncio.run(gateway.serve(max_windows=40))
+        checkpoint = gateway.checkpoint()
+        resumed = StreamGateway.resume(checkpoint)
+        asyncio.run(resumed.serve())
+
+        released = read_indicator_csv(out)
+        assert released.n_windows == 100
+        # Identical to an uninterrupted run's released stream.
+        alone = StreamGateway()
+        alone_out = str(tmp_path / "alone.csv")
+        alone.add_tenant("a", csv_specs["a"].with_(sink=f"csv:{alone_out}"))
+        alone.run()
+        assert released == read_indicator_csv(alone_out)
+
+    def test_windows_served_counts(self, csv_specs):
+        gateway = StreamGateway()
+        for name, spec in csv_specs.items():
+            gateway.add_tenant(name, spec)
+        asyncio.run(gateway.serve(max_windows=10))
+        assert gateway.windows_served() == {"a": 10, "b": 10}
+
+
+class TestCrossLoopSlicedServing:
+    """Sliced serving spans asyncio.run calls: each run() tears down
+    its loop (killing drainer tasks), so the next slice must rebuild
+    sessions from their quiescent snapshots."""
+
+    def test_two_serve_calls_on_separate_loops(self, csv_specs):
+        expected = StreamGateway()
+        for name, spec in csv_specs.items():
+            expected.add_tenant(name, spec)
+        uninterrupted = expected.run()
+
+        gateway = StreamGateway()
+        for name, spec in csv_specs.items():
+            gateway.add_tenant(name, spec)
+        asyncio.run(gateway.serve(max_windows=30))  # loop 1
+        asyncio.run(gateway.serve(max_windows=30))  # loop 2
+        asyncio.run(gateway.serve())                # loop 3
+        assert gateway.results() == uninterrupted
+
+    def test_service_pump_across_loops(self, csv_specs):
+        service = csv_specs["b"].build()
+        first = asyncio.run(service.pump(max_windows=40))
+        second = asyncio.run(service.pump())
+        alone = asyncio.run(csv_specs["b"].build().pump())
+        for name in alone:
+            assert first[name] + second[name] == alone[name]
+
+
+class TestCancelledPumpConsistency:
+    """A cancelled pump must leave sink, session counters and
+    checkpoint offsets mutually consistent: every released window is
+    egressed, no unreleased window is skipped on resume."""
+
+    def test_cancel_mid_pump_keeps_sink_and_offset_consistent(
+        self, tmp_path
+    ):
+        from repro.io import read_indicator_csv
+
+        path = str(tmp_path / "in.csv")
+        stream = make_stream(55, 200)
+        write_indicator_csv(stream, path)
+        out = str(tmp_path / "out.csv")
+        # A paced replay (≈2 ms/window) keeps the pump mid-stream when
+        # the cancel lands, whatever the host speed.
+        spec = make_spec(9, source=f"replay:{path}:500", sink=f"csv:{out}")
+
+        async def drive():
+            service = spec.build()
+            task = asyncio.ensure_future(
+                service.pump(max_pending=8, max_batch=4)
+            )
+            await asyncio.sleep(0.08)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            return service
+
+        service = asyncio.run(drive())
+        session = service.session
+        # Quiescent and mutually consistent after the cancel.
+        assert session.windows_submitted == session.windows_processed
+        assert 0 < session.windows_processed < stream.n_windows
+        released = read_indicator_csv(out)
+        assert released.n_windows == session.windows_processed
+        checkpoint = service.checkpoint()
+        assert checkpoint["source_offset"] == session.windows_processed
+
+        # Resume completes the stream; the appended sink equals an
+        # uninterrupted run's released output.
+        resumed = StreamService.resume(spec, checkpoint)
+        asyncio.run(resumed.pump(append_sink=True))
+        alone_out = str(tmp_path / "alone.csv")
+        alone = spec.with_(sink=f"csv:{alone_out}").build()
+        asyncio.run(alone.pump())
+        assert read_indicator_csv(out) == read_indicator_csv(alone_out)
+
+
+class TestResumeEgressConsistency:
+    """Review hardening pins: resumed sinks append, queue offsets
+    carry across generations, cancelled submits lose no window."""
+
+    def test_direct_resume_appends_to_file_sink(self, tmp_path):
+        from repro.io import read_indicator_csv
+
+        path = str(tmp_path / "in.csv")
+        write_indicator_csv(make_stream(31, 100), path)
+        out = str(tmp_path / "out.csv")
+        spec = make_spec(9, source=f"csv:{path}", sink=f"csv:{out}")
+
+        service = spec.build()
+        asyncio.run(service.pump(max_windows=50))
+        checkpoint = service.checkpoint()
+        assert checkpoint["sink_opened"] is True
+        resumed = StreamService.resume(spec, checkpoint)
+        asyncio.run(resumed.pump())  # no explicit append_sink=
+
+        released = read_indicator_csv(out)
+        assert released.n_windows == 100
+        alone_out = str(tmp_path / "alone.csv")
+        alone = spec.with_(sink=f"csv:{alone_out}").build()
+        asyncio.run(alone.pump())
+        assert released == read_indicator_csv(alone_out)
+
+    def test_queue_resume_carries_offset_into_next_checkpoint(self):
+        stream = make_stream(44, 90)
+        spec = make_spec(3, source="queue")
+
+        def feed(indices):
+            queue = asyncio.Queue()
+            for index in indices:
+                queue.put_nowait(stream.window_types(index))
+            queue.put_nowait(None)
+            return queue
+
+        service = spec.build()
+        asyncio.run(service.pump(QueueSource(feed(range(45)))))
+        first = service.checkpoint()
+        assert first["source_offset"] == 45
+
+        resumed = StreamService.resume(
+            spec, first, source=QueueSource(feed(range(45, 90)))
+        )
+        asyncio.run(resumed.pump())
+        second = resumed.checkpoint()
+        assert second["source_offset"] == 90
+        assert resumed.session.windows_processed == 90
+
+    def test_cancelled_submit_window_is_not_lost_on_reused_source(self):
+        stream = make_stream(12, 10)
+        spec = make_spec(4, sink="memory")
+
+        async def go():
+            service = spec.build()
+            session = service.open_async_session(
+                max_pending=2, max_batch=1
+            )
+            # Stall the drainer so the third submit suspends, then
+            # cancel the pump mid-submit.
+            gate = asyncio.Event()
+            original_drain = session._drain
+
+            async def gated_drain():
+                await gate.wait()
+                await original_drain()
+
+            session._drain = gated_drain
+            task = asyncio.ensure_future(service.pump(stream))
+            for _ in range(20):
+                await asyncio.sleep(0)
+            assert not task.done()  # suspended inside submit
+            task.cancel()
+            gate.set()  # let accepted windows drain for the sink
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            source = service.last_source
+            # The cancelled row was pushed back, not dropped.
+            assert source.offset == service.session.windows_processed
+            # A later pump on the SAME source re-emits it.
+            rest = await service.pump()
+            return service, rest
+
+        service, _rest = asyncio.run(go())
+        assert service.session.windows_processed == stream.n_windows
+        result = service.last_sink.result()
+        assert result["released"].n_windows == stream.n_windows
+        # Released stream identical to an uninterrupted run.
+        alone = spec.build()
+        asyncio.run(alone.pump(stream))
+        assert result["released"] == alone.last_sink.result()["released"]
+
+    def test_cancelled_sinkless_pump_stays_checkpointable(self, tmp_path):
+        path = str(tmp_path / "in.csv")
+        write_indicator_csv(make_stream(17, 200), path)
+        spec = make_spec(9, source=f"replay:{path}:500")
+
+        async def drive():
+            service = spec.build()
+            task = asyncio.ensure_future(
+                service.pump(max_pending=8, max_batch=4)
+            )
+            await asyncio.sleep(0.08)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            return service
+
+        service = asyncio.run(drive())
+        session = service.session
+        assert session.windows_submitted == session.windows_processed
+        checkpoint = service.checkpoint()  # must not be wedged
+        assert checkpoint["source_offset"] == session.windows_processed
+        resumed = StreamService.resume(spec, checkpoint)
+        second = asyncio.run(resumed.pump())
+        # Counters are cumulative across restore: the resumed pump
+        # answers exactly the windows the cancelled one never drew.
+        assert len(second["q"]) == 200 - session.windows_processed
+        assert resumed.session.windows_processed == 200
+
+
+class TestCrossLoopBudgetAccounting:
+    def test_sliced_serving_charges_the_budget_once(self, tmp_path):
+        # ε=2 cap, ε=2 session charge: the sliced pattern must charge
+        # once like an uninterrupted run, not once per rebuilt loop.
+        path = str(tmp_path / "s.csv")
+        write_indicator_csv(make_stream(3, 90), path)
+        spec = make_spec(5, source=f"csv:{path}", accounting=2.0)
+
+        gateway = StreamGateway()
+        gateway.add_tenant("t", spec)
+        asyncio.run(gateway.serve(max_windows=30))  # loop 1
+        asyncio.run(gateway.serve(max_windows=30))  # loop 2 (rebuild)
+        asyncio.run(gateway.serve())                # loop 3 (rebuild)
+        accountant = gateway.service("t").accountant
+        assert accountant.spent() == pytest.approx(2.0)
+
+        alone = StreamGateway()
+        alone.add_tenant("t", spec)
+        assert gateway.results() == alone.run()
+
+
+class TestBatchRunSessionSeparation:
+    """Batch run() passes are independent of the session's streaming
+    position: they never move the checkpointed offset, and egress on a
+    resumed service appends rather than truncates."""
+
+    def test_run_does_not_pollute_checkpoint_offset(self, tmp_path):
+        path = str(tmp_path / "in.csv")
+        write_indicator_csv(make_stream(23, 20), path)
+        spec = make_spec(5, source=f"csv:{path}")
+        service = spec.build()
+        service.run()  # a full batch pass consumes its own source
+        service.open_async_session()
+        checkpoint = service.checkpoint()
+        assert "source_offset" not in checkpoint
+        resumed = StreamService.resume(spec, checkpoint)
+        answers = asyncio.run(resumed.pump())
+        assert len(answers["q"]) == 20  # nothing silently skipped
+
+    def test_resumed_run_appends_to_file_sink(self, tmp_path):
+        from repro.io import read_indicator_csv
+
+        path = str(tmp_path / "in.csv")
+        write_indicator_csv(make_stream(24, 30), path)
+        out = str(tmp_path / "out.csv")
+        spec = make_spec(6, source=f"csv:{path}", sink=f"csv:{out}")
+        service = spec.build()
+        asyncio.run(service.pump(max_windows=10))
+        checkpoint = service.checkpoint()
+        resumed = StreamService.resume(spec, checkpoint)
+        resumed.run()  # an independent batch release over all 30
+        # 10 pre-crash pump rows + 30 batch rows, nothing truncated.
+        assert read_indicator_csv(out).n_windows == 40
+
+    def test_callback_sink_cannot_corrupt_pump_answers(self):
+        stream = make_stream(25, 20)
+        spec = make_spec(7)
+
+        def vandal(index, row, answers):
+            answers.clear()
+            answers["q"] = "CORRUPTED"
+
+        service = spec.build()
+        answers = asyncio.run(
+            service.pump(stream, sink=CallbackSink(vandal))
+        )
+        expected = asyncio.run(spec.build().pump(stream))
+        assert answers == expected
+
+    def test_pathless_raw_tail_specs_rejected_pointedly(self):
+        with pytest.raises(ValueError, match="csv:<path>"):
+            make_spec(1, source="csv")
+        with pytest.raises(ValueError, match="jsonl:<path>"):
+            make_spec(1, sink="jsonl")
+        from repro.io import resolve_source
+
+        with pytest.raises(ValueError, match="needs a path"):
+            resolve_source("csv:")

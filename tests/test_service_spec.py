@@ -272,3 +272,67 @@ class TestRoundTripProperties:
     @given(spec=service_specs())
     def test_json_form_is_canonical(self, spec):
         assert ServiceSpec.from_json(spec.to_json()).to_json() == spec.to_json()
+
+
+class TestSourceSinkFields:
+    """PR 5: declarative source=/sink= connector fields on the spec."""
+
+    def test_defaults_are_none(self):
+        spec = small_spec()
+        assert spec.source is None
+        assert spec.sink is None
+        assert spec.source_options == {}
+        assert spec.sink_options == {}
+
+    def test_known_connectors_accepted(self):
+        spec = small_spec(
+            source="csv:/tmp/stream.csv",
+            source_options={},
+            sink="metrics",
+            sink_options={"alpha": 0.25},
+        )
+        assert spec.source == "csv:/tmp/stream.csv"
+        assert spec.sink == "metrics"
+
+    def test_unknown_source_lists_registered_names(self):
+        from repro.io import registered_sources
+
+        with pytest.raises(UnknownSpecError) as excinfo:
+            small_spec(source="kafka:trips")
+        message = str(excinfo.value)
+        assert "unknown source spec 'kafka'" in message
+        for name in registered_sources():
+            assert name in message
+
+    def test_unknown_sink_lists_registered_names(self):
+        from repro.io import registered_sinks
+
+        with pytest.raises(UnknownSpecError) as excinfo:
+            small_spec(sink="s3:bucket")
+        message = str(excinfo.value)
+        assert "unknown sink spec 's3'" in message
+        for name in registered_sinks():
+            assert name in message
+
+    def test_round_trip_with_connectors(self):
+        spec = small_spec(
+            source="synthetic:bernoulli:500:3",
+            sink="jsonl:/tmp/out.jsonl",
+            sink_options={},
+            source_options={"p": 0.4},
+        )
+        assert ServiceSpec.from_json(spec.to_json()) == spec
+        assert json.loads(spec.to_json())["source"] == (
+            "synthetic:bernoulli:500:3"
+        )
+
+    def test_old_json_without_connector_fields_still_loads(self):
+        # A PR-4 era spec dict (no source/sink keys) must keep loading.
+        data = small_spec().to_dict()
+        for key in ("source", "source_options", "sink", "sink_options"):
+            del data[key]
+        assert ServiceSpec.from_dict(data) == small_spec()
+
+    def test_non_json_connector_options_rejected(self):
+        with pytest.raises(TypeError, match="JSON-serializable"):
+            small_spec(source="memory", source_options={"fn": object()})
