@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Fail if any ``repro_shm_*`` shared-memory segment is still mapped.
+
+The zero-copy shard transport (``repro/runtime/shm.py``) guarantees
+that the parent process unlinks every segment it creates on every exit
+path — success, a worker raising mid-shard, or early pool shutdown.  A
+segment left under ``/dev/shm`` after the benchmarks (or the test
+suite) have exited is therefore a lifecycle bug, and one that silently
+eats host memory until reboot.
+
+CI runs this right after the bench pytest invocation::
+
+    python benchmarks/check_shm_leaks.py
+
+Exits 0 when clean, 1 listing the leaked segment names otherwise.  An
+optional argument overrides the directory scanned (for tests).
+"""
+
+import sys
+
+from repro.runtime.shm import SHM_DIR, leaked_segments
+
+
+def main(argv):
+    directory = argv[1] if len(argv) > 1 else SHM_DIR
+    leaked = leaked_segments(directory)
+    if leaked:
+        print(f"LEAKED shared-memory segments under {directory}:")
+        for name in leaked:
+            print(f"  {name}")
+        print(
+            f"{len(leaked)} segment(s) were created but never unlinked — "
+            "SegmentPlane.close() did not run on some executor path."
+        )
+        return 1
+    print(f"no leaked repro_shm_* segments under {directory}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -55,10 +55,45 @@ def emit(table, results_dir, name):
 
 #: Schema version of the ``BENCH_*.json`` summaries; bump on breaking
 #: layout changes so the CI gate can detect stale artifacts.
-BENCH_JSON_SCHEMA = 1
+#: v2: ``cpu_count`` is the *effective* core count (CPU affinity, not
+#: the host's installed cores) and summaries whose speedup floors are
+#: unenforced carry a human-readable ``floor_skipped_reason``.
+BENCH_JSON_SCHEMA = 2
 
 
-def emit_json(results_dir, name, metrics, *, rows=None, gates=None):
+def effective_cpu_count():
+    """Cores this process may actually run on.
+
+    Containers and CI runners routinely pin processes to a subset of
+    the host's cores; ``os.cpu_count()`` reports the host and made
+    earlier ``BENCH_*.json`` files claim ``cpu_count: 1`` was a 4-way
+    parallel run (or vice versa).  CPU affinity is the truth speedup
+    floors must be conditioned on.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # non-Linux fallbacks
+        return os.cpu_count() or 1
+
+
+def floor_reason(required_cpus):
+    """The standard human-readable reason a speedup floor was skipped."""
+    return (
+        f"host exposes {effective_cpu_count()} effective core(s) "
+        f"(CPU affinity); parallel speedup floors need >= "
+        f"{required_cpus}"
+    )
+
+
+def emit_json(
+    results_dir,
+    name,
+    metrics,
+    *,
+    rows=None,
+    gates=None,
+    floor_skipped_reason=None,
+):
     """Persist one benchmark's machine-readable summary.
 
     Writes ``BENCH_<name>.json`` with a fixed shape shared by local
@@ -68,17 +103,27 @@ def emit_json(results_dir, name, metrics, *, rows=None, gates=None):
       factors);
     - ``rows`` — optional per-configuration detail rows (the CSV rows);
     - ``gates`` — optional name → ``{"floor": x, "value": y}`` entries
-      the CI regression gate enforces (``value >= floor``).
+      the CI regression gate enforces (``value >= floor``);
+    - ``floor_skipped_reason`` — required human-readable explanation
+      whenever the metrics record ``floor_enforced`` false, so a
+      summary with unenforced floors is self-describing.
     """
+    if not metrics.get("floor_enforced", True) and not floor_skipped_reason:
+        raise ValueError(
+            f"bench {name!r} records floor_enforced=False; pass "
+            "floor_skipped_reason= explaining why (see floor_reason())"
+        )
     payload = {
         "bench": name,
         "schema_version": BENCH_JSON_SCHEMA,
         "python": platform.python_version(),
-        "cpu_count": os.cpu_count(),
+        "cpu_count": effective_cpu_count(),
         "metrics": {key: value for key, value in metrics.items()},
         "rows": list(rows) if rows is not None else [],
         "gates": dict(gates) if gates is not None else {},
     }
+    if floor_skipped_reason is not None:
+        payload["floor_skipped_reason"] = floor_skipped_reason
     path = os.path.join(results_dir, f"BENCH_{name}.json")
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

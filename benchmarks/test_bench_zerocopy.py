@@ -1,0 +1,225 @@
+"""Zero-copy shard transport benchmark: pickled bytes and speedup.
+
+Runs the fig4 sweep workload's pipeline through the process-backend
+:class:`ShardedExecutor` twice on identical seeds — once with the
+shared-memory zero-copy data plane (the default) and once with
+``zero_copy=False`` (the legacy pickle-the-slices transport) — with
+``measure_transport=True``, so each arm reports exactly how many bytes
+it pickled into the pool per window.
+
+Three gates go into ``BENCH_zerocopy.json`` for
+``benchmarks/check_gates.py``:
+
+- ``zerocopy_bit_identity`` (always): the zero-copy arm must reproduce
+  the :class:`BatchExecutor` release, answers and quality bit for bit;
+- ``zerocopy_pickle_reduction`` (always — transport volume does not
+  depend on core count): shipping ``ArrayDescriptor`` handles instead
+  of matrix slices must cut pickled bytes per window by at least
+  :data:`REDUCTION_FLOOR`;
+- ``zerocopy_process_speedup`` (hosts with ≥ :data:`REQUIRED_CPUS`
+  effective cores): the zero-copy arm must not be slower than the
+  copying arm it replaces.
+
+The benchmark also asserts the no-leak invariant directly: after both
+arms (and an exercised failure path would behave the same — see
+``tests/test_runtime_shm.py``) no ``repro_shm_*`` segment may remain
+in ``/dev/shm``.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import (
+    BENCH_CONFIG,
+    BENCH_SYNTHETIC,
+    effective_cpu_count,
+    emit,
+    emit_json,
+    floor_reason,
+)
+from repro.datasets.synthetic import synthesize_dataset
+from repro.experiments.runner import WorkloadEvaluation
+from repro.runtime import BatchExecutor, ShardedExecutor
+from repro.runtime.shm import leaked_segments
+from repro.streams.indicator import IndicatorStream
+from repro.utils.rng import derive_rng
+from repro.utils.tables import ResultTable
+
+#: Workers used by both process arms.
+N_WORKERS = 4
+
+#: Minimum effective cores for the speedup floor to be enforceable.
+REQUIRED_CPUS = 4
+
+#: Pinned floor: zero-copy transport must shrink pickled bytes per
+#: window by at least this factor versus pickling matrix slices.
+REDUCTION_FLOOR = 10.0
+
+#: Pinned floor: zero-copy must not lose wall-clock to the copy path.
+SPEEDUP_FLOOR = 1.0
+
+#: Stream scale: large enough that per-shard slices dominate the copy
+#: arm's pickled payload (descriptor size is constant in window count).
+N_WINDOWS = 200_000
+
+_ROUNDS = 2
+
+
+def _timed(callable_):
+    start = time.perf_counter()
+    result = callable_()
+    return result, time.perf_counter() - start
+
+
+def test_zerocopy_transport(benchmark, results_dir):
+    workload = synthesize_dataset(
+        BENCH_SYNTHETIC,
+        rng=derive_rng(BENCH_CONFIG.seed, "zerocopy-bench"),
+        name="zerocopy-bench",
+    )
+    context = WorkloadEvaluation(workload)
+    mechanism = context.build_mechanism("uniform", 1.0)
+    pipeline = context.pipeline.with_mechanism(mechanism)
+    base = workload.stream.matrix_view()
+    repeats = -(-N_WINDOWS // base.shape[0])
+    stream = IndicatorStream(
+        workload.stream.alphabet, np.tile(base, (repeats, 1))[:N_WINDOWS]
+    )
+    seed = BENCH_CONFIG.seed
+
+    arms = {
+        "zerocopy": ShardedExecutor(
+            N_WORKERS,
+            backend="process",
+            materialize=False,
+            measure_transport=True,
+        ),
+        "copy": ShardedExecutor(
+            N_WORKERS,
+            backend="process",
+            materialize=False,
+            zero_copy=False,
+            measure_transport=True,
+        ),
+    }
+
+    # -- bit-identity: zero-copy plane ≡ batch, same seed --------------
+    batch = benchmark.pedantic(
+        lambda: BatchExecutor().run(pipeline, stream, rng=seed),
+        rounds=1,
+        iterations=1,
+    )
+    bit_identical = True
+    for name, executor in arms.items():
+        result = executor.run(pipeline, stream, rng=seed)
+        if not (
+            all(
+                np.array_equal(result.answers[query], detections)
+                for query, detections in batch.answers.items()
+            )
+            and result.quality() == batch.quality()
+        ):
+            bit_identical = False
+            print(f"BIT-IDENTITY BROKEN: {name}")
+    assert bit_identical
+
+    # -- transport volume: bytes actually pickled into the pool --------
+    transport = {
+        name: executor.last_transport for name, executor in arms.items()
+    }
+    assert transport["zerocopy"].zero_copy
+    assert not transport["copy"].zero_copy
+    reduction = (
+        transport["copy"].bytes_per_window
+        / transport["zerocopy"].bytes_per_window
+    )
+
+    # -- speedup: interleaved rounds, best paired ratio ----------------
+    paired = []
+    times = {name: [] for name in arms}
+    for _ in range(_ROUNDS):
+        round_times = {}
+        for name, executor in arms.items():
+            _, seconds = _timed(
+                lambda executor=executor: executor.run(
+                    pipeline, stream, rng=seed
+                )
+            )
+            times[name].append(seconds)
+            round_times[name] = seconds
+        paired.append(round_times["copy"] / round_times["zerocopy"])
+    speedup = max(paired)
+
+    # -- no-leak invariant ---------------------------------------------
+    leaked = leaked_segments()
+    assert leaked == (), f"leaked shared-memory segments: {leaked}"
+
+    table = ResultTable(
+        ["arm", "workers", "seconds", "bytes_per_window"],
+        title=f"process shard transport over {stream.n_windows} windows",
+    )
+    for name in arms:
+        table.add_row(
+            arm=name,
+            workers=N_WORKERS,
+            seconds=round(min(times[name]), 4),
+            bytes_per_window=round(transport[name].bytes_per_window, 4),
+        )
+    emit(table, results_dir, "zerocopy_transport")
+
+    enforceable = effective_cpu_count() >= REQUIRED_CPUS
+    gates = {
+        "zerocopy_bit_identity": {
+            "floor": 1.0,
+            "value": 1.0 if bit_identical else 0.0,
+        },
+        "zerocopy_pickle_reduction": {
+            "floor": REDUCTION_FLOOR,
+            "value": reduction,
+        },
+    }
+    if enforceable:
+        gates["zerocopy_process_speedup"] = {
+            "floor": SPEEDUP_FLOOR,
+            "value": speedup,
+        }
+    emit_json(
+        results_dir,
+        "zerocopy",
+        {
+            "n_windows": stream.n_windows,
+            "n_workers": N_WORKERS,
+            "n_shards": transport["zerocopy"].n_shards,
+            "bit_identical": 1.0 if bit_identical else 0.0,
+            "zerocopy_bytes_per_window": transport[
+                "zerocopy"
+            ].bytes_per_window,
+            "copy_bytes_per_window": transport["copy"].bytes_per_window,
+            "pickle_reduction": reduction,
+            "zerocopy_seconds": min(times["zerocopy"]),
+            "copy_seconds": min(times["copy"]),
+            "process_speedup": speedup,
+            "floor_enforced": enforceable,
+        },
+        rows=table.rows,
+        gates=gates,
+        floor_skipped_reason=(
+            None if enforceable else floor_reason(REQUIRED_CPUS)
+        ),
+    )
+    benchmark.extra_info["pickle_reduction"] = reduction
+    benchmark.extra_info["process_speedup"] = speedup
+    benchmark.extra_info["floor_enforced"] = enforceable
+
+    assert reduction >= REDUCTION_FLOOR, (
+        f"zero-copy transport only cut pickled bytes "
+        f"{reduction:.1f}x (copy: "
+        f"{transport['copy'].bytes_per_window:.2f} B/window, zerocopy: "
+        f"{transport['zerocopy'].bytes_per_window:.4f} B/window)"
+    )
+    if enforceable:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"zero-copy arm slower than the copy path it replaces "
+            f"({speedup:.2f}x, rounds: {[f'{r:.2f}' for r in paired]})"
+        )

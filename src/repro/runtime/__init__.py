@@ -32,7 +32,13 @@ from repro.runtime.executors import (
 )
 from repro.runtime.pipeline import StreamPipeline
 from repro.runtime.rng_pool import IndexedRngPool
-from repro.runtime.sharding import Shard, merge_results, plan_shards
+from repro.runtime.sharding import (
+    Shard,
+    TransportStats,
+    merge_results,
+    plan_shards,
+)
+from repro.runtime.shm import ArrayDescriptor, SegmentPlane
 from repro.runtime.stages import (
     IndicatorExtractor,
     MetricsSink,
@@ -41,6 +47,7 @@ from repro.runtime.stages import (
 )
 
 __all__ = [
+    "ArrayDescriptor",
     "BatchExecutor",
     "ChunkedExecutor",
     "FlipStepper",
@@ -50,9 +57,11 @@ __all__ = [
     "PipelineResult",
     "QueryMatcher",
     "RuntimeMechanism",
+    "SegmentPlane",
     "Shard",
     "ShardedExecutor",
     "StreamPipeline",
+    "TransportStats",
     "WindowStage",
     "merge_results",
     "plan_shards",

@@ -16,7 +16,10 @@ Both executors take the same prepared pipeline and produce the same
   (threads or processes).  For seekable mechanisms its outputs are
   bit-identical to the batch executor under the same seed, because
   every shard draws its randomness by absolute window index (see
-  :mod:`repro.runtime.sharding`).
+  :mod:`repro.runtime.sharding`).  On the process backend shards
+  travel zero-copy: the indicator matrix lives in a shared-memory
+  segment and only ``(segment, dtype, shape)`` descriptors cross the
+  pool (see :mod:`repro.runtime.shm`).
 """
 
 from __future__ import annotations
@@ -266,6 +269,20 @@ class ShardedExecutor:
         Keep the original/released indicator streams on the result
         (matching :class:`BatchExecutor`); ``False`` returns only the
         per-query answers and metrics.
+    zero_copy:
+        Ship shards to process-pool workers through shared-memory
+        segments (descriptors only cross the pool) instead of pickling
+        matrix slices; outputs come back through preallocated shared
+        planes.  Defaults to ``None`` — on for the process backend,
+        irrelevant for threads (which share the address space already
+        and always bypass the segment plane).  ``False`` forces the
+        legacy pickled transport, kept for debugging
+        (``"sharded:process:8:copy"`` in executor specs).
+    measure_transport:
+        Record a :class:`~repro.runtime.sharding.TransportStats` on
+        :attr:`last_transport` after each run — the bytes actually
+        pickled into the pool.  Off by default (measuring the pickled
+        size of a copy-mode payload costs an extra serialization pass).
     """
 
     def __init__(
@@ -276,6 +293,8 @@ class ShardedExecutor:
         n_shards: Optional[int] = None,
         min_shard_size: int = 1,
         materialize: bool = True,
+        zero_copy: Optional[bool] = None,
+        measure_transport: bool = False,
     ):
         from repro.runtime.sharding import validate_backend
 
@@ -291,6 +310,18 @@ class ShardedExecutor:
         self.n_shards = n_shards if n_shards is not None else n_workers
         self.min_shard_size = min_shard_size
         self.materialize = materialize
+        self.zero_copy = zero_copy
+        self.measure_transport = measure_transport
+        #: TransportStats of the most recent pooled run (None until a
+        #: run actually crossed a pool with measure_transport=True).
+        self.last_transport = None
+
+    @property
+    def uses_zero_copy(self) -> bool:
+        """Whether pooled runs will ship shards via shared memory."""
+        if self.backend != "process":
+            return False
+        return True if self.zero_copy is None else bool(self.zero_copy)
 
     def run(
         self,
@@ -344,21 +375,29 @@ class ShardedExecutor:
                 )
                 for shard in shards
             ]
+        elif self.uses_zero_copy:
+            return self._run_zero_copy(
+                pipeline, indicators, matrix, shards, horizon, shard_source
+            )
         else:
-            pool = make_pool(self.backend, self.n_workers)
-            try:
-                futures = [
-                    pool.submit(
-                        run_shard,
-                        pipeline,
-                        matrix[shard.start : shard.stop],
-                        shard,
+            submissions = [
+                (
+                    (pipeline, matrix[shard.start : shard.stop], shard),
+                    dict(
                         alphabet=indicators.alphabet,
                         horizon=horizon,
                         rng=clone_rng(shard_source),
                         materialize=self.materialize,
-                    )
-                    for shard in shards
+                    ),
+                )
+                for shard in shards
+            ]
+            self._record_transport(False, horizon, submissions)
+            pool = make_pool(self.backend, self.n_workers)
+            try:
+                futures = [
+                    pool.submit(run_shard, *args, **kwargs)
+                    for args, kwargs in submissions
                 ]
                 parts = [future.result() for future in futures]
             finally:
@@ -370,6 +409,85 @@ class ShardedExecutor:
             alpha=pipeline.alpha,
             materialize=self.materialize,
         )
+
+    def _record_transport(self, zero_copy, horizon, submissions):
+        """Record the pool's pickled payload size (opt-in; see
+        ``measure_transport``)."""
+        from repro.runtime.sharding import TransportStats, measure_payload
+
+        if not self.measure_transport:
+            return
+        bytes_pickled = (
+            measure_payload(*submissions)
+            if self.backend == "process"
+            else 0
+        )
+        self.last_transport = TransportStats(
+            backend=self.backend,
+            zero_copy=zero_copy,
+            n_windows=horizon,
+            n_shards=len(submissions),
+            bytes_pickled=bytes_pickled,
+        )
+
+    def _run_zero_copy(
+        self, pipeline, indicators, matrix, shards, horizon, shard_source
+    ) -> PipelineResult:
+        """Pooled seekable execution over the shared-memory plane.
+
+        The indicator matrix is written into one shared segment, the
+        output planes are preallocated, and only descriptors cross the
+        pool; the plane is closed and unlinked in a ``try/finally``
+        whatever the workers do.
+        """
+        from repro.runtime.sharding import (
+            build_shard_planes,
+            clone_rng,
+            make_pool,
+            merge_receipts,
+            run_shard_zero_copy,
+        )
+        from repro.runtime.shm import SegmentPlane
+
+        plane = SegmentPlane()
+        try:
+            planes = build_shard_planes(
+                plane,
+                matrix,
+                pipeline.matcher.query_names,
+                materialize=self.materialize,
+            )
+            submissions = [
+                (
+                    (pipeline, planes, shard),
+                    dict(
+                        alphabet=indicators.alphabet,
+                        horizon=horizon,
+                        rng=clone_rng(shard_source),
+                    ),
+                )
+                for shard in shards
+            ]
+            self._record_transport(True, horizon, submissions)
+            pool = make_pool(self.backend, self.n_workers)
+            try:
+                futures = [
+                    pool.submit(run_shard_zero_copy, *args, **kwargs)
+                    for args, kwargs in submissions
+                ]
+                receipts = [future.result() for future in futures]
+            finally:
+                pool.shutdown(wait=True)
+            return merge_receipts(
+                receipts,
+                plane,
+                planes,
+                indicators=indicators,
+                alpha=pipeline.alpha,
+                materialize=self.materialize,
+            )
+        finally:
+            plane.close()
 
     def _run_checkpointed(
         self,
@@ -440,36 +558,43 @@ class ShardedExecutor:
                 horizon=horizon,
                 rng=clone_rng(shard_source),
             )
-            pool = make_pool(self.backend, self.n_workers)
-            try:
-                futures = [
-                    pool.submit(
-                        run_shard_from_checkpoint,
+            if self.uses_zero_copy:
+                result = self._run_checkpointed_zero_copy(
+                    pipeline, indicators, matrix, plan, horizon, shard_source
+                )
+                self._publish_trace(runtime, plan)
+                return result
+            submissions = [
+                (
+                    (
                         pipeline,
                         matrix[shard.start : shard.stop],
                         shard,
                         snapshot,
                         decisions,
+                    ),
+                    dict(
                         alphabet=indicators.alphabet,
                         horizon=horizon,
                         rng=clone_rng(shard_source),
                         materialize=self.materialize,
-                    )
-                    for shard, snapshot, decisions in zip(
-                        plan.shards, plan.snapshots, plan.decisions
-                    )
+                    ),
+                )
+                for shard, snapshot, decisions in zip(
+                    plan.shards, plan.snapshots, plan.decisions
+                )
+            ]
+            self._record_transport(False, horizon, submissions)
+            pool = make_pool(self.backend, self.n_workers)
+            try:
+                futures = [
+                    pool.submit(run_shard_from_checkpoint, *args, **kwargs)
+                    for args, kwargs in submissions
                 ]
                 parts = [future.result() for future in futures]
             finally:
                 pool.shutdown(wait=True)
-            # The prepass trace is the authoritative accounting record
-            # of the run — identical to the batch path's — and is
-            # published once, after every shard finished, so partial
-            # shard traces never race it.
-            if plan.trace is not None and hasattr(
-                runtime.mechanism, "last_trace"
-            ):
-                runtime.mechanism.last_trace = plan.trace
+            self._publish_trace(runtime, plan)
         return merge_results(
             parts,
             alphabet=indicators.alphabet,
@@ -477,3 +602,77 @@ class ShardedExecutor:
             alpha=pipeline.alpha,
             materialize=self.materialize,
         )
+
+    @staticmethod
+    def _publish_trace(runtime, plan) -> None:
+        # The prepass trace is the authoritative accounting record of
+        # the run — identical to the batch path's — and is published
+        # once, after every shard finished, so partial shard traces
+        # never race it.
+        if plan.trace is not None and hasattr(
+            runtime.mechanism, "last_trace"
+        ):
+            runtime.mechanism.last_trace = plan.trace
+
+    def _run_checkpointed_zero_copy(
+        self, pipeline, indicators, matrix, plan, horizon, shard_source
+    ) -> PipelineResult:
+        """Pooled checkpoint replay over the shared-memory plane.
+
+        Snapshots and decision slices still travel as pickles (they are
+        small, data-dependent scheduler state); the matrix and every
+        bulky output go through the segment plane exactly as in the
+        seekable path.
+        """
+        from repro.runtime.sharding import (
+            build_shard_planes,
+            clone_rng,
+            make_pool,
+            merge_receipts,
+            run_shard_from_checkpoint_zero_copy,
+        )
+        from repro.runtime.shm import SegmentPlane
+
+        plane = SegmentPlane()
+        try:
+            planes = build_shard_planes(
+                plane,
+                matrix,
+                pipeline.matcher.query_names,
+                materialize=self.materialize,
+            )
+            submissions = [
+                (
+                    (pipeline, planes, shard, snapshot, decisions),
+                    dict(
+                        alphabet=indicators.alphabet,
+                        horizon=horizon,
+                        rng=clone_rng(shard_source),
+                    ),
+                )
+                for shard, snapshot, decisions in zip(
+                    plan.shards, plan.snapshots, plan.decisions
+                )
+            ]
+            self._record_transport(True, horizon, submissions)
+            pool = make_pool(self.backend, self.n_workers)
+            try:
+                futures = [
+                    pool.submit(
+                        run_shard_from_checkpoint_zero_copy, *args, **kwargs
+                    )
+                    for args, kwargs in submissions
+                ]
+                receipts = [future.result() for future in futures]
+            finally:
+                pool.shutdown(wait=True)
+            return merge_receipts(
+                receipts,
+                plane,
+                planes,
+                indicators=indicators,
+                alpha=pipeline.alpha,
+                materialize=self.materialize,
+            )
+        finally:
+            plane.close()

@@ -32,18 +32,30 @@ boundary; then every shard replays its window range in parallel from
 the checkpoint at its start (:func:`run_shard_from_checkpoint`),
 bit-identical to the batch path because the per-timestamp randomness is
 derived by absolute index.
+
+On the process backend both paths default to **zero-copy transport**
+(:mod:`repro.runtime.shm`): the indicator matrix lives in one shared
+segment, workers receive a :class:`ShardPlanes` bundle of
+``(segment, dtype, shape)`` descriptors plus their shard bounds
+(:func:`run_shard_zero_copy` /
+:func:`run_shard_from_checkpoint_zero_copy`), deposit outputs into
+preallocated shared planes and return a tiny :class:`ShardReceipt`;
+:func:`merge_receipts` then stitches plane views instead of unpickling
+and concatenating per-shard arrays.
 """
 
 from __future__ import annotations
 
 import copy
+import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.metrics.confusion import ConfusionCounts
+from repro.runtime.shm import ArrayDescriptor, SegmentPlane, attach
 from repro.runtime.stages import MetricsSink
 from repro.streams.indicator import EventAlphabet, IndicatorStream
 from repro.utils.rng import RngLike
@@ -165,6 +177,23 @@ def _shard_result(
     )
 
 
+def _seeked_release(
+    pipeline,
+    matrix: np.ndarray,
+    shard: Shard,
+    *,
+    alphabet: EventAlphabet,
+    horizon: int,
+    rng: RngLike,
+) -> np.ndarray:
+    """Release one shard's rows through a seeked chunk stepper."""
+    stepper = pipeline.runtime_mechanism.stepper(
+        alphabet, rng=rng, horizon=horizon
+    )
+    stepper.seek(shard.start)
+    return stepper.step_block(matrix)
+
+
 def run_shard(
     pipeline,
     matrix: np.ndarray,
@@ -182,11 +211,9 @@ def run_shard(
     *full* stream length, which budget-per-horizon mechanisms
     (user-level RR) need regardless of shard boundaries.
     """
-    stepper = pipeline.runtime_mechanism.stepper(
-        alphabet, rng=rng, horizon=horizon
+    released = _seeked_release(
+        pipeline, matrix, shard, alphabet=alphabet, horizon=horizon, rng=rng
     )
-    stepper.seek(shard.start)
-    released = stepper.step_block(matrix)
     return _shard_result(
         pipeline, matrix, shard, released, materialize=materialize
     )
@@ -270,16 +297,313 @@ def run_shard_from_checkpoint(
     timestamp's randomness comes from the same index-derived child
     stream.
     """
+    released = _replayed_release(
+        pipeline,
+        matrix,
+        snapshot,
+        decisions,
+        alphabet=alphabet,
+        horizon=horizon,
+        rng=rng,
+    )
+    return _shard_result(
+        pipeline, matrix, shard, released, materialize=materialize
+    )
+
+
+def _replayed_release(
+    pipeline,
+    matrix: np.ndarray,
+    snapshot: dict,
+    decisions: Optional[tuple],
+    *,
+    alphabet: EventAlphabet,
+    horizon: int,
+    rng: RngLike,
+) -> np.ndarray:
+    """Release one shard's rows by replaying from a prepass snapshot."""
     stepper = pipeline.runtime_mechanism.stepper(
         alphabet, rng=rng, horizon=horizon, publish_trace=False
     )
     stepper.restore(snapshot)
     if decisions is not None:
-        released = stepper.replay_block(matrix, decisions)
-    else:
-        released = stepper.step_block(matrix)
-    return _shard_result(
-        pipeline, matrix, shard, released, materialize=materialize
+        return stepper.replay_block(matrix, decisions)
+    return stepper.step_block(matrix)
+
+
+# ---------------------------------------------------------------------------
+# Zero-copy shard transport (process backend)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardPlanes:
+    """Descriptors of one run's shared-memory data plane.
+
+    Everything a process-pool worker needs to reach its input rows and
+    to deposit its outputs without a single pickled array:
+
+    - ``matrix`` — the *full* indicator matrix; workers slice their
+      shard's ``[start, stop)`` row range out of the attached view;
+    - ``answers`` / ``truth`` — ``(n_queries, n_windows)`` boolean
+      output planes (rows ordered as ``query_names``), absent when the
+      pipeline registers no queries;
+    - ``released`` — the ``(n_windows, width)`` released-rows output
+      plane, absent when the run does not materialize streams.
+
+    The whole object pickles to a few hundred bytes however many
+    windows the stream holds — this is the pool payload that replaces
+    per-shard matrix pickling.
+    """
+
+    matrix: ArrayDescriptor
+    query_names: Tuple[str, ...]
+    answers: Optional[ArrayDescriptor] = None
+    truth: Optional[ArrayDescriptor] = None
+    released: Optional[ArrayDescriptor] = None
+
+
+@dataclass(frozen=True)
+class ShardReceipt:
+    """A zero-copy worker's return value: bounds plus tiny aggregates.
+
+    The bulky outputs were already written into the shared planes; only
+    the shard bounds and the four confusion counts ride back through
+    the pool's result pickle.
+    """
+
+    shard: Shard
+    counts: ConfusionCounts
+
+
+@dataclass(frozen=True)
+class TransportStats:
+    """Bytes actually pickled into the worker pool for one run."""
+
+    backend: str
+    zero_copy: bool
+    n_windows: int
+    n_shards: int
+    bytes_pickled: int
+
+    @property
+    def bytes_per_window(self) -> float:
+        """Pool-transport cost per stream window (the bench metric)."""
+        if self.n_windows == 0:
+            return 0.0
+        return self.bytes_pickled / self.n_windows
+
+
+def measure_payload(*payloads) -> int:
+    """Pickled size of the objects a pool submission would ship."""
+    return sum(
+        len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        for payload in payloads
+    )
+
+
+def build_shard_planes(
+    plane: SegmentPlane,
+    matrix: np.ndarray,
+    query_names: Sequence[str],
+    *,
+    materialize: bool,
+) -> ShardPlanes:
+    """Populate a run's data plane: input matrix in, output planes
+    preallocated.
+
+    The caller owns ``plane`` and must close it in a ``try/finally``
+    around the pool (see :class:`~repro.runtime.shm.SegmentPlane`).
+    """
+    n_windows, width = matrix.shape
+    names = tuple(query_names)
+    return ShardPlanes(
+        matrix=plane.share(matrix),
+        query_names=names,
+        answers=(
+            plane.allocate((len(names), n_windows), bool) if names else None
+        ),
+        truth=(
+            plane.allocate((len(names), n_windows), bool) if names else None
+        ),
+        released=(
+            plane.allocate((n_windows, width), bool) if materialize else None
+        ),
+    )
+
+
+def _deposit_receipt(
+    pipeline,
+    planes: ShardPlanes,
+    shard: Shard,
+    matrix: np.ndarray,
+    released: np.ndarray,
+) -> ShardReceipt:
+    """Write one shard's outputs into the planes; return the receipt."""
+    matcher = pipeline.matcher
+    answers = matcher.answer(released)
+    true_answers = matcher.answer(matrix)
+    if planes.released is not None:
+        with attach(planes.released) as released_plane:
+            released_plane[shard.start : shard.stop] = released
+    if planes.answers is not None:
+        with attach(planes.answers) as answers_plane:
+            for row, name in enumerate(planes.query_names):
+                answers_plane[row, shard.start : shard.stop] = answers[name]
+    if planes.truth is not None:
+        with attach(planes.truth) as truth_plane:
+            for row, name in enumerate(planes.query_names):
+                truth_plane[row, shard.start : shard.stop] = true_answers[
+                    name
+                ]
+    # Same accumulation rule as _shard_result: through the sink, so
+    # zero-copy counting can never diverge from the pickled path.
+    sink = MetricsSink()
+    sink.update(true_answers, answers)
+    return ShardReceipt(shard=shard, counts=sink.confusion)
+
+
+def _seek_task(
+    matrix, pipeline, planes, shard, *, alphabet, horizon, rng
+) -> ShardReceipt:
+    """Release + deposit in one frame, so matrix views die on return."""
+    released = _seeked_release(
+        pipeline, matrix, shard, alphabet=alphabet, horizon=horizon, rng=rng
+    )
+    return _deposit_receipt(pipeline, planes, shard, matrix, released)
+
+
+def run_shard_zero_copy(
+    pipeline,
+    planes: ShardPlanes,
+    shard: Shard,
+    *,
+    alphabet: EventAlphabet,
+    horizon: int,
+    rng: RngLike,
+) -> ShardReceipt:
+    """Zero-copy twin of :func:`run_shard`.
+
+    Attaches the shared matrix, releases rows ``[start, stop)`` through
+    a seeked stepper, writes the outputs into the shared planes and
+    returns only a :class:`ShardReceipt`.  All views of the attached
+    segment live in the task helper's frame, which is gone before the
+    attachment closes — the worker unmaps cleanly between tasks.
+    """
+    attachment = attach(planes.matrix)
+    with attachment:
+        return _seek_task(
+            attachment.array[shard.start : shard.stop],
+            pipeline,
+            planes,
+            shard,
+            alphabet=alphabet,
+            horizon=horizon,
+            rng=rng,
+        )
+
+
+def _replay_task(
+    matrix,
+    pipeline,
+    planes,
+    shard,
+    snapshot,
+    decisions,
+    *,
+    alphabet,
+    horizon,
+    rng,
+) -> ShardReceipt:
+    """Checkpoint-replay + deposit in one frame (views die on return)."""
+    released = _replayed_release(
+        pipeline,
+        matrix,
+        snapshot,
+        decisions,
+        alphabet=alphabet,
+        horizon=horizon,
+        rng=rng,
+    )
+    return _deposit_receipt(pipeline, planes, shard, matrix, released)
+
+
+def run_shard_from_checkpoint_zero_copy(
+    pipeline,
+    planes: ShardPlanes,
+    shard: Shard,
+    snapshot: dict,
+    decisions: Optional[tuple],
+    *,
+    alphabet: EventAlphabet,
+    horizon: int,
+    rng: RngLike,
+) -> ShardReceipt:
+    """Zero-copy twin of :func:`run_shard_from_checkpoint`."""
+    attachment = attach(planes.matrix)
+    with attachment:
+        return _replay_task(
+            attachment.array[shard.start : shard.stop],
+            pipeline,
+            planes,
+            shard,
+            snapshot,
+            decisions,
+            alphabet=alphabet,
+            horizon=horizon,
+            rng=rng,
+        )
+
+
+def merge_receipts(
+    receipts: Sequence[ShardReceipt],
+    plane: SegmentPlane,
+    planes: ShardPlanes,
+    *,
+    indicators: IndicatorStream,
+    alpha: float = 0.5,
+    materialize: bool = True,
+):
+    """Merge a zero-copy run: stitch plane views into a result.
+
+    The per-query vectors and the released matrix already sit
+    contiguously in window order inside the output planes — workers
+    wrote them there by absolute row index — so merging is one bulk
+    copy out of each plane (into arrays that outlive the segments)
+    plus the confusion-count sum.  Must be called *before* the owning
+    plane is closed.
+    """
+    from repro.runtime.executors import PipelineResult
+
+    query_names = planes.query_names
+    answers: Dict[str, np.ndarray] = {}
+    true_answers: Dict[str, np.ndarray] = {}
+    if planes.answers is not None:
+        answers_plane = plane.view(planes.answers)
+        truth_plane = plane.view(planes.truth)
+        for row, name in enumerate(query_names):
+            answers[name] = answers_plane[row].copy()
+            true_answers[name] = truth_plane[row].copy()
+    sink = MetricsSink(alpha=alpha)
+    total = ConfusionCounts()
+    for receipt in sorted(receipts, key=lambda receipt: receipt.shard.start):
+        total = total + receipt.counts
+    sink.absorb(total)
+    original = released = None
+    if materialize:
+        # The parent already holds the original stream — nothing to
+        # reassemble — and IndicatorStream's constructor copies the
+        # released plane's rows, so the result outlives the segments.
+        original = indicators
+        released = IndicatorStream(
+            indicators.alphabet, plane.view(planes.released)
+        )
+    return PipelineResult(
+        answers=answers,
+        true_answers=true_answers,
+        original=original,
+        released=released,
+        sink=sink,
     )
 
 
@@ -293,43 +617,54 @@ def merge_results(
 ):
     """Merge per-shard results into one ``PipelineResult``.
 
-    ``parts`` must already be in shard (window) order; concatenation is
-    then exactly the batch layout.
+    ``parts`` must already be in shard (window) order; slice-filling
+    preallocated outputs then reproduces exactly the batch layout.
+    Outputs are allocated once at their final size and filled by shard
+    slice — no per-shard list growth, no ``np.concatenate`` doubling
+    of peak memory.
     """
     from repro.runtime.executors import PipelineResult
 
     parts = sorted(parts, key=lambda part: part.shard.start)
+    total = sum(part.shard.n_windows for part in parts)
+    width = len(alphabet)
 
-    def join(vectors):
-        if not vectors:
-            return np.zeros(0, dtype=bool)
-        return np.concatenate(vectors)
+    def fill_vectors(select):
+        vectors = {name: np.empty(total, dtype=bool) for name in query_names}
+        offset = 0
+        for part in parts:
+            stop = offset + part.shard.n_windows
+            source = select(part)
+            for name in query_names:
+                vectors[name][offset:stop] = source[name]
+            offset = stop
+        return vectors
 
-    answers = {
-        name: join([part.answers[name] for part in parts])
-        for name in query_names
-    }
-    true_answers = {
-        name: join([part.true_answers[name] for part in parts])
-        for name in query_names
-    }
-    sink = MetricsSink(alpha=alpha)
+    answers = fill_vectors(lambda part: part.answers)
+    true_answers = fill_vectors(lambda part: part.true_answers)
+    # One confusion accumulation instead of one sink rebind per shard.
+    merged_counts = ConfusionCounts()
     for part in parts:
-        sink.absorb(part.counts)
+        merged_counts = merged_counts + part.counts
+    sink = MetricsSink(alpha=alpha)
+    sink.absorb(merged_counts)
     original = released = None
     if materialize:
-        width = len(alphabet)
 
-        def join_matrix(blocks):
-            if not blocks:
-                return np.zeros((0, width), dtype=bool)
-            return np.concatenate(blocks)
+        def fill_matrix(select):
+            matrix = np.empty((total, width), dtype=bool)
+            offset = 0
+            for part in parts:
+                stop = offset + part.shard.n_windows
+                matrix[offset:stop] = select(part)
+                offset = stop
+            return matrix
 
         original = IndicatorStream(
-            alphabet, join_matrix([part.original for part in parts])
+            alphabet, fill_matrix(lambda part: part.original)
         )
         released = IndicatorStream(
-            alphabet, join_matrix([part.released for part in parts])
+            alphabet, fill_matrix(lambda part: part.released)
         )
     return PipelineResult(
         answers=answers,

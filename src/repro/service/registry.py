@@ -580,14 +580,23 @@ def _build_chunked_executor(
     return ChunkedExecutor(chunk_size, materialize=materialize)
 
 
+#: Transport-mode flags a sharded executor spec may carry: ``copy``
+#: opts the process backend out of shared-memory shard transport (a
+#: debugging escape hatch), ``zerocopy`` spells the default out loud.
+SHARDED_TRANSPORT_FLAGS = {"copy": False, "zerocopy": True}
+
+
 @register_executor("sharded")
 def _build_sharded_executor(*args, **options):
-    """Parallel sharded execution: ``"sharded[:backend][:workers]"``.
+    """Parallel sharded execution:
+    ``"sharded[:backend][:workers][:copy|zerocopy]"``.
 
     Positional spec arguments may name the backend (``thread`` /
-    ``process``) and/or give the worker count, in either order:
-    ``"sharded:process:8"``, ``"sharded:4"``, ``"sharded:thread"``.
-    Keyword options pass through to
+    ``process``), give the worker count, and/or pick the shard
+    transport, in any order: ``"sharded:process:8"``, ``"sharded:4"``,
+    ``"sharded:thread"``, ``"sharded:process:8:copy"`` (pickled shard
+    transport, for debugging the default zero-copy shared-memory
+    plane).  Keyword options pass through to
     :class:`~repro.runtime.executors.ShardedExecutor`.
     """
     from repro.runtime.executors import ShardedExecutor
@@ -595,6 +604,7 @@ def _build_sharded_executor(*args, **options):
 
     backend = options.pop("backend", None)
     n_workers = options.pop("n_workers", None)
+    zero_copy = options.pop("zero_copy", None)
     for argument in args:
         if isinstance(argument, int):
             if n_workers is not None:
@@ -603,6 +613,13 @@ def _build_sharded_executor(*args, **options):
                     f"{n_workers} and {argument}"
                 )
             n_workers = argument
+        elif argument in SHARDED_TRANSPORT_FLAGS:
+            if zero_copy is not None:
+                raise ValueError(
+                    f"sharded executor spec gives two transport flags: "
+                    f"zero_copy={zero_copy} and {argument!r}"
+                )
+            zero_copy = SHARDED_TRANSPORT_FLAGS[argument]
         else:
             if backend is not None:
                 raise ValueError(
@@ -612,5 +629,8 @@ def _build_sharded_executor(*args, **options):
             validate_backend(argument)
             backend = argument
     return ShardedExecutor(
-        n_workers, backend=backend or "thread", **options
+        n_workers,
+        backend=backend or "thread",
+        zero_copy=zero_copy,
+        **options,
     )

@@ -5,9 +5,30 @@ import pytest
 
 from repro.cep.patterns import Pattern
 from repro.datasets.synthetic import SyntheticConfig, synthesize_dataset
+from repro.runtime.shm import leaked_segments
 from repro.streams.events import Event
 from repro.streams.indicator import EventAlphabet, IndicatorStream
 from repro.streams.stream import EventStream
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _no_shared_memory_leaks():
+    """Fail the run if any test leaves a ``repro_shm_*`` segment behind.
+
+    The zero-copy shard transport guarantees the parent unlinks every
+    segment it creates on every exit path; a name still present under
+    ``/dev/shm`` after the suite is a lifecycle regression (and leaked
+    host memory).  Pre-existing segments (a concurrent pytest run, a
+    crashed earlier session) are excluded so the guard only blames this
+    process.
+    """
+    before = set(leaked_segments())
+    yield
+    stray = sorted(set(leaked_segments()) - before)
+    assert not stray, (
+        f"test run leaked shared-memory segments: {stray} — some "
+        "SegmentPlane was never closed"
+    )
 
 
 @pytest.fixture

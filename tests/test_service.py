@@ -90,12 +90,30 @@ class TestConstruction:
         assert executor.n_workers == 3
         assert executor.n_shards == 6
         assert executor.min_shard_size == 2
+        # The process backend ships shards zero-copy by default.
+        assert executor.zero_copy is None
+        assert executor.uses_zero_copy is True
+
+    def test_sharded_transport_flags(self):
+        # ``:copy`` opts a process-backend spec out of shared-memory
+        # transport (the debugging escape hatch); ``:zerocopy`` spells
+        # the default out loud; threads never use the segment plane.
+        copying = build_executor_from_spec("sharded:process:8:copy")
+        assert copying.zero_copy is False
+        assert copying.uses_zero_copy is False
+        explicit = build_executor_from_spec("sharded:zerocopy:process:2")
+        assert explicit.zero_copy is True
+        assert explicit.uses_zero_copy is True
+        threaded = build_executor_from_spec("sharded:thread:2:zerocopy")
+        assert threaded.uses_zero_copy is False
 
     def test_conflicting_sharded_spec_rejected(self):
         with pytest.raises(ValueError, match="two worker counts"):
             build_executor_from_spec("sharded:2:4")
         with pytest.raises(ValueError, match="two backends"):
             build_executor_from_spec("sharded:thread:process")
+        with pytest.raises(ValueError, match="two transport flags"):
+            build_executor_from_spec("sharded:process:copy:zerocopy")
 
 
 class TestMechanismFactories:
