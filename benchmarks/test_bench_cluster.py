@@ -1,0 +1,230 @@
+"""Cluster executor benchmark: fleet bit-identity and speedup.
+
+Runs the fig4 sweep workload's pipeline through the
+:class:`~repro.runtime.cluster.ClusterExecutor` worker fleet — shards
+shipped to spawned worker processes over the framed message protocol,
+matrices attached through the shared-memory plane — and compares it
+against :class:`BatchExecutor` on identical seeds.
+
+Two gates go into ``BENCH_cluster.json`` for
+``benchmarks/check_gates.py``:
+
+- ``cluster_bit_identity`` (always): the fleet must reproduce the
+  batch release, answers and quality bit for bit on **both**
+  transports (``shm`` and ``framed``) *and* on a run where one worker
+  is killed mid-shard — the heartbeat loop reaps the corpse and
+  requeues its shard, so fault recovery is inside the identity gate,
+  not outside it;
+- ``cluster_vs_batch`` (hosts with ≥ :data:`REQUIRED_CPUS` effective
+  cores): the fleet must not lose wall-clock to the single-process
+  batch run it parallelizes.
+
+The worker kill is injected through ``cluster._TASK_FAULT_HOOK`` (a
+module global the forked workers inherit); a sentinel file makes the
+fault one-shot so exactly one worker dies and the requeued shard runs
+clean.  The benchmark also asserts the no-leak invariant: after every
+arm — including the kill — no ``repro_shm_*`` segment may remain in
+``/dev/shm``.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import (
+    BENCH_CONFIG,
+    BENCH_SYNTHETIC,
+    effective_cpu_count,
+    emit,
+    emit_json,
+    floor_reason,
+)
+from repro.datasets.synthetic import synthesize_dataset
+from repro.experiments.runner import WorkloadEvaluation
+from repro.runtime import BatchExecutor, ClusterExecutor
+from repro.runtime import cluster
+from repro.runtime.shm import leaked_segments
+from repro.streams.indicator import IndicatorStream
+from repro.utils.rng import derive_rng
+from repro.utils.tables import ResultTable
+
+#: Workers in the fleet.
+N_WORKERS = 4
+
+#: Minimum effective cores for the speedup floor to be enforceable.
+REQUIRED_CPUS = 4
+
+#: Pinned floor: the fleet must not be slower than one batch process.
+SPEEDUP_FLOOR = 1.0
+
+#: Stream scale for the timed arms: large enough that shard work
+#: dominates fleet spawn/heartbeat overhead.
+N_WINDOWS = 200_000
+
+#: Stream scale for the worker-kill identity arm: the kill/requeue
+#: path is exercised per shard, not per window, so a smaller stream
+#: proves the same invariant.
+N_FAULT_WINDOWS = 40_000
+
+_ROUNDS = 2
+
+
+def _timed(callable_):
+    start = time.perf_counter()
+    result = callable_()
+    return result, time.perf_counter() - start
+
+
+def _identical(result, batch):
+    return all(
+        np.array_equal(result.answers[query], detections)
+        for query, detections in batch.answers.items()
+    ) and result.quality() == batch.quality()
+
+
+def _one_shot_kill(sentinel):
+    """Kill exactly one worker, once: ``os.unlink`` is the claim."""
+
+    def hook(message):
+        try:
+            os.unlink(sentinel)
+        except FileNotFoundError:
+            return
+        os._exit(1)
+
+    return hook
+
+
+def test_cluster_executor(benchmark, results_dir, tmp_path):
+    workload = synthesize_dataset(
+        BENCH_SYNTHETIC,
+        rng=derive_rng(BENCH_CONFIG.seed, "cluster-bench"),
+        name="cluster-bench",
+    )
+    context = WorkloadEvaluation(workload)
+    mechanism = context.build_mechanism("uniform", 1.0)
+    pipeline = context.pipeline.with_mechanism(mechanism)
+    base = workload.stream.matrix_view()
+    repeats = -(-N_WINDOWS // base.shape[0])
+    tiled = np.tile(base, (repeats, 1))
+    stream = IndicatorStream(workload.stream.alphabet, tiled[:N_WINDOWS])
+    fault_stream = IndicatorStream(
+        workload.stream.alphabet, tiled[:N_FAULT_WINDOWS]
+    )
+    seed = BENCH_CONFIG.seed
+
+    # -- bit-identity: both transports ≡ batch, same seed --------------
+    batch = benchmark.pedantic(
+        lambda: BatchExecutor().run(pipeline, stream, rng=seed),
+        rounds=1,
+        iterations=1,
+    )
+    bit_identical = True
+    for transport in ("shm", "framed"):
+        executor = ClusterExecutor(
+            N_WORKERS, transport=transport, materialize=False
+        )
+        if not _identical(executor.run(pipeline, stream, rng=seed), batch):
+            bit_identical = False
+            print(f"BIT-IDENTITY BROKEN: transport={transport}")
+
+    # -- bit-identity under fault: kill one worker mid-run -------------
+    fault_batch = BatchExecutor().run(pipeline, fault_stream, rng=seed)
+    sentinel = tmp_path / "bench-kill-once"
+    sentinel.touch()
+    cluster._TASK_FAULT_HOOK = _one_shot_kill(str(sentinel))
+    try:
+        fault_executor = ClusterExecutor(
+            N_WORKERS, n_shards=2 * N_WORKERS, materialize=False
+        )
+        fault_result = fault_executor.run(
+            pipeline, fault_stream, rng=seed
+        )
+    finally:
+        cluster._TASK_FAULT_HOOK = None
+    requeued = fault_executor.last_restarts >= 1 and not sentinel.exists()
+    if not requeued:
+        bit_identical = False
+        print("FAULT ARM: worker kill did not fire/requeue")
+    if not _identical(fault_result, fault_batch):
+        bit_identical = False
+        print("BIT-IDENTITY BROKEN: worker-kill/requeue arm")
+    assert bit_identical
+
+    # -- speedup: interleaved rounds, best paired ratio ----------------
+    arms = {
+        "batch": BatchExecutor(),
+        "cluster": ClusterExecutor(N_WORKERS, materialize=False),
+    }
+    paired = []
+    times = {name: [] for name in arms}
+    for _ in range(_ROUNDS):
+        round_times = {}
+        for name, executor in arms.items():
+            _, seconds = _timed(
+                lambda executor=executor: executor.run(
+                    pipeline, stream, rng=seed
+                )
+            )
+            times[name].append(seconds)
+            round_times[name] = seconds
+        paired.append(round_times["batch"] / round_times["cluster"])
+    speedup = max(paired)
+
+    # -- no-leak invariant ---------------------------------------------
+    leaked = leaked_segments()
+    assert leaked == (), f"leaked shared-memory segments: {leaked}"
+
+    table = ResultTable(
+        ["arm", "workers", "seconds"],
+        title=f"cluster fleet over {stream.n_windows} windows",
+    )
+    for name in arms:
+        table.add_row(
+            arm=name,
+            workers=1 if name == "batch" else N_WORKERS,
+            seconds=round(min(times[name]), 4),
+        )
+    emit(table, results_dir, "cluster_executor")
+
+    enforceable = effective_cpu_count() >= REQUIRED_CPUS
+    gates = {
+        "cluster_bit_identity": {
+            "floor": 1.0,
+            "value": 1.0 if bit_identical else 0.0,
+        },
+    }
+    if enforceable:
+        gates["cluster_vs_batch"] = {
+            "floor": SPEEDUP_FLOOR,
+            "value": speedup,
+        }
+    emit_json(
+        results_dir,
+        "cluster",
+        {
+            "n_windows": stream.n_windows,
+            "n_fault_windows": fault_stream.n_windows,
+            "n_workers": N_WORKERS,
+            "bit_identical": 1.0 if bit_identical else 0.0,
+            "fault_restarts": fault_executor.last_restarts,
+            "batch_seconds": min(times["batch"]),
+            "cluster_seconds": min(times["cluster"]),
+            "cluster_vs_batch": speedup,
+            "floor_enforced": enforceable,
+        },
+        rows=table.rows,
+        gates=gates,
+        floor_skipped_reason=(
+            None if enforceable else floor_reason(REQUIRED_CPUS)
+        ),
+    )
+    benchmark.extra_info["cluster_vs_batch"] = speedup
+    benchmark.extra_info["floor_enforced"] = enforceable
+
+    if enforceable:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"cluster fleet slower than one batch process "
+            f"({speedup:.2f}x, rounds: {[f'{r:.2f}' for r in paired]})"
+        )

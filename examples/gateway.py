@@ -30,7 +30,7 @@ def tenant_specs():
         queries=[("congestion", ("e2", "e3")), ("transfer", ("e4", "e5"))],
         mechanism="uniform-ppm",
         mechanism_options={"epsilon": 2.0},
-        source="synthetic:bernoulli:400:21",
+        source="synthetic:generator=bernoulli,windows=400,seed=21",
         sink="metrics",
         accounting=10.0,
         seed=7,
@@ -41,7 +41,7 @@ def tenant_specs():
         queries=[("load-spike", ("e1", "e6"))],
         mechanism="bd",
         mechanism_options={"epsilon": 1.0, "w": 10},
-        source="synthetic:uniform:400:22",
+        source="synthetic:generator=uniform,windows=400,seed=22",
         sink="memory",
         seed=8,
     )

@@ -73,6 +73,7 @@ from repro.metrics import ConfusionCounts, DataQuality, mean_relative_error
 from repro.runtime import (
     BatchExecutor,
     ChunkedExecutor,
+    ClusterExecutor,
     ShardedExecutor,
     StreamPipeline,
 )
@@ -88,6 +89,7 @@ from repro.service import (
     ServiceSpec,
     StreamGateway,
     StreamService,
+    TenantSpec,
     register_executor,
     register_mechanism,
     registered_executors,
@@ -157,6 +159,7 @@ __all__ = [
     "CEPEngine",
     "CallbackSink",
     "ChunkedExecutor",
+    "ClusterExecutor",
     "ConfusionCounts",
     "ContinuousQuery",
     "CountingQuery",
@@ -195,6 +198,7 @@ __all__ = [
     "StreamService",
     "SyntheticConfig",
     "TaxiConfig",
+    "TenantSpec",
     "UniformPatternPPM",
     "UserLevelRR",
     "Workload",

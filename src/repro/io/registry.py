@@ -2,12 +2,13 @@
 
 The I/O layer mirrors the service layer's registry design
 (:mod:`repro.service.registry`): a connector is named by a *spec
-string* — a registered name optionally followed by colon-separated
-positional arguments — and third-party connectors hook in without
+string* — a registered name optionally followed by ``key=value``
+arguments (the shared grammar in :mod:`repro.service.specgrammar`) or
+a raw address tail — and third-party connectors hook in without
 touching core:
 
 >>> from repro.io import register_source
->>> @register_source("kafka")
+>>> @register_source("kafka", raw_tail=True)
 ... def _build(topic, *, group="repro"):
 ...     '''Source draining a Kafka topic into the service.'''
 ...     return KafkaSource(topic, group=group)
@@ -15,9 +16,12 @@ touching core:
 and ``ServiceSpec(source="kafka:trips", ...)`` just works.
 
 Built-in sources: ``memory``, ``csv:<path>``, ``jsonl:<path>``,
-``synthetic:<generator>:<n>:<seed>``, ``replay:<path>:<rate>``,
-``queue``.  Built-in sinks: ``memory``, ``csv:<path>``,
-``jsonl:<path>``, ``metrics``, ``callback``.
+``synthetic:generator=bernoulli,windows=500,seed=3``,
+``replay:<path>:<rate>``, ``queue``.  Built-in sinks: ``memory``,
+``csv:<path>``, ``jsonl:<path>``, ``metrics``, ``callback``.  Legacy
+positional tails (``synthetic:bernoulli:500:3``) still resolve to
+identical connectors behind one ``DeprecationWarning`` per callsite;
+raw address tails (``csv:<path>``) are first-class and never warn.
 
 Connectors whose payload cannot live in a JSON spec (an in-memory
 stream, a live ``asyncio.Queue``, a Python callback) are *bound at run
@@ -55,26 +59,37 @@ def _ensure_builtins() -> None:
     from repro.io import sinks, sources  # noqa: F401
 
 
-def register_source(name: str, *, aliases=(), raw_tail: bool = False):
+def register_source(
+    name: str, *, aliases=(), raw_tail: bool = False, keys=None
+):
     """Register a source factory under a spec name (plus aliases).
 
-    The factory is called as ``factory(*spec_args, **options)`` and
-    must return a :class:`~repro.io.sources.StreamSource`.
+    The factory is called as
+    ``factory(*legacy_args, **spec_kwargs, **options)`` and must
+    return a :class:`~repro.io.sources.StreamSource`.
     ``raw_tail=True`` hands the factory everything after the first
     colon as one uncoerced string (for path arguments, which may
-    themselves contain colons).
+    themselves contain colons).  ``keys`` declares the name's
+    key=value keys (default: the factory's keyword parameters).
     """
-    return _SOURCES.register(name, aliases=aliases, raw_tail=raw_tail)
+    return _SOURCES.register(
+        name, aliases=aliases, raw_tail=raw_tail, keys=keys
+    )
 
 
-def register_sink(name: str, *, aliases=(), raw_tail: bool = False):
+def register_sink(
+    name: str, *, aliases=(), raw_tail: bool = False, keys=None
+):
     """Register a sink factory under a spec name (plus aliases).
 
-    The factory is called as ``factory(*spec_args, **options)`` and
-    must return a :class:`~repro.io.sinks.StreamSink`; ``raw_tail``
-    as for :func:`register_source`.
+    The factory is called as
+    ``factory(*legacy_args, **spec_kwargs, **options)`` and must
+    return a :class:`~repro.io.sinks.StreamSink`; ``raw_tail`` /
+    ``keys`` as for :func:`register_source`.
     """
-    return _SINKS.register(name, aliases=aliases, raw_tail=raw_tail)
+    return _SINKS.register(
+        name, aliases=aliases, raw_tail=raw_tail, keys=keys
+    )
 
 
 def registered_sources() -> Tuple[str, ...]:
@@ -119,8 +134,8 @@ def resolve_source(spec, **options):
                 "the source object directly"
             )
         return spec
-    factory, args = _SOURCES.resolve(spec)
-    return factory(*args, **options)
+    factory, args, kwargs = _SOURCES.resolve(spec)
+    return factory(*args, **{**kwargs, **options})
 
 
 def resolve_sink(spec, **options):
@@ -135,5 +150,5 @@ def resolve_sink(spec, **options):
                 "the sink object directly"
             )
         return spec
-    factory, args = _SINKS.resolve(spec)
-    return factory(*args, **options)
+    factory, args, kwargs = _SINKS.resolve(spec)
+    return factory(*args, **{**kwargs, **options})

@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.io.registry import register_sink
+from repro.service.specgrammar import SpecKey
 from repro.streams.indicator import EventAlphabet, IndicatorStream
 
 __all__ = [
@@ -71,6 +72,7 @@ class StreamSink:
         self._alphabet: Optional[EventAlphabet] = None
         self._query_names: Tuple[str, ...] = ()
         self._written = 0
+        self._shed = 0
 
     def open(
         self,
@@ -89,6 +91,7 @@ class StreamSink:
         self._query_names = tuple(query_names)
         if not append:
             self._written = 0
+            self._shed = 0
         self._open(append=append)
         return self
 
@@ -113,6 +116,21 @@ class StreamSink:
     def windows_written(self) -> int:
         """Windows egressed so far (across appends)."""
         return self._written
+
+    @property
+    def windows_shed(self) -> int:
+        """Windows the gateway's rate limiter shed before this sink.
+
+        A shed window never reaches :meth:`write` — it was dropped at
+        ingress by a tenant's token bucket — but its loss is part of
+        this pipeline's output record, so the count is surfaced here
+        (and in the metrics sink's ``result()``) instead of vanishing.
+        """
+        return self._shed
+
+    def shed(self, index: int, row: Optional[np.ndarray] = None) -> None:
+        """Record one window shed upstream of this sink (never written)."""
+        self._shed += 1
 
     def write(
         self,
@@ -142,7 +160,7 @@ class StreamSink:
 # ---------------------------------------------------------------------------
 
 
-@register_sink("memory")
+@register_sink("memory", keys=())
 class MemorySink(StreamSink):
     """Collect the released stream and answers in memory.
 
@@ -182,7 +200,7 @@ class MemorySink(StreamSink):
         }
 
 
-@register_sink("csv", raw_tail=True)
+@register_sink("csv", raw_tail=True, keys=(SpecKey("path", raw=True),))
 class CsvSink(StreamSink):
     """Write released indicator rows as CSV (``csv:<path>``).
 
@@ -220,7 +238,9 @@ class CsvSink(StreamSink):
             self._writer = None
 
 
-@register_sink("jsonl", raw_tail=True)
+@register_sink(
+    "jsonl", raw_tail=True, keys=(SpecKey("path", raw=True),)
+)
 class JsonlSink(StreamSink):
     """Write one JSON object per window (``jsonl:<path>``).
 
@@ -261,7 +281,7 @@ class JsonlSink(StreamSink):
             self._handle = None
 
 
-@register_sink("metrics")
+@register_sink("metrics", keys=(SpecKey("alpha", convert=float),))
 class MetricsSink(StreamSink):
     """Aggregate released-versus-truth quality (``metrics``).
 
@@ -327,11 +347,12 @@ class MetricsSink(StreamSink):
             "quality": quality,
             "mre": mean_relative_error(1.0, quality.q),
             "windows": self.windows_written,
+            "shed": self.windows_shed,
             "per_query": per_query,
         }
 
 
-@register_sink("callback")
+@register_sink("callback", keys=())
 class CallbackSink(StreamSink):
     """Invoke a Python callable per window (``callback``).
 

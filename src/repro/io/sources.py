@@ -36,6 +36,7 @@ from typing import Iterable, Iterator, Optional
 import numpy as np
 
 from repro.io.registry import register_source
+from repro.service.specgrammar import SpecKey
 from repro.streams.indicator import EventAlphabet, IndicatorStream
 
 __all__ = [
@@ -330,12 +331,82 @@ class StreamSource:
         return self._row_from_types(item)
 
 
+class _ThrottledSource(StreamSource):
+    """A rate-limiting proxy over a bound source (gateway-internal).
+
+    The :class:`~repro.service.gateway.StreamGateway` wraps a
+    rate-limited tenant's compiled source in one of these.  Rows are
+    drawn from the wrapped source and forwarded only when the token
+    bucket admits them; the rest are *shed* — still consumed (they
+    advance the wrapped source's offset, so a checkpoint/resume never
+    replays a shed window: its verdict is lost by design, not
+    deferred) and reported through ``on_shed(index, row)`` so the loss
+    surfaces in the tenant's metrics instead of vanishing.  Never
+    resolved from a spec string; constructed by the gateway.
+    """
+
+    def __init__(self, inner: StreamSource, bucket, *, on_shed=None):
+        super().__init__()
+        self._inner = inner
+        self._bucket = bucket
+        self._on_shed = on_shed
+        self._alphabet = inner._alphabet
+
+    @property
+    def inner(self) -> StreamSource:
+        """The wrapped (unthrottled) source."""
+        return self._inner
+
+    @property
+    def seekable(self) -> bool:
+        return self._inner.seekable
+
+    @property
+    def delay(self) -> float:
+        return self._inner.delay
+
+    @property
+    def offset(self) -> int:
+        # The wrapped source's offset counts *every* consumed window,
+        # shed ones included — exactly what a checkpoint must record.
+        return self._inner.offset
+
+    def bind(self, alphabet: EventAlphabet) -> "StreamSource":
+        self._inner.bind(alphabet)
+        self._alphabet = self._inner._alphabet
+        return self
+
+    def skip(self, count: int) -> "StreamSource":
+        self._inner.skip(count)
+        return self
+
+    def unemit(self, row: np.ndarray) -> None:
+        self._inner.unemit(row)
+
+    def _admit(self, row: np.ndarray) -> bool:
+        if self._bucket.try_acquire():
+            return True
+        if self._on_shed is not None:
+            self._on_shed(self._inner.offset - 1, row)
+        return False
+
+    def rows(self) -> Iterator[np.ndarray]:
+        for row in self._inner.rows():
+            if self._admit(row):
+                yield row
+
+    async def arows(self):
+        async for row in self._inner.arows():
+            if self._admit(row):
+                yield row
+
+
 # ---------------------------------------------------------------------------
 # Built-in sources
 # ---------------------------------------------------------------------------
 
 
-@register_source("memory")
+@register_source("memory", keys=())
 class MemorySource(StreamSource):
     """In-memory windows: an indicator stream, a 0/1 matrix, or
     per-window event-type collections.
@@ -382,7 +453,7 @@ class MemorySource(StreamSource):
             yield matrix[index].astype(bool)
 
 
-@register_source("csv", raw_tail=True)
+@register_source("csv", raw_tail=True, keys=(SpecKey("path", raw=True),))
 class CsvSource(StreamSource):
     """Windows streamed from an indicator CSV (``csv:<path>``).
 
@@ -416,7 +487,9 @@ class CsvSource(StreamSource):
         return rows
 
 
-@register_source("jsonl", raw_tail=True)
+@register_source(
+    "jsonl", raw_tail=True, keys=(SpecKey("path", raw=True),)
+)
 class JsonlSource(StreamSource):
     """Windows streamed from a JSON-lines file (``jsonl:<path>``).
 
@@ -471,7 +544,15 @@ class JsonlSource(StreamSource):
 _SYNTHETIC_GENERATORS = ("bernoulli", "uniform")
 
 
-@register_source("synthetic")
+@register_source(
+    "synthetic",
+    keys=(
+        SpecKey("generator"),
+        SpecKey("windows", dest="n_windows"),
+        SpecKey("seed"),
+        SpecKey("p"),
+    ),
+)
 class SyntheticSource(StreamSource):
     """Deterministic generated windows
     (``synthetic:<generator>:<n>:<seed>``).
@@ -560,7 +641,14 @@ class ReplaySource(StreamSource):
         return self._inner._rows()
 
 
-@register_source("replay", raw_tail=True)
+@register_source(
+    "replay",
+    raw_tail=True,
+    keys=(
+        SpecKey("path", dest="tail", raw=True),
+        SpecKey("rate", convert=float),
+    ),
+)
 def _build_replay(tail: str = "", **options) -> ReplaySource:
     """Split ``<path>[:<rate>]`` from the tail's end, keeping any
     colons inside the path itself."""
@@ -575,7 +663,7 @@ def _build_replay(tail: str = "", **options) -> ReplaySource:
     return ReplaySource(tail, **options)
 
 
-@register_source("queue")
+@register_source("queue", keys=())
 class QueueSource(StreamSource):
     """A live broker-shaped feed: any ``asyncio.Queue``-like producer.
 

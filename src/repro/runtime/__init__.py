@@ -14,7 +14,12 @@ interchangeable execution strategies:
 - :class:`~repro.runtime.executors.ShardedExecutor` fans contiguous
   window shards out over a thread or process pool, seeking each
   shard's stepper to its absolute start window — bit-identical to the
-  batch executor for every seekable mechanism.
+  batch executor for every seekable mechanism;
+- :class:`~repro.runtime.cluster.ClusterExecutor` ships the same
+  shards to a spawned worker fleet over a framed message protocol
+  (shared-memory descriptors locally, framed bytes otherwise) with
+  heartbeats, timeouts and requeue-on-worker-death — still
+  bit-identical to the batch executor.
 
 See ARCHITECTURE.md for how the layers map onto the runtime.
 """
@@ -24,6 +29,7 @@ from repro.runtime.adapters import (
     RuntimeMechanism,
     runtime_mechanism,
 )
+from repro.runtime.cluster import ClusterExecutor
 from repro.runtime.executors import (
     BatchExecutor,
     ChunkedExecutor,
@@ -50,6 +56,7 @@ __all__ = [
     "ArrayDescriptor",
     "BatchExecutor",
     "ChunkedExecutor",
+    "ClusterExecutor",
     "FlipStepper",
     "IndexedRngPool",
     "IndicatorExtractor",

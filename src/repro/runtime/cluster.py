@@ -1,0 +1,726 @@
+"""Cluster execution: a framed worker fleet behind one merge point.
+
+:class:`ClusterExecutor` runs shard work on a fleet of spawned worker
+processes speaking a small length-prefixed frame protocol over
+:mod:`multiprocessing.connection` pipes — the shape a TCP deployment
+would keep, with only the connection factory swapped.  Every message
+is one frame::
+
+    !4sBI header  =  magic b"RPC1" | kind | payload length
+    payload       =  pickled body (msgpack-shaped dicts and dataclasses)
+
+Work ships as :class:`~repro.runtime.shm.ArrayDescriptor`-style
+descriptors plus a transport URL (the PR-6 wire format):
+
+- ``transport="shm"`` (local fleet) — the parent publishes the run's
+  :class:`~repro.runtime.sharding.ShardPlanes` once per worker
+  (``shm://<segment>``); workers attach the shared-memory plane
+  directly and a task frame carries only shard bounds and an rng.
+- ``transport="framed"`` (remote-style fallback) — workers never touch
+  the parent's memory; each task frame carries the shard's matrix
+  slice as framed bytes and the shard's outputs ride back the same
+  way.
+
+Both transports funnel :class:`~repro.runtime.sharding.ShardReceipt`s
+through the existing :func:`~repro.runtime.sharding.merge_receipts`
+single merge point (the parent deposits framed results into the plane
+itself), so a cluster run is bit-identical to
+:class:`~repro.runtime.executors.BatchExecutor` for seekable
+mechanisms and to the checkpoint-prepass path for sequential
+schedulers (BD/BA/landmark) under the same seed.
+
+Fault tolerance: every worker heartbeats on a daemon thread; the
+parent requeues a worker's in-flight shard when its pipe drops, its
+process dies, or its heartbeat goes stale, then respawns a
+replacement — a killed worker never loses a shard, and reruns are
+bit-identical because each task's rng clone is fixed at plan time and
+plane deposits are idempotent by absolute window slice.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import struct
+import threading
+import time
+import traceback
+
+from collections import deque
+from dataclasses import dataclass, replace
+from multiprocessing.connection import wait as _wait_connections
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.runtime.executors import PipelineResult
+from repro.streams.indicator import IndicatorStream
+from repro.utils.rng import RngLike
+
+__all__ = ["ClusterExecutor", "TRANSPORTS"]
+
+#: Shard transports a cluster spec may pick: ``shm`` attaches local
+#: workers to the shared-memory plane, ``framed`` ships shard slices
+#: as framed bytes (the remote-style fallback).
+TRANSPORTS = ("shm", "framed")
+
+
+def validate_transport(transport: str) -> str:
+    """Reject unknown cluster transports (mirrors validate_backend)."""
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}; available: "
+            f"{list(TRANSPORTS)}"
+        )
+    return transport
+
+
+# ---------------------------------------------------------------------------
+# Frame protocol
+# ---------------------------------------------------------------------------
+
+_MAGIC = b"RPC1"
+_HEADER = struct.Struct("!4sBI")
+
+#: Frame kinds (one byte on the wire).
+_HELLO, _JOB, _TASK, _RESULT, _ERROR, _HEARTBEAT, _SHUTDOWN = range(7)
+
+
+class ProtocolError(RuntimeError):
+    """A frame failed magic/length validation."""
+
+
+def _pack_frame(kind: int, payload=None) -> bytes:
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(_MAGIC, kind, len(body)) + body
+
+
+def _unpack_frame(blob: bytes):
+    if len(blob) < _HEADER.size:
+        raise ProtocolError(f"short frame: {len(blob)} bytes")
+    magic, kind, length = _HEADER.unpack_from(blob)
+    if magic != _MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    body = blob[_HEADER.size :]
+    if len(body) != length:
+        raise ProtocolError(
+            f"frame length mismatch: header {length}, body {len(body)}"
+        )
+    return kind, pickle.loads(body)
+
+
+def _send_frame(connection, kind: int, payload=None) -> None:
+    connection.send_bytes(_pack_frame(kind, payload))
+
+
+def _recv_frame(connection):
+    return _unpack_frame(connection.recv_bytes())
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+#: Test hook: called with the task message before executing each shard
+#: (fork-inherited), so fault tests can kill or freeze a worker
+#: mid-shard deterministically.  Never set in production.
+_TASK_FAULT_HOOK = None
+
+
+def _execute_task(job: dict, message: dict):
+    """Run one shard under the job's transport; return its result."""
+    from repro.runtime.sharding import (
+        run_shard,
+        run_shard_from_checkpoint,
+        run_shard_from_checkpoint_zero_copy,
+        run_shard_zero_copy,
+    )
+
+    pipeline = job["pipeline"]
+    shard = message["shard"]
+    kwargs = dict(
+        alphabet=job["alphabet"],
+        horizon=job["horizon"],
+        rng=message["rng"],
+    )
+    if job["transport"] == "shm":
+        planes = job["planes"]
+        if job["checkpointed"]:
+            return run_shard_from_checkpoint_zero_copy(
+                pipeline,
+                planes,
+                shard,
+                message["snapshot"],
+                message["decisions"],
+                **kwargs,
+            )
+        return run_shard_zero_copy(pipeline, planes, shard, **kwargs)
+    matrix = message["matrix"]
+    if job["checkpointed"]:
+        part = run_shard_from_checkpoint(
+            pipeline,
+            matrix,
+            shard,
+            message["snapshot"],
+            message["decisions"],
+            materialize=job["materialize"],
+            **kwargs,
+        )
+    else:
+        part = run_shard(
+            pipeline, matrix, shard, materialize=job["materialize"], **kwargs
+        )
+    # The original rows are the input slice the parent already holds;
+    # never frame them back.
+    return replace(part, original=None)
+
+
+def _worker_main(connection, heartbeat_interval: float) -> None:
+    """One fleet worker: heartbeat thread + frame-dispatch loop."""
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    def send(kind: int, payload=None) -> None:
+        with send_lock:
+            _send_frame(connection, kind, payload)
+
+    def beat() -> None:
+        while not stop.wait(heartbeat_interval):
+            try:
+                send(_HEARTBEAT)
+            except OSError:
+                return
+
+    job: Optional[dict] = None
+    try:
+        send(_HELLO, {"pid": os.getpid()})
+        heartbeat = threading.Thread(target=beat, daemon=True)
+        heartbeat.start()
+        while True:
+            kind, payload = _recv_frame(connection)
+            if kind == _SHUTDOWN:
+                return
+            if kind == _JOB:
+                job = payload
+                continue
+            if kind != _TASK:
+                raise ProtocolError(f"unexpected frame kind {kind}")
+            try:
+                if _TASK_FAULT_HOOK is not None:
+                    _TASK_FAULT_HOOK(payload)
+                result = _execute_task(job, payload)
+                send(_RESULT, {"task": payload["task"], "result": result})
+            except Exception:
+                send(
+                    _ERROR,
+                    {
+                        "task": payload["task"],
+                        "shard": payload["shard"],
+                        "traceback": traceback.format_exc(),
+                    },
+                )
+    except (EOFError, OSError):
+        # Parent went away (run finished or crashed): just exit.
+        return
+    finally:
+        stop.set()
+        try:
+            connection.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle on one fleet member."""
+
+    process: object
+    connection: object
+    last_seen: float
+    ready: bool = False
+    dead: bool = False
+    task: Optional[dict] = None
+
+    def send(self, kind: int, payload=None) -> None:
+        _send_frame(self.connection, kind, payload)
+
+
+class ClusterExecutor:
+    """Cluster worker-fleet execution over the framed shard protocol.
+
+    Drop-in executor (``run(pipeline, indicators, rng=...)``)
+    spawning ``n_workers`` subprocesses that speak the module's frame
+    protocol.  Shard planning, rng derivation and merging are shared
+    with :class:`~repro.runtime.executors.ShardedExecutor`, so results
+    are bit-identical to :class:`BatchExecutor` (seekable mechanisms)
+    and to the checkpoint-prepass path (sequential schedulers) under
+    the same seed — including runs where a worker is killed mid-shard
+    and its shard is requeued.
+
+    Parameters
+    ----------
+    n_workers:
+        Fleet size; defaults to ``os.cpu_count()``.
+    transport:
+        ``"shm"`` (default) attaches workers to the shared-memory data
+        plane; ``"framed"`` ships shard slices as framed bytes, the
+        remote-style fallback for workers without access to the
+        parent's ``/dev/shm``.
+    n_shards:
+        Shard count; defaults to ``n_workers``.
+    min_shard_size:
+        Lower bound on windows per shard (as in ShardedExecutor).
+    materialize:
+        Keep the original/released streams on the result.
+    heartbeat_interval:
+        Seconds between worker heartbeats (also the parent's poll
+        tick).
+    worker_timeout:
+        Heartbeat staleness after which a worker is declared dead, its
+        in-flight shard requeued and a replacement spawned.
+    max_restarts:
+        Worker deaths tolerated per run before giving up; defaults to
+        ``max(4, 2 * n_workers)``.
+    """
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        *,
+        transport: str = "shm",
+        n_shards: Optional[int] = None,
+        min_shard_size: int = 1,
+        materialize: bool = True,
+        heartbeat_interval: float = 0.25,
+        worker_timeout: float = 10.0,
+        max_restarts: Optional[int] = None,
+    ):
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
+        if n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {n_workers}")
+        validate_transport(transport)
+        if n_shards is not None and n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        if heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive, got "
+                f"{heartbeat_interval}"
+            )
+        if worker_timeout <= heartbeat_interval:
+            raise ValueError(
+                f"worker_timeout ({worker_timeout}) must exceed "
+                f"heartbeat_interval ({heartbeat_interval})"
+            )
+        self.n_workers = n_workers
+        self.transport = transport
+        self.n_shards = n_shards if n_shards is not None else n_workers
+        self.min_shard_size = min_shard_size
+        self.materialize = materialize
+        self.heartbeat_interval = heartbeat_interval
+        self.worker_timeout = worker_timeout
+        self.max_restarts = (
+            max_restarts if max_restarts is not None else max(4, 2 * n_workers)
+        )
+        #: Worker deaths survived by the most recent run (requeued and
+        #: respawned); 0 on a clean fleet.
+        self.last_restarts = 0
+
+    # -- run dispatch (mirrors ShardedExecutor) ------------------------
+
+    @staticmethod
+    def _shard_rng_source(rng: RngLike):
+        from repro.runtime.sharding import clone_rng
+
+        if isinstance(rng, np.random.Generator):
+            # Same policy as ShardedExecutor: shards replay the
+            # generator's current state; the caller's generator
+            # advances one derivation word.
+            source = clone_rng(rng)
+            rng.integers(0, 2**63 - 1)
+            return source
+        return rng
+
+    def run(
+        self,
+        pipeline,
+        indicators: IndicatorStream,
+        *,
+        rng: RngLike = None,
+    ) -> PipelineResult:
+        from repro.runtime.sharding import (
+            clone_rng,
+            merge_results,
+            plan_shards,
+            run_shard,
+        )
+
+        runtime = pipeline.runtime_mechanism
+        if not runtime.shardable:
+            if getattr(runtime, "checkpointable", False):
+                return self._run_checkpointed(pipeline, indicators, rng=rng)
+            raise TypeError(
+                f"mechanism {runtime.name!r} supports only batch "
+                "perturbation and cannot be sharded; use BatchExecutor"
+            )
+        shard_source = self._shard_rng_source(rng)
+        matrix = indicators.matrix_view()
+        horizon = matrix.shape[0]
+        shards = plan_shards(
+            horizon, self.n_shards, min_shard_size=self.min_shard_size
+        )
+        if len(shards) <= 1:
+            # Zero or one shard: run in-process, no fleet overhead.
+            parts = [
+                run_shard(
+                    pipeline,
+                    matrix[shard.start : shard.stop],
+                    shard,
+                    alphabet=indicators.alphabet,
+                    horizon=horizon,
+                    rng=clone_rng(shard_source),
+                    materialize=self.materialize,
+                )
+                for shard in shards
+            ]
+            return merge_results(
+                parts,
+                alphabet=indicators.alphabet,
+                query_names=pipeline.matcher.query_names,
+                alpha=pipeline.alpha,
+                materialize=self.materialize,
+            )
+        tasks = [
+            {"shard": shard, "rng": clone_rng(shard_source)}
+            for shard in shards
+        ]
+        return self._run_fleet(
+            pipeline, indicators, matrix, horizon, tasks, checkpointed=False
+        )
+
+    def _run_checkpointed(
+        self,
+        pipeline,
+        indicators: IndicatorStream,
+        *,
+        rng: RngLike = None,
+    ) -> PipelineResult:
+        from repro.runtime.sharding import (
+            checkpoint_prepass,
+            clone_rng,
+            merge_results,
+            plan_shards,
+        )
+        from repro.runtime.sharding import _shard_result
+
+        runtime = pipeline.runtime_mechanism
+        shard_source = self._shard_rng_source(rng)
+        matrix = indicators.matrix_view()
+        horizon = matrix.shape[0]
+        shards = plan_shards(
+            horizon, self.n_shards, min_shard_size=self.min_shard_size
+        )
+        if len(shards) <= 1:
+            stepper = runtime.stepper(
+                indicators.alphabet,
+                rng=clone_rng(shard_source),
+                horizon=horizon,
+            )
+            released = stepper.step_block(matrix)
+            parts = [
+                _shard_result(
+                    pipeline,
+                    matrix[shard.start : shard.stop],
+                    shard,
+                    released[shard.start : shard.stop],
+                    materialize=self.materialize,
+                )
+                for shard in shards
+            ]
+            return merge_results(
+                parts,
+                alphabet=indicators.alphabet,
+                query_names=pipeline.matcher.query_names,
+                alpha=pipeline.alpha,
+                materialize=self.materialize,
+            )
+        plan = checkpoint_prepass(
+            pipeline,
+            matrix,
+            shards,
+            alphabet=indicators.alphabet,
+            horizon=horizon,
+            rng=clone_rng(shard_source),
+        )
+        tasks = [
+            {
+                "shard": shard,
+                "rng": clone_rng(shard_source),
+                "snapshot": snapshot,
+                "decisions": decisions,
+            }
+            for shard, snapshot, decisions in zip(
+                plan.shards, plan.snapshots, plan.decisions
+            )
+        ]
+        result = self._run_fleet(
+            pipeline, indicators, matrix, horizon, tasks, checkpointed=True
+        )
+        self._publish_trace(runtime, plan)
+        return result
+
+    @staticmethod
+    def _publish_trace(runtime, plan) -> None:
+        # As in ShardedExecutor: the prepass trace is the authoritative
+        # accounting record, published once after every shard finished.
+        if plan.trace is not None and hasattr(
+            runtime.mechanism, "last_trace"
+        ):
+            runtime.mechanism.last_trace = plan.trace
+
+    # -- fleet orchestration -------------------------------------------
+
+    def _run_fleet(
+        self,
+        pipeline,
+        indicators: IndicatorStream,
+        matrix: np.ndarray,
+        horizon: int,
+        tasks: List[dict],
+        *,
+        checkpointed: bool,
+    ) -> PipelineResult:
+        from repro.runtime.sharding import build_shard_planes, merge_receipts
+        from repro.runtime.shm import SegmentPlane
+
+        plane = SegmentPlane()
+        try:
+            planes = build_shard_planes(
+                plane,
+                matrix,
+                pipeline.matcher.query_names,
+                materialize=self.materialize,
+            )
+            url = (
+                f"shm://{planes.matrix.segment}"
+                if self.transport == "shm"
+                else "framed://pipe"
+            )
+            job = {
+                "transport": self.transport,
+                "url": url,
+                "pipeline": pipeline,
+                "alphabet": indicators.alphabet,
+                "horizon": horizon,
+                "checkpointed": checkpointed,
+                "materialize": self.materialize,
+                # Remote-style workers never see the descriptors.
+                "planes": planes if self.transport == "shm" else None,
+            }
+            messages = []
+            for index, task in enumerate(tasks):
+                message = {
+                    "task": index,
+                    "shard": task["shard"],
+                    "rng": task["rng"],
+                }
+                if checkpointed:
+                    message["snapshot"] = task["snapshot"]
+                    message["decisions"] = task["decisions"]
+                if self.transport == "framed":
+                    shard = task["shard"]
+                    message["matrix"] = np.ascontiguousarray(
+                        matrix[shard.start : shard.stop]
+                    )
+                messages.append(message)
+            receipts = self._dispatch(job, messages, plane, planes)
+            return merge_receipts(
+                receipts,
+                plane,
+                planes,
+                indicators=indicators,
+                alpha=pipeline.alpha,
+                materialize=self.materialize,
+            )
+        finally:
+            plane.close()
+
+    def _deposit_part(self, plane, planes, part):
+        """Write a framed worker's outputs into the plane; receipt back.
+
+        The framed transport's counterpart of the shm workers' direct
+        deposit — idempotent by absolute window slice, so a requeued
+        shard rerun deposits the same bytes.
+        """
+        from repro.runtime.sharding import ShardReceipt
+
+        start, stop = part.shard.start, part.shard.stop
+        if planes.released is not None:
+            plane.view(planes.released)[start:stop] = part.released
+        if planes.answers is not None:
+            answers = plane.view(planes.answers)
+            for row, name in enumerate(planes.query_names):
+                answers[row, start:stop] = part.answers[name]
+        if planes.truth is not None:
+            truth = plane.view(planes.truth)
+            for row, name in enumerate(planes.query_names):
+                truth[row, start:stop] = part.true_answers[name]
+        return ShardReceipt(shard=part.shard, counts=part.counts)
+
+    def _spawn(self, context, job: dict) -> _Worker:
+        parent_connection, child_connection = context.Pipe(duplex=True)
+        process = context.Process(
+            target=_worker_main,
+            args=(child_connection, self.heartbeat_interval),
+            daemon=True,
+        )
+        process.start()
+        child_connection.close()
+        worker = _Worker(
+            process=process,
+            connection=parent_connection,
+            last_seen=time.monotonic(),
+        )
+        worker.send(_JOB, job)
+        return worker
+
+    @staticmethod
+    def _reap(worker: _Worker) -> None:
+        """Force one worker down (it may be frozen: SIGKILL, not TERM)."""
+        try:
+            worker.connection.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join(timeout=5.0)
+
+    def _shutdown(self, workers: List[_Worker]) -> None:
+        for worker in workers:
+            try:
+                worker.send(_SHUTDOWN)
+            except OSError:
+                pass
+        for worker in workers:
+            worker.process.join(timeout=1.0)
+            self._reap(worker)
+
+    def _dispatch(
+        self, job: dict, messages: List[dict], plane, planes
+    ) -> List:
+        """Feed the fleet until every task has a receipt.
+
+        The requeue invariant: a task leaves ``pending`` only while
+        exactly one live worker carries it, and returns to the front of
+        ``pending`` the moment that worker is declared dead (pipe
+        EOF/error, process exit, or stale heartbeat) — so a killed
+        worker never loses a shard, and a late duplicate result is
+        ignored by task id.
+        """
+        context = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        fleet_size = max(1, min(self.n_workers, len(messages)))
+        completed: Dict[int, object] = {}
+        pending = deque(messages)
+        restarts = 0
+        workers = [self._spawn(context, job) for _ in range(fleet_size)]
+        try:
+            while len(completed) < len(messages):
+                ready = _wait_connections(
+                    [worker.connection for worker in workers],
+                    timeout=self.heartbeat_interval,
+                )
+                now = time.monotonic()
+                for worker in workers:
+                    if worker.connection not in ready:
+                        continue
+                    try:
+                        while worker.connection.poll():
+                            kind, payload = _recv_frame(worker.connection)
+                            self._handle_frame(
+                                worker, kind, payload, completed, plane,
+                                planes,
+                            )
+                        worker.last_seen = now
+                    except (EOFError, OSError, ProtocolError):
+                        worker.dead = True
+                # Liveness sweep: drop dead/stale workers, requeue
+                # their in-flight shard, spawn replacements.
+                for worker in list(workers):
+                    stale = (
+                        now - worker.last_seen > self.worker_timeout
+                    )
+                    if not (
+                        worker.dead
+                        or stale
+                        or not worker.process.is_alive()
+                    ):
+                        continue
+                    workers.remove(worker)
+                    self._reap(worker)
+                    if (
+                        worker.task is not None
+                        and worker.task["task"] not in completed
+                    ):
+                        pending.appendleft(worker.task)
+                    restarts += 1
+                    if restarts > self.max_restarts:
+                        raise RuntimeError(
+                            f"cluster fleet lost {restarts} workers "
+                            f"(max_restarts={self.max_restarts}); "
+                            "giving up"
+                        )
+                    if len(completed) < len(messages):
+                        workers.append(self._spawn(context, job))
+                # Dispatch: one in-flight task per ready worker.
+                for worker in workers:
+                    if not pending:
+                        break
+                    if worker.ready and worker.task is None:
+                        message = pending.popleft()
+                        try:
+                            worker.send(_TASK, message)
+                            worker.task = message
+                        except OSError:
+                            pending.appendleft(message)
+                            worker.dead = True
+            self.last_restarts = restarts
+            return [
+                completed[index] for index in sorted(completed)
+            ]
+        finally:
+            self._shutdown(workers)
+
+    def _handle_frame(
+        self, worker: _Worker, kind: int, payload, completed, plane, planes
+    ) -> None:
+        if kind == _HELLO:
+            worker.ready = True
+            return
+        if kind == _HEARTBEAT:
+            return
+        if kind == _RESULT:
+            task_id = payload["task"]
+            worker.task = None
+            if task_id in completed:
+                return  # late duplicate after a requeue race
+            result = payload["result"]
+            if self.transport == "framed":
+                result = self._deposit_part(plane, planes, result)
+            completed[task_id] = result
+            return
+        if kind == _ERROR:
+            raise RuntimeError(
+                f"cluster worker failed on shard {payload['shard']}:\n"
+                f"{payload['traceback']}"
+            )
+        raise ProtocolError(f"unexpected frame kind {kind} from worker")

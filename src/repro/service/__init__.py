@@ -40,6 +40,7 @@ from repro.service.spec import (
     QualitySpec,
     QuerySpec,
     ServiceSpec,
+    TenantSpec,
 )
 from repro.service.service import StreamService
 from repro.service.gateway import StreamGateway
@@ -52,6 +53,7 @@ __all__ = [
     "ServiceSpec",
     "StreamGateway",
     "StreamService",
+    "TenantSpec",
     "UnknownSpecError",
     "build_executor_from_spec",
     "build_mechanism_from_spec",

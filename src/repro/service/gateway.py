@@ -12,31 +12,122 @@ single asyncio event loop.  Tenants are fully isolated:
   tenant exhausting its ε cannot spend another's;
 - **flow control** — each tenant pumps through its own bounded
   :class:`~repro.cep.async_session.AsyncSession` queue, so one slow
-  mechanism backpressures only its own source.
+  mechanism backpressures only its own source;
+- **ingress rate** — a tenant registered with a ``rate_limit``
+  (windows per second, :class:`TokenBucket`) has excess windows
+  *shed* at ingress: dropped before perturbation, counted on the
+  tenant and in its sink's metrics (never silently), and consumed
+  from the source so a resume never replays them.
+
+Beyond the single loop, :meth:`StreamGateway.serve_scattered` spreads
+the fleet across forked worker processes: a :class:`TenantScheduler`
+round-robins tenants over slots, each slot serves its group on a
+private loop, and the parent absorbs the returned checkpoints — after
+the call the gateway is in exactly the state a local serve would have
+produced.  A whole fleet is constructible from one JSON document of
+:class:`~repro.service.spec.TenantSpec` entries
+(:meth:`StreamGateway.from_json`).
 
 The gateway checkpoints as a unit: :meth:`checkpoint` captures every
 tenant's session snapshot (the PR-3 protocol) *plus its in-flight
-source offset*, and :meth:`StreamGateway.resume` rebuilds the fleet —
-sources skipped to their offsets, sessions restored — so a crashed
-gateway continues exactly where an uninterrupted one would be.
+source offset* and rate-limit configuration, and
+:meth:`StreamGateway.resume` rebuilds the fleet — sources skipped to
+their offsets, sessions restored, rate limiters re-armed — so a
+crashed gateway continues exactly where an uninterrupted one would be.
 
 >>> gateway = StreamGateway()
 >>> gateway.add_tenant("fleet", taxi_spec)
->>> gateway.add_tenant("grid", grid_spec)
+>>> gateway.add_tenant("grid", grid_spec, rate_limit=500.0)
 >>> gateway.run()                      # serve both on one loop
 >>> gateway.results()["fleet"]["q"]    # per-tenant answers
+>>> gateway.shed_windows()["grid"]     # rate-limited drops, surfaced
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
+import multiprocessing
+import time
 
-from typing import Dict, List, Mapping, Optional, Union
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.service.service import StreamService
-from repro.service.spec import ServiceSpec
+from repro.service.spec import ServiceSpec, TenantSpec
+from repro.utils.validation import check_positive
 
-__all__ = ["StreamGateway"]
+__all__ = ["StreamGateway", "TenantScheduler", "TokenBucket"]
+
+
+class TokenBucket:
+    """A windows-per-second token bucket (the tenant rate limiter).
+
+    Tokens accrue at ``rate`` per second up to ``burst`` capacity
+    (default ``max(1, rate)``); each admitted window spends one.
+    ``try_acquire`` never blocks — the gateway sheds, it does not
+    stall, so one tenant's overload cannot delay another's stream.
+    ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(self, rate: float, burst: Optional[float] = None, *,
+                 clock=time.monotonic):
+        check_positive("rate", rate)
+        self.rate = float(rate)
+        if burst is None:
+            burst = max(1.0, self.rate)
+        check_positive("burst", burst)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available (diagnostic)."""
+        return self._tokens
+
+    def try_acquire(self) -> bool:
+        """Spend one token if available; never blocks."""
+        now = self._clock()
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+class TenantScheduler:
+    """Deterministic round-robin spread of tenants over worker slots.
+
+    ``assign(names)`` stripes the tenant names across ``n_slots``
+    groups (``names[i::n_slots]``) and drops empty groups — the same
+    fleet always lands on the same slots, so scattered serving is as
+    reproducible as local serving.
+    """
+
+    def __init__(self, n_slots: int):
+        if (
+            not isinstance(n_slots, int)
+            or isinstance(n_slots, bool)
+            or n_slots <= 0
+        ):
+            raise ValueError(
+                f"n_slots must be a positive int, got {n_slots!r}"
+            )
+        self.n_slots = n_slots
+
+    def assign(self, names: Sequence[str]) -> List[List[str]]:
+        """Group ``names`` into at most ``n_slots`` non-empty slots."""
+        names = list(names)
+        slots = [
+            list(names[index::self.n_slots])
+            for index in range(self.n_slots)
+        ]
+        return [slot for slot in slots if slot]
 
 
 class _Tenant:
@@ -51,6 +142,9 @@ class _Tenant:
         sink=None,
         max_pending: int,
         max_batch: int,
+        rate_limit: Optional[float] = None,
+        burst: Optional[float] = None,
+        clock=None,
     ):
         self.name = name
         self.service = service
@@ -58,12 +152,24 @@ class _Tenant:
         self.sink = sink
         self.max_pending = max_pending
         self.max_batch = max_batch
+        self.rate_limit = rate_limit
+        self.burst = burst
+        self.clock = clock
         self.answers: Dict[str, List[bool]] = {}
+        self.shed = 0
         self._sink_opened = False
+        self._bucket: Optional[TokenBucket] = None
+        self._scattered_sink_result = None
+        #: Whether this tenant can cross a process boundary: all its
+        #: connectors are spec-declared, none are runtime objects.
+        self.declarative = source is None and sink is None
 
     async def serve(self, max_windows: Optional[int]) -> None:
+        source = self.source
+        if self.rate_limit is not None:
+            source = self._throttled()
         answers = await self.service.pump(
-            self.source,
+            source,
             sink=self.sink,
             max_pending=self.max_pending,
             max_batch=self.max_batch,
@@ -79,6 +185,75 @@ class _Tenant:
         for name, values in answers.items():
             self.answers.setdefault(name, []).extend(values)
 
+    def _throttled(self):
+        """This tenant's source behind its token bucket (idempotent)."""
+        from repro.io.sources import _ThrottledSource
+
+        inner = self.service._compile_source(self.source, reuse=True)
+        if isinstance(inner, _ThrottledSource):
+            return inner
+        if self._bucket is None:
+            self._bucket = TokenBucket(
+                self.rate_limit,
+                self.burst,
+                clock=self.clock or time.monotonic,
+            )
+        return _ThrottledSource(
+            inner, self._bucket, on_shed=self._record_shed
+        )
+
+    def _record_shed(self, index: int, row) -> None:
+        """One window shed at ingress: count it, surface it."""
+        self.shed += 1
+        from repro.io.sinks import StreamSink
+
+        sink = self.service.last_sink
+        if isinstance(sink, StreamSink):
+            sink.shed(index, row)
+
+
+def _serve_slot(
+    payloads: List[Dict], max_windows: Optional[int]
+) -> Dict[str, Dict]:
+    """Worker-side scattered serving: one sub-gateway per slot.
+
+    Runs in a forked worker process.  Builds (or checkpoint-resumes)
+    each assigned tenant from its shipped payload, serves one slice on
+    a private event loop, and returns per-tenant state — checkpoint,
+    accumulated answers, shed count, sink result — for the parent
+    gateway to absorb.
+    """
+    gateway = StreamGateway()
+    for payload in payloads:
+        spec = ServiceSpec.from_dict(payload["spec"])
+        if payload["checkpoint"] is not None:
+            service = StreamService.resume(spec, payload["checkpoint"])
+        else:
+            service = StreamService(spec)
+        gateway.add_tenant(
+            payload["name"],
+            service,
+            max_pending=payload["max_pending"],
+            max_batch=payload["max_batch"],
+            rate_limit=payload["rate_limit"],
+            burst=payload["burst"],
+        )
+        if payload["checkpoint"] is not None:
+            tenant = gateway._tenants[payload["name"]]
+            tenant.source = service.last_source
+            tenant._sink_opened = True
+    asyncio.run(gateway.serve(max_windows=max_windows))
+    state = {}
+    for name in gateway.tenant_names:
+        tenant = gateway._tenants[name]
+        state[name] = {
+            "checkpoint": tenant.service.checkpoint(),
+            "answers": tenant.answers,
+            "shed": tenant.shed,
+            "sink_result": gateway.sink_result(name),
+        }
+    return state
+
 
 class StreamGateway:
     """Serve many named ``ServiceSpec`` pipelines on one asyncio loop."""
@@ -90,27 +265,67 @@ class StreamGateway:
 
     def add_tenant(
         self,
-        name: str,
-        spec: Union[ServiceSpec, Mapping, str],
+        name: Union[str, TenantSpec],
+        spec: Union[ServiceSpec, TenantSpec, Mapping, str, None] = None,
         *,
         source=None,
         sink=None,
         history=None,
         max_pending: int = 256,
         max_batch: int = 64,
+        rate_limit: Optional[float] = None,
+        burst: Optional[float] = None,
+        clock=None,
     ) -> StreamService:
         """Register one named pipeline; returns its compiled service.
 
-        ``source``/``sink`` override the spec's own connector fields
-        (that is how live queues and callbacks — payloads JSON cannot
-        carry — ride in).  Each tenant's spec needs its own ``seed``;
-        isolation is only meaningful when tenants do not share
-        randomness by accident.
+        ``spec`` may be a :class:`ServiceSpec` (or its dict/JSON
+        form), a live :class:`StreamService`, or a
+        :class:`~repro.service.spec.TenantSpec` carrying the tenancy
+        knobs (name, seed, budget, rate limit) as data — a bare
+        ``add_tenant(tenant_spec)`` works too.  ``source``/``sink``
+        override the spec's own connector fields (that is how live
+        queues and callbacks — payloads JSON cannot carry — ride in).
+        ``rate_limit`` (windows/second) arms a :class:`TokenBucket`
+        with ``burst`` capacity at this tenant's ingress; excess
+        windows are shed, counted, and surfaced — see
+        :meth:`shed_windows`.  ``clock`` injects a deterministic
+        clock for the bucket (tests).  Each tenant's spec needs its
+        own ``seed``; isolation is only meaningful when tenants do
+        not share randomness by accident.
         """
+        if isinstance(name, TenantSpec):
+            if spec is not None:
+                raise TypeError(
+                    "add_tenant(TenantSpec) carries its own name and "
+                    "spec; drop the second argument"
+                )
+            name, spec = name.name, name
+        if isinstance(spec, TenantSpec):
+            if name != spec.name:
+                raise ValueError(
+                    f"tenant name {name!r} does not match "
+                    f"TenantSpec.name {spec.name!r}"
+                )
+            if rate_limit is None:
+                rate_limit = spec.rate_limit
+                if burst is None:
+                    burst = spec.burst
+            spec = spec.resolved_spec()
         if not isinstance(name, str) or not name:
             raise ValueError("tenant name must be a non-empty string")
         if name in self._tenants:
             raise ValueError(f"tenant {name!r} already registered")
+        if rate_limit is not None:
+            check_positive("rate_limit", rate_limit)
+        if burst is not None:
+            if rate_limit is None:
+                raise ValueError(
+                    f"tenant {name!r} sets burst without rate_limit; "
+                    "burst is the token-bucket capacity of a rate "
+                    "limit"
+                )
+            check_positive("burst", burst)
         service = (
             spec if isinstance(spec, StreamService)
             else StreamService(spec, history=history)
@@ -127,8 +342,55 @@ class StreamGateway:
             sink=sink,
             max_pending=max_pending,
             max_batch=max_batch,
+            rate_limit=rate_limit,
+            burst=burst,
+            clock=clock,
         )
         return service
+
+    @classmethod
+    def from_json(cls, document: Union[str, Mapping]) -> "StreamGateway":
+        """Build a whole fleet from one JSON document.
+
+        ``document`` is a JSON string (or pre-parsed mapping) of the
+        form ``{"format": 1, "tenants": [<TenantSpec.to_dict()>,
+        ...]}`` — every tenant fully declarative, so the document plus
+        the seeds inside it reproduces the fleet bit-identically.
+        """
+        data = json.loads(document) if isinstance(document, str) else document
+        if not isinstance(data, Mapping):
+            raise TypeError(
+                f"gateway document must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        version = data.get("format", 1)
+        if version != 1:
+            raise ValueError(
+                f"unsupported gateway document format {version!r}"
+            )
+        unknown = sorted(set(data) - {"format", "tenants"})
+        if unknown:
+            raise ValueError(
+                f"gateway document has unknown fields {unknown}; "
+                "known fields: format, tenants"
+            )
+        tenants = data.get("tenants")
+        if not isinstance(tenants, Sequence) or isinstance(
+            tenants, (str, bytes)
+        ):
+            raise TypeError(
+                "gateway document needs a 'tenants' list of tenant "
+                "specs"
+            )
+        gateway = cls()
+        for item in tenants:
+            tenant = (
+                item
+                if isinstance(item, TenantSpec)
+                else TenantSpec.from_dict(item)
+            )
+            gateway.add_tenant(tenant)
+        return gateway
 
     @property
     def tenant_names(self) -> List[str]:
@@ -141,12 +403,15 @@ class StreamGateway:
 
     def sink_result(self, name: str):
         """What one tenant's sink accumulated so far (``None`` without
-        a sink)."""
-        sink = self._tenant(name).sink
+        a sink).  After :meth:`serve_scattered`, the sink lived in the
+        worker process; its shipped-back result is returned here."""
+        tenant = self._tenant(name)
         from repro.io.sinks import StreamSink
 
-        if isinstance(sink, StreamSink):
-            return sink.result()
+        if isinstance(tenant.sink, StreamSink):
+            return tenant.sink.result()
+        if tenant._scattered_sink_result is not None:
+            return tenant._scattered_sink_result
         return None
 
     def _tenant(self, name: str) -> _Tenant:
@@ -188,6 +453,88 @@ class StreamGateway:
         asyncio.run(self.serve(max_windows=max_windows))
         return self.results()
 
+    def serve_scattered(
+        self, *, slots: int = 2, max_windows: Optional[int] = None
+    ) -> Dict:
+        """Serve the fleet spread across forked worker processes.
+
+        A :class:`TenantScheduler` round-robins the tenants over at
+        most ``slots`` worker processes; each worker rebuilds its
+        group from shipped specs/checkpoints, serves one slice on its
+        own event loop, and returns per-tenant checkpoints, answers
+        and shed counts.  The parent absorbs them — resuming each
+        tenant's service from the returned checkpoint — so after this
+        call the gateway is in exactly the state a local
+        :meth:`serve` slice would have left it in, and may continue
+        serving locally or scattered.  Per-tenant randomness makes
+        the answers bit-identical to local serving.
+
+        Requires fully declarative tenants (connectors on the spec,
+        no runtime source/sink/clock objects) so the work can cross
+        the process boundary.  In-memory sink aggregates are returned
+        per scattered call (see :meth:`sink_result`); file sinks
+        append in the workers as usual.
+        """
+        if not self._tenants:
+            raise RuntimeError("no tenants registered; add_tenant() first")
+        payloads = {}
+        for name, tenant in self._tenants.items():
+            if not tenant.declarative or tenant.clock is not None:
+                raise ValueError(
+                    f"tenant {name!r} carries runtime connector "
+                    "objects; scattered serving needs fully "
+                    "declarative tenants (declare source=/sink= on "
+                    "the spec)"
+                )
+            payloads[name] = {
+                "name": name,
+                "spec": tenant.service.spec.to_dict(),
+                "checkpoint": (
+                    tenant.service.checkpoint()
+                    if tenant.service.session is not None
+                    else None
+                ),
+                "rate_limit": tenant.rate_limit,
+                "burst": tenant.burst,
+                "max_pending": tenant.max_pending,
+                "max_batch": tenant.max_batch,
+            }
+        groups = TenantScheduler(slots).assign(list(self._tenants))
+        # Fork keeps worker startup cheap and inherits the registries;
+        # spawn-only platforms fall back to their default context.
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        context = multiprocessing.get_context(method)
+        with ProcessPoolExecutor(
+            max_workers=len(groups), mp_context=context
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _serve_slot,
+                    [payloads[name] for name in group],
+                    max_windows,
+                )
+                for group in groups
+            ]
+            slot_states = [future.result() for future in futures]
+        for states in slot_states:
+            for name, state in states.items():
+                tenant = self._tenants[name]
+                spec = ServiceSpec.from_dict(state["checkpoint"]["spec"])
+                tenant.service = StreamService.resume(
+                    spec, state["checkpoint"]
+                )
+                tenant.source = tenant.service.last_source
+                tenant._sink_opened = True
+                tenant.shed += state["shed"]
+                tenant._scattered_sink_result = state["sink_result"]
+                for query, values in state["answers"].items():
+                    tenant.answers.setdefault(query, []).extend(values)
+        return self.results()
+
     def results(self) -> Dict[str, Dict[str, List[bool]]]:
         """Per-tenant, per-query answers accumulated so far."""
         return {
@@ -207,6 +554,17 @@ class StreamGateway:
             for name, tenant in self._tenants.items()
         }
 
+    def shed_windows(self) -> Dict[str, int]:
+        """Per-tenant windows shed by rate limiting so far.
+
+        A shed window was consumed from the tenant's source but never
+        perturbed or answered — its loss is deliberate load-shedding,
+        surfaced here and in the tenant's metrics sink, never silent.
+        """
+        return {
+            name: tenant.shed for name, tenant in self._tenants.items()
+        }
+
     # -- checkpoint / resume -------------------------------------------
 
     def checkpoint(self) -> Dict:
@@ -214,8 +572,10 @@ class StreamGateway:
 
         Per tenant: the spec, the session's full release state and the
         in-flight source offset (see
-        :meth:`StreamService.checkpoint`).  Sessions must be quiescent
-        — between :meth:`serve` slices they always are.
+        :meth:`StreamService.checkpoint`), plus any rate-limit
+        configuration (bucket *configuration*, not its transient
+        token level).  Sessions must be quiescent — between
+        :meth:`serve` slices they always are.
         """
         tenants = {}
         for name, tenant in self._tenants.items():
@@ -225,7 +585,18 @@ class StreamGateway:
                     "checkpoint; serve() at least one slice first"
                 )
             tenants[name] = tenant.service.checkpoint()
-        return {"format": 1, "tenants": tenants}
+        checkpoint = {"format": 1, "tenants": tenants}
+        limits = {
+            name: {
+                "rate_limit": tenant.rate_limit,
+                "burst": tenant.burst,
+            }
+            for name, tenant in self._tenants.items()
+            if tenant.rate_limit is not None
+        }
+        if limits:
+            checkpoint["rate_limits"] = limits
+        return checkpoint
 
     @classmethod
     def resume(
@@ -239,8 +610,9 @@ class StreamGateway:
         """Rebuild a gateway mid-stream from a :meth:`checkpoint`.
 
         Every tenant's service is rebuilt from its recorded spec, its
-        session restored, and its source re-resolved and skipped to
-        the checkpointed offset.  ``sources``/``sinks`` map tenant
+        session restored, its source re-resolved and skipped to the
+        checkpointed offset, and its rate limiter re-armed from the
+        recorded configuration.  ``sources``/``sinks`` map tenant
         names to replacement connector objects for payloads JSON
         cannot carry (live queues, callbacks); file sinks are reopened
         in append mode by the next :meth:`serve`.
@@ -248,6 +620,7 @@ class StreamGateway:
         sources = dict(sources or {})
         sinks = dict(sinks or {})
         histories = dict(histories or {})
+        rate_limits = checkpoint.get("rate_limits", {})
         gateway = cls()
         for name, tenant_checkpoint in checkpoint["tenants"].items():
             spec = ServiceSpec.from_dict(tenant_checkpoint["spec"])
@@ -257,6 +630,7 @@ class StreamGateway:
                 history=histories.get(name),
                 source=sources.get(name),
             )
+            limits = rate_limits.get(name) or {}
             tenant = _Tenant(
                 name,
                 service,
@@ -268,9 +642,16 @@ class StreamGateway:
                 max_batch=tenant_checkpoint.get(
                     "session_options", {}
                 ).get("max_batch", 64),
+                rate_limit=limits.get("rate_limit"),
+                burst=limits.get("burst"),
             )
             # A resumed file sink must append, not truncate, what the
             # pre-crash run already egressed.
             tenant._sink_opened = True
+            # Connector objects passed here are runtime payloads: the
+            # tenant can no longer cross a process boundary.
+            tenant.declarative = (
+                name not in sources and name not in sinks
+            )
             gateway._tenants[name] = tenant
         return gateway

@@ -1,12 +1,16 @@
 """Plugin registries resolving string specs to mechanisms and executors.
 
 The declarative service API names its components by *spec strings*:
-``mechanism="uniform-ppm"``, ``executor="sharded:process:8"``.  A spec
-string is a registered name optionally followed by colon-separated
-positional arguments (coerced to ``int``/``float`` when they parse);
-keyword options ride along separately
+``mechanism="uniform-ppm"``,
+``executor="sharded:backend=process,workers=8"``.  A spec string is a
+registered name optionally followed by ``key=value`` arguments (the
+shared grammar in :mod:`repro.service.specgrammar`, also used by the
+source/sink registry); keyword options ride along separately
 (:attr:`~repro.service.spec.ServiceSpec.mechanism_options` /
-``executor_options``).
+``executor_options``).  The legacy positional grammar
+(``"sharded:process:8"``, colon-separated arguments coerced to
+``int``/``float``) still resolves to identical objects behind exactly
+one ``DeprecationWarning`` per callsite.
 
 Third-party backends extend the service without touching core:
 
@@ -16,9 +20,10 @@ Third-party backends extend the service without touching core:
 ...     '''Executor offloading perturbation to an accelerator.'''
 ...     return MyAcceleratorExecutor(device)
 
-and ``ServiceSpec(executor="my-accelerator:gpu1", ...)`` just works —
-this is the hook the ROADMAP's distributed-shard and accelerator
-executors plug into.
+and ``ServiceSpec(executor="my-accelerator:device=gpu1", ...)`` just
+works (valid keys default to the factory's keyword parameters) — this
+is the hook the ROADMAP's distributed-shard and accelerator executors
+plug into.
 
 Mechanism factories receive a :class:`MechanismContext` (the spec's
 alphabet, private patterns, target queries and quality weight, plus
@@ -40,6 +45,14 @@ from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cep.patterns import Pattern
+from repro.service.specgrammar import (
+    SpecKey,
+    format_value,
+    is_kv_tail,
+    kv_kwargs,
+    suggest_kv_spec,
+    warn_legacy_spec,
+)
 from repro.streams.indicator import EventAlphabet
 from repro.utils.validation import check_positive
 
@@ -83,14 +96,34 @@ def _coerce(argument: str) -> object:
     return argument
 
 
-class _Registry:
-    """One name → factory table with alias support."""
+def _derive_keys(factory: Callable) -> Tuple[SpecKey, ...]:
+    """Default key schema: the factory's named keyword parameters."""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # pragma: no cover - C callables
+        return ()
+    return tuple(
+        SpecKey(parameter.name)
+        for parameter in signature.parameters.values()
+        if parameter.kind
+        in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        )
+    )
 
-    def __init__(self, kind: str):
+
+class _Registry:
+    """One name → factory table with alias and key-schema support."""
+
+    def __init__(self, kind: str, *, keyed: bool = True):
         self._kind = kind
+        self._keyed = keyed
         self._factories: Dict[str, Callable] = {}
         self._canonical: Dict[str, str] = {}
         self._raw_tail: Dict[str, bool] = {}
+        self._keys: Dict[str, Tuple[SpecKey, ...]] = {}
+        self._suggest: Dict[str, Optional[Callable]] = {}
 
     def register(
         self,
@@ -98,25 +131,36 @@ class _Registry:
         *,
         aliases: Sequence[str] = (),
         raw_tail: bool = False,
+        keys: Optional[Sequence[SpecKey]] = None,
+        suggest: Optional[Callable] = None,
     ):
         """``raw_tail=True`` hands the factory everything after the
         first colon as one uncoerced string — for connectors whose
         argument is a path (paths may contain colons, and a numeric
-        filename must stay a string)."""
+        filename must stay a string).  ``keys`` declares the name's
+        valid key=value keys (default: the factory's keyword
+        parameters); ``suggest`` optionally maps legacy positional
+        arguments to ``(key, value)`` pairs for the deprecation
+        warning's suggested rewrite."""
 
         def decorator(factory: Callable) -> Callable:
-            keys = (name, *aliases)
+            spec_names = (name, *aliases)
             # Check every key before inserting any, so a collision
             # leaves no partial registration behind.
-            taken = [key for key in keys if key in self._factories]
+            taken = [key for key in spec_names if key in self._factories]
             if taken:
                 raise ValueError(
                     f"{self._kind} spec(s) {taken} already registered"
                 )
-            for key in keys:
+            spec_keys = (
+                tuple(keys) if keys is not None else _derive_keys(factory)
+            )
+            for key in spec_names:
                 self._factories[key] = factory
                 self._canonical[key] = name
                 self._raw_tail[key] = raw_tail
+                self._keys[key] = spec_keys
+                self._suggest[key] = suggest
             return factory
 
         return decorator
@@ -125,37 +169,101 @@ class _Registry:
         """All registered spec names (canonical names and aliases)."""
         return tuple(sorted(self._factories))
 
-    def resolve(self, spec: str) -> Tuple[Callable, Tuple[object, ...]]:
-        name, args = parse_spec(spec)
+    def keys_for(self, spec: str) -> Tuple[SpecKey, ...]:
+        """The key=value keys a spec's registered name accepts."""
+        name, _tail = self._lookup(spec)
+        return self._keys[name]
+
+    def _lookup(self, spec: str) -> Tuple[str, Optional[str]]:
+        """Split off the registered name; ``None`` tail means no colon."""
+        if not isinstance(spec, str) or not spec.strip():
+            raise ValueError(
+                f"spec must be a non-empty string, got {spec!r}"
+            )
+        name, sep, tail = spec.strip().partition(":")
         if name not in self._factories:
             raise UnknownSpecError(
                 f"unknown {self._kind} spec {name!r}; registered "
                 f"{self._kind} specs: {', '.join(self.names())}"
             )
+        return name, (tail if sep else None)
+
+    def _is_kv(self, name: str, tail: Optional[str]) -> bool:
+        if not self._keyed or not tail:
+            return False
+        # Raw-tail connectors stay in address mode unless the first
+        # segment names a *declared* key, so "csv:data=1.csv" is a
+        # path while "csv:path=data.csv" is key=value.
+        schema = self._keys[name] if self._raw_tail[name] else ()
+        return is_kv_tail(tail, keys=schema)
+
+    def _warn_legacy(self, name: str, spec: str, args: Tuple) -> None:
+        suggest = self._suggest.get(name)
+        try:
+            if suggest is not None:
+                pairs = suggest(args)
+                suggestion = f"{name}:" + ",".join(
+                    f"{key}={format_value(value)}" for key, value in pairs
+                )
+            else:
+                suggestion = suggest_kv_spec(name, args, self._keys[name])
+        except Exception:
+            # A suggestion is best-effort decoration; classification
+            # errors must never mask the factory's own validation.
+            suggestion = None
+        warn_legacy_spec(self._kind, spec, suggestion)
+
+    def resolve(
+        self, spec: str
+    ) -> Tuple[Callable, Tuple[object, ...], Dict[str, object]]:
+        name, tail = self._lookup(spec)
+        factory = self._factories[name]
+        if self._is_kv(name, tail):
+            kwargs = kv_kwargs(
+                tail,
+                self._keys[name],
+                where=f"{self._kind} spec {name!r}",
+            )
+            return factory, (), kwargs
         if self._raw_tail[name]:
             # Even an empty tail is passed through, so the connector's
             # own pointed needs-a-path error fires instead of a bare
-            # arity TypeError.
-            _head, _sep, tail = spec.strip().partition(":")
-            args = (tail,)
-        return self._factories[name], args
+            # arity TypeError.  Address tails never deprecate: the
+            # silent "csv:<path>" form is first-class.
+            return factory, (tail or "",), {}
+        _name, args = parse_spec(spec)
+        if args and self._keyed:
+            self._warn_legacy(name, spec, args)
+        return factory, args, {}
 
     def canonical(self, spec: str) -> str:
-        name, _args = parse_spec(spec)
-        if name not in self._canonical:
-            raise UnknownSpecError(
-                f"unknown {self._kind} spec {name!r}; registered "
-                f"{self._kind} specs: {', '.join(self.names())}"
+        name, tail = self._lookup(spec)
+        if self._is_kv(name, tail):
+            # Validate the keys at parse time so an unknown key fails
+            # inside ServiceSpec construction, not at build time.
+            kv_kwargs(
+                tail,
+                self._keys[name],
+                where=f"{self._kind} spec {name!r}",
             )
-        if self._raw_tail.get(name) and not spec.strip().partition(":")[2]:
-            raise ValueError(
-                f"{self._kind} spec {name!r} needs an argument: "
-                f"'{name}:<path>'"
-            )
+            return self._canonical[name]
+        if self._raw_tail[name]:
+            if not tail:
+                raise ValueError(
+                    f"{self._kind} spec {name!r} needs an argument: "
+                    f"'{name}:<path>'"
+                )
+            return self._canonical[name]
+        _name, args = parse_spec(spec)
+        if args and self._keyed:
+            self._warn_legacy(name, spec, args)
         return self._canonical[name]
 
 
-_MECHANISMS = _Registry("mechanism")
+# Mechanism specs keep the short positional grammar (a mechanism takes
+# at most a budget argument and tests/papers spell them bare); only the
+# keyed registries (executors, sources, sinks) speak key=value.
+_MECHANISMS = _Registry("mechanism", keyed=False)
 _EXECUTORS = _Registry("executor")
 
 
@@ -169,14 +277,25 @@ def register_mechanism(name: str, *, aliases: Sequence[str] = ()):
     return _MECHANISMS.register(name, aliases=aliases)
 
 
-def register_executor(name: str, *, aliases: Sequence[str] = ()):
+def register_executor(
+    name: str,
+    *,
+    aliases: Sequence[str] = (),
+    keys: Optional[Sequence[SpecKey]] = None,
+    suggest: Optional[Callable] = None,
+):
     """Register an executor factory under a spec name (plus aliases).
 
-    The factory is called as ``factory(*spec_args, **options)`` and must
+    The factory is called as
+    ``factory(*legacy_args, **spec_kwargs, **options)`` and must
     return an executor exposing
     ``run(pipeline, indicators, rng=...) -> PipelineResult``.
+    ``keys`` declares the spec's key=value keys (default: the
+    factory's keyword parameters).
     """
-    return _EXECUTORS.register(name, aliases=aliases)
+    return _EXECUTORS.register(
+        name, aliases=aliases, keys=keys, suggest=suggest
+    )
 
 
 def registered_mechanisms() -> Tuple[str, ...]:
@@ -206,7 +325,7 @@ def mechanism_factory_accepts(spec: str, parameter: str) -> bool:
     (``conversion_mode``, ``step_size``, ...) only to factories that
     declare them, keeping unknown *user* options a hard error.
     """
-    factory, _args = _MECHANISMS.resolve(spec)
+    factory, _args, _kwargs = _MECHANISMS.resolve(spec)
     try:
         signature = inspect.signature(factory)
     except (TypeError, ValueError):  # pragma: no cover - C callables
@@ -228,14 +347,18 @@ def build_mechanism_from_spec(
     arguments; unknown names raise :class:`UnknownSpecError` listing
     every registered spec.
     """
-    factory, args = _MECHANISMS.resolve(spec)
-    return factory(context, *args, **options)
+    factory, args, kwargs = _MECHANISMS.resolve(spec)
+    return factory(context, *args, **{**kwargs, **options})
 
 
 def build_executor_from_spec(spec: str, **options):
-    """Instantiate the executor a spec string names."""
-    factory, args = _EXECUTORS.resolve(spec)
-    return factory(*args, **options)
+    """Instantiate the executor a spec string names.
+
+    Spec-string key=value arguments and ``options`` merge (explicit
+    keyword options win).
+    """
+    factory, args, kwargs = _EXECUTORS.resolve(spec)
+    return factory(*args, **{**kwargs, **options})
 
 
 # ---------------------------------------------------------------------------
@@ -562,7 +685,7 @@ def _build_user_rr(
 # ---------------------------------------------------------------------------
 
 
-@register_executor("batch")
+@register_executor("batch", keys=())
 def _build_batch_executor():
     """The vectorized whole-stream executor (the default)."""
     from repro.runtime.executors import BatchExecutor
@@ -570,11 +693,14 @@ def _build_batch_executor():
     return BatchExecutor()
 
 
-@register_executor("chunked")
+@register_executor(
+    "chunked",
+    keys=(SpecKey("size", dest="chunk_size"), SpecKey("materialize")),
+)
 def _build_chunked_executor(
     chunk_size: int = 256, *, materialize: bool = True
 ):
-    """Bounded-memory chunked execution: ``"chunked:512"``."""
+    """Bounded-memory chunked execution: ``"chunked:size=512"``."""
     from repro.runtime.executors import ChunkedExecutor
 
     return ChunkedExecutor(chunk_size, materialize=materialize)
@@ -586,21 +712,52 @@ def _build_chunked_executor(
 SHARDED_TRANSPORT_FLAGS = {"copy": False, "zerocopy": True}
 
 
-@register_executor("sharded")
+def _sharded_transport(value: str) -> bool:
+    """Map a ``transport=`` flag to ``zero_copy``; pointed on typos."""
+    if value not in SHARDED_TRANSPORT_FLAGS:
+        raise ValueError(
+            f"unknown transport flag {value!r}; valid transport "
+            f"flags: {', '.join(sorted(SHARDED_TRANSPORT_FLAGS))}"
+        )
+    return SHARDED_TRANSPORT_FLAGS[value]
+
+
+def _suggest_sharded(args: Sequence[object]):
+    """Classify legacy positional sharded arguments onto their keys."""
+    pairs = []
+    for argument in args:
+        if isinstance(argument, int):
+            pairs.append(("workers", argument))
+        elif argument in SHARDED_TRANSPORT_FLAGS:
+            pairs.append(("transport", argument))
+        else:
+            pairs.append(("backend", argument))
+    return pairs
+
+
+@register_executor(
+    "sharded",
+    keys=(
+        SpecKey("backend"),
+        SpecKey("workers", dest="n_workers"),
+        SpecKey("transport", dest="zero_copy", convert=_sharded_transport),
+    ),
+    suggest=_suggest_sharded,
+)
 def _build_sharded_executor(*args, **options):
     """Parallel sharded execution:
-    ``"sharded[:backend][:workers][:copy|zerocopy]"``.
+    ``"sharded:backend=process,workers=8,transport=zerocopy"``.
 
-    Positional spec arguments may name the backend (``thread`` /
-    ``process``), give the worker count, and/or pick the shard
-    transport, in any order: ``"sharded:process:8"``, ``"sharded:4"``,
-    ``"sharded:thread"``, ``"sharded:process:8:copy"`` (pickled shard
-    transport, for debugging the default zero-copy shared-memory
-    plane).  Keyword options pass through to
+    Keys: ``backend=`` (``thread`` / ``process``), ``workers=``, and
+    ``transport=`` (``copy`` pickles shard slices, for debugging the
+    default zero-copy shared-memory plane).  The legacy positional
+    grammar (``"sharded:process:8:copy"`` — backend, worker count
+    and/or transport flag in any order) still resolves behind one
+    deprecation warning.  Keyword options pass through to
     :class:`~repro.runtime.executors.ShardedExecutor`.
     """
     from repro.runtime.executors import ShardedExecutor
-    from repro.runtime.sharding import validate_backend
+    from repro.runtime.sharding import BACKENDS
 
     backend = options.pop("backend", None)
     n_workers = options.pop("n_workers", None)
@@ -620,17 +777,41 @@ def _build_sharded_executor(*args, **options):
                     f"zero_copy={zero_copy} and {argument!r}"
                 )
             zero_copy = SHARDED_TRANSPORT_FLAGS[argument]
-        else:
+        elif argument in BACKENDS:
             if backend is not None:
                 raise ValueError(
                     f"sharded executor spec gives two backends: "
                     f"{backend!r} and {argument!r}"
                 )
-            validate_backend(argument)
             backend = argument
+        else:
+            raise ValueError(
+                f"unknown token {argument!r} in sharded executor "
+                f"spec; expected a backend ({', '.join(BACKENDS)}), "
+                f"a worker count, or a transport flag "
+                f"({', '.join(sorted(SHARDED_TRANSPORT_FLAGS))})"
+            )
     return ShardedExecutor(
         n_workers,
         backend=backend or "thread",
         zero_copy=zero_copy,
         **options,
     )
+
+
+@register_executor(
+    "cluster",
+    keys=(SpecKey("workers", dest="n_workers"), SpecKey("transport")),
+)
+def _build_cluster_executor(n_workers=None, *, transport="shm", **options):
+    """Cluster worker-fleet execution:
+    ``"cluster:workers=8,transport=shm"``.
+
+    ``transport=shm`` attaches workers to the shared-memory data plane
+    (local fleet); ``transport=framed`` ships shard slices as framed
+    bytes (the remote-style fallback).  Keyword options pass through
+    to :class:`~repro.runtime.cluster.ClusterExecutor`.
+    """
+    from repro.runtime.cluster import ClusterExecutor
+
+    return ClusterExecutor(n_workers, transport=transport, **options)

@@ -98,10 +98,13 @@ class StreamService:
                 )
             if spec.accounting is not None:
                 engine.enable_accounting(spec.accounting)
+            # Inside the suppression block: the spec already warned
+            # about a legacy positional executor spec when it was
+            # validated, so re-resolving it here must stay silent.
+            self._executor = build_executor_from_spec(
+                spec.executor, **spec.executor_options
+            )
         self._engine = engine
-        self._executor = build_executor_from_spec(
-            spec.executor, **spec.executor_options
-        )
 
     def _mechanism_context(self) -> MechanismContext:
         spec = self._spec
@@ -205,7 +208,10 @@ class StreamService:
                     "no data to serve: pass a stream/source here or "
                     "declare source= on the spec (e.g. 'csv:<path>')"
                 )
-            source = resolve_source(spec.source, **spec.source_options)
+            # Spec-declared sources were validated (and warned, if
+            # positional) at ServiceSpec construction: stay silent.
+            with suppress_imperative_warnings():
+                source = resolve_source(spec.source, **spec.source_options)
         elif isinstance(source, str):
             source = resolve_source(source)
         elif not isinstance(source, StreamSource):
@@ -224,7 +230,10 @@ class StreamService:
         if sink is None:
             if spec.sink is None:
                 return None
-            sink = resolve_sink(spec.sink, **spec.sink_options)
+            # Spec-declared sinks were validated (and warned, if
+            # positional) at ServiceSpec construction: stay silent.
+            with suppress_imperative_warnings():
+                sink = resolve_sink(spec.sink, **spec.sink_options)
         elif isinstance(sink, str):
             sink = resolve_sink(sink)
         elif not isinstance(sink, StreamSink):

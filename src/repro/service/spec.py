@@ -41,6 +41,7 @@ __all__ = [
     "QuerySpec",
     "QualitySpec",
     "ServiceSpec",
+    "TenantSpec",
 ]
 
 #: Declarative window-assigner kinds accepted by ``ServiceSpec.window``
@@ -535,4 +536,128 @@ class ServiceSpec:
     @classmethod
     def from_json(cls, document: str) -> "ServiceSpec":
         """Rebuild a spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(document))
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One gateway tenant as data: a named, budgeted, rate-limited spec.
+
+    A :class:`~repro.service.gateway.StreamGateway` fleet is a list of
+    these — each names a :class:`ServiceSpec` pipeline and the tenancy
+    knobs the gateway applies around it: the tenant's own ``seed`` and
+    privacy ``budget`` (overriding the service spec's ``seed`` /
+    ``accounting`` fields, so one shared pipeline spec can serve many
+    isolated tenants), plus an ingress ``rate_limit`` (windows per
+    second, token bucket with optional ``burst`` capacity) beyond which
+    windows are *shed* — dropped before perturbation, counted, and
+    surfaced in the tenant's metrics rather than silently lost.
+
+    Like :class:`ServiceSpec`, a tenant spec is frozen and round-trips
+    through JSON, so a whole fleet is constructible from one JSON
+    document (:meth:`StreamGateway.from_json`).
+    """
+
+    name: str
+    service: ServiceSpec
+    seed: Optional[int] = None
+    budget: Optional[float] = None
+    rate_limit: Optional[float] = None
+    burst: Optional[float] = None
+
+    def __post_init__(self):
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError("tenant name must be a non-empty string")
+        service = self.service
+        if isinstance(service, str):
+            service = ServiceSpec.from_json(service)
+        elif isinstance(service, Mapping):
+            service = ServiceSpec.from_dict(service)
+        if not isinstance(service, ServiceSpec):
+            raise TypeError(
+                f"tenant {self.name!r} service must be a ServiceSpec "
+                f"(or its dict/JSON form), got {type(service).__name__}"
+            )
+        object.__setattr__(self, "service", service)
+        if self.seed is not None:
+            import numpy as np
+
+            if isinstance(self.seed, np.integer):
+                object.__setattr__(self, "seed", int(self.seed))
+            if isinstance(self.seed, bool) or not isinstance(
+                self.seed, int
+            ):
+                raise TypeError(
+                    f"seed must be an int or None, got "
+                    f"{type(self.seed).__name__}"
+                )
+        if self.budget is not None:
+            check_positive("budget", self.budget, allow_inf=True)
+            object.__setattr__(self, "budget", float(self.budget))
+        if self.rate_limit is not None:
+            check_positive("rate_limit", self.rate_limit)
+            object.__setattr__(self, "rate_limit", float(self.rate_limit))
+        if self.burst is not None:
+            if self.rate_limit is None:
+                raise ValueError(
+                    f"tenant {self.name!r} sets burst without "
+                    "rate_limit; burst is the token-bucket capacity of "
+                    "a rate limit"
+                )
+            check_positive("burst", self.burst)
+            object.__setattr__(self, "burst", float(self.burst))
+
+    def resolved_spec(self) -> ServiceSpec:
+        """The service spec with this tenant's seed/budget applied."""
+        spec = self.service
+        changes = {}
+        if self.seed is not None:
+            changes["seed"] = self.seed
+        if self.budget is not None:
+            changes["accounting"] = self.budget
+        return spec.with_(**changes) if changes else spec
+
+    def with_(self, **changes) -> "TenantSpec":
+        """A copy of this tenant spec with the given fields replaced."""
+        return replace(self, **changes)
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict fully describing this tenant."""
+        return {
+            "format": 1,
+            "name": self.name,
+            "service": self.service.to_dict(),
+            "seed": self.seed,
+            "budget": self.budget,
+            "rate_limit": self.rate_limit,
+            "burst": self.burst,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TenantSpec":
+        """Rebuild a tenant spec from :meth:`to_dict` output."""
+        if not isinstance(data, Mapping):
+            raise TypeError(
+                f"tenant dict must be a mapping, got "
+                f"{type(data).__name__}"
+            )
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = sorted(set(data) - known - {"format"})
+        if unknown:
+            raise ValueError(
+                f"tenant dict has unknown fields {unknown}; known "
+                f"fields: {', '.join(sorted(known))}"
+            )
+        kwargs = {key: value for key, value in data.items() if key in known}
+        return cls(**kwargs)
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """This tenant spec as a JSON document (stable key order)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, document: str) -> "TenantSpec":
+        """Rebuild a tenant spec from :meth:`to_json` output."""
         return cls.from_dict(json.loads(document))

@@ -1,0 +1,249 @@
+"""The shared ``name:key=value,...`` spec grammar.
+
+Every registry that resolves spec strings — executors and mechanisms in
+:mod:`repro.service.registry`, sources and sinks in
+:mod:`repro.io.registry` — historically used a *positional* grammar
+(``"sharded:process:8:zerocopy"``) whose argument meaning depended on
+order and type sniffing.  This module implements the replacement
+grammar once, so both registries parse identically:
+
+``name:key=value[,key=value...]``
+    ``"sharded:backend=process,workers=8,transport=zerocopy"``,
+    ``"cluster:workers=8,transport=shm"``,
+    ``"synthetic:generator=bernoulli,windows=500,seed=3"``.
+
+Each registered name declares its valid keys as a tuple of
+:class:`SpecKey` (name, destination keyword, optional converter).
+Unknown keys fail **at parse time** listing the valid keys for that
+name — misspellings never fall through to a factory ``TypeError``.
+
+Values coerce like positional arguments always did (``int`` then
+``float``), plus ``true``/``false`` for booleans; ``raw`` keys (paths)
+skip coercion so a numeric filename stays a string.  Values may contain
+``:`` freely (the spec splits on the *first* colon only); a value may
+not contain ``,`` — connectors whose path needs a comma keep the
+silent address form (``"csv:<path>"``), which remains first-class.
+
+Legacy positional tails keep resolving to identical objects behind
+exactly one :func:`repro.utils.deprecation.warn_superseded` warning per
+callsite; the warning spells out the equivalent key=value spec.
+"""
+
+from __future__ import annotations
+
+import re
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.utils.deprecation import warn_superseded
+
+__all__ = [
+    "SpecKey",
+    "coerce_scalar",
+    "format_spec",
+    "format_value",
+    "is_kv_tail",
+    "kv_kwargs",
+    "parse_kv_tail",
+    "suggest_kv_spec",
+    "warn_legacy_spec",
+]
+
+#: A key=value segment's key: an identifier (letters, digits, ``_``,
+#: ``-``; no leading digit).  The first comma-segment of a spec tail
+#: matching ``<key>=`` switches the tail into key=value mode.
+_KV_KEY = re.compile(r"^[A-Za-z_][A-Za-z0-9_-]*$")
+
+
+@dataclass(frozen=True)
+class SpecKey:
+    """One valid key of a registered spec name.
+
+    Attributes
+    ----------
+    name:
+        The key as written in the spec string (``"workers"``).
+    dest:
+        The factory keyword it maps to (``"n_workers"``); defaults to
+        ``name``.
+    convert:
+        Optional converter applied to the raw string value (e.g. a
+        transport-flag lookup that raises a pointed error on unknown
+        flags).  Defaults to :func:`coerce_scalar`.
+    raw:
+        ``True`` passes the value through uncoerced (paths).
+    """
+
+    name: str
+    dest: Optional[str] = None
+    convert: Optional[Callable[[str], object]] = None
+    raw: bool = False
+
+    @property
+    def destination(self) -> str:
+        return self.dest or self.name
+
+    def value(self, text: str) -> object:
+        if self.raw:
+            return text
+        if self.convert is not None:
+            return self.convert(text)
+        return coerce_scalar(text)
+
+
+def coerce_scalar(text: str) -> object:
+    """Coerce one spec value: ``int``, ``float``, ``true``/``false``,
+    else the string itself (the positional grammar's coercion plus
+    spelled-out booleans)."""
+    for kind in (int, float):
+        try:
+            return kind(text)
+        except ValueError:
+            continue
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    return text
+
+
+def format_value(value: object) -> str:
+    """Render one value back into spec-string form."""
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    return str(value)
+
+
+def is_kv_tail(tail: str, *, keys: Sequence[SpecKey] = ()) -> bool:
+    """Whether a spec tail is in key=value form.
+
+    The first comma-segment decides: ``<identifier>=...`` means
+    key=value.  When ``keys`` is given (raw-tail connectors, whose tail
+    is normally an opaque path), the identifier must additionally name
+    a declared key — ``"csv:path=data.csv"`` is key=value while
+    ``"csv:data=1.csv"`` stays a path.
+    """
+    head = tail.split(",", 1)[0]
+    name, sep, _value = head.partition("=")
+    if not sep or not _KV_KEY.match(name):
+        return False
+    if keys:
+        return name in {key.name for key in keys}
+    return True
+
+
+def parse_kv_tail(tail: str, *, where: str) -> List[Tuple[str, str]]:
+    """Split a key=value tail into ordered ``(key, raw_value)`` pairs.
+
+    Duplicate keys and segments that are not ``key=value`` are parse
+    errors; ``where`` names the offending spec in the message.
+    """
+    pairs: List[Tuple[str, str]] = []
+    seen = set()
+    for segment in tail.split(","):
+        key, sep, value = segment.partition("=")
+        if not sep or not _KV_KEY.match(key):
+            raise ValueError(
+                f"{where}: segment {segment!r} is not 'key=value'; "
+                f"expected 'name:key=value[,key=value...]'"
+            )
+        if key in seen:
+            raise ValueError(f"{where}: duplicate key {key!r}")
+        seen.add(key)
+        pairs.append((key, value))
+    return pairs
+
+
+def kv_kwargs(
+    tail: str,
+    keys: Sequence[SpecKey],
+    *,
+    where: str,
+) -> dict:
+    """Parse a key=value tail against a spec name's declared keys.
+
+    Returns factory keyword arguments (keys mapped through their
+    ``dest``, values converted).  Unknown keys raise listing every
+    valid key for the name, mirroring the registries' unknown-name
+    error style.
+    """
+    by_name = {key.name: key for key in keys}
+    kwargs = {}
+    for name, value in parse_kv_tail(tail, where=where):
+        spec_key = by_name.get(name)
+        if spec_key is None:
+            valid = ", ".join(sorted(by_name)) or "(none)"
+            raise ValueError(
+                f"unknown key {name!r} for {where}; valid keys: {valid}"
+            )
+        try:
+            kwargs[spec_key.destination] = spec_key.value(value)
+        except ValueError as error:
+            raise ValueError(f"{where}: key {name!r}: {error}") from None
+    return kwargs
+
+
+def format_spec(name: str, pairs: Sequence[Tuple[str, object]]) -> str:
+    """Render ``(name, pairs)`` into canonical key=value spec form.
+
+    Keys are sorted, so ``parse → format → parse`` is a fixed point.
+    """
+    if not pairs:
+        return name
+    rendered = ",".join(
+        f"{key}={format_value(value)}"
+        for key, value in sorted(pairs, key=lambda pair: pair[0])
+    )
+    return f"{name}:{rendered}"
+
+
+def suggest_kv_spec(
+    name: str,
+    args: Sequence[object],
+    keys: Sequence[SpecKey],
+) -> Optional[str]:
+    """The key=value spelling of a legacy positional spec.
+
+    Positional arguments zip onto the declared keys in order; when the
+    shapes do not line up (more arguments than keys), there is no
+    faithful suggestion and the caller warns without one.
+    """
+    if len(args) > len(keys):
+        return None
+    pairs = [
+        (key.name, argument)
+        for key, argument in zip(keys, args)
+    ]
+    return f"{name}:" + ",".join(
+        f"{key}={format_value(value)}" for key, value in pairs
+    )
+
+
+def warn_legacy_spec(
+    kind: str,
+    spec: str,
+    suggestion: Optional[str],
+    *,
+    stacklevel: int = 5,
+) -> None:
+    """One pointed warning for a positional spec tail.
+
+    Emitted at most once per callsite (standard ``warnings`` registry
+    semantics), silent inside the service layer's
+    :func:`~repro.utils.deprecation.suppress_imperative_warnings`
+    block so spec-built services never double-warn.
+    """
+    hint = (
+        f": use {suggestion!r} instead"
+        if suggestion is not None
+        else ""
+    )
+    warn_superseded(
+        f"positional {kind} spec {spec!r} is superseded by the "
+        f"key=value spec grammar{hint} (see repro.service.ServiceSpec "
+        "spec grammar).",
+        stacklevel=stacklevel,
+    )

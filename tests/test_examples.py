@@ -56,6 +56,15 @@ class TestExamplesRun:
         assert "metrics sink" in output
         assert "identical to the uninterrupted run: True" in output
 
+    def test_cluster_gateway(self, capsys):
+        load_example("cluster_gateway").main()
+        output = capsys.readouterr().out
+        assert "one JSON document" in output
+        assert "identical to the local loop: True" in output
+        assert "shed 100" in output
+        assert "requeued the shard" in output
+        assert "bit-identical to batch: True" in output
+
     def test_taxi_fleet_scaled_down(self, capsys, monkeypatch):
         module = load_example("taxi_fleet")
         from repro.datasets import TaxiConfig

@@ -320,3 +320,122 @@ class TestIoShimsWarnExactlyOnce:
             gateway = StreamGateway()
             gateway.add_tenant("a", spec)
             gateway.run()
+
+
+class TestLegacySpecGrammarWarnsExactlyOnce:
+    """PR 7: positional spec tails warn once per callsite with the
+    key=value rewrite spelled out; key=value and bare-name specs —
+    and raw-tail address specs (paths) — never warn."""
+
+    def assert_one_spec_warning(self, callsite, *, mentions):
+        emitted = deprecation_warnings(callsite)
+        assert len(emitted) == 1, (
+            f"expected exactly one DeprecationWarning, got "
+            f"{[str(entry.message) for entry in emitted]}"
+        )
+        message = str(emitted[0].message)
+        assert "key=value spec grammar" in message
+        assert mentions in message
+        assert "ServiceSpec" in message  # points at the new grammar
+
+    def test_legacy_executor_spec_warns_with_rewrite(self):
+        from repro.service import build_executor_from_spec
+
+        self.assert_one_spec_warning(
+            lambda: build_executor_from_spec("sharded:process:8:zerocopy"),
+            mentions=(
+                "use 'sharded:backend=process,workers=8,"
+                "transport=zerocopy' instead"
+            ),
+        )
+
+    def test_legacy_chunked_spec_warns_with_rewrite(self):
+        from repro.service import build_executor_from_spec
+
+        self.assert_one_spec_warning(
+            lambda: build_executor_from_spec("chunked:128"),
+            mentions="use 'chunked:size=128' instead",
+        )
+
+    def test_legacy_source_spec_warns_with_rewrite(self):
+        from repro.io import resolve_source
+
+        self.assert_one_spec_warning(
+            lambda: resolve_source("synthetic:bernoulli:400:21"),
+            mentions=(
+                "use 'synthetic:generator=bernoulli,windows=400,"
+                "seed=21' instead"
+            ),
+        )
+
+    def test_legacy_sink_spec_warns_with_rewrite(self):
+        from repro.io import resolve_sink
+
+        self.assert_one_spec_warning(
+            lambda: resolve_sink("metrics:0.7"),
+            mentions="use 'metrics:alpha=0.7' instead",
+        )
+
+    def test_spec_validation_warns_once_build_stays_silent(self):
+        """ServiceSpec warns at validation; building and running the
+        validated spec re-resolves the executor silently — one warning
+        per callsite total, not one per phase."""
+        rng = np.random.default_rng(3)
+        stream = IndicatorStream(ALPHABET, rng.random((30, 4)) < 0.4)
+
+        def callsite():
+            spec = ServiceSpec(
+                alphabet=ALPHABET,
+                patterns=[PRIVATE],
+                queries=[("q", TARGET)],
+                mechanism="uniform-ppm",
+                mechanism_options={"epsilon": 2.0},
+                executor="sharded:thread:2",
+                seed=7,
+            )
+            spec.build().run(stream)
+
+        self.assert_one_spec_warning(
+            callsite, mentions="'sharded:thread:2'"
+        )
+
+    def test_keyed_and_bare_specs_never_warn(self):
+        from repro.io import resolve_sink, resolve_source
+        from repro.service import build_executor_from_spec
+
+        rng = np.random.default_rng(5)
+        stream = IndicatorStream(ALPHABET, rng.random((30, 4)) < 0.4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            build_executor_from_spec("batch")
+            build_executor_from_spec(
+                "sharded:backend=thread,workers=2"
+            )
+            build_executor_from_spec("cluster:workers=2,transport=shm")
+            resolve_source(
+                "synthetic:generator=bernoulli,windows=10,seed=1"
+            )
+            resolve_sink("metrics:alpha=0.7")
+            ServiceSpec(
+                alphabet=ALPHABET,
+                patterns=[PRIVATE],
+                queries=[("q", TARGET)],
+                mechanism="uniform-ppm",
+                mechanism_options={"epsilon": 2.0},
+                executor="sharded:backend=thread,workers=2",
+                seed=7,
+            ).build().run(stream)
+
+    def test_mechanism_specs_keep_positional_grammar_silently(self):
+        """Mechanism specs are exempt: their short positional budget
+        argument ('uniform-ppm' options) is not deprecated."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ServiceSpec(
+                alphabet=ALPHABET,
+                patterns=[PRIVATE],
+                queries=[("q", TARGET)],
+                mechanism="uniform-ppm",
+                mechanism_options={"epsilon": 2.0},
+                seed=7,
+            )

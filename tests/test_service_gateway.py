@@ -513,3 +513,193 @@ class TestBatchRunSessionSeparation:
 
         with pytest.raises(ValueError, match="needs a path"):
             resolve_source("csv:")
+
+
+class TestElasticity:
+    """PR 7: tenant scheduling, rate limits, shed surfacing, scatter."""
+
+    def _declarative_spec(self, seed, n=60):
+        return make_spec(
+            seed,
+            source=(
+                f"synthetic:generator=bernoulli,windows={n},"
+                f"seed={seed + 100},p=0.4"
+            ),
+            sink="metrics",
+        )
+
+    def test_add_tenant_accepts_tenant_spec(self):
+        from repro.service import TenantSpec
+
+        tenant = TenantSpec(
+            name="t",
+            service=self._declarative_spec(3),
+            seed=11,
+            budget=8.0,
+        )
+        gateway = StreamGateway()
+        service = gateway.add_tenant(tenant)
+        assert gateway.tenant_names == ["t"]
+        assert service.spec.seed == 11
+        assert service.spec.accounting == 8.0
+
+    def test_tenant_spec_json_round_trip(self):
+        from repro.service import TenantSpec
+
+        tenant = TenantSpec(
+            name="t",
+            service=self._declarative_spec(3),
+            seed=11,
+            rate_limit=100.0,
+            burst=5.0,
+        )
+        assert TenantSpec.from_json(tenant.to_json()) == tenant
+        with pytest.raises(ValueError, match="unknown fields"):
+            TenantSpec.from_dict({"name": "t", "bogus": 1})
+        with pytest.raises(ValueError, match="burst without"):
+            TenantSpec(
+                name="t", service=self._declarative_spec(3), burst=2.0
+            )
+
+    def test_fleet_from_one_json_document(self):
+        import json
+
+        from repro.service import TenantSpec
+
+        document = json.dumps(
+            {
+                "format": 1,
+                "tenants": [
+                    TenantSpec(
+                        name="a", service=self._declarative_spec(1)
+                    ).to_dict(),
+                    TenantSpec(
+                        name="b", service=self._declarative_spec(2)
+                    ).to_dict(),
+                ],
+            }
+        )
+        gateway = StreamGateway.from_json(document)
+        assert gateway.tenant_names == ["a", "b"]
+        results = gateway.run()
+        assert len(results["a"]["q"]) == 60
+        assert len(results["b"]["q"]) == 60
+        # Bit-identical to standing the fleet up by hand.
+        reference = StreamGateway()
+        reference.add_tenant("a", self._declarative_spec(1))
+        reference.add_tenant("b", self._declarative_spec(2))
+        assert reference.run() == results
+        with pytest.raises(ValueError, match="unknown fields"):
+            StreamGateway.from_json('{"format": 1, "tenants": [], "x": 1}')
+
+    def test_rate_limited_tenant_sheds_and_surfaces(self):
+        # A frozen clock admits exactly the burst, sheds the rest.
+        clock = lambda: 0.0  # noqa: E731
+        gateway = StreamGateway()
+        gateway.add_tenant(
+            "lim",
+            self._declarative_spec(5),
+            rate_limit=1.0,
+            burst=10.0,
+            clock=clock,
+        )
+        results = gateway.run()
+        assert len(results["lim"]["q"]) == 10
+        assert gateway.shed_windows() == {"lim": 50}
+        sink_result = gateway.sink_result("lim")
+        assert sink_result["windows"] == 10
+        assert sink_result["shed"] == 50
+        # The admitted prefix is bit-identical to an unlimited run.
+        unlimited = StreamGateway()
+        unlimited.add_tenant("lim", self._declarative_spec(5))
+        assert (
+            results["lim"]["q"] == unlimited.run()["lim"]["q"][:10]
+        )
+
+    def test_shed_windows_are_consumed_not_replayed(self):
+        """A shed window is spent: resume continues past it."""
+        clock = lambda: 0.0  # noqa: E731
+        gateway = StreamGateway()
+        gateway.add_tenant(
+            "lim",
+            self._declarative_spec(6),
+            rate_limit=1.0,
+            burst=5.0,
+            clock=clock,
+        )
+        gateway.run()
+        checkpoint = gateway.checkpoint()
+        assert checkpoint["rate_limits"]["lim"] == {
+            "rate_limit": 1.0,
+            "burst": 5.0,
+        }
+        # All 60 source windows were consumed: 5 answered, 55 shed.
+        assert checkpoint["tenants"]["lim"]["source_offset"] == 60
+        assert gateway.shed_windows()["lim"] == 55
+        resumed = StreamGateway.resume(checkpoint)
+        assert resumed._tenants["lim"].rate_limit == 1.0
+        resumed.run()
+        # Nothing left to serve — shed windows are lost by design.
+        assert resumed.results()["lim"]["q"] == []
+
+    def test_serve_scattered_matches_local(self):
+        reference = StreamGateway()
+        for index, name in enumerate(["a", "b", "c"]):
+            reference.add_tenant(name, self._declarative_spec(index))
+        expected = reference.run()
+
+        scattered = StreamGateway()
+        for index, name in enumerate(["a", "b", "c"]):
+            scattered.add_tenant(name, self._declarative_spec(index))
+        results = scattered.serve_scattered(slots=2)
+        assert results == expected
+        assert scattered.windows_served() == {
+            "a": 60, "b": 60, "c": 60,
+        }
+        sink_result = scattered.sink_result("a")
+        assert sink_result["windows"] == 60
+
+    def test_scattered_then_local_continuation(self):
+        reference = StreamGateway()
+        reference.add_tenant("a", self._declarative_spec(9))
+        expected = reference.run()
+
+        gateway = StreamGateway()
+        gateway.add_tenant("a", self._declarative_spec(9))
+        gateway.serve_scattered(slots=1, max_windows=25)
+        gateway.run()
+        assert gateway.results() == expected
+
+    def test_scattered_rejects_runtime_connectors(self):
+        gateway = StreamGateway()
+        gateway.add_tenant(
+            "live",
+            make_spec(3),
+            source=make_stream(3, n=20),
+        )
+        with pytest.raises(ValueError, match="fully declarative"):
+            gateway.serve_scattered()
+
+    def test_tenant_scheduler_round_robin(self):
+        from repro.service.gateway import TenantScheduler
+
+        scheduler = TenantScheduler(2)
+        assert scheduler.assign(["a", "b", "c"]) == [["a", "c"], ["b"]]
+        assert TenantScheduler(5).assign(["a"]) == [["a"]]
+        with pytest.raises(ValueError, match="positive int"):
+            TenantScheduler(0)
+
+    def test_token_bucket_refill(self):
+        from repro.service.gateway import TokenBucket
+
+        now = [0.0]
+        bucket = TokenBucket(2.0, 3.0, clock=lambda: now[0])
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+        now[0] = 1.0  # two tokens accrue at rate 2/s
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        with pytest.raises(ValueError):
+            TokenBucket(0.0)
