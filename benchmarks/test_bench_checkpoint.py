@@ -62,8 +62,13 @@ N_WORKERS = 4
 REQUIRED_CPUS = 4
 
 #: Pinned floor: checkpointed sharded release at least this much
-#: faster than the legacy per-window sequential loop.
-SPEEDUP_FLOOR = 1.5
+#: faster than the legacy per-window sequential loop.  Raised from 1.5
+#: once the decision kernel landed: the prepass's certified-skip runs
+#: and the replay's bulk approximation stretches cut the sequential
+#: fraction enough that even a single busy core clears 6x (see
+#: BENCH_checkpoint.json), so 3x leaves honest headroom on the >= 4
+#: core runners the gate is conditioned on.
+SPEEDUP_FLOOR = 3.0
 
 #: Stream scale: the fig4 workload's evaluation stream tiled to
 #: service size (large enough that scheduler work dominates setup,

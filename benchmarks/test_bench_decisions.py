@@ -1,0 +1,220 @@
+"""Decision-kernel benchmark: scan bit-identity plus prepass speedup.
+
+Runs the three kernelized schedulers — BD, BA and landmark — over a
+service-sized indicator stream in every scan mode and pins two gates
+into ``BENCH_decisions.json`` for ``benchmarks/check_gates.py``:
+
+- ``decisions_bit_identity`` (always): ``scan=margin`` and
+  ``scan=exact`` must reproduce the ``scan=off`` scalar loop bit for
+  bit — releases, verdict traces and final snapshots alike.  This is
+  the kernel's contract; a margin too tight for the platform's
+  ``numpy.log`` would surface here before it surfaced in any paper
+  figure.
+- ``scan_vs_scalar_prepass`` (hosts with ≥ :data:`REQUIRED_CPUS`
+  effective cores): the checkpoint prepass (``advance_block`` — the
+  sequential phase every sharded run pays before its parallel replay)
+  under ``scan=margin`` must beat the scalar loop by at least
+  :data:`SPEEDUP_FLOOR`.  The prepass is where the scan matters most:
+  certified-skip runs collapse to constant trace appends with zero
+  generator touches, and landmark regular rows are hopped outright.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import (
+    effective_cpu_count,
+    emit,
+    emit_json,
+    floor_reason,
+)
+from repro.baselines.budget_absorption import BudgetAbsorption
+from repro.baselines.budget_distribution import BudgetDistribution
+from repro.baselines.landmark import LandmarkPrivacy
+from repro.utils.tables import ResultTable
+
+#: Minimum effective cores for the prepass speedup floor (matches the
+#: bench job's runner class; single-core hosts skip with a reason).
+REQUIRED_CPUS = 4
+
+#: Pinned floor: the scanned prepass at least this much faster than
+#: the scalar per-timestamp loop.
+SPEEDUP_FLOOR = 1.5
+
+#: Stream scale: long enough that per-timestamp Python work dominates
+#: the scalar arm, short enough to keep every arm under a few seconds.
+N_WINDOWS = 120_000
+
+N_TYPES = 8
+
+_ROUNDS = 2
+
+EPSILON = 1.0
+W = 40
+
+
+def _timed(callable_):
+    start = time.perf_counter()
+    result = callable_()
+    return result, time.perf_counter() - start
+
+
+def _stream_matrix():
+    rng = np.random.default_rng(20230410)
+    base = (rng.random((5_000, N_TYPES)) < 0.3).astype(float)
+    repeats = -(-N_WINDOWS // base.shape[0])
+    return np.tile(base, (repeats, 1))[:N_WINDOWS]
+
+
+def _landmark_mask(n):
+    return np.random.default_rng(7).random(n) < 0.02
+
+
+def _releaser(kind, scan, n):
+    if kind == "landmark":
+        mechanism = LandmarkPrivacy(
+            EPSILON, landmarks=_landmark_mask(n), rho=0.5, scan=scan
+        )
+    else:
+        cls = BudgetDistribution if kind == "bd" else BudgetAbsorption
+        mechanism = cls(EPSILON, w=W, scan=scan)
+    return mechanism.online_releaser(N_TYPES, rng=1, horizon=n)
+
+
+def _trace_tuple(releaser):
+    trace = getattr(releaser, "trace", None)
+    if trace is None:
+        return None
+    return (
+        list(trace.published),
+        list(trace.publication_budgets),
+        list(trace.dissimilarity_budgets),
+    )
+
+
+def _snapshot_equal(left, right):
+    if left.keys() != right.keys():
+        return False
+    for key in left:
+        a, b = left[key], right[key]
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            if a is None or b is None or not np.array_equal(a, b):
+                return False
+        elif a != b:
+            return False
+    return True
+
+
+def test_decision_scan(benchmark, results_dir):
+    matrix = _stream_matrix()
+    n = matrix.shape[0]
+    kinds = ("bd", "ba", "landmark")
+
+    # -- bit-identity: margin/exact ≡ off, releases + trace + state ----
+    bit_identical = True
+    for kind in kinds:
+        baseline = _releaser(kind, "off", n)
+        expected = baseline.step_block(matrix)
+        for scan in ("margin", "exact"):
+            releaser = _releaser(kind, scan, n)
+            released = releaser.step_block(matrix)
+            if not (
+                np.array_equal(released, expected)
+                and _trace_tuple(releaser) == _trace_tuple(baseline)
+                and _snapshot_equal(
+                    releaser.snapshot(), baseline.snapshot()
+                )
+            ):
+                bit_identical = False
+                print(f"BIT-IDENTITY BROKEN: {kind}/{scan}")
+    assert bit_identical
+
+    # -- prepass speedup: interleaved rounds, best paired ratio --------
+    times = {}
+    paired = {}
+    for kind in kinds:
+        arms = {
+            f"{kind}/prepass/off": lambda kind=kind: _releaser(
+                kind, "off", n
+            ).advance_block(matrix),
+            f"{kind}/prepass/margin": lambda kind=kind: _releaser(
+                kind, "margin", n
+            ).advance_block(matrix),
+        }
+        times.update({name: [] for name in arms})
+        for _ in range(_ROUNDS):
+            round_times = {}
+            for name, runner in arms.items():
+                _, seconds = _timed(runner)
+                times[name].append(seconds)
+                round_times[name] = seconds
+            paired.setdefault(kind, []).append(
+                round_times[f"{kind}/prepass/off"]
+                / round_times[f"{kind}/prepass/margin"]
+            )
+
+    best_per_kind = {kind: max(ratios) for kind, ratios in paired.items()}
+    overall = max(best_per_kind.values())
+
+    table = ResultTable(
+        ["arm", "seconds", "speedup_vs_scalar"],
+        title=f"decision-kernel prepass over {n} windows",
+    )
+    for kind in kinds:
+        scalar_seconds = min(times[f"{kind}/prepass/off"])
+        table.add_row(
+            arm=f"{kind}/prepass/off",
+            seconds=round(scalar_seconds, 4),
+            speedup_vs_scalar=1.0,
+        )
+        scanned_seconds = min(times[f"{kind}/prepass/margin"])
+        table.add_row(
+            arm=f"{kind}/prepass/margin",
+            seconds=round(scanned_seconds, 4),
+            speedup_vs_scalar=round(scalar_seconds / scanned_seconds, 2),
+        )
+    emit(table, results_dir, "decisions_prepass")
+
+    enforceable = effective_cpu_count() >= REQUIRED_CPUS
+    gates = {
+        "decisions_bit_identity": {
+            "floor": 1.0,
+            "value": 1.0 if bit_identical else 0.0,
+        }
+    }
+    if enforceable:
+        gates["scan_vs_scalar_prepass"] = {
+            "floor": SPEEDUP_FLOOR,
+            "value": overall,
+        }
+    emit_json(
+        results_dir,
+        "decisions",
+        {
+            "n_windows": n,
+            "bit_identical": 1.0 if bit_identical else 0.0,
+            "best_scan_vs_scalar": overall,
+            "floor_enforced": enforceable,
+            **{
+                f"scan_vs_scalar/{kind}": ratio
+                for kind, ratio in best_per_kind.items()
+            },
+            **{
+                f"seconds/{name}": min(seconds)
+                for name, seconds in times.items()
+            },
+        },
+        rows=table.rows,
+        gates=gates,
+        floor_skipped_reason=(
+            None if enforceable else floor_reason(REQUIRED_CPUS)
+        ),
+    )
+    benchmark.extra_info["best_scan_vs_scalar"] = overall
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    if enforceable:
+        assert overall >= SPEEDUP_FLOOR, (
+            f"scanned prepass only {overall:.2f}x the scalar loop"
+        )

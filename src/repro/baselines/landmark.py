@@ -24,11 +24,12 @@ indicator vectors):
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.baselines.base import StreamMechanism
+from repro.runtime.decisions import LandmarkKernel, ScanConfig
 from repro.streams.indicator import IndicatorStream
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_in_range, check_positive
@@ -68,6 +69,7 @@ class LandmarkReleaser:
         self._landmarks_left = self._n_landmarks
         self.last_release: Optional[np.ndarray] = None
         self.t = 0
+        self._kernel = LandmarkKernel(mechanism.scan_config)
 
     def step(self, true_vector: np.ndarray) -> np.ndarray:
         """Release one timestamp's statistics."""
@@ -133,22 +135,30 @@ class LandmarkReleaser:
         return released
 
     def step_block(self, matrix: np.ndarray) -> np.ndarray:
-        """Release a block of timestamps; rows are indicator vectors."""
+        """Release a block of timestamps; rows are indicator vectors.
+
+        Runs through the
+        :class:`~repro.runtime.decisions.LandmarkKernel` — certified
+        skip decisions for landmark rows are bulk-applied from a
+        vectorized U-space scan, everything near a boundary falls back
+        to the exact :meth:`_advance` arithmetic — so the output is
+        bit-identical to stepping row by row in every scan mode.
+        """
         matrix = np.asarray(matrix, dtype=float)
         released = np.empty_like(matrix)
-        for row in range(matrix.shape[0]):
-            released[row] = self._advance(matrix[row])
+        self._kernel.run_block(self, matrix, released)
         return released
 
     def advance_block(self, matrix: np.ndarray) -> None:
         """Step through a block without materializing the released rows.
 
         Used by the checkpoint prepass: state and randomness evolve
-        exactly as under :meth:`step_block`.
+        exactly as under :meth:`step_block`.  Regular (non-landmark)
+        rows never touch the release state and their draws are
+        index-derived, so the kernel hops over them entirely here —
+        the prepass cost shrinks toward the landmark decisions alone.
         """
-        matrix = np.asarray(matrix, dtype=float)
-        for row in range(matrix.shape[0]):
-            self._advance(matrix[row])
+        self._kernel.run_block(self, np.asarray(matrix, dtype=float), None)
 
     # -- checkpointing -------------------------------------------------
 
@@ -228,10 +238,12 @@ class LandmarkPrivacy(StreamMechanism):
         landmarks: Optional[Sequence[bool]] = None,
         rho: float = 0.5,
         sensitivity: float = 1.0,
+        scan: Union[None, str, ScanConfig] = None,
     ):
         super().__init__(epsilon)
         self.rho = check_in_range("rho", rho, 0.0, 1.0, inclusive=False)
         self.sensitivity = check_positive("sensitivity", sensitivity)
+        self.scan_config = ScanConfig.coerce(scan)
         self._landmarks = (
             None if landmarks is None else np.asarray(landmarks, dtype=bool)
         )

@@ -22,6 +22,14 @@ and incrementally (:meth:`WEventMechanism.online_releaser`, used by
 :class:`repro.cep.online.OnlineSession`); the batch path runs on top of
 the same stepper, so the two agree bit for bit under the same seed.
 
+The per-timestamp decision loop itself lives in
+:mod:`repro.runtime.decisions`: each scheduler declares its decision
+rule as data (:meth:`WEventMechanism.decision_rule`) and the shared
+plan → scan → resolve kernel drives the release — vectorized U-space
+scans certify skip runs, exact scalar arithmetic decides everything
+near a decision boundary.  ``scan=`` on the mechanism constructor (or
+the ``scan=/margin=/prefetch=`` spec keys) tunes or disables the scan.
+
 In this library the per-timestamp statistics are the windowed existence
 indicators (one 0/1 entry per event type, L1 sensitivity 1 under a
 single-event change); released vectors are thresholded at 1/2 to answer
@@ -32,25 +40,159 @@ from __future__ import annotations
 
 import abc
 import copy
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.baselines.base import StreamMechanism
+from repro.runtime.decisions import DecisionRule, ScanConfig, WEventKernel
 from repro.streams.indicator import IndicatorStream
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_positive, check_positive_int
+
+
+class TraceColumn:
+    """One trace column on chunk-doubling numpy storage.
+
+    Behaves like the plain Python list it replaces — ``append``,
+    ``extend``, ``len``, indexing/slicing (slices return lists),
+    iteration, equality against lists — but stores the values in a
+    contiguous typed buffer that grows geometrically, so
+    million-timestamp traces stop paying per-element object overhead
+    and the accounting accessors read straight numpy arrays.
+
+    Two additions the release kernel relies on:
+
+    - :meth:`extend_constant` appends ``count`` copies of one value
+      without materializing a Python list (the bulk-skip paths);
+    - :attr:`version` counts mutations, letting
+      :meth:`ReleaseTrace._spend_prefix` cache derived arrays and
+      invalidate on any append/extend/restore.
+    """
+
+    def __init__(self, values: Iterable = (), *, dtype=float):
+        self._dtype = np.dtype(dtype)
+        self._data = np.zeros(0, dtype=self._dtype)
+        self._n = 0
+        self.version = 0
+        if values is not None:
+            self.extend(values)
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._n + extra
+        capacity = self._data.shape[0]
+        if needed <= capacity:
+            return
+        grown = np.zeros(max(16, 2 * capacity, needed), dtype=self._dtype)
+        grown[: self._n] = self._data[: self._n]
+        self._data = grown
+
+    def _view(self) -> np.ndarray:
+        return self._data[: self._n]
+
+    def append(self, value) -> None:
+        self._reserve(1)
+        self._data[self._n] = value
+        self._n += 1
+        self.version += 1
+
+    def extend(self, values: Iterable) -> None:
+        if isinstance(values, TraceColumn):
+            values = values._view()
+        elif not isinstance(values, (np.ndarray, list, tuple)):
+            values = list(values)
+        count = len(values)
+        if count:
+            self._reserve(count)
+            self._data[self._n : self._n + count] = values
+            self._n += count
+        self.version += 1
+
+    def extend_constant(self, value, count: int) -> None:
+        """Append ``count`` copies of ``value`` (one buffer fill)."""
+        if count:
+            self._reserve(count)
+            self._data[self._n : self._n + count] = value
+            self._n += count
+        self.version += 1
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __bool__(self) -> bool:
+        return self._n > 0
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            return self._view()[key].tolist()
+        return self._view()[key].item()
+
+    def __setitem__(self, key, value) -> None:
+        if isinstance(key, slice) and key == slice(None, None, None):
+            # Full-slice replacement (the restore path) may change the
+            # length, exactly as ``list[:] = values`` does.
+            self._n = 0
+            self.extend(value)
+            return
+        self._view()[key] = value
+        self.version += 1
+
+    def __iter__(self):
+        return iter(self._view().tolist())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, TraceColumn):
+            return (
+                self._n == other._n
+                and bool(np.array_equal(self._view(), other._view()))
+            )
+        if isinstance(other, (list, tuple)):
+            return self._view().tolist() == list(other)
+        if isinstance(other, np.ndarray):
+            return bool(np.array_equal(self._view(), other))
+        return NotImplemented
+
+    __hash__ = None
+
+    def __array__(self, dtype=None, copy=None):
+        view = self._view()
+        if dtype is not None and np.dtype(dtype) != self._dtype:
+            return view.astype(dtype)
+        if copy:
+            return view.copy()
+        return view
+
+    def tolist(self) -> List:
+        return self._view().tolist()
+
+    def __repr__(self) -> str:
+        return f"TraceColumn({self._view().tolist()!r})"
+
+
+def _bool_column() -> TraceColumn:
+    return TraceColumn(dtype=bool)
 
 
 @dataclass
 class ReleaseTrace:
     """Per-timestamp record of a w-event run (for tests and ablations)."""
 
-    published: List[bool] = field(default_factory=list)
-    publication_budgets: List[float] = field(default_factory=list)
-    dissimilarity_budgets: List[float] = field(default_factory=list)
+    published: TraceColumn = field(default_factory=_bool_column)
+    publication_budgets: TraceColumn = field(default_factory=TraceColumn)
+    dissimilarity_budgets: TraceColumn = field(default_factory=TraceColumn)
+
+    def __post_init__(self):
+        if not isinstance(self.published, TraceColumn):
+            self.published = TraceColumn(self.published, dtype=bool)
+        if not isinstance(self.publication_budgets, TraceColumn):
+            self.publication_budgets = TraceColumn(self.publication_budgets)
+        if not isinstance(self.dissimilarity_budgets, TraceColumn):
+            self.dissimilarity_budgets = TraceColumn(
+                self.dissimilarity_budgets
+            )
+        self._prefix_cache: Optional[Tuple[Tuple[int, int, int], np.ndarray]]
+        self._prefix_cache = None
 
     def _spend_prefix(self) -> np.ndarray:
         """Prefix sums of the per-timestamp total spend.
@@ -58,13 +200,27 @@ class ReleaseTrace:
         ``prefix[t]`` is the budget spent strictly before timestamp
         ``t``, so any window's spend is one subtraction.  Both window
         accessors read through this, keeping them mutually consistent.
+
+        The array is cached against the columns' length and mutation
+        counters — any append, bulk extend or restore invalidates it —
+        so repeated guarantee checks on a long trace cost O(1) after
+        the first instead of recomputing the full cumsum every call.
         """
+        key = (
+            len(self.publication_budgets),
+            self.publication_budgets.version,
+            self.dissimilarity_budgets.version,
+        )
+        cached = self._prefix_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
         totals = np.asarray(self.publication_budgets, dtype=float) + (
             np.asarray(self.dissimilarity_budgets, dtype=float)
         )
         prefix = np.empty(totals.shape[0] + 1)
         prefix[0] = 0.0
         np.cumsum(totals, out=prefix[1:])
+        self._prefix_cache = (key, prefix)
         return prefix
 
     def spent_in_window(self, start: int, w: int) -> float:
@@ -96,7 +252,10 @@ class OnlineReleaser:
 
     Owns the scheduler state, the dissimilarity/publication accounting
     trace and the last release; created by
-    :meth:`WEventMechanism.online_releaser`.
+    :meth:`WEventMechanism.online_releaser`.  The decision loop itself
+    is the shared :class:`~repro.runtime.decisions.WEventKernel`,
+    driven by the mechanism's declared
+    :class:`~repro.runtime.decisions.DecisionRule`.
 
     The per-timestamp randomness is ``derive_rng(rng, "w-event", t)``,
     drawn through an :class:`~repro.runtime.rng_pool.IndexedRngPool`:
@@ -135,13 +294,20 @@ class OnlineReleaser:
         self._dissimilarity_charge = (
             mechanism.epsilon_dissimilarity / mechanism.w
         )
+        self._kernel = WEventKernel(
+            mechanism.decision_rule(),
+            mechanism.scan_config,
+            n_types=n_types,
+            sensitivity=mechanism.sensitivity,
+            dissimilarity_scale=self._dissimilarity_draw_scale,
+            dissimilarity_charge=self._dissimilarity_charge,
+        )
 
-    #: Blocks at least this long precompute their dissimilarity
-    #: uniforms vectorized (:meth:`IndexedRngPool.first_uniforms`);
-    #: shorter blocks — single pushes, async micro-batches — draw
-    #: per-step, which is cheaper below this size.  Both paths produce
-    #: bit-identical draws.
-    _UNIFORM_PREFETCH_MIN = 32
+    #: Default block length above which the kernel precomputes the
+    #: dissimilarity uniforms vectorized; tunable per mechanism through
+    #: :class:`~repro.runtime.decisions.ScanConfig` (``prefetch=`` in
+    #: the spec grammar).  Kept here as the documented default.
+    _UNIFORM_PREFETCH_MIN = ScanConfig.prefetch_min
 
     def step(self, true_vector: np.ndarray) -> np.ndarray:
         """Release one timestamp's statistics."""
@@ -168,7 +334,10 @@ class OnlineReleaser:
         :class:`~repro.runtime.executors.ShardedExecutor` walks the whole
         stream through this — state, trace and randomness evolve exactly
         as under :meth:`step_block`, only the released rows are not
-        built.
+        built.  Under the decision kernel this is the fastest path of
+        all: certified-skip runs and zero-budget stretches cost a few
+        array operations regardless of length, so the prepass shrinks
+        toward the publication timestamps alone.
         """
         self._run_block(np.asarray(matrix, dtype=float), None)
 
@@ -177,119 +346,12 @@ class OnlineReleaser:
     ) -> None:
         """The release loop over a block (``released=None`` ⇒ prepass).
 
-        Per-timestamp draws come from the index-derived child streams
-        (``derive_rng(rng, "w-event", t)``), so the loop is free to
-        consume them smartly without changing a single output bit:
-
-        - the dissimilarity uniforms of a whole block are precomputed
-          vectorized (one PCG64-emulation pass instead of a generator
-          install + Laplace call per step), and the Laplace transform is
-          replayed in scalar C-``log`` arithmetic exactly as numpy's
-          ``random_laplace`` computes it;
-        - timestamps inside a data-independent zero-budget stretch
-          (BA's nullified periods, declared through
-          :meth:`WEventMechanism._zero_budget_until`) are
-          bulk-approximated: no draws, constant trace appends;
-        - only publishing timestamps touch a real generator (the child
-          is installed, repositioned past the dissimilarity word, and
-          the publication noise drawn from it as usual).
+        Thin wrapper over
+        :meth:`repro.runtime.decisions.WEventKernel.run_block` — the
+        plan → scan → resolve pipeline documented there.  Bit-identity
+        with the historical scalar loop holds in every scan mode.
         """
-        mechanism = self.mechanism
-        n = matrix.shape[0]
-        if n == 0:
-            return
-        block_start = self.t
-        uniforms = (
-            self._children.first_uniforms(block_start, block_start + n)
-            if n >= self._UNIFORM_PREFETCH_MIN
-            else None
-        )
-        trace = self.trace
-        published = trace.published
-        publication_budgets = trace.publication_budgets
-        dissimilarity_budgets = trace.dissimilarity_budgets
-        charge = self._dissimilarity_charge
-        scale = self._dissimilarity_draw_scale
-        sensitivity = mechanism.sensitivity
-        state = self.scheduler_state
-        log = math.log
-        row = 0
-        while row < n:
-            last_release = self.last_release
-            if last_release is not None:
-                skip = min(
-                    mechanism._zero_budget_until(self.t, state) - self.t,
-                    n - row,
-                )
-                if skip > 0:
-                    # Zero budget, data-independent: approximate in bulk
-                    # (no randomness is consumed at these timestamps).
-                    if released is not None:
-                        released[row : row + skip] = last_release
-                    published.extend([False] * skip)
-                    publication_budgets.extend([0.0] * skip)
-                    dissimilarity_budgets.extend([charge] * skip)
-                    self.t += skip
-                    row += skip
-                    continue
-            budget = mechanism._publication_budget(self.t, trace, state)
-            publish = False
-            rng_t = None
-            if last_release is None:
-                publish = budget > 0
-            elif budget > 0:
-                # Private dissimilarity: mean absolute deviation from
-                # the last release, plus Laplace noise (Kellaris'
-                # `dis`).  The reduce spelling is bit-identical to
-                # .mean() and skips its dispatch overhead.
-                if uniforms is None:
-                    rng_t = self._children.generator(self.t)
-                    noise = float(rng_t.laplace(0.0, scale))
-                else:
-                    uniform = uniforms[row]
-                    if uniform >= 0.5:
-                        # numpy random_laplace, loc=0: branch and
-                        # arithmetic order replayed exactly.
-                        noise = 0.0 - scale * log(2.0 - uniform - uniform)
-                    elif uniform > 0.0:
-                        noise = 0.0 + scale * log(uniform + uniform)
-                    else:
-                        # U == 0 retries inside numpy; take the real
-                        # generator for this (astronomically rare) step.
-                        rng_t = self._children.generator(self.t)
-                        noise = float(rng_t.laplace(0.0, scale))
-                true_distance = float(
-                    np.add.reduce(np.abs(matrix[row] - last_release))
-                    / self.n_types
-                )
-                publish = true_distance + noise > sensitivity / budget
-            dissimilarity_budgets.append(charge)
-            if publish:
-                if rng_t is None:
-                    rng_t = self._children.generator(self.t)
-                    if last_release is not None:
-                        # The stepped stream spent one word on the
-                        # dissimilarity draw; reposition past it.
-                        rng_t.laplace(0.0, scale)
-                noise_vector = rng_t.laplace(
-                    0.0, sensitivity / budget, size=self.n_types
-                )
-                self.last_release = matrix[row] + noise_vector
-                published.append(True)
-                publication_budgets.append(budget)
-                mechanism._after_publication(self.t, budget, trace, state)
-            else:
-                if last_release is None:
-                    # Nothing released yet and no budget: emit pure
-                    # noise around 1/2 so the output is
-                    # data-independent.
-                    self.last_release = np.full(self.n_types, 0.5)
-                published.append(False)
-                publication_budgets.append(0.0)
-            if released is not None:
-                released[row] = self.last_release
-            self.t += 1
-            row += 1
+        self._kernel.run_block(self, matrix, released)
 
     # -- checkpointing -------------------------------------------------
 
@@ -387,83 +449,13 @@ class OnlineReleaser:
 
         ``decisions`` is :meth:`decision_slice` of a completed run for
         exactly the rows of ``matrix`` (absolute timestamps ``t`` to
-        ``t + n``).  Bit-identity with stepping holds because the
-        per-timestamp randomness is index-derived: a publishing
-        timestamp draws its dissimilarity word (when one preceded it)
-        and its Laplace noise from the same child generator the stepped
-        run used, and non-publishing timestamps repeat the previous
-        release — their dissimilarity draws never touch the output, and
-        skipping them cannot shift any other timestamp's stream.  Only
-        the publishing timestamps cost Python-loop work, which is what
-        makes sharded replay fast on the sparse publication schedules
-        BD/BA produce.
-
+        ``t + n``); the heavy lifting is
+        :meth:`repro.runtime.decisions.WEventKernel.replay_block`.
         State, trace and step counter advance exactly as under
         :meth:`step_block`, so stepping may resume afterwards.
         """
         matrix = np.asarray(matrix, dtype=float)
-        n = matrix.shape[0]
-        published, budgets = decisions
-        if len(published) != n or len(budgets) != n:
-            raise ValueError(
-                f"decisions cover {len(published)} timestamps but the "
-                f"block has {n} rows"
-            )
-        mechanism = self.mechanism
-        released = np.empty_like(matrix)
-        publish_rows = [row for row in range(n) if published[row]]
-        values = []
-        current = self.last_release
-        for row in publish_rows:
-            rng_t = self._children.generator(self.t + row)
-            if not (row == 0 and current is None):
-                # The stepped run drew the noisy dissimilarity estimate
-                # before publishing whenever a previous release existed;
-                # consume the same word so the noise stream aligns.
-                rng_t.laplace(0.0, self._dissimilarity_draw_scale)
-            noise = rng_t.laplace(
-                0.0,
-                mechanism.sensitivity / budgets[row],
-                size=self.n_types,
-            )
-            value = matrix[row] + noise
-            values.append(value)
-            released[row] = value
-        # Forward-fill approximating timestamps from the publication
-        # at-or-before them, vectorized (no per-row Python work).
-        ordinals = np.cumsum(np.asarray(published, dtype=bool)) - 1
-        approx = ~np.asarray(published, dtype=bool)
-        before_first = approx & (ordinals < 0)
-        after = approx & (ordinals >= 0)
-        if np.any(after):
-            stacked = np.stack(values)
-            released[after] = stacked[ordinals[after]]
-        if np.any(before_first):
-            if current is None:
-                current = np.full(self.n_types, 0.5)
-            released[before_first] = current
-        # Bring state, trace and accounting to where stepping would be.
-        self.trace.published.extend(bool(flag) for flag in published)
-        self.trace.publication_budgets.extend(
-            float(budget) for budget in budgets
-        )
-        self.trace.dissimilarity_budgets.extend(
-            [self._dissimilarity_charge] * n
-        )
-        for row in publish_rows:
-            mechanism._after_publication(
-                self.t + row,
-                float(budgets[row]),
-                self.trace,
-                self.scheduler_state,
-            )
-        if n:
-            if publish_rows and publish_rows[-1] == n - 1:
-                self.last_release = values[-1].copy()
-            else:
-                self.last_release = np.array(released[n - 1], copy=True)
-        self.t += n
-        return released
+        return self._kernel.replay_block(self, matrix, decisions)
 
 
 class WEventMechanism(StreamMechanism):
@@ -475,12 +467,14 @@ class WEventMechanism(StreamMechanism):
         w: int,
         *,
         sensitivity: float = 1.0,
+        scan: Union[None, str, ScanConfig] = None,
     ):
         super().__init__(epsilon)
         self.w = check_positive_int("w", w)
         self.sensitivity = check_positive("sensitivity", sensitivity)
         self.epsilon_dissimilarity = epsilon / 2.0
         self.epsilon_publication = epsilon / 2.0
+        self.scan_config = ScanConfig.coerce(scan)
         self.last_trace: Optional[ReleaseTrace] = None
 
     # -- subclass hooks -----------------------------------------------------
@@ -510,6 +504,45 @@ class WEventMechanism(StreamMechanism):
         never draw.  The default declares no stretch.
         """
         return t
+
+    def _budget_schedule(
+        self, t0: int, count: int, state: Dict
+    ) -> Optional[np.ndarray]:
+        """Per-timestamp budgets for ``[t0, t0 + count)``, no-publication
+        hypothesis — the vectorized twin of :meth:`_publication_budget`.
+
+        Every value must be bit-equal to the float the scalar hook would
+        return at that timestamp given no publication occurs in the
+        span; the call must not mutate ``state`` (the kernel applies
+        :meth:`_after_skip_run` when it commits a skip run).  Returning
+        ``None`` — the default, so third-party subclasses keep working
+        unchanged — disables the decision scan and the kernel runs the
+        scalar loop.
+        """
+        return None
+
+    def _after_skip_run(
+        self, t_last: int, trace: ReleaseTrace, state: Dict
+    ) -> None:
+        """Normalize state after a bulk-applied skip run ending at ``t_last``.
+
+        The scalar loop calls :meth:`_publication_budget` at every
+        timestamp; a scheduler whose budget call prunes state as a side
+        effect (BD's sliding publication window) must reproduce here
+        the state its scalar calls would have left after ``t_last``.
+        The default does nothing — correct whenever the budget hook is
+        read-only.
+        """
+
+    def decision_rule(self) -> DecisionRule:
+        """This scheduler's decision logic as data (the kernel's *plan*)."""
+        return DecisionRule(
+            budget_schedule=self._budget_schedule,
+            publication_budget=self._publication_budget,
+            zero_budget_until=self._zero_budget_until,
+            after_publication=self._after_publication,
+            after_skip_run=self._after_skip_run,
+        )
 
     # -- release -----------------------------------------------------------
 

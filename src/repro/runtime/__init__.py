@@ -30,6 +30,16 @@ from repro.runtime.adapters import (
     runtime_mechanism,
 )
 from repro.runtime.cluster import ClusterExecutor
+from repro.runtime.decisions import (
+    DecisionRule,
+    LandmarkKernel,
+    ScanConfig,
+    ScanMarginError,
+    WEventKernel,
+    classify_decisions,
+    decision_thresholds,
+    laplace_noise_from_uniforms,
+)
 from repro.runtime.executors import (
     BatchExecutor,
     ChunkedExecutor,
@@ -57,19 +67,27 @@ __all__ = [
     "BatchExecutor",
     "ChunkedExecutor",
     "ClusterExecutor",
+    "DecisionRule",
     "FlipStepper",
     "IndexedRngPool",
     "IndicatorExtractor",
+    "LandmarkKernel",
     "MetricsSink",
     "PipelineResult",
     "QueryMatcher",
     "RuntimeMechanism",
+    "ScanConfig",
+    "ScanMarginError",
     "SegmentPlane",
     "Shard",
     "ShardedExecutor",
     "StreamPipeline",
     "TransportStats",
+    "WEventKernel",
     "WindowStage",
+    "classify_decisions",
+    "decision_thresholds",
+    "laplace_noise_from_uniforms",
     "merge_results",
     "plan_shards",
     "runtime_mechanism",

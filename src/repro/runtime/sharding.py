@@ -252,10 +252,14 @@ def checkpoint_prepass(
     Runs the sequential scheduler over the whole stream *without
     materializing released rows* (``advance_block``), snapshotting the
     release state at every shard boundary and extracting each shard's
-    decision slice afterwards.  Cheap relative to a full sequential run:
-    no output rows, no query matching, no per-row copies — and the
-    replay phase it enables only pays Python-loop work at publishing
-    timestamps.
+    decision slice afterwards.  ``advance_block`` drives the decision
+    kernel (:mod:`repro.runtime.decisions`), so the prepass shrinks
+    toward the publication steps alone: certified-skip runs collapse
+    to constant trace appends with zero generator touches, landmark
+    regular rows are hopped outright, and only boundary/publishing
+    timestamps pay scalar Python work — on top of no output rows, no
+    query matching and no per-row copies.  The replay phase it enables
+    likewise only pays Python-loop work at publishing timestamps.
     """
     stepper = pipeline.runtime_mechanism.stepper(
         alphabet, rng=rng, horizon=horizon, publish_trace=False

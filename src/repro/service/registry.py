@@ -114,11 +114,30 @@ def _derive_keys(factory: Callable) -> Tuple[SpecKey, ...]:
 
 
 class _Registry:
-    """One name → factory table with alias and key-schema support."""
+    """One name → factory table with alias and key-schema support.
 
-    def __init__(self, kind: str, *, keyed: bool = True):
+    ``warn_positional=False`` keeps a registry's legacy positional
+    tails first-class (no deprecation warning) while still speaking the
+    key=value grammar — the mechanism registry uses this: ``"bd:0.5"``
+    stays the documented short form, ``"bd:scan=off,margin=1e-9"``
+    parses as key=value with unknown keys failing at parse time.
+    ``skip_parameters`` drops that many leading factory parameters from
+    the derived key schema (mechanism factories take the build context
+    first, which is not a spec key).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        keyed: bool = True,
+        warn_positional: bool = True,
+        skip_parameters: int = 0,
+    ):
         self._kind = kind
         self._keyed = keyed
+        self._warn_positional = warn_positional
+        self._skip_parameters = skip_parameters
         self._factories: Dict[str, Callable] = {}
         self._canonical: Dict[str, str] = {}
         self._raw_tail: Dict[str, bool] = {}
@@ -153,7 +172,9 @@ class _Registry:
                     f"{self._kind} spec(s) {taken} already registered"
                 )
             spec_keys = (
-                tuple(keys) if keys is not None else _derive_keys(factory)
+                tuple(keys)
+                if keys is not None
+                else _derive_keys(factory)[self._skip_parameters :]
             )
             for key in spec_names:
                 self._factories[key] = factory
@@ -232,7 +253,7 @@ class _Registry:
             # silent "csv:<path>" form is first-class.
             return factory, (tail or "",), {}
         _name, args = parse_spec(spec)
-        if args and self._keyed:
+        if args and self._keyed and self._warn_positional:
             self._warn_legacy(name, spec, args)
         return factory, args, {}
 
@@ -255,26 +276,35 @@ class _Registry:
                 )
             return self._canonical[name]
         _name, args = parse_spec(spec)
-        if args and self._keyed:
+        if args and self._keyed and self._warn_positional:
             self._warn_legacy(name, spec, args)
         return self._canonical[name]
 
 
-# Mechanism specs keep the short positional grammar (a mechanism takes
-# at most a budget argument and tests/papers spell them bare); only the
-# keyed registries (executors, sources, sinks) speak key=value.
-_MECHANISMS = _Registry("mechanism", keyed=False)
+# Mechanism specs keep the short positional grammar first-class and
+# warning-free (a mechanism takes at most a budget argument and
+# tests/papers spell them bare: "bd:0.5"), but also speak key=value for
+# named tunables ("bd:scan=off,margin=1e-9") — unknown keys fail at
+# parse time listing the factory's valid keys.
+_MECHANISMS = _Registry("mechanism", warn_positional=False, skip_parameters=1)
 _EXECUTORS = _Registry("executor")
 
 
-def register_mechanism(name: str, *, aliases: Sequence[str] = ()):
+def register_mechanism(
+    name: str,
+    *,
+    aliases: Sequence[str] = (),
+    keys: Optional[Sequence[SpecKey]] = None,
+):
     """Register a mechanism factory under a spec name (plus aliases).
 
     The factory is called as ``factory(context, *spec_args, **options)``
     with a :class:`MechanismContext` and must return an object exposing
-    ``perturb(IndicatorStream, rng=...)``.
+    ``perturb(IndicatorStream, rng=...)``.  ``keys`` declares the
+    spec's key=value keys; by default they derive from the factory's
+    keyword parameters (the leading ``context`` parameter excepted).
     """
-    return _MECHANISMS.register(name, aliases=aliases)
+    return _MECHANISMS.register(name, aliases=aliases, keys=keys)
 
 
 def register_executor(
@@ -541,9 +571,18 @@ def _build_bd(
     pattern_epsilon: Optional[float] = None,
     conversion_mode: str = "worst_case",
     sensitivity: float = 1.0,
+    scan: Optional[str] = None,
+    margin: Optional[float] = None,
+    prefetch: Optional[int] = None,
 ):
-    """The w-event budget-distribution scheduler baseline."""
+    """The w-event budget-distribution scheduler baseline.
+
+    ``scan=`` / ``margin=`` / ``prefetch=`` tune the decision kernel's
+    U-space scan (``"bd:scan=off"``, ``"bd:scan=exact,margin=1e-9"``);
+    see :class:`repro.runtime.decisions.ScanConfig`.
+    """
     from repro.baselines.budget_distribution import BudgetDistribution
+    from repro.runtime.decisions import ScanConfig
 
     w = w if w is not None else context.extra("w")
     if w is None:
@@ -557,7 +596,12 @@ def _build_bd(
         pattern_epsilon,
         lambda value: context.converter(conversion_mode).bd_native(value, w),
     )
-    return BudgetDistribution(native, w, sensitivity=sensitivity)
+    return BudgetDistribution(
+        native,
+        w,
+        sensitivity=sensitivity,
+        scan=ScanConfig.from_options(scan, margin, prefetch),
+    )
 
 
 @register_mechanism("ba", aliases=("budget-absorption",))
@@ -569,9 +613,17 @@ def _build_ba(
     pattern_epsilon: Optional[float] = None,
     conversion_mode: str = "worst_case",
     sensitivity: float = 1.0,
+    scan: Optional[str] = None,
+    margin: Optional[float] = None,
+    prefetch: Optional[int] = None,
 ):
-    """The w-event budget-absorption scheduler baseline."""
+    """The w-event budget-absorption scheduler baseline.
+
+    ``scan=`` / ``margin=`` / ``prefetch=`` tune the decision kernel's
+    U-space scan, exactly as for ``bd``.
+    """
     from repro.baselines.budget_absorption import BudgetAbsorption
+    from repro.runtime.decisions import ScanConfig
 
     w = w if w is not None else context.extra("w")
     if w is None:
@@ -585,7 +637,12 @@ def _build_ba(
         pattern_epsilon,
         lambda value: context.converter(conversion_mode).ba_native(value, w),
     )
-    return BudgetAbsorption(native, w, sensitivity=sensitivity)
+    return BudgetAbsorption(
+        native,
+        w,
+        sensitivity=sensitivity,
+        scan=ScanConfig.from_options(scan, margin, prefetch),
+    )
 
 
 @register_mechanism("landmark")
@@ -598,9 +655,17 @@ def _build_landmark(
     conversion_mode: str = "worst_case",
     rho: float = 0.5,
     sensitivity: float = 1.0,
+    scan: Optional[str] = None,
+    margin: Optional[float] = None,
+    prefetch: Optional[int] = None,
 ):
-    """Landmark privacy over the private patterns' sensitive windows."""
+    """Landmark privacy over the private patterns' sensitive windows.
+
+    ``scan=`` / ``margin=`` / ``prefetch=`` tune the decision kernel's
+    U-space scan, exactly as for ``bd``/``ba``.
+    """
     from repro.baselines.landmark import LandmarkPrivacy
+    from repro.runtime.decisions import ScanConfig
 
     if landmarks is None:
         landmarks = context.extras.get("landmark_mask")
@@ -624,7 +689,11 @@ def _build_landmark(
 
     native = _native_budget("landmark", epsilon, pattern_epsilon, convert)
     return LandmarkPrivacy(
-        native, landmarks=mask, rho=rho, sensitivity=sensitivity
+        native,
+        landmarks=mask,
+        rho=rho,
+        sensitivity=sensitivity,
+        scan=ScanConfig.from_options(scan, margin, prefetch),
     )
 
 

@@ -1,0 +1,217 @@
+"""Property-based bit-identity of the decision kernel's scan modes.
+
+The plan → scan → resolve pipeline in :mod:`repro.runtime.decisions`
+promises that the vectorized U-space scan never changes a single output
+bit: whatever the stream contents, scheduler parameters, block
+chunking (including the prefetch-threshold boundary sizes 1/31/32/33)
+or a snapshot/restore mid-run, ``scan=margin`` and ``scan=exact``
+must reproduce the ``scan=off`` scalar loop exactly — releases,
+verdict traces, scheduler state and snapshots alike.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.budget_absorption import BudgetAbsorption
+from repro.baselines.budget_distribution import BudgetDistribution
+from repro.baselines.landmark import LandmarkPrivacy
+
+N_TYPES = 3
+
+#: The kernel's default prefetch threshold is 32; these block sizes
+#: straddle it, exercising both the vectorized-uniform and the
+#: per-step-draw paths plus the off-by-one edges.
+BLOCK_SIZES = (1, 31, 32, 33)
+
+
+@st.composite
+def stress_matrices(draw):
+    """Float indicator matrices from constant runs and random segments."""
+    segments = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["zeros", "ones", "noise"]),
+                st.integers(min_value=1, max_value=40),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    rows = []
+    for kind, length in segments:
+        if kind == "zeros":
+            rows.append(np.zeros((length, N_TYPES)))
+        elif kind == "ones":
+            rows.append(np.ones((length, N_TYPES)))
+        else:
+            rows.append((rng.random((length, N_TYPES)) < 0.5).astype(float))
+    return np.vstack(rows)
+
+
+@st.composite
+def block_plans(draw):
+    """A chunking of a run into prefetch-boundary block sizes."""
+    return draw(
+        st.lists(
+            st.sampled_from(BLOCK_SIZES), min_size=1, max_size=8
+        )
+    )
+
+
+mechanism_params = st.tuples(
+    st.floats(min_value=0.05, max_value=10.0),  # epsilon
+    st.integers(min_value=1, max_value=12),     # w
+    st.integers(min_value=0, max_value=1000),   # rng seed
+)
+
+
+def chunks(matrix, plan):
+    """Cut ``matrix`` into the plan's block sizes (cycled, clipped)."""
+    row = 0
+    index = 0
+    while row < matrix.shape[0]:
+        size = min(plan[index % len(plan)], matrix.shape[0] - row)
+        yield matrix[row : row + size]
+        row += size
+        index += 1
+
+
+def assert_snapshots_equal(left, right):
+    assert left.keys() == right.keys()
+    for key in left:
+        a, b = left[key], right[key]
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            assert a is not None and b is not None, key
+            assert np.array_equal(a, b), key
+        else:
+            assert a == b, key
+
+
+def run_w_event(cls, epsilon, w, seed, matrix, plan, scan):
+    mechanism = cls(epsilon, w=w, scan=scan)
+    releaser = mechanism.online_releaser(
+        N_TYPES, rng=seed, horizon=matrix.shape[0]
+    )
+    released = [releaser.step_block(block) for block in chunks(matrix, plan)]
+    return releaser, np.vstack(released)
+
+
+class TestWEventScanIdentity:
+    @given(
+        matrix=stress_matrices(), params=mechanism_params, plan=block_plans()
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bd_scan_bit_identical(self, matrix, params, plan):
+        self.check_scheduler(BudgetDistribution, matrix, params, plan)
+
+    @given(
+        matrix=stress_matrices(), params=mechanism_params, plan=block_plans()
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ba_scan_bit_identical(self, matrix, params, plan):
+        self.check_scheduler(BudgetAbsorption, matrix, params, plan)
+
+    def check_scheduler(self, cls, matrix, params, plan):
+        epsilon, w, seed = params
+        baseline, expected = run_w_event(
+            cls, epsilon, w, seed, matrix, plan, "off"
+        )
+        for scan in ("margin", "exact"):
+            releaser, released = run_w_event(
+                cls, epsilon, w, seed, matrix, plan, scan
+            )
+            assert np.array_equal(released, expected), scan
+            assert releaser.trace.published == baseline.trace.published
+            assert (
+                releaser.trace.publication_budgets
+                == baseline.trace.publication_budgets
+            )
+            assert (
+                releaser.trace.dissimilarity_budgets
+                == baseline.trace.dissimilarity_budgets
+            )
+            assert releaser.scheduler_state == baseline.scheduler_state
+            assert_snapshots_equal(releaser.snapshot(), baseline.snapshot())
+
+    @given(
+        matrix=stress_matrices(),
+        params=mechanism_params,
+        cut_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_restore_mid_block_matches_uninterrupted(
+        self, matrix, params, cut_fraction
+    ):
+        epsilon, w, seed = params
+        n = matrix.shape[0]
+        cut = min(n - 1, int(cut_fraction * n)) if n > 1 else 0
+        baseline, expected = run_w_event(
+            BudgetDistribution, epsilon, w, seed, matrix, [33], "off"
+        )
+        mechanism = BudgetDistribution(epsilon, w=w, scan="margin")
+        first = mechanism.online_releaser(N_TYPES, rng=seed, horizon=n)
+        head = first.step_block(matrix[:cut])
+        checkpoint = first.snapshot()
+        second = mechanism.online_releaser(N_TYPES, rng=seed, horizon=n)
+        second.restore(checkpoint)
+        tail = second.step_block(matrix[cut:])
+        assert np.array_equal(np.vstack([head, tail]), expected)
+        assert second.trace.published == baseline.trace.published
+        assert_snapshots_equal(second.snapshot(), baseline.snapshot())
+
+
+landmark_params = st.tuples(
+    st.floats(min_value=0.05, max_value=10.0),  # epsilon
+    st.floats(min_value=0.1, max_value=0.9),    # rho
+    st.integers(min_value=0, max_value=1000),   # rng seed
+    st.integers(min_value=0, max_value=2**16),  # mask seed
+    st.floats(min_value=0.0, max_value=1.0),    # landmark density
+)
+
+
+class TestLandmarkScanIdentity:
+    @given(
+        matrix=stress_matrices(), params=landmark_params, plan=block_plans()
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_landmark_scan_bit_identical(self, matrix, params, plan):
+        epsilon, rho, seed, mask_seed, density = params
+        n = matrix.shape[0]
+        mask = np.random.default_rng(mask_seed).random(n) < density
+        outputs = {}
+        snapshots = {}
+        for scan in ("off", "margin", "exact"):
+            mechanism = LandmarkPrivacy(
+                epsilon, landmarks=mask, rho=rho, scan=scan
+            )
+            releaser = mechanism.online_releaser(
+                N_TYPES, rng=seed, horizon=n
+            )
+            outputs[scan] = np.vstack(
+                [releaser.step_block(block) for block in chunks(matrix, plan)]
+            )
+            snapshots[scan] = releaser.snapshot()
+        for scan in ("margin", "exact"):
+            assert np.array_equal(outputs[scan], outputs["off"]), scan
+            assert_snapshots_equal(snapshots[scan], snapshots["off"])
+
+    @given(matrix=stress_matrices(), params=landmark_params)
+    @settings(max_examples=30, deadline=None)
+    def test_landmark_prepass_elision_matches_stepping(
+        self, matrix, params
+    ):
+        """advance_block (regular rows hopped) ends in the same state."""
+        epsilon, rho, seed, mask_seed, density = params
+        n = matrix.shape[0]
+        mask = np.random.default_rng(mask_seed).random(n) < density
+        mechanism = LandmarkPrivacy(
+            epsilon, landmarks=mask, rho=rho, scan="margin"
+        )
+        stepped = mechanism.online_releaser(N_TYPES, rng=seed, horizon=n)
+        stepped.step_block(matrix)
+        prepassed = mechanism.online_releaser(N_TYPES, rng=seed, horizon=n)
+        prepassed.advance_block(matrix)
+        assert_snapshots_equal(prepassed.snapshot(), stepped.snapshot())
