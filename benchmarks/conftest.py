@@ -61,6 +61,44 @@ def emit(table, results_dir, name):
 BENCH_JSON_SCHEMA = 2
 
 
+def median(values):
+    """Median of a sequence of numbers (sorted-middle, no numpy)."""
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def paired_speedup(ratios):
+    """Noise-robust aggregate of per-round paired speedup ratios.
+
+    Pairing baseline and treatment inside one interleaved round keeps
+    co-tenant noise from *faking* a speedup trend, but aggregating with
+    ``max`` let a single noisy baseline round set the headline number
+    (and the CI gate value it feeds) — committed artifacts then
+    contradicted their own per-arm seconds.  The median keeps the
+    pairing and cannot be set by one outlier round; emit it together
+    with :func:`ratio_spread` so the round count and spread land in the
+    artifact next to the point value.
+    """
+    return median(ratios)
+
+
+def ratio_spread(prefix, ratios):
+    """Flat ``metrics`` entries recording a ratio set's rounds + spread.
+
+    Returned as ``{prefix}_rounds/{prefix}_min/{prefix}_max`` so every
+    median paired speedup in a ``BENCH_*.json`` is accompanied by how
+    many rounds produced it and how noisy they were.
+    """
+    return {
+        f"{prefix}_rounds": len(ratios),
+        f"{prefix}_min": min(ratios),
+        f"{prefix}_max": max(ratios),
+    }
+
+
 def effective_cpu_count():
     """Cores this process may actually run on.
 

@@ -46,6 +46,9 @@ from benchmarks.conftest import (
     emit,
     emit_json,
     floor_reason,
+    median,
+    paired_speedup,
+    ratio_spread,
 )
 from repro.datasets.synthetic import synthesize_dataset
 from repro.experiments.runner import WorkloadEvaluation
@@ -75,7 +78,7 @@ SPEEDUP_FLOOR = 3.0
 #: small enough that the deliberately slow legacy arm stays bounded).
 N_WINDOWS = 80_000
 
-_ROUNDS = 2
+_ROUNDS = 3
 
 
 def _timed(callable_):
@@ -139,7 +142,7 @@ def test_checkpoint_sharding(benchmark, results_dir):
                 print(f"BIT-IDENTITY BROKEN: {arm}")
     assert bit_identical
 
-    # -- speedup: interleaved rounds, best paired ratio ----------------
+    # -- speedup: interleaved rounds, median paired ratio --------------
     def legacy_arm(pipeline):
         def run():
             released = reference_w_event_perturb(
@@ -192,21 +195,25 @@ def test_checkpoint_sharding(benchmark, results_dir):
                     round_times[f"{kind}/batch"] / round_times[sharded_name]
                 )
 
-    best_vs_sequential = {
-        name: max(ratios) for name, ratios in paired_sequential.items()
+    # Median paired ratio per arm; "best" then selects the winning
+    # *arm*, not a winning round.
+    vs_sequential = {
+        name: paired_speedup(ratios)
+        for name, ratios in paired_sequential.items()
     }
-    best_vs_batch = {
-        name: max(ratios) for name, ratios in paired_batch.items()
+    vs_batch = {
+        name: paired_speedup(ratios)
+        for name, ratios in paired_batch.items()
     }
-    overall_vs_sequential = max(best_vs_sequential.values())
-    overall_vs_batch = max(best_vs_batch.values())
+    overall_vs_sequential = max(vs_sequential.values())
+    overall_vs_batch = max(vs_batch.values())
 
     table = ResultTable(
         ["arm", "workers", "seconds", "speedup_vs_sequential"],
         title=f"checkpointed w-event sharding over {stream.n_windows} windows",
     )
     for kind in pipelines:
-        sequential_seconds = min(times[f"{kind}/sequential"])
+        sequential_seconds = median(times[f"{kind}/sequential"])
         table.add_row(
             arm=f"{kind}/sequential",
             workers=1,
@@ -218,9 +225,12 @@ def test_checkpoint_sharding(benchmark, results_dir):
             table.add_row(
                 arm=arm,
                 workers=1 if name == "batch" else N_WORKERS,
-                seconds=round(min(times[arm]), 4),
+                seconds=round(median(times[arm]), 4),
                 speedup_vs_sequential=round(
-                    sequential_seconds / min(times[arm]), 2
+                    vs_sequential.get(
+                        arm, sequential_seconds / median(times[arm])
+                    ),
+                    2,
                 ),
             )
     emit(table, results_dir, "checkpoint_speedup")
@@ -254,7 +264,14 @@ def test_checkpoint_sharding(benchmark, results_dir):
             "best_vs_batch": overall_vs_batch,
             "floor_enforced": enforceable,
             **{
-                f"seconds/{name}": min(seconds)
+                key: value
+                for name, ratios in paired_sequential.items()
+                for key, value in ratio_spread(
+                    f"vs_sequential/{name}", ratios
+                ).items()
+            },
+            **{
+                f"seconds/{name}": median(seconds)
                 for name, seconds in times.items()
             },
         },

@@ -39,6 +39,9 @@ from benchmarks.conftest import (
     emit,
     emit_json,
     floor_reason,
+    median,
+    paired_speedup,
+    ratio_spread,
 )
 from repro.datasets.synthetic import synthesize_dataset
 from repro.experiments.runner import WorkloadEvaluation
@@ -67,7 +70,7 @@ N_WINDOWS = 200_000
 #: proves the same invariant.
 N_FAULT_WINDOWS = 40_000
 
-_ROUNDS = 2
+_ROUNDS = 3
 
 
 def _timed(callable_):
@@ -152,7 +155,7 @@ def test_cluster_executor(benchmark, results_dir, tmp_path):
         print("BIT-IDENTITY BROKEN: worker-kill/requeue arm")
     assert bit_identical
 
-    # -- speedup: interleaved rounds, best paired ratio ----------------
+    # -- speedup: interleaved rounds, median paired ratio --------------
     arms = {
         "batch": BatchExecutor(),
         "cluster": ClusterExecutor(N_WORKERS, materialize=False),
@@ -170,7 +173,7 @@ def test_cluster_executor(benchmark, results_dir, tmp_path):
             times[name].append(seconds)
             round_times[name] = seconds
         paired.append(round_times["batch"] / round_times["cluster"])
-    speedup = max(paired)
+    speedup = paired_speedup(paired)
 
     # -- no-leak invariant ---------------------------------------------
     leaked = leaked_segments()
@@ -184,7 +187,7 @@ def test_cluster_executor(benchmark, results_dir, tmp_path):
         table.add_row(
             arm=name,
             workers=1 if name == "batch" else N_WORKERS,
-            seconds=round(min(times[name]), 4),
+            seconds=round(median(times[name]), 4),
         )
     emit(table, results_dir, "cluster_executor")
 
@@ -209,10 +212,11 @@ def test_cluster_executor(benchmark, results_dir, tmp_path):
             "n_workers": N_WORKERS,
             "bit_identical": 1.0 if bit_identical else 0.0,
             "fault_restarts": fault_executor.last_restarts,
-            "batch_seconds": min(times["batch"]),
-            "cluster_seconds": min(times["cluster"]),
+            "batch_seconds": median(times["batch"]),
+            "cluster_seconds": median(times["cluster"]),
             "cluster_vs_batch": speedup,
             "floor_enforced": enforceable,
+            **ratio_spread("cluster_vs_batch", paired),
         },
         rows=table.rows,
         gates=gates,

@@ -28,6 +28,9 @@ from benchmarks.conftest import (
     emit,
     emit_json,
     floor_reason,
+    median,
+    paired_speedup,
+    ratio_spread,
 )
 from repro.baselines.budget_absorption import BudgetAbsorption
 from repro.baselines.budget_distribution import BudgetDistribution
@@ -48,7 +51,7 @@ N_WINDOWS = 120_000
 
 N_TYPES = 8
 
-_ROUNDS = 2
+_ROUNDS = 5
 
 EPSILON = 1.0
 W = 40
@@ -130,7 +133,7 @@ def test_decision_scan(benchmark, results_dir):
                 print(f"BIT-IDENTITY BROKEN: {kind}/{scan}")
     assert bit_identical
 
-    # -- prepass speedup: interleaved rounds, best paired ratio --------
+    # -- prepass speedup: interleaved rounds, median paired ratio ------
     times = {}
     paired = {}
     for kind in kinds:
@@ -154,25 +157,27 @@ def test_decision_scan(benchmark, results_dir):
                 / round_times[f"{kind}/prepass/margin"]
             )
 
-    best_per_kind = {kind: max(ratios) for kind, ratios in paired.items()}
-    overall = max(best_per_kind.values())
+    per_kind = {
+        kind: paired_speedup(ratios) for kind, ratios in paired.items()
+    }
+    # "best" selects the winning *scheduler* (the landmark hop), not a
+    # winning round — each kind's own number is already noise-robust.
+    overall = max(per_kind.values())
 
     table = ResultTable(
         ["arm", "seconds", "speedup_vs_scalar"],
         title=f"decision-kernel prepass over {n} windows",
     )
     for kind in kinds:
-        scalar_seconds = min(times[f"{kind}/prepass/off"])
         table.add_row(
             arm=f"{kind}/prepass/off",
-            seconds=round(scalar_seconds, 4),
+            seconds=round(median(times[f"{kind}/prepass/off"]), 4),
             speedup_vs_scalar=1.0,
         )
-        scanned_seconds = min(times[f"{kind}/prepass/margin"])
         table.add_row(
             arm=f"{kind}/prepass/margin",
-            seconds=round(scanned_seconds, 4),
-            speedup_vs_scalar=round(scalar_seconds / scanned_seconds, 2),
+            seconds=round(median(times[f"{kind}/prepass/margin"]), 4),
+            speedup_vs_scalar=round(per_kind[kind], 2),
         )
     emit(table, results_dir, "decisions_prepass")
 
@@ -198,10 +203,17 @@ def test_decision_scan(benchmark, results_dir):
             "floor_enforced": enforceable,
             **{
                 f"scan_vs_scalar/{kind}": ratio
-                for kind, ratio in best_per_kind.items()
+                for kind, ratio in per_kind.items()
             },
             **{
-                f"seconds/{name}": min(seconds)
+                key: value
+                for kind, ratios in paired.items()
+                for key, value in ratio_spread(
+                    f"scan_vs_scalar/{kind}", ratios
+                ).items()
+            },
+            **{
+                f"seconds/{name}": median(seconds)
                 for name, seconds in times.items()
             },
         },

@@ -24,7 +24,13 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import emit, emit_json
+from benchmarks.conftest import (
+    emit,
+    emit_json,
+    median,
+    paired_speedup,
+    ratio_spread,
+)
 from repro.service import ServiceSpec
 from repro.streams.indicator import EventAlphabet, IndicatorStream
 from repro.utils.tables import ResultTable
@@ -39,7 +45,7 @@ N_TYPES = 8
 #: the floor only guards against the connector path regressing).
 SPEEDUP_FLOOR = 1.2
 
-_ROUNDS = 3
+_ROUNDS = 5
 
 SEED = 11
 
@@ -116,7 +122,7 @@ def test_ingest_throughput(benchmark, results_dir):
         bit_identical = connector_answers == handrolled["q"]
         assert bit_identical
 
-        # -- throughput: interleaved rounds, best paired ratio ---------
+        # -- throughput: interleaved rounds, median paired ratio -------
         paired = []
         connector_times, handrolled_times = [], []
         for _ in range(_ROUNDS):
@@ -127,15 +133,15 @@ def test_ingest_throughput(benchmark, results_dir):
             connector_times.append(connector_seconds)
             handrolled_times.append(handrolled_seconds)
             paired.append(handrolled_seconds / connector_seconds)
-        best_speedup = max(paired)
+        speedup = paired_speedup(paired)
 
         table = ResultTable(
             ["path", "seconds", "windows_per_second"],
             title=f"file-source ingestion over {N_WINDOWS} windows",
         )
         for name, seconds in [
-            ("connector run()", min(connector_times)),
-            ("hand-rolled submit loop", min(handrolled_times)),
+            ("connector run()", median(connector_times)),
+            ("hand-rolled submit loop", median(handrolled_times)),
         ]:
             table.add_row(
                 path=name,
@@ -149,9 +155,10 @@ def test_ingest_throughput(benchmark, results_dir):
             "ingest",
             {
                 "n_windows": N_WINDOWS,
-                "connector_seconds": min(connector_times),
-                "handrolled_seconds": min(handrolled_times),
-                "speedup": best_speedup,
+                "connector_seconds": median(connector_times),
+                "handrolled_seconds": median(handrolled_times),
+                "speedup": speedup,
+                **ratio_spread("speedup", paired),
             },
             rows=table.rows,
             gates={
@@ -161,12 +168,12 @@ def test_ingest_throughput(benchmark, results_dir):
                 },
                 "connector_vs_handrolled": {
                     "floor": SPEEDUP_FLOOR,
-                    "value": best_speedup,
+                    "value": speedup,
                 },
             },
         )
-        benchmark.extra_info["speedup"] = best_speedup
-        assert best_speedup >= SPEEDUP_FLOOR, (
-            f"connector ingestion only {best_speedup:.2f}x the "
+        benchmark.extra_info["speedup"] = speedup
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"connector ingestion only {speedup:.2f}x the "
             f"hand-rolled loop (rounds: {[f'{r:.2f}' for r in paired]})"
         )

@@ -37,6 +37,9 @@ from benchmarks.conftest import (
     emit,
     emit_json,
     floor_reason,
+    median,
+    paired_speedup,
+    ratio_spread,
 )
 from repro.datasets.synthetic import synthesize_dataset
 from repro.experiments.runner import WorkloadEvaluation
@@ -63,7 +66,7 @@ SPEEDUP_FLOOR = 1.0
 #: arm's pickled payload (descriptor size is constant in window count).
 N_WINDOWS = 200_000
 
-_ROUNDS = 2
+_ROUNDS = 3
 
 
 def _timed(callable_):
@@ -135,7 +138,7 @@ def test_zerocopy_transport(benchmark, results_dir):
         / transport["zerocopy"].bytes_per_window
     )
 
-    # -- speedup: interleaved rounds, best paired ratio ----------------
+    # -- speedup: interleaved rounds, median paired ratio --------------
     paired = []
     times = {name: [] for name in arms}
     for _ in range(_ROUNDS):
@@ -149,7 +152,7 @@ def test_zerocopy_transport(benchmark, results_dir):
             times[name].append(seconds)
             round_times[name] = seconds
         paired.append(round_times["copy"] / round_times["zerocopy"])
-    speedup = max(paired)
+    speedup = paired_speedup(paired)
 
     # -- no-leak invariant ---------------------------------------------
     leaked = leaked_segments()
@@ -163,7 +166,7 @@ def test_zerocopy_transport(benchmark, results_dir):
         table.add_row(
             arm=name,
             workers=N_WORKERS,
-            seconds=round(min(times[name]), 4),
+            seconds=round(median(times[name]), 4),
             bytes_per_window=round(transport[name].bytes_per_window, 4),
         )
     emit(table, results_dir, "zerocopy_transport")
@@ -197,10 +200,11 @@ def test_zerocopy_transport(benchmark, results_dir):
             ].bytes_per_window,
             "copy_bytes_per_window": transport["copy"].bytes_per_window,
             "pickle_reduction": reduction,
-            "zerocopy_seconds": min(times["zerocopy"]),
-            "copy_seconds": min(times["copy"]),
+            "zerocopy_seconds": median(times["zerocopy"]),
+            "copy_seconds": median(times["copy"]),
             "process_speedup": speedup,
             "floor_enforced": enforceable,
+            **ratio_spread("process_speedup", paired),
         },
         rows=table.rows,
         gates=gates,
