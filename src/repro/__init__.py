@@ -70,6 +70,15 @@ from repro.mechanisms import (
     RandomizedResponse,
 )
 from repro.metrics import ConfusionCounts, DataQuality, mean_relative_error
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SpanRecorder,
+    run_soak,
+    trace_span,
+)
 from repro.runtime import (
     BatchExecutor,
     ChunkedExecutor,
@@ -162,6 +171,7 @@ __all__ = [
     "ClusterExecutor",
     "ConfusionCounts",
     "ContinuousQuery",
+    "Counter",
     "CountingQuery",
     "DataQuality",
     "DataStream",
@@ -172,10 +182,13 @@ __all__ = [
     "EventStream",
     "EventStreamPPM",
     "ExperimentConfig",
+    "Gauge",
+    "Histogram",
     "IndicatorStream",
     "KLEENE",
     "LandmarkPrivacy",
     "LaplaceMechanism",
+    "MetricsRegistry",
     "MonteCarloQualityEstimator",
     "MultiPatternPPM",
     "NEG",
@@ -193,6 +206,7 @@ __all__ = [
     "SEQ",
     "ServiceSpec",
     "ShardedExecutor",
+    "SpanRecorder",
     "StreamGateway",
     "StreamPipeline",
     "StreamService",
@@ -215,8 +229,10 @@ __all__ = [
     "registered_sources",
     "run_fig4_synthetic",
     "run_fig4_taxi",
+    "run_soak",
     "synthesize_dataset",
     "synthesize_many",
+    "trace_span",
     "verify_instance_dp",
     "verify_single_event_dp",
 ]

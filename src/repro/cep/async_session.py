@@ -29,12 +29,16 @@ synchronous session.
 from __future__ import annotations
 
 import asyncio
+import time
+from collections import deque
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.cep.engine import CEPEngine
 from repro.cep.online import session_stepper
+from repro.obs.metrics import default_registry
+from repro.obs.tracing import trace_span
 from repro.utils.deprecation import warn_imperative
 from repro.utils.rng import RngLike
 
@@ -112,6 +116,21 @@ class AsyncSession:
         self._closed = False
         self._submitted = 0
         self._processed = 0
+        # End-to-end latency instrumentation: submit timestamps queue
+        # up here (submission order == drain order) and the drainer
+        # observes submit→release per window.  Bound to the default
+        # registry at construction so gateways can scope sessions to
+        # their own registry via use_registry().
+        registry = default_registry()
+        self._obs_latency = registry.histogram(
+            "repro_window_latency_seconds",
+            "End-to-end window latency: submit to released answers.",
+        )
+        self._obs_windows = registry.counter(
+            "repro_session_windows_total",
+            "Windows processed by async session drainers.",
+        )
+        self._pending_times: deque = deque()
         #: Producers currently suspended inside ``queue.put`` — aclose
         #: must let them land before the close sentinel goes in, or
         #: their windows would slip in behind it and never be drained.
@@ -230,6 +249,7 @@ class AsyncSession:
         if self._stepper is not None:
             self._stepper.restore(stepper_state)
         self._submitted = self._processed = int(snapshot["windows"])
+        self._pending_times.clear()
 
     # -- ingestion -----------------------------------------------------
 
@@ -271,6 +291,7 @@ class AsyncSession:
         finally:
             self._inflight -= 1
         self._submitted += 1
+        self._pending_times.append(time.monotonic())
         return future
 
     async def process(
@@ -363,14 +384,24 @@ class AsyncSession:
                         break
                     batch.append(extra)
                 matrix = np.concatenate([row for row, _future in batch])
-                if self._stepper is None:
-                    released = matrix
-                else:
-                    released = self._stepper.step_block(matrix)
-                if self._record:
-                    self._original_rows.append(matrix)
-                    self._released_rows.append(released)
-                answers = matcher.answer(released)
+                with trace_span("session.drain", windows=len(batch)):
+                    if self._stepper is None:
+                        released = matrix
+                    else:
+                        released = self._stepper.step_block(matrix)
+                    if self._record:
+                        self._original_rows.append(matrix)
+                        self._released_rows.append(released)
+                    answers = matcher.answer(released)
+                released_at = time.monotonic()
+                pending_times = self._pending_times
+                for _ in range(len(batch)):
+                    if not pending_times:
+                        break
+                    self._obs_latency.observe(
+                        released_at - pending_times.popleft()
+                    )
+                self._obs_windows.inc(len(batch))
                 for position, (_row, future) in enumerate(batch):
                     window_answers = {
                         name: bool(vector[position])

@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.io.registry import register_sink
+from repro.obs.metrics import Counter, default_registry
 from repro.service.specgrammar import SpecKey
 from repro.streams.indicator import EventAlphabet, IndicatorStream
 
@@ -71,8 +72,14 @@ class StreamSink:
     def __init__(self):
         self._alphabet: Optional[EventAlphabet] = None
         self._query_names: Tuple[str, ...] = ()
-        self._written = 0
-        self._shed = 0
+        # Per-sink obs counters are the single source of truth behind
+        # windows_written / windows_shed; the process-wide aggregates
+        # (repro_sink_*_total in the default registry) ride along.
+        # Created on first use: spec-built sinks must stay structurally
+        # comparable, and a Counter carries a lock that never compares
+        # equal.
+        self._written_counter: Optional[Counter] = None
+        self._shed_counter: Optional[Counter] = None
 
     def open(
         self,
@@ -89,9 +96,12 @@ class StreamSink:
         """
         self._alphabet = alphabet
         self._query_names = tuple(query_names)
-        if not append:
-            self._written = 0
-            self._shed = 0
+        if not append or self._written_counter is None:
+            # A fresh open starts a fresh output record: new counters
+            # rather than reset() so references handed out earlier keep
+            # describing the run they were taken from.
+            self._written_counter = Counter("windows_written")
+            self._shed_counter = Counter("windows_shed")
         self._open(append=append)
         return self
 
@@ -115,7 +125,9 @@ class StreamSink:
     @property
     def windows_written(self) -> int:
         """Windows egressed so far (across appends)."""
-        return self._written
+        if self._written_counter is None:
+            return 0
+        return int(self._written_counter.value)
 
     @property
     def windows_shed(self) -> int:
@@ -126,11 +138,19 @@ class StreamSink:
         this pipeline's output record, so the count is surfaced here
         (and in the metrics sink's ``result()``) instead of vanishing.
         """
-        return self._shed
+        if self._shed_counter is None:
+            return 0
+        return int(self._shed_counter.value)
 
     def shed(self, index: int, row: Optional[np.ndarray] = None) -> None:
         """Record one window shed upstream of this sink (never written)."""
-        self._shed += 1
+        if self._shed_counter is None:
+            self._shed_counter = Counter("windows_shed")
+        self._shed_counter.inc()
+        default_registry().counter(
+            "repro_sink_shed_windows_total",
+            "Windows shed at ingress before any sink, process-wide.",
+        ).inc()
 
     def write(
         self,
@@ -142,7 +162,11 @@ class StreamSink:
         """Egress one window: its released row and per-query answers."""
         self.alphabet  # open check
         self._write(index, np.asarray(row).reshape(-1), answers, truth)
-        self._written += 1
+        self._written_counter.inc()
+        default_registry().counter(
+            "repro_sink_windows_total",
+            "Windows egressed through any sink, process-wide.",
+        ).inc()
 
     def _write(self, index, row, answers, truth) -> None:
         raise NotImplementedError

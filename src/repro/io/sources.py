@@ -175,6 +175,12 @@ class StreamSource:
         #: Rows drawn but returned unconsumed (see :meth:`unemit`);
         #: re-emitted before the underlying iterator continues.
         self._pushback: list = []
+        #: Absolute monotonic deadline of the next paced emission
+        #: (``None`` until pacing starts).  Deadlines advance by
+        #: ``delay`` per row independent of how long the sleep or the
+        #: consumer actually took, so per-row jitter cannot accumulate
+        #: into rate drift over a long replay.
+        self._next_emit: Optional[float] = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -259,6 +265,30 @@ class StreamSource:
             return self._pushback.pop()
         return next(self._emitter(), None)
 
+    def _pace_wait(self) -> float:
+        """Seconds until the next emission deadline (<= 0: emit now).
+
+        Deadlines are absolute on the monotonic clock: the first paced
+        row is due ``delay`` from now, every later row exactly ``delay``
+        after the previous *deadline* — not after the previous sleep
+        returned.  Relative per-row sleeps under-shoot by the scheduler
+        jitter and the consumer's processing time every single row,
+        which at high replay rates accumulates into unbounded drift;
+        sleeping toward a fixed deadline grid instead absorbs jitter up
+        to a full period and holds the configured rate.  A consumer
+        slower than the rate drives the wait negative — the source then
+        emits immediately (no sleep) until it catches back up.
+        """
+        delay = self.delay
+        if not delay:
+            return 0.0
+        now = time.monotonic()
+        deadline = self._next_emit
+        if deadline is None:
+            deadline = now + delay
+        self._next_emit = deadline + delay
+        return deadline - now
+
     def rows(self) -> Iterator[np.ndarray]:
         """Yield one boolean indicator row per window (single pass)."""
         self.alphabet  # bound check
@@ -267,7 +297,9 @@ class StreamSource:
             # loses nothing (a row drawn but never delivered would be
             # silently dropped from the single-pass iterator).
             if self.delay:
-                time.sleep(self.delay)
+                wait = self._pace_wait()
+                if wait > 0:
+                    time.sleep(wait)
             row = self._next_row()
             if row is None:
                 return
@@ -279,7 +311,9 @@ class StreamSource:
         self.alphabet  # bound check
         while True:
             if self.delay:
-                await asyncio.sleep(self.delay)
+                wait = self._pace_wait()
+                if wait > 0:
+                    await asyncio.sleep(wait)
             row = self._next_row()
             if row is None:
                 return

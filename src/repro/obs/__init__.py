@@ -1,0 +1,80 @@
+"""Observability subsystem: metrics, span tracing, exposition, soak.
+
+``repro.obs`` is the telemetry plane the runtime reports into:
+
+- :mod:`repro.obs.metrics` — thread-safe ``Counter``/``Gauge``/
+  ``Histogram`` families in a :class:`MetricsRegistry` (global default
+  + injectable instances), with Prometheus text rendering and
+  JSON-able snapshot/merge;
+- :mod:`repro.obs.tracing` — ``trace_span`` + ring-buffer
+  :class:`SpanRecorder`, no-op cheap when no recorder is installed;
+- :mod:`repro.obs.exposition` — the JSONL periodic snapshot writer;
+- :mod:`repro.obs.soak` — the replay soak harness
+  (:func:`run_soak`), imported lazily because it pulls in the whole
+  service layer.
+
+Importing this package has no side effects beyond creating the (empty)
+default registry — in particular it never touches random state.
+"""
+
+from repro.obs.exposition import JsonlSnapshotWriter, render_text
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+    use_registry,
+)
+from repro.obs.tracing import (
+    Span,
+    SpanRecorder,
+    current_recorder,
+    install_recorder,
+    trace_span,
+    uninstall_recorder,
+    use_recorder,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonlSnapshotWriter",
+    "MetricsRegistry",
+    "SoakReport",
+    "Span",
+    "SpanRecorder",
+    "current_recorder",
+    "default_registry",
+    "install_recorder",
+    "render_text",
+    "run_soak",
+    "set_default_registry",
+    "trace_span",
+    "uninstall_recorder",
+    "use_recorder",
+    "use_registry",
+]
+
+_LAZY = {"run_soak", "SoakReport"}
+
+
+def __getattr__(name):
+    # The soak harness imports the service layer (gateway, sources),
+    # which itself imports repro.obs.metrics — resolving it lazily
+    # keeps this package importable from those modules.
+    if name in _LAZY:
+        from repro.obs import soak
+
+        value = getattr(soak, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _LAZY)

@@ -1,0 +1,262 @@
+"""Span tracing: ``trace_span`` + a ring-buffer :class:`SpanRecorder`.
+
+The tracing plane is deliberately pull-free: instrumented call sites do
+
+    with trace_span("session.drain", windows=n):
+        ...
+
+and when no recorder is installed the call returns a shared no-op
+context manager — one global read and one function call, no
+allocations, so hot loops can stay instrumented permanently.  When a
+recorder *is* installed, spans carry monotonically assigned ids and a
+per-thread parent stack, so nested spans reconstruct the call tree.
+
+Recorders are bounded ring buffers: a soak run records forever without
+growing, keeping the newest ``capacity`` spans.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "SpanRecorder",
+    "current_recorder",
+    "install_recorder",
+    "trace_span",
+    "uninstall_recorder",
+    "use_recorder",
+]
+
+
+class Span:
+    """One finished span: timing, identity and attributes."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "start",
+        "end",
+        "attrs",
+        "error",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start: float,
+        end: float,
+        attrs: Dict,
+        error: Optional[str] = None,
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end = end
+        self.attrs = attrs
+        self.error = error
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, {self.duration * 1e3:.3f}ms)"
+        )
+
+
+class SpanRecorder:
+    """Bounded ring buffer of finished spans.
+
+    Thread-safe: ids are assigned under a lock, the parent stack is
+    thread-local (each thread nests independently), and finished spans
+    append to one shared deque that evicts the oldest beyond
+    ``capacity``.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._spans: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._local = threading.local()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _allocate_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            return span_id
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent_id: Optional[int] = None,
+        **attrs,
+    ) -> Span:
+        """Record an externally timed span (e.g. a cluster task)."""
+        span = Span(name, self._allocate_id(), parent_id, start, end, attrs)
+        self.record(span)
+        return span
+
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        """Recorded spans, oldest first; optionally filtered by name."""
+        with self._lock:
+            snapshot = list(self._spans)
+        if name is None:
+            return snapshot
+        return [span for span in snapshot if span.name == name]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+
+class _NoopSpan:
+    """The shared do-nothing span when no recorder is installed."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+class _ActiveSpan:
+    """A live span bound to a recorder; finalizes on ``__exit__``."""
+
+    __slots__ = ("_recorder", "name", "attrs", "span_id", "parent_id", "start")
+
+    def __init__(self, recorder: SpanRecorder, name: str, attrs: Dict):
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self.start = 0.0
+
+    def set(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    def __enter__(self):
+        recorder = self._recorder
+        stack = recorder._stack()
+        self.parent_id = stack[-1] if stack else None
+        self.span_id = recorder._allocate_id()
+        stack.append(self.span_id)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        end = time.perf_counter()
+        recorder = self._recorder
+        stack = recorder._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        recorder.record(
+            Span(
+                self.name,
+                self.span_id,
+                self.parent_id,
+                self.start,
+                end,
+                self.attrs,
+                error=exc_type.__name__ if exc_type is not None else None,
+            )
+        )
+        return False
+
+
+_recorder: Optional[SpanRecorder] = None
+
+
+def install_recorder(recorder: SpanRecorder) -> Optional[SpanRecorder]:
+    """Install the process recorder; returns the previous one."""
+    global _recorder
+    if recorder is not None and not isinstance(recorder, SpanRecorder):
+        raise TypeError(
+            f"recorder must be SpanRecorder, got {type(recorder).__name__}"
+        )
+    previous = _recorder
+    _recorder = recorder
+    return previous
+
+
+def uninstall_recorder() -> Optional[SpanRecorder]:
+    """Remove the process recorder; returns it."""
+    global _recorder
+    previous = _recorder
+    _recorder = None
+    return previous
+
+
+def current_recorder() -> Optional[SpanRecorder]:
+    return _recorder
+
+
+class use_recorder:
+    """Context manager scoping the installed recorder to a block."""
+
+    def __init__(self, recorder: SpanRecorder):
+        self.recorder = recorder
+        self._previous: Optional[SpanRecorder] = None
+
+    def __enter__(self) -> SpanRecorder:
+        self._previous = install_recorder(self.recorder)
+        return self.recorder
+
+    def __exit__(self, exc_type, exc, tb):
+        global _recorder
+        _recorder = self._previous
+        return False
+
+
+def trace_span(name: str, **attrs):
+    """A context manager timing one named span.
+
+    With no recorder installed this is the shared no-op singleton —
+    cheap enough for per-batch call sites in drain loops and kernels.
+    """
+    recorder = _recorder
+    if recorder is None:
+        return _NOOP
+    return _ActiveSpan(recorder, name, attrs)

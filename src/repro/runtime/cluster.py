@@ -54,6 +54,13 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.metrics import (
+    Counter,
+    MetricsRegistry,
+    default_registry,
+    use_registry,
+)
+from repro.obs.tracing import current_recorder, trace_span
 from repro.runtime.executors import PipelineResult
 from repro.streams.indicator import IndicatorStream
 from repro.utils.rng import RngLike
@@ -85,6 +92,11 @@ _HEADER = struct.Struct("!4sBI")
 
 #: Frame kinds (one byte on the wire).
 _HELLO, _JOB, _TASK, _RESULT, _ERROR, _HEARTBEAT, _SHUTDOWN = range(7)
+#: Telemetry frame: right before each _RESULT the worker ships the
+#: task's metrics-registry snapshot and wall time; the parent merges it
+#: into the process default registry (first frame per task id wins, so
+#: a requeued shard's duplicate never double-counts).
+_METRICS = 7
 
 
 class ProtocolError(RuntimeError):
@@ -209,7 +221,27 @@ def _worker_main(connection, heartbeat_interval: float) -> None:
             try:
                 if _TASK_FAULT_HOOK is not None:
                     _TASK_FAULT_HOOK(payload)
-                result = _execute_task(job, payload)
+                # Each task runs against its own fresh registry so the
+                # snapshot shipped back is exactly this task's delta —
+                # the parent can merge every task once without
+                # double-counting fork-inherited state.
+                task_registry = MetricsRegistry()
+                task_started = time.monotonic()
+                with use_registry(task_registry):
+                    result = _execute_task(job, payload)
+                task_seconds = time.monotonic() - task_started
+                # Metrics go first: the pipe is FIFO, so by the time
+                # the parent sees the result that may complete the
+                # whole run (and stop draining frames), this task's
+                # telemetry has already been merged.
+                send(
+                    _METRICS,
+                    {
+                        "task": payload["task"],
+                        "seconds": task_seconds,
+                        "metrics": task_registry.snapshot(),
+                    },
+                )
                 send(_RESULT, {"task": payload["task"], "result": result})
             except Exception:
                 send(
@@ -246,6 +278,9 @@ class _Worker:
     ready: bool = False
     dead: bool = False
     task: Optional[dict] = None
+    #: When the in-flight task was dispatched (perf_counter clock);
+    #: the parent-side per-shard span runs dispatch → result.
+    task_sent: float = 0.0
 
     def send(self, kind: int, payload=None) -> None:
         _send_frame(self.connection, kind, payload)
@@ -328,9 +363,22 @@ class ClusterExecutor:
         self.max_restarts = (
             max_restarts if max_restarts is not None else max(4, 2 * n_workers)
         )
-        #: Worker deaths survived by the most recent run (requeued and
-        #: respawned); 0 on a clean fleet.
-        self.last_restarts = 0
+        # Per-run restart count lives in an obs counter; last_restarts
+        # stays as the delegating view the fault tests/benches read.
+        # Created lazily at dispatch: spec-built executors must stay
+        # structurally identical, and a Counter carries a lock that
+        # never compares equal.
+        self._restarts_counter: Optional[Counter] = None
+        self._merged_metrics: set = set()
+
+    @property
+    def last_restarts(self) -> int:
+        """Worker deaths survived by the most recent run (requeued and
+        respawned); 0 on a clean fleet.  A view over the run's obs
+        restart counter."""
+        if self._restarts_counter is None:
+            return 0
+        return int(self._restarts_counter.value)
 
     # -- run dispatch (mirrors ShardedExecutor) ------------------------
 
@@ -348,6 +396,20 @@ class ClusterExecutor:
         return rng
 
     def run(
+        self,
+        pipeline,
+        indicators: IndicatorStream,
+        *,
+        rng: RngLike = None,
+    ) -> PipelineResult:
+        with trace_span(
+            "executor.cluster",
+            transport=self.transport,
+            windows=len(indicators),
+        ):
+            return self._run(pipeline, indicators, rng=rng)
+
+    def _run(
         self,
         pipeline,
         indicators: IndicatorStream,
@@ -632,6 +694,21 @@ class ClusterExecutor:
         completed: Dict[int, object] = {}
         pending = deque(messages)
         restarts = 0
+        self._restarts_counter = Counter("cluster_restarts")
+        self._merged_metrics = set()
+        registry = default_registry()
+        obs_requeues = registry.counter(
+            "repro_cluster_requeues_total",
+            "Shards requeued after their worker was declared dead.",
+        )
+        obs_restarts = registry.counter(
+            "repro_cluster_worker_restarts_total",
+            "Cluster workers reaped and respawned.",
+        )
+        obs_misses = registry.counter(
+            "repro_cluster_heartbeat_misses_total",
+            "Workers declared dead on heartbeat staleness alone.",
+        )
         workers = [self._spawn(context, job) for _ in range(fleet_size)]
         try:
             while len(completed) < len(messages):
@@ -667,12 +744,17 @@ class ClusterExecutor:
                         continue
                     workers.remove(worker)
                     self._reap(worker)
+                    if stale:
+                        obs_misses.inc()
                     if (
                         worker.task is not None
                         and worker.task["task"] not in completed
                     ):
                         pending.appendleft(worker.task)
+                        obs_requeues.inc()
                     restarts += 1
+                    self._restarts_counter.inc()
+                    obs_restarts.inc()
                     if restarts > self.max_restarts:
                         raise RuntimeError(
                             f"cluster fleet lost {restarts} workers "
@@ -690,10 +772,10 @@ class ClusterExecutor:
                         try:
                             worker.send(_TASK, message)
                             worker.task = message
+                            worker.task_sent = time.perf_counter()
                         except OSError:
                             pending.appendleft(message)
                             worker.dead = True
-            self.last_restarts = restarts
             return [
                 completed[index] for index in sorted(completed)
             ]
@@ -710,13 +792,37 @@ class ClusterExecutor:
             return
         if kind == _RESULT:
             task_id = payload["task"]
+            had_task = worker.task is not None
             worker.task = None
             if task_id in completed:
                 return  # late duplicate after a requeue race
+            recorder = current_recorder()
+            if recorder is not None and had_task:
+                recorder.record_span(
+                    "cluster.shard",
+                    worker.task_sent,
+                    time.perf_counter(),
+                    task=task_id,
+                )
+            default_registry().counter(
+                "repro_cluster_tasks_total",
+                "Shard tasks completed by cluster worker fleets.",
+            ).inc()
             result = payload["result"]
             if self.transport == "framed":
                 result = self._deposit_part(plane, planes, result)
             completed[task_id] = result
+            return
+        if kind == _METRICS:
+            task_id = payload["task"]
+            if task_id not in self._merged_metrics:
+                self._merged_metrics.add(task_id)
+                registry = default_registry()
+                registry.merge_snapshot(payload["metrics"])
+                registry.histogram(
+                    "repro_cluster_task_seconds",
+                    "Per-task worker wall time (worker-side clock).",
+                ).observe(payload["seconds"])
             return
         if kind == _ERROR:
             raise RuntimeError(

@@ -63,6 +63,8 @@ from typing import Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs.metrics import default_registry
+
 __all__ = [
     "BOUNDARY",
     "CANDIDATE",
@@ -84,6 +86,42 @@ BOUNDARY = 2
 
 #: Valid ``scan=`` modes, in spec-string spelling.
 SCAN_MODES = ("margin", "exact", "off")
+
+#: Power-of-two buckets for the scan-segment-size histogram (rows per
+#: vectorized scan, 1 .. the segment cap).
+_SEGMENT_BUCKETS = tuple(float(2**i) for i in range(14))
+
+
+def _kernel_telemetry():
+    """The decision kernels' counters, fetched from the *current*
+    default registry per block.
+
+    Resolved lazily (not cached on the kernel) so a kernel pickled
+    into a cluster worker reports into that worker's per-task registry
+    — the increments then ride the ``_METRICS`` frame back to the
+    parent.  Three dict lookups per block, amortized over the block's
+    rows.
+    """
+    registry = default_registry()
+    return (
+        registry.counter(
+            "repro_decisions_certified_rows_total",
+            "Rows bulk-skipped under a certified scan verdict.",
+        ),
+        registry.counter(
+            "repro_decisions_boundary_rows_total",
+            "Rows resolved by the exact scalar step.",
+        ),
+        registry.counter(
+            "repro_decisions_zero_budget_rows_total",
+            "Rows bulk-approximated over zero-budget stretches.",
+        ),
+        registry.histogram(
+            "repro_decisions_scan_segment_rows",
+            "Rows classified per vectorized scan segment.",
+            buckets=_SEGMENT_BUCKETS,
+        ),
+    )
 
 #: Upper bound on one scan segment's row count.  Segments double from
 #: the prefetch granularity while the stream stays skip-only and are
@@ -416,6 +454,12 @@ class WEventKernel:
         seg_stops: Optional[np.ndarray] = None
         cooldown = 0
         row = 0
+        (
+            obs_certified,
+            obs_boundary,
+            obs_zero_budget,
+            obs_segments,
+        ) = _kernel_telemetry()
         while row < n:
             last_release = host.last_release
             if last_release is not None:
@@ -431,6 +475,7 @@ class WEventKernel:
                     published.extend_constant(False, skip)
                     publication_budgets.extend_constant(0.0, skip)
                     dissimilarity_budgets.extend_constant(charge, skip)
+                    obs_zero_budget.inc(skip)
                     host.t += skip
                     row += skip
                     continue
@@ -452,6 +497,8 @@ class WEventKernel:
                         if seg_stops is None:
                             # No vectorized schedule: scalar loop.
                             scanning = False
+                        else:
+                            obs_segments.observe(seg_stop - row)
                     if seg_stops is not None:
                         run = self._certified_run(
                             seg_stops, seg_row, row, seg_stop
@@ -471,12 +518,14 @@ class WEventKernel:
                             rule.after_skip_run(
                                 host.t + run - 1, trace, state
                             )
+                            obs_certified.inc(run)
                             host.t += run
                             row += run
                             continue
             published_now = self._exact_step(
                 host, matrix, released, row, uniforms
             )
+            obs_boundary.inc()
             if published_now:
                 # The publication changed the budget schedule and the
                 # reference release; certified verdicts past this row
@@ -803,6 +852,12 @@ class LandmarkKernel:
         seg_stops: Optional[np.ndarray] = None
         ordinal = 0  # landmark rows consumed so far
         row = 0
+        (
+            obs_certified,
+            obs_boundary,
+            _obs_zero_budget,
+            obs_segments,
+        ) = _kernel_telemetry()
         while row < n:
             if row >= limit:
                 # Replicate _advance's bounds error (state already
@@ -850,6 +905,7 @@ class LandmarkKernel:
                 if seg_stops is None:
                     seg_ordinal = ordinal
                     seg_end = min(landmark_rows.shape[0], ordinal + chunk)
+                    obs_segments.observe(seg_end - ordinal)
                     seg_stops = self._scan_landmarks(
                         host,
                         matrix,
@@ -898,12 +954,14 @@ class LandmarkKernel:
                     host._landmarks_left = max(
                         0, host._landmarks_left - run
                     )
+                    obs_certified.inc(run)
                     host.t = t0 + stop_row
                     row = stop_row
                     ordinal += run
                     continue
             remaining_before = host._remaining_publication
             value = host._advance(matrix[row])
+            obs_boundary.inc()
             if released is not None:
                 released[row] = value
             if host._remaining_publication != remaining_before:

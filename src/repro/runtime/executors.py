@@ -31,6 +31,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.obs.tracing import trace_span
 from repro.streams.indicator import IndicatorStream
 from repro.utils.rng import RngLike
 from repro.runtime.stages import MetricsSink
@@ -78,13 +79,16 @@ class BatchExecutor:
         *,
         rng: RngLike = None,
     ) -> PipelineResult:
-        released = pipeline.runtime_mechanism.perturb_batch(
-            indicators, rng=rng
-        )
-        answers = pipeline.matcher.answer(released.matrix_view())
-        true_answers = pipeline.matcher.answer(indicators.matrix_view())
-        sink = MetricsSink(alpha=pipeline.alpha)
-        sink.update(true_answers, answers)
+        with trace_span("executor.batch", windows=len(indicators)):
+            released = pipeline.runtime_mechanism.perturb_batch(
+                indicators, rng=rng
+            )
+            answers = pipeline.matcher.answer(released.matrix_view())
+            true_answers = pipeline.matcher.answer(
+                indicators.matrix_view()
+            )
+            sink = MetricsSink(alpha=pipeline.alpha)
+            sink.update(true_answers, answers)
         return PipelineResult(
             answers=answers,
             true_answers=true_answers,
@@ -324,6 +328,20 @@ class ShardedExecutor:
         return True if self.zero_copy is None else bool(self.zero_copy)
 
     def run(
+        self,
+        pipeline,
+        indicators: IndicatorStream,
+        *,
+        rng: RngLike = None,
+    ) -> PipelineResult:
+        with trace_span(
+            "executor.sharded",
+            backend=self.backend,
+            windows=len(indicators),
+        ):
+            return self._run(pipeline, indicators, rng=rng)
+
+    def _run(
         self,
         pipeline,
         indicators: IndicatorStream,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
+from repro.obs.tracing import trace_span
 from repro.runtime.adapters import runtime_mechanism
 from repro.runtime.executors import BatchExecutor, PipelineResult
 from repro.runtime.stages import (
@@ -125,7 +126,12 @@ class StreamPipeline:
         if isinstance(source, IndicatorStream) or not hasattr(
             executor, "run_type_sets"
         ):
-            return executor.run(self, self.indicators_from(source), rng=rng)
+            with trace_span(
+                "pipeline.run", executor=type(executor).__name__
+            ):
+                return executor.run(
+                    self, self.indicators_from(source), rng=rng
+                )
         # Chunked executor over a non-materialized source: feed the
         # type-sets through chunked extraction.
         type_sets: Iterable
@@ -144,6 +150,7 @@ class StreamPipeline:
                 source = [window.event_types() for window in source]
             type_sets = source
             horizon = len(source)
-        return executor.run_type_sets(
-            self, type_sets, rng=rng, horizon=horizon
-        )
+        with trace_span("pipeline.run", executor=type(executor).__name__):
+            return executor.run_type_sets(
+                self, type_sets, rng=rng, horizon=horizon
+            )

@@ -53,6 +53,8 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.tracing import trace_span
 from repro.service.service import StreamService
 from repro.service.spec import ServiceSpec, TenantSpec
 from repro.utils.validation import check_positive
@@ -138,6 +140,7 @@ class _Tenant:
         name: str,
         service: StreamService,
         *,
+        registry: MetricsRegistry,
         source=None,
         sink=None,
         max_pending: int,
@@ -156,7 +159,21 @@ class _Tenant:
         self.burst = burst
         self.clock = clock
         self.answers: Dict[str, List[bool]] = {}
-        self.shed = 0
+        # The gateway registry is the single source of truth for
+        # per-tenant telemetry; `shed` below is a view over its
+        # counter (so checkpoint merge carries it across resumes).
+        self._shed_counter = registry.counter(
+            "repro_tenant_shed_windows_total",
+            "Windows shed at ingress by a tenant's rate limiter.",
+        ).labels(tenant=name)
+        self._served_gauge = registry.gauge(
+            "repro_tenant_windows_served",
+            "Windows answered by a tenant's session so far.",
+        ).labels(tenant=name)
+        self._budget_gauge = registry.gauge(
+            "repro_tenant_budget_spent_epsilon",
+            "Privacy budget (epsilon) a tenant's accountant has spent.",
+        ).labels(tenant=name)
         self._sink_opened = False
         self._bucket: Optional[TokenBucket] = None
         self._scattered_sink_result = None
@@ -164,18 +181,24 @@ class _Tenant:
         #: connectors are spec-declared, none are runtime objects.
         self.declarative = source is None and sink is None
 
+    @property
+    def shed(self) -> int:
+        """Windows shed at this tenant's ingress (an obs counter view)."""
+        return int(self._shed_counter.value)
+
     async def serve(self, max_windows: Optional[int]) -> None:
         source = self.source
         if self.rate_limit is not None:
             source = self._throttled()
-        answers = await self.service.pump(
-            source,
-            sink=self.sink,
-            max_pending=self.max_pending,
-            max_batch=self.max_batch,
-            max_windows=max_windows,
-            append_sink=self._sink_opened,
-        )
+        with trace_span("gateway.serve", tenant=self.name):
+            answers = await self.service.pump(
+                source,
+                sink=self.sink,
+                max_pending=self.max_pending,
+                max_batch=self.max_batch,
+                max_windows=max_windows,
+                append_sink=self._sink_opened,
+            )
         # Later slices keep appending to the same sink file/aggregate.
         self._sink_opened = self._sink_opened or (
             self.service.last_sink is not None
@@ -184,6 +207,16 @@ class _Tenant:
         self.source = self.service.last_source
         for name, values in answers.items():
             self.answers.setdefault(name, []).extend(values)
+        self.update_gauges()
+
+    def update_gauges(self) -> None:
+        """Refresh the windows-served / budget-spent gauges."""
+        session = self.service.session
+        if session is not None:
+            self._served_gauge.set(session.windows_processed)
+        accountant = self.service.accountant
+        if accountant is not None:
+            self._budget_gauge.set(accountant.spent())
 
     def _throttled(self):
         """This tenant's source behind its token bucket (idempotent)."""
@@ -204,7 +237,7 @@ class _Tenant:
 
     def _record_shed(self, index: int, row) -> None:
         """One window shed at ingress: count it, surface it."""
-        self.shed += 1
+        self._shed_counter.inc()
         from repro.io.sinks import StreamSink
 
         sink = self.service.last_sink
@@ -258,8 +291,19 @@ def _serve_slot(
 class StreamGateway:
     """Serve many named ``ServiceSpec`` pipelines on one asyncio loop."""
 
-    def __init__(self):
+    def __init__(self, *, registry: Optional[MetricsRegistry] = None):
         self._tenants: Dict[str, _Tenant] = {}
+        # Each gateway owns its registry by default so two fleets (or
+        # two tests) never mix per-tenant series; pass a shared
+        # registry — e.g. the process default — to aggregate instead.
+        self._registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The fleet's metrics registry (per-tenant series live here)."""
+        return self._registry
 
     # -- tenancy -------------------------------------------------------
 
@@ -338,6 +382,7 @@ class StreamGateway:
         self._tenants[name] = _Tenant(
             name,
             service,
+            registry=self._registry,
             source=source,
             sink=sink,
             max_pending=max_pending,
@@ -436,17 +481,22 @@ class StreamGateway:
         """
         if not self._tenants:
             raise RuntimeError("no tenants registered; add_tenant() first")
-        tasks = [
-            asyncio.ensure_future(tenant.serve(max_windows))
-            for tenant in self._tenants.values()
-        ]
-        try:
-            await asyncio.gather(*tasks)
-        finally:
-            for task in tasks:
-                if not task.done():
-                    task.cancel()
-            await asyncio.gather(*tasks, return_exceptions=True)
+        # Sessions bind their metrics to the default registry when they
+        # are (re)built inside pump; scoping the slice routes every
+        # tenant's telemetry into this gateway's checkpointable
+        # registry instead of the process-global one.
+        with use_registry(self._registry):
+            tasks = [
+                asyncio.ensure_future(tenant.serve(max_windows))
+                for tenant in self._tenants.values()
+            ]
+            try:
+                await asyncio.gather(*tasks)
+            finally:
+                for task in tasks:
+                    if not task.done():
+                        task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
 
     def run(self, *, max_windows: Optional[int] = None) -> Dict:
         """Serve every tenant to completion on a fresh event loop."""
@@ -524,15 +574,17 @@ class StreamGateway:
             for name, state in states.items():
                 tenant = self._tenants[name]
                 spec = ServiceSpec.from_dict(state["checkpoint"]["spec"])
-                tenant.service = StreamService.resume(
-                    spec, state["checkpoint"]
-                )
+                with use_registry(self._registry):
+                    tenant.service = StreamService.resume(
+                        spec, state["checkpoint"]
+                    )
                 tenant.source = tenant.service.last_source
                 tenant._sink_opened = True
-                tenant.shed += state["shed"]
+                tenant._shed_counter.inc(state["shed"])
                 tenant._scattered_sink_result = state["sink_result"]
                 for query, values in state["answers"].items():
                     tenant.answers.setdefault(query, []).extend(values)
+                tenant.update_gauges()
         return self.results()
 
     def results(self) -> Dict[str, Dict[str, List[bool]]]:
@@ -584,8 +636,19 @@ class StreamGateway:
                     f"tenant {name!r} has no open session to "
                     "checkpoint; serve() at least one slice first"
                 )
+            tenant.update_gauges()
             tenants[name] = tenant.service.checkpoint()
-        checkpoint = {"format": 1, "tenants": tenants}
+        self._registry.counter(
+            "repro_gateway_checkpoints_total",
+            "Fleet checkpoints taken by this gateway lineage.",
+        ).inc()
+        checkpoint = {
+            "format": 1,
+            "tenants": tenants,
+            # The fleet's counters ride along so a resumed gateway
+            # continues them monotonically instead of starting at zero.
+            "metrics": self._registry.snapshot(),
+        }
         limits = {
             name: {
                 "rate_limit": tenant.rate_limit,
@@ -606,6 +669,7 @@ class StreamGateway:
         sources: Optional[Mapping] = None,
         sinks: Optional[Mapping] = None,
         histories: Optional[Mapping] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> "StreamGateway":
         """Rebuild a gateway mid-stream from a :meth:`checkpoint`.
 
@@ -621,19 +685,33 @@ class StreamGateway:
         sinks = dict(sinks or {})
         histories = dict(histories or {})
         rate_limits = checkpoint.get("rate_limits", {})
-        gateway = cls()
+        gateway = cls(registry=registry)
+        # Fold the pre-crash fleet's counters in first, so the tenant
+        # counter views created below continue where the checkpointed
+        # run left off (pre-obs checkpoints simply carry no section).
+        gateway._registry.merge_snapshot(checkpoint.get("metrics"))
+        gateway._registry.counter(
+            "repro_gateway_resumes_total",
+            "Times this gateway lineage was resumed from a checkpoint.",
+        ).inc()
         for name, tenant_checkpoint in checkpoint["tenants"].items():
             spec = ServiceSpec.from_dict(tenant_checkpoint["spec"])
-            service = StreamService.resume(
-                spec,
-                tenant_checkpoint,
-                history=histories.get(name),
-                source=sources.get(name),
-            )
+            # Session restore rebuilds the session eagerly, which binds
+            # its latency histogram to the default registry — scope it
+            # to this gateway's registry so the series resumed from the
+            # checkpoint keeps growing in the same ledger.
+            with use_registry(gateway._registry):
+                service = StreamService.resume(
+                    spec,
+                    tenant_checkpoint,
+                    history=histories.get(name),
+                    source=sources.get(name),
+                )
             limits = rate_limits.get(name) or {}
             tenant = _Tenant(
                 name,
                 service,
+                registry=gateway._registry,
                 source=service.last_source,
                 sink=sinks.get(name),
                 max_pending=tenant_checkpoint.get(

@@ -26,10 +26,13 @@ same JSON blob reproduces its runs bit for bit.
 from __future__ import annotations
 
 import asyncio
+import time
 
 from typing import Dict, List, Mapping, Optional, Union
 
 from repro.cep.engine import CEPEngine, EngineReport
+from repro.obs.metrics import default_registry
+from repro.obs.tracing import current_recorder
 from repro.service.registry import (
     MechanismContext,
     build_executor_from_spec,
@@ -503,8 +506,9 @@ class StreamService:
                 for name, value in window_answers.items():
                     answers[name].append(value)
 
+        pumped = 0
+        pump_started = time.perf_counter()
         try:
-            pumped = 0
             async for row in source.arows():
                 block = row.reshape(1, -1)
                 if wants_truth:
@@ -548,6 +552,22 @@ class StreamService:
             if compiled_sink is not None:
                 session._on_release = None
                 compiled_sink.close()
+            # Timed manually (not via trace_span) so the cleanup above
+            # stays inside the measured window and an exception in it
+            # cannot leave a live span on the recorder's parent stack.
+            recorder = current_recorder()
+            if recorder is not None:
+                recorder.record_span(
+                    "service.pump",
+                    pump_started,
+                    time.perf_counter(),
+                    windows=pumped,
+                    source=type(source).__name__,
+                )
+            default_registry().counter(
+                "repro_pump_windows_total",
+                "Windows drawn from sources by StreamService.pump.",
+            ).inc(pumped)
         return answers
 
     # -- checkpoint / resume -------------------------------------------

@@ -65,6 +65,27 @@ class TestExamplesRun:
         assert "requeued the shard" in output
         assert "bit-identical to batch: True" in output
 
+    def test_soak_cli(self, capsys):
+        exit_code = load_example("soak").main(
+            [
+                "--tenants",
+                "2",
+                "--windows",
+                "120",
+                "--rate",
+                "5000",
+                "--duration",
+                "20",
+                "--slice-windows",
+                "32",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "latency: p50" in output
+        assert "windows/sec" in output
+        assert "registry survived every kill: True" in output
+
     def test_taxi_fleet_scaled_down(self, capsys, monkeypatch):
         module = load_example("taxi_fleet")
         from repro.datasets import TaxiConfig

@@ -388,3 +388,90 @@ class TestPacedCancellation:
         collected = asyncio.run(go())
         assert len(collected) == stream.n_windows
         assert np.array_equal(np.stack(collected), stream.matrix_view())
+
+
+class FakeClock:
+    """A deterministic stand-in for the pacing clock.
+
+    ``sleep`` overshoots every request by ``jitter`` seconds — the
+    scheduler never wakes a real process exactly on time — so a paced
+    source that sleeps a *relative* delay per row drifts by one jitter
+    per row, while absolute-deadline pacing re-anchors on the grid.
+    """
+
+    def __init__(self, jitter=0.0):
+        self.now = 100.0
+        self.jitter = jitter
+        self.sleeps = []
+
+    def monotonic(self):
+        return self.now
+
+    def sleep(self, seconds):
+        assert seconds > 0  # the source must not sleep non-positive
+        self.sleeps.append(seconds)
+        self.now += seconds + self.jitter
+
+
+class TestAbsoluteDeadlinePacing:
+    def drain(self, source, n):
+        rows = source.rows()
+        return [next(rows) for _ in range(n)]
+
+    def test_jitter_does_not_accumulate(self, csv_path, monkeypatch):
+        from repro.io import sources as sources_module
+
+        clock = FakeClock(jitter=0.002)
+        monkeypatch.setattr(sources_module, "time", clock)
+        source = ReplaySource(csv_path, rate=100.0).bind(ALPHABET)
+        self.drain(source, 50)
+        elapsed = clock.now - 100.0
+        # 50 rows at 10ms: the deadline grid ends at 500ms; only the
+        # *last* sleep's jitter is outstanding.  Relative pacing would
+        # have accumulated all 50 jitters (600ms total).
+        assert elapsed == pytest.approx(50 * 0.01 + 0.002)
+
+    def test_deadlines_stay_on_the_grid(self, csv_path, monkeypatch):
+        from repro.io import sources as sources_module
+
+        clock = FakeClock(jitter=0.004)
+        monkeypatch.setattr(sources_module, "time", clock)
+        source = ReplaySource(csv_path, rate=100.0).bind(ALPHABET)
+        self.drain(source, 10)
+        # Every sleep targets deadline k*10ms, so after the first full
+        # delay each wait is one period minus the previous overshoot.
+        assert clock.sleeps[0] == pytest.approx(0.01)
+        assert all(
+            wait == pytest.approx(0.01 - 0.004)
+            for wait in clock.sleeps[1:]
+        )
+
+    def test_slow_consumer_emits_immediately_without_sleeping(
+        self, csv_path, monkeypatch
+    ):
+        from repro.io import sources as sources_module
+
+        clock = FakeClock()
+        monkeypatch.setattr(sources_module, "time", clock)
+        source = ReplaySource(csv_path, rate=100.0).bind(ALPHABET)
+        rows = source.rows()
+        next(rows)  # sleeps the first full delay
+        clock.now += 0.1  # consumer stalls for ten periods
+        for _ in range(5):
+            next(rows)  # catching up: all overdue, no sleeping
+        assert len(clock.sleeps) == 1
+
+    def test_unpaced_source_never_consults_the_clock(
+        self, csv_path, monkeypatch
+    ):
+        from repro.io import sources as sources_module
+
+        class ExplodingClock:
+            def monotonic(self):  # pragma: no cover - must not run
+                raise AssertionError("unpaced sources must not pace")
+
+            sleep = monotonic
+
+        monkeypatch.setattr(sources_module, "time", ExplodingClock())
+        source = ReplaySource(csv_path, rate=0.0).bind(ALPHABET)
+        assert len(self.drain(source, 10)) == 10

@@ -1,0 +1,310 @@
+"""Tests for repro.obs.metrics: primitives, registry, snapshot/merge."""
+
+import gc
+import sys
+import threading
+
+import pytest
+
+from repro.obs.exposition import JsonlSnapshotWriter
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("windows_total")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("windows_total")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1.0)
+
+    def test_reset_zeroes(self):
+        counter = Counter("windows_total")
+        counter.inc(7)
+        counter.reset()
+        assert counter.value == 0.0
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            Counter("7starts_with_digit")
+
+    def test_inc_allocation_does_not_scale_with_calls(self):
+        # The drain loop and the decision kernels increment counters
+        # per window/row; the hot path must not allocate per call (a
+        # few blocks of constant loop overhead are tolerated, growth
+        # proportional to the call count is not).
+        counter = Counter("hot_total")
+
+        def measure(calls):
+            for _ in range(64):
+                counter.inc()  # warm up any lazy internals
+            gc.collect()
+            before = sys.getallocatedblocks()
+            for _ in range(calls):
+                counter.inc()
+            return sys.getallocatedblocks() - before
+
+        small, large = measure(100), measure(10_000)
+        assert large <= small + 8
+        assert counter.value == 64.0 * 2 + 100 + 10_000
+
+    def test_thread_safety_under_contention(self):
+        counter = Counter("contended_total")
+
+        def spin():
+            for _ in range(2000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("pending")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7.0
+
+
+class TestLabels:
+    def test_same_label_set_is_same_child(self):
+        counter = Counter("tenant_total")
+        child = counter.labels(tenant="a")
+        assert counter.labels(tenant="a") is child
+        assert counter.labels(tenant="b") is not child
+
+    def test_label_order_does_not_matter(self):
+        counter = Counter("pair_total")
+        assert counter.labels(a="1", b="2") is counter.labels(
+            b="2", a="1"
+        )
+
+    def test_children_report_independently(self):
+        counter = Counter("tenant_total")
+        counter.labels(tenant="a").inc(3)
+        counter.labels(tenant="b").inc(5)
+        assert counter.labels(tenant="a").value == 3.0
+        assert counter.labels(tenant="b").value == 5.0
+
+
+class TestHistogram:
+    def test_default_buckets_are_exponential(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(0.0005)
+        ratios = [
+            DEFAULT_LATENCY_BUCKETS[i + 1] / DEFAULT_LATENCY_BUCKETS[i]
+            for i in range(len(DEFAULT_LATENCY_BUCKETS) - 1)
+        ]
+        assert all(r == pytest.approx(2.0) for r in ratios)
+
+    def test_bucket_boundaries_are_le_inclusive(self):
+        hist = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 4.0, 9.0):
+            hist.observe(value)
+        # le=1: {0.5, 1.0}; le=2: {1.5, 2.0}; le=4: {4.0}; +Inf: {9.0}
+        assert hist.bucket_counts() == [2, 2, 1, 1]
+        assert hist.count == 6
+        assert hist.sum == pytest.approx(18.0)
+
+    def test_buckets_must_strictly_increase(self):
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram("lat", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram("lat", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("lat", buckets=())
+
+    def test_percentile_interpolates_within_bucket(self):
+        hist = Histogram("lat", buckets=(10.0, 20.0))
+        for _ in range(10):
+            hist.observe(5.0)  # all in the (0, 10] bucket
+        # rank 5 of 10 → halfway through a bucket spanning 0..10
+        assert hist.percentile(50) == pytest.approx(5.0)
+        assert hist.percentile(100) == pytest.approx(10.0)
+
+    def test_percentile_spans_buckets(self):
+        hist = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for _ in range(50):
+            hist.observe(0.5)
+        for _ in range(50):
+            hist.observe(3.0)
+        assert hist.percentile(50) == pytest.approx(1.0)
+        assert 2.0 <= hist.percentile(99) <= 4.0
+
+    def test_percentile_overflow_reports_last_finite_bound(self):
+        hist = Histogram("lat", buckets=(1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.percentile(99) == 2.0
+
+    def test_percentile_empty_is_zero(self):
+        assert Histogram("lat", buckets=(1.0,)).percentile(99) == 0.0
+
+    def test_percentile_range_checked(self):
+        hist = Histogram("lat", buckets=(1.0,))
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            hist.percentile(101)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a_total", "help text")
+        assert registry.counter("a_total") is counter
+        assert registry.get("a_total") is counter
+        assert registry.get("missing") is None
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("a_total")
+
+    def test_histogram_bucket_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="different"):
+            registry.histogram("lat", buckets=(1.0, 3.0))
+
+    def test_render_text_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", "Requests.").labels(
+            tenant="a"
+        ).inc(3)
+        registry.gauge("pending").set(2)
+        hist = registry.histogram("lat_seconds", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = registry.render_text()
+        assert "# HELP req_total Requests." in text
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{tenant="a"} 3.0' in text
+        assert "pending 2.0" in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_count 2" in text
+
+    def test_snapshot_merge_counters_add_gauges_overwrite(self):
+        first = MetricsRegistry()
+        first.counter("windows_total").inc(5)
+        first.gauge("pending").set(3)
+        second = MetricsRegistry()
+        second.counter("windows_total").inc(2)
+        second.gauge("pending").set(9)
+        second.merge_snapshot(first.snapshot())
+        assert second.counter("windows_total").value == 7.0
+        assert second.gauge("pending").value == 3.0
+
+    def test_snapshot_merge_histograms_add_elementwise(self):
+        first = MetricsRegistry()
+        first.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+        second = MetricsRegistry()
+        hist = second.histogram("lat", buckets=(1.0, 2.0))
+        hist.observe(1.5)
+        second.merge_snapshot(first.snapshot())
+        assert hist.bucket_counts() == [1, 1, 0]
+        assert hist.count == 2
+        assert hist.sum == pytest.approx(2.0)
+
+    def test_merge_histogram_bucket_mismatch_raises(self):
+        first = MetricsRegistry()
+        first.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+        second = MetricsRegistry()
+        second.histogram("lat", buckets=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            second.merge_snapshot(first.snapshot())
+
+    def test_merge_preserves_labels(self):
+        first = MetricsRegistry()
+        first.counter("tenant_total").labels(tenant="a").inc(4)
+        second = MetricsRegistry()
+        second.merge_snapshot(first.snapshot())
+        assert (
+            second.counter("tenant_total").labels(tenant="a").value
+            == 4.0
+        )
+
+    def test_merge_none_and_empty_are_noops(self):
+        registry = MetricsRegistry()
+        registry.merge_snapshot(None)
+        registry.merge_snapshot({})
+        assert registry.metrics() == []
+
+    def test_snapshot_roundtrips_through_fresh_registry(self):
+        source = MetricsRegistry()
+        source.counter("a_total").inc(3)
+        source.histogram("lat", buckets=(1.0,)).observe(0.5)
+        clone = MetricsRegistry()
+        clone.merge_snapshot(source.snapshot())
+        assert clone.snapshot() == source.snapshot()
+
+
+class TestDefaultRegistry:
+    def test_use_registry_scopes_and_restores(self):
+        outer = default_registry()
+        scoped = MetricsRegistry()
+        with use_registry(scoped):
+            assert default_registry() is scoped
+            default_registry().counter("scoped_total").inc()
+        assert default_registry() is outer
+        assert scoped.counter("scoped_total").value == 1.0
+
+    def test_set_default_registry_returns_previous(self):
+        outer = default_registry()
+        replacement = MetricsRegistry()
+        previous = set_default_registry(replacement)
+        try:
+            assert previous is outer
+            assert default_registry() is replacement
+        finally:
+            set_default_registry(outer)
+
+
+class TestJsonlSnapshotWriter:
+    def test_write_appends_one_snapshot_per_call(self, tmp_path):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc(2)
+        path = str(tmp_path / "snapshots.jsonl")
+        writer = JsonlSnapshotWriter(path, registry)
+        writer.write()
+        registry.counter("a_total").inc(3)
+        writer.write()
+        lines = [
+            json.loads(line)
+            for line in open(path).read().splitlines()
+        ]
+        assert len(lines) == 2
+        values = [
+            line["snapshot"]["metrics"][0]["samples"][0]["value"]
+            for line in lines
+        ]
+        assert values == [2.0, 5.0]
+        assert all("at" in line for line in lines)
+
+    def test_periodic_writer_stops_cleanly(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc()
+        path = str(tmp_path / "snapshots.jsonl")
+        with JsonlSnapshotWriter(path, registry) as writer:
+            writer.start(interval=30.0)
+        # stop() always flushes a final snapshot.
+        assert open(path).read().count("\n") >= 1

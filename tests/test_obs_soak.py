@@ -1,0 +1,270 @@
+"""Integration tests: telemetry through the stack + the soak harness.
+
+Covers the three cross-layer guarantees the observability plane makes:
+instrumentation never changes released outputs (bit-identity), metric
+series survive gateway kill/resume via the checkpoint's ``metrics``
+section (monotone counters), and cluster workers ship their per-task
+registries home over the ``_METRICS`` frame.  The soak harness itself
+is exercised end to end at toy scale.
+"""
+
+import asyncio
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines.budget_distribution import BudgetDistribution
+from repro.cep.patterns import Pattern
+from repro.cep.queries import ContinuousQuery
+from repro.io import write_indicator_csv
+from repro.obs.metrics import (
+    MetricsRegistry,
+    default_registry,
+    use_registry,
+)
+from repro.obs.soak import SoakReport, run_soak
+from repro.obs.tracing import SpanRecorder, use_recorder
+from repro.runtime import (
+    BatchExecutor,
+    ClusterExecutor,
+    ShardedExecutor,
+    StreamPipeline,
+)
+from repro.service import ServiceSpec, StreamGateway
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+
+ALPHABET = EventAlphabet.numbered(5)
+QUERIES = [
+    ContinuousQuery("q1", Pattern.of_types("q1", "e1", "e2")),
+    ContinuousQuery("q2", Pattern.of_types("q2", "e3")),
+]
+
+
+def make_stream(n_windows, seed=9):
+    rng = np.random.default_rng(seed)
+    return IndicatorStream(ALPHABET, rng.random((n_windows, 5)) < 0.35)
+
+
+def make_pipeline():
+    return StreamPipeline(
+        ALPHABET, queries=QUERIES, mechanism=BudgetDistribution(1.0, w=4)
+    )
+
+
+def tenant_spec(seed, *, source="synthetic:windows=60,seed=5"):
+    return ServiceSpec(
+        alphabet=tuple(ALPHABET.types),
+        queries=[("q1", ("e1", "e2"))],
+        mechanism="bd",
+        mechanism_options={"epsilon": 1.0, "w": 4},
+        source=source,
+        sink="memory",
+        seed=seed,
+    )
+
+
+@pytest.fixture
+def replay_csv(tmp_path):
+    rng = random.Random(3)
+    rows = [[rng.randint(0, 1) for _ in range(5)] for _ in range(120)]
+    path = str(tmp_path / "replay.csv")
+    write_indicator_csv(IndicatorStream(ALPHABET, rows), path)
+    return path
+
+
+class TestBitIdentity:
+    """Instrumented runs release exactly what uninstrumented runs do."""
+
+    @pytest.mark.parametrize(
+        "executor_factory",
+        [
+            BatchExecutor,
+            lambda: ShardedExecutor(2),
+            lambda: ClusterExecutor(2),
+        ],
+        ids=["batch", "sharded", "cluster"],
+    )
+    def test_recorder_and_registry_do_not_change_outputs(
+        self, executor_factory
+    ):
+        stream = make_stream(40)
+        plain = make_pipeline().run(stream, rng=17)
+        recorder = SpanRecorder()
+        with use_recorder(recorder), use_registry(MetricsRegistry()):
+            traced = make_pipeline().run(
+                stream, rng=17, executor=executor_factory()
+            )
+        assert plain.released == traced.released
+        for name in plain.answers:
+            assert np.array_equal(
+                plain.answers[name], traced.answers[name]
+            )
+        assert len(recorder.spans()) > 0
+
+    def test_executor_spans_are_children_of_pipeline_run(self):
+        recorder = SpanRecorder()
+        with use_recorder(recorder):
+            make_pipeline().run(make_stream(20), rng=1)
+        (run_span,) = recorder.spans("pipeline.run")
+        (batch_span,) = recorder.spans("executor.batch")
+        assert batch_span.parent_id == run_span.span_id
+        assert batch_span.attrs["windows"] == 20
+
+
+class TestKernelTelemetry:
+    def test_decision_counters_account_for_every_row(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            make_pipeline().run(make_stream(50), rng=2)
+        certified = registry.get("repro_decisions_certified_rows_total")
+        boundary = registry.get("repro_decisions_boundary_rows_total")
+        zero = registry.get("repro_decisions_zero_budget_rows_total")
+        total = sum(
+            metric.value
+            for metric in (certified, boundary, zero)
+            if metric is not None
+        )
+        assert total == 50.0
+
+
+class TestClusterMetricsFrame:
+    def test_worker_task_metrics_ship_to_parent_registry(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            ClusterExecutor(2).run(make_pipeline(), make_stream(40), rng=3)
+        tasks = registry.get("repro_cluster_tasks_total")
+        assert tasks is not None and tasks.value >= 2.0
+        seconds = registry.get("repro_cluster_task_seconds")
+        assert seconds is not None and seconds.count == tasks.value
+        # The kernels ran inside the workers, yet their counters landed
+        # here — carried home by the metrics frame, not shared memory.
+        certified = registry.get("repro_decisions_certified_rows_total")
+        boundary = registry.get("repro_decisions_boundary_rows_total")
+        zero = registry.get("repro_decisions_zero_budget_rows_total")
+        total = sum(
+            metric.value
+            for metric in (certified, boundary, zero)
+            if metric is not None
+        )
+        assert total == 40.0
+
+
+class TestGatewayMetricsLifecycle:
+    def test_checkpoint_carries_metrics_and_resume_is_monotone(self):
+        gateway = StreamGateway()
+        gateway.add_tenant("a", tenant_spec(7))
+        asyncio.run(gateway.serve(max_windows=20))
+        first = gateway.checkpoint()
+        assert "metrics" in first
+        served_before = (
+            gateway.registry.get("repro_session_windows_total").value
+        )
+        assert served_before == 20.0
+
+        resumed = StreamGateway.resume(first, registry=MetricsRegistry())
+        asyncio.run(resumed.serve(max_windows=20))
+        served_after = (
+            resumed.registry.get("repro_session_windows_total").value
+        )
+        assert served_after == 40.0  # continued, not restarted
+        assert resumed.registry.get(
+            "repro_gateway_resumes_total"
+        ).value == 1.0
+
+    def test_session_metrics_stay_out_of_global_registry(self):
+        before = default_registry().get("repro_window_latency_seconds")
+        before_count = before.count if before is not None else 0
+        gateway = StreamGateway()
+        gateway.add_tenant("a", tenant_spec(7))
+        asyncio.run(gateway.serve(max_windows=10))
+        after = default_registry().get("repro_window_latency_seconds")
+        after_count = after.count if after is not None else 0
+        assert after_count == before_count
+        assert (
+            gateway.registry.get("repro_window_latency_seconds").count
+            == 10
+        )
+
+    def test_shed_counter_views_survive_resume(self):
+        clock = {"now": 0.0}
+        gateway = StreamGateway()
+        gateway.add_tenant(
+            "a",
+            tenant_spec(7),
+            rate_limit=5.0,
+            burst=1.0,
+            clock=lambda: clock["now"],
+        )
+        asyncio.run(gateway.serve(max_windows=30))
+        shed_before = gateway.shed_windows()["a"]
+        assert shed_before > 0  # frozen clock: only the burst admits
+
+
+class TestRunSoak:
+    def test_short_soak_with_kill_resume_accounts_every_window(
+        self, replay_csv
+    ):
+        report = run_soak(
+            replay_csv,
+            tenants=2,
+            rate=50_000.0,
+            duration=30.0,
+            slice_windows=32,
+            kill_every=2,
+        )
+        assert isinstance(report, SoakReport)
+        # 2 tenants x 120 replayed windows, none lost across kills.
+        assert report.windows_total == 240
+        assert report.resumes == report.checkpoints >= 1
+        assert report.windows_per_second > 0
+        assert 0.0 < report.p50_latency_seconds
+        assert report.p50_latency_seconds <= report.p99_latency_seconds
+        assert report.registry.get(
+            "repro_window_latency_seconds"
+        ).count == 240
+        assert "latency: p50" in report.summary()
+
+    def test_soak_without_kills_matches(self, replay_csv):
+        report = run_soak(
+            replay_csv,
+            tenants=1,
+            rate=50_000.0,
+            duration=30.0,
+            slice_windows=64,
+            kill_every=0,
+        )
+        assert report.windows_total == 120
+        assert report.resumes == 0
+
+    def test_soak_records_spans_and_snapshots(
+        self, replay_csv, tmp_path
+    ):
+        recorder = SpanRecorder()
+        snapshot_path = str(tmp_path / "snapshots.jsonl")
+        report = run_soak(
+            replay_csv,
+            tenants=1,
+            rate=50_000.0,
+            duration=30.0,
+            slice_windows=64,
+            kill_every=0,
+            recorder=recorder,
+            snapshot_path=snapshot_path,
+        )
+        assert report.slices >= 1
+        assert len(recorder.spans("gateway.serve")) >= report.slices
+        lines = open(snapshot_path).read().splitlines()
+        assert len(lines) == report.slices
+
+    def test_soak_validates_inputs(self, replay_csv, tmp_path):
+        with pytest.raises(ValueError, match="tenants"):
+            run_soak(replay_csv, tenants=0)
+        with pytest.raises(ValueError, match="duration"):
+            run_soak(replay_csv, duration=0)
+        with pytest.raises(ValueError, match="kill_every"):
+            run_soak(replay_csv, kill_every=-1)
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            run_soak(str(empty))

@@ -1,0 +1,147 @@
+"""Tests for repro.obs.tracing: spans, recorders, the no-op path."""
+
+import threading
+
+import pytest
+
+from repro.obs.tracing import (
+    SpanRecorder,
+    current_recorder,
+    install_recorder,
+    trace_span,
+    uninstall_recorder,
+    use_recorder,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_recorder():
+    # Tests must not leak a recorder into (or inherit one from) the
+    # rest of the suite.
+    uninstall_recorder()
+    yield
+    uninstall_recorder()
+
+
+class TestNoopPath:
+    def test_without_recorder_trace_span_is_shared_noop(self):
+        first = trace_span("a")
+        second = trace_span("b", attr=1)
+        assert first is second  # the shared singleton — no allocation
+        with first as span:
+            span.set(more="attrs")  # accepted and dropped
+
+    def test_exceptions_propagate_through_noop(self):
+        with pytest.raises(RuntimeError):
+            with trace_span("a"):
+                raise RuntimeError("boom")
+
+
+class TestRecording:
+    def test_span_carries_name_attrs_and_timing(self):
+        recorder = SpanRecorder()
+        with use_recorder(recorder):
+            with trace_span("work", windows=5) as span:
+                span.set(extra="yes")
+        (span,) = recorder.spans()
+        assert span.name == "work"
+        assert span.attrs == {"windows": 5, "extra": "yes"}
+        assert span.end >= span.start
+        assert span.duration >= 0.0
+        assert span.error is None
+
+    def test_nested_spans_reconstruct_parentage(self):
+        recorder = SpanRecorder()
+        with use_recorder(recorder):
+            with trace_span("outer"):
+                with trace_span("inner"):
+                    pass
+                with trace_span("sibling"):
+                    pass
+        inner, sibling, outer = recorder.spans()
+        assert outer.name == "outer" and outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert sibling.parent_id == outer.span_id
+        assert len({s.span_id for s in (inner, sibling, outer)}) == 3
+
+    def test_exception_is_recorded_and_propagates(self):
+        recorder = SpanRecorder()
+        with use_recorder(recorder):
+            with pytest.raises(ValueError):
+                with trace_span("failing"):
+                    raise ValueError("bad")
+        (span,) = recorder.spans()
+        assert span.error == "ValueError"
+
+    def test_ring_buffer_evicts_oldest(self):
+        recorder = SpanRecorder(capacity=3)
+        with use_recorder(recorder):
+            for i in range(5):
+                with trace_span(f"s{i}"):
+                    pass
+        assert [s.name for s in recorder.spans()] == ["s2", "s3", "s4"]
+        assert len(recorder) == 3
+
+    def test_spans_filter_by_name(self):
+        recorder = SpanRecorder()
+        with use_recorder(recorder):
+            with trace_span("keep"):
+                pass
+            with trace_span("drop"):
+                pass
+        assert [s.name for s in recorder.spans("keep")] == ["keep"]
+
+    def test_record_span_for_external_timing(self):
+        recorder = SpanRecorder()
+        span = recorder.record_span("pump", 1.0, 3.5, windows=7)
+        assert span.duration == pytest.approx(2.5)
+        assert recorder.spans("pump")[0].attrs == {"windows": 7}
+
+    def test_threads_nest_independently(self):
+        recorder = SpanRecorder()
+        install_recorder(recorder)
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with trace_span(name):
+                barrier.wait(timeout=5)
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",))
+            for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        spans = recorder.spans()
+        assert len(spans) == 2
+        # Concurrent roots: neither thread saw the other as a parent.
+        assert all(s.parent_id is None for s in spans)
+
+
+class TestInstallation:
+    def test_install_returns_previous(self):
+        first, second = SpanRecorder(), SpanRecorder()
+        assert install_recorder(first) is None
+        assert install_recorder(second) is first
+        assert current_recorder() is second
+        assert uninstall_recorder() is second
+        assert current_recorder() is None
+
+    def test_install_rejects_non_recorder(self):
+        with pytest.raises(TypeError, match="SpanRecorder"):
+            install_recorder(object())
+
+    def test_use_recorder_restores_previous(self):
+        ambient = SpanRecorder()
+        install_recorder(ambient)
+        scoped = SpanRecorder()
+        with use_recorder(scoped) as active:
+            assert active is scoped
+            assert current_recorder() is scoped
+        assert current_recorder() is ambient
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            SpanRecorder(capacity=0)

@@ -24,6 +24,7 @@ SUBPACKAGES = [
     "repro.io",
     "repro.mechanisms",
     "repro.metrics",
+    "repro.obs",
     "repro.runtime",
     "repro.service",
     "repro.streams",
