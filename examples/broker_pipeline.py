@@ -1,0 +1,153 @@
+"""Broker ingestion: two tenants fed over real sockets, with faults.
+
+The ``broker:`` connectors speak the Redis-Streams wire protocol, so a
+tenant fleet can ingest from a real broker with at-least-once delivery
+— acks happen at checkpoint boundaries, and every recovery path
+(resume after a kill, reconnect after a dropped connection) re-reads
+the un-acked suffix from the consumer group's pending list.  This
+example
+
+1. starts the in-process :class:`repro.FakeRedisServer` (a localhost
+   RESP2 broker with fault injection) and publishes each tenant's
+   synthetic indicator stream to its own broker stream;
+2. serves a two-tenant :class:`repro.StreamGateway` over ``broker:``
+   sources for a first slice, checkpoints, then *kills* the gateway;
+3. injects dropped connections mid-run and resumes a fresh gateway
+   from the checkpoint alone (the broker url lives in the spec, so no
+   runtime objects need rebinding);
+4. prints delivered / redelivered entry counts and verifies the
+   combined released answers are bit-identical to memory-fed runs.
+
+Run:  python examples/broker_pipeline.py
+      python examples/broker_pipeline.py --windows 300 --slice 100
+"""
+
+import argparse
+import asyncio
+
+import numpy as np
+
+from repro import FakeRedisServer, ServiceSpec, StreamGateway, StreamService
+from repro.broker.connectors import publish_indicator_stream
+from repro.streams.indicator import EventAlphabet, IndicatorStream
+
+ALPHABET = EventAlphabet.numbered(5)
+TENANTS = ("fleet", "grid")
+
+
+def make_stream(seed, windows):
+    rng = np.random.default_rng(seed)
+    return IndicatorStream(ALPHABET, rng.random((windows, 5)) < 0.4)
+
+
+def make_spec(seed, source=None):
+    return ServiceSpec(
+        alphabet=ALPHABET,
+        patterns=[("private", ("e1", "e2"))],
+        queries=[("q", ("e2", "e3"))],
+        mechanism="bd",
+        mechanism_options={"epsilon": 1.0, "w": 10},
+        source=source,
+        seed=seed,
+    )
+
+
+def counter(registry, name):
+    metric = registry.get(name)
+    return int(metric.value) if metric is not None else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--windows", type=int, default=120)
+    parser.add_argument(
+        "--slice",
+        type=int,
+        default=45,
+        help="windows served per tenant before the checkpoint + kill",
+    )
+    parser.add_argument("--seed", type=int, default=17)
+    args = parser.parse_args(argv)
+
+    streams = {
+        name: make_stream(args.seed + i, args.windows)
+        for i, name in enumerate(TENANTS)
+    }
+
+    with FakeRedisServer() as server:
+        for name, stream in streams.items():
+            published = publish_indicator_stream(
+                server.url, f"windows-{name}", stream
+            )
+            print(
+                f"tenant {name!r}: published {published} windows to "
+                f"broker stream 'windows-{name}'"
+            )
+
+        gateway = StreamGateway()
+        for i, name in enumerate(TENANTS):
+            gateway.add_tenant(
+                name,
+                make_spec(
+                    args.seed + i,
+                    source=(
+                        f"broker:url={server.url},stream=windows-{name},"
+                        f"group=repro,consumer=c0,block_ms=100,batch=16"
+                    ),
+                ),
+            )
+
+        asyncio.run(gateway.serve(max_windows=args.slice))
+        checkpoint = gateway.checkpoint()
+        print(
+            f"served {args.slice} windows/tenant, checkpointed "
+            "(acks committed) -- killing the gateway"
+        )
+
+        # Two dropped connections greet the resumed fleet: the server
+        # processes each read, then kills the socket before replying —
+        # the delivered-but-unseen entries strand in the pending list,
+        # exactly the at-least-once hazard the drain path recovers.
+        server.inject_fault("drop", command="XREADGROUP", count=2)
+        resumed = StreamGateway.resume(checkpoint)
+        asyncio.run(resumed.serve())
+        print(
+            f"resumed from checkpoint; connection faults fired: "
+            f"{len(server.faults_fired)}"
+        )
+
+        registry = resumed.registry
+        print(
+            f"broker entries: "
+            f"{counter(registry, 'repro_broker_delivered_total')} "
+            f"delivered, "
+            f"{counter(registry, 'repro_broker_redelivered_total')} "
+            f"redelivered, "
+            f"{counter(registry, 'repro_broker_backoff_total')} "
+            f"backoff sleep(s)"
+        )
+
+        ok = True
+        for i, name in enumerate(TENANTS):
+            reference = asyncio.run(
+                StreamService(make_spec(args.seed + i)).pump(
+                    streams[name]
+                )
+            )
+            combined = {
+                query: gateway.results()[name][query]
+                + resumed.results()[name][query]
+                for query in reference
+            }
+            identical = combined == reference
+            ok = ok and identical
+            print(
+                f"tenant {name!r}: {len(combined['q'])} windows "
+                f"released, bit-identical to the memory-fed run: "
+                f"{identical}"
+            )
+        return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,13 @@ from repro.baselines import (
     LandmarkPrivacy,
     UserLevelRR,
 )
+from repro.broker import (
+    BrokerClient,
+    BrokerSink,
+    BrokerSource,
+    FakeRedisServer,
+    RetryPolicy,
+)
 from repro.cep import (
     AND,
     AsyncSession,
@@ -161,6 +168,9 @@ __all__ = [
     "AsyncSession",
     "Atom",
     "BatchExecutor",
+    "BrokerClient",
+    "BrokerSink",
+    "BrokerSource",
     "BudgetAbsorption",
     "BudgetAllocation",
     "BudgetConverter",
@@ -182,6 +192,7 @@ __all__ = [
     "EventStream",
     "EventStreamPPM",
     "ExperimentConfig",
+    "FakeRedisServer",
     "Gauge",
     "Histogram",
     "IndicatorStream",
@@ -203,6 +214,7 @@ __all__ = [
     "PrivacyAccountant",
     "QueueSource",
     "RandomizedResponse",
+    "RetryPolicy",
     "SEQ",
     "ServiceSpec",
     "ShardedExecutor",

@@ -1,0 +1,47 @@
+"""Broker connectors: wire-level Redis-Streams ingestion.
+
+Layers, bottom up:
+
+- :mod:`repro.broker.resp` — dependency-free RESP2 codec + blocking
+  socket connection (the wire);
+- :mod:`repro.broker.fake` — an in-process broker speaking the same
+  protocol over a real localhost socket, with fault injection, so CI
+  exercises the true client path with zero external services;
+- :mod:`repro.broker.client` — :class:`BrokerClient` with capped
+  exponential retry (:class:`RetryPolicy`), reconnect tracking and a
+  dead-letter policy for poison entries;
+- :mod:`repro.broker.connectors` — the ``broker:`` source/sink specs
+  with at-least-once, ack-at-checkpoint delivery.
+"""
+
+from repro.broker.client import BrokerClient, RetryBudgetExceeded, RetryPolicy
+from repro.broker.connectors import (
+    BrokerSink,
+    BrokerSource,
+    publish_indicator_stream,
+)
+from repro.broker.fake import FakeRedisServer
+from repro.broker.resp import (
+    BrokerConnectionError,
+    BrokerError,
+    BrokerProtocolError,
+    BrokerTimeout,
+    RespConnection,
+    RespError,
+)
+
+__all__ = [
+    "BrokerClient",
+    "BrokerConnectionError",
+    "BrokerError",
+    "BrokerProtocolError",
+    "BrokerSink",
+    "BrokerSource",
+    "BrokerTimeout",
+    "FakeRedisServer",
+    "RespConnection",
+    "RespError",
+    "RetryBudgetExceeded",
+    "RetryPolicy",
+    "publish_indicator_stream",
+]

@@ -1,0 +1,370 @@
+"""Resilient broker client: retry, reconnect, dead-letter.
+
+:class:`RetryPolicy` is the fault budget as data — a capped
+exponential backoff schedule with deterministic seeded jitter and an
+optional absolute deadline.  Its :meth:`~RetryPolicy.run` loop takes
+injectable ``sleep`` and ``clock`` callables so tests can pin the
+exact schedule under a fake clock; the production path just uses
+``time.sleep`` / ``time.monotonic``.  Three promises, each pinned by
+``tests/test_broker_client.py``:
+
+- the un-jittered schedule is exactly
+  ``min(max_delay, base_delay * multiplier**attempt)``;
+- jitter is drawn from ``random.Random(seed)`` fresh per call, so two
+  runs of the same policy sleep identically (bit-for-bit repeatable
+  fault recovery — the repo-wide determinism contract extends to
+  failure handling);
+- no sleep ever crosses the deadline: delays are clamped to the time
+  remaining, and when the budget or the deadline is exhausted
+  :class:`RetryBudgetExceeded` is raised *from* the last transport
+  error, preserving the causal chain.
+
+:class:`BrokerClient` wraps one :class:`~repro.broker.resp.RespConnection`
+with that policy: every command retries transport failures (the
+connection reconnects lazily on the next attempt), ``reconnects`` /
+``retries`` counters expose recovery activity to the connectors'
+telemetry, and :meth:`~BrokerClient.dead_letter` implements the
+poison-entry policy — an entry that cannot be decoded is copied to
+``<stream>:dead`` with a reason and acked, so one malformed producer
+cannot wedge a consumer group forever.
+
+Server-side error replies (:class:`~repro.broker.resp.RespError`) are
+never retried — a healthy connection refusing a command will refuse
+it again.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.broker.resp import (
+    BrokerConnectionError,
+    RespConnection,
+    RespError,
+    parse_url,
+)
+
+__all__ = ["BrokerClient", "RetryBudgetExceeded", "RetryPolicy"]
+
+
+class RetryBudgetExceeded(BrokerConnectionError):
+    """Every retry failed (budget spent or deadline passed).
+
+    Always raised ``from`` the last underlying error, so the causal
+    chain ends at the transport failure that actually occurred.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic seeded jitter.
+
+    ``attempts`` is the total number of tries (first call included);
+    the sleep before retry ``i`` (0-indexed) is
+    ``min(max_delay, base_delay * multiplier**i)`` stretched by a
+    jitter factor in ``[1, 1 + jitter)`` drawn from
+    ``random.Random(seed)``.
+    """
+
+    attempts: int = 5
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """The un-jittered backoff before retry ``attempt`` (0-based)."""
+        return min(self.max_delay, self.base_delay * self.multiplier**attempt)
+
+    def schedule(self) -> List[float]:
+        """Jittered sleep durations for one full run, deterministic."""
+        rng = random.Random(self.seed)
+        return [
+            self.delay(attempt) * (1.0 + self.jitter * rng.random())
+            for attempt in range(self.attempts - 1)
+        ]
+
+    def run(
+        self,
+        call: Callable[[], object],
+        *,
+        retryable: Tuple[type, ...] = (BrokerConnectionError,),
+        deadline: Optional[float] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        on_retry: Optional[Callable[[int, float, BaseException], None]] = None,
+    ):
+        """Invoke ``call`` under this policy and return its result.
+
+        ``deadline`` is an absolute ``clock()`` value; sleeps are
+        clamped so none ends past it, and once it is reached no
+        further attempt is made.  ``on_retry(attempt, slept, error)``
+        fires before each backoff sleep (telemetry hook).
+        """
+        rng = random.Random(self.seed)
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.attempts):
+            try:
+                return call()
+            except retryable as error:
+                last_error = error
+            if attempt == self.attempts - 1:
+                break
+            duration = (
+                self.delay(attempt) * (1.0 + self.jitter * rng.random())
+            )
+            if deadline is not None:
+                remaining = deadline - clock()
+                if remaining <= 0:
+                    raise RetryBudgetExceeded(
+                        f"deadline reached after {attempt + 1} attempt(s)"
+                    ) from last_error
+                duration = min(duration, remaining)
+            if on_retry is not None:
+                on_retry(attempt, duration, last_error)
+            if duration > 0:
+                sleep(duration)
+        raise RetryBudgetExceeded(
+            f"gave up after {self.attempts} attempt(s)"
+        ) from last_error
+
+
+def _fields_to_dict(flat: Sequence[bytes]) -> Dict[str, str]:
+    if len(flat) % 2:
+        raise ValueError("odd field/value list in stream entry")
+    return {
+        flat[i].decode("utf-8"): flat[i + 1].decode("utf-8")
+        for i in range(0, len(flat), 2)
+    }
+
+
+#: One delivered stream entry: ``(entry_id, fields)``.
+Entry = Tuple[str, Dict[str, str]]
+
+
+class BrokerClient:
+    """High-level Redis-Streams operations over a resilient connection.
+
+    Transport failures close the connection and are retried under the
+    :class:`RetryPolicy` (the next attempt reconnects lazily); the
+    ``reconnects`` counter increments once per observed connection
+    failure, so callers can detect that a read may have been processed
+    server-side without a reply reaching us — the at-least-once hazard
+    handled by the connector's drain path.  Not thread-safe.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        connect_timeout: float = 2.0,
+        read_timeout: float = 5.0,
+        retry: Optional[RetryPolicy] = None,
+        on_retry: Optional[Callable[[int, float, BaseException], None]] = None,
+    ):
+        self.url = url
+        host, port = parse_url(url)
+        self._connection = RespConnection(
+            host,
+            port,
+            connect_timeout=connect_timeout,
+            read_timeout=read_timeout,
+        )
+        self.retry_policy = retry if retry is not None else RetryPolicy()
+        self._on_retry = on_retry
+        self.reconnects = 0
+        self.retries = 0
+        self.dead_letters = 0
+
+    # -- plumbing ------------------------------------------------------
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "BrokerClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def call(self, *parts, timeout: Optional[float] = None):
+        """Execute one command with retry on transport failure."""
+
+        def attempt():
+            try:
+                return self._connection.execute(*parts, timeout=timeout)
+            except BrokerConnectionError:
+                self.reconnects += 1
+                raise
+
+        def note_retry(attempt_index, duration, error):
+            self.retries += 1
+            if self._on_retry is not None:
+                self._on_retry(attempt_index, duration, error)
+
+        return self.retry_policy.run(attempt, on_retry=note_retry)
+
+    # -- commands ------------------------------------------------------
+
+    def ping(self) -> bool:
+        return self.call("PING") == "PONG"
+
+    def xadd(
+        self,
+        stream: str,
+        fields: Mapping[str, str],
+        *,
+        entry_id: str = "*",
+    ) -> str:
+        if not fields:
+            raise ValueError("XADD requires at least one field")
+        parts: List = ["XADD", stream, entry_id]
+        for key, value in fields.items():
+            parts.append(key)
+            parts.append(value)
+        return self.call(*parts).decode("ascii")
+
+    def xlen(self, stream: str) -> int:
+        return int(self.call("XLEN", stream))
+
+    def xrange(
+        self,
+        stream: str,
+        *,
+        start: str = "-",
+        end: str = "+",
+        count: Optional[int] = None,
+    ) -> List[Entry]:
+        parts: List = ["XRANGE", stream, start, end]
+        if count is not None:
+            parts += ["COUNT", count]
+        return [
+            (entry_id.decode("ascii"), _fields_to_dict(flat))
+            for entry_id, flat in self.call(*parts)
+        ]
+
+    def xgroup_create(
+        self,
+        stream: str,
+        group: str,
+        *,
+        start: str = "0",
+        mkstream: bool = True,
+    ) -> bool:
+        """Create a consumer group; ``False`` if it already existed."""
+        parts: List = ["XGROUP", "CREATE", stream, group, start]
+        if mkstream:
+            parts.append("MKSTREAM")
+        try:
+            self.call(*parts)
+        except RespError as error:
+            if error.code == "BUSYGROUP":
+                return False
+            raise
+        return True
+
+    def xreadgroup(
+        self,
+        stream: str,
+        group: str,
+        consumer: str,
+        *,
+        last_id: str = ">",
+        count: Optional[int] = None,
+        block_ms: Optional[int] = None,
+    ) -> Optional[List[Entry]]:
+        """Read entries for ``consumer``; ``None`` means no data.
+
+        With ``last_id=">"`` the server delivers new entries and
+        records them pending; with an explicit id it re-delivers this
+        consumer's own pending entries after that id — there an empty
+        list (PEL drained) is distinct from ``None``.
+        """
+        parts: List = ["XREADGROUP", "GROUP", group, consumer]
+        if count is not None:
+            parts += ["COUNT", count]
+        timeout = None
+        if block_ms is not None:
+            parts += ["BLOCK", block_ms]
+            # The socket read must outlive the server-side block.
+            timeout = block_ms / 1000.0 + self._connection.read_timeout
+        parts += ["STREAMS", stream, last_id]
+        reply = self.call(*parts, timeout=timeout)
+        if reply is None:
+            return None
+        for name, entries in reply:
+            if name.decode("utf-8") == stream:
+                return [
+                    (entry_id.decode("ascii"), _fields_to_dict(flat))
+                    for entry_id, flat in entries
+                ]
+        return None
+
+    def xack(self, stream: str, group: str, ids: Sequence[str]) -> int:
+        if not ids:
+            return 0
+        return int(self.call("XACK", stream, group, *ids))
+
+    def xpending(self, stream: str, group: str) -> int:
+        """Number of pending (delivered, un-acked) entries."""
+        reply = self.call("XPENDING", stream, group)
+        return int(reply[0])
+
+    def xautoclaim(
+        self,
+        stream: str,
+        group: str,
+        consumer: str,
+        *,
+        min_idle_ms: int = 0,
+        start: str = "0-0",
+        count: Optional[int] = None,
+    ) -> List[Entry]:
+        parts: List = [
+            "XAUTOCLAIM", stream, group, consumer, min_idle_ms, start,
+        ]
+        if count is not None:
+            parts += ["COUNT", count]
+        _cursor, entries = self.call(*parts)
+        return [
+            (entry_id.decode("ascii"), _fields_to_dict(flat))
+            for entry_id, flat in entries
+        ]
+
+    # -- dead-letter policy -------------------------------------------
+
+    def dead_letter(
+        self,
+        stream: str,
+        group: str,
+        entry_id: str,
+        fields: Mapping[str, str],
+        *,
+        reason: str,
+    ) -> str:
+        """Move a poison entry to ``<stream>:dead`` and ack it.
+
+        The dead-letter copy carries the original fields plus
+        ``source_id`` and ``reason``, so operators can inspect and
+        re-inject; the ack keeps the consumer group moving.
+        """
+        record = dict(fields)
+        record["source_id"] = entry_id
+        record["reason"] = reason
+        dead_id = self.xadd(f"{stream}:dead", record)
+        self.xack(stream, group, [entry_id])
+        self.dead_letters += 1
+        return dead_id

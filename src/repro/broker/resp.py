@@ -1,0 +1,340 @@
+"""RESP2 wire protocol: codec plus a blocking socket connection.
+
+The Redis serialization protocol (RESP2) is small enough to speak
+without a dependency: five reply types, each introduced by one byte —
+``+`` simple string, ``-`` error, ``:`` integer, ``$`` bulk string,
+``*`` array — and every request is an array of bulk strings.  This
+module implements exactly that, sufficient for the Redis-Streams
+command subset the broker connectors use (``XADD``, ``XREAD`` /
+``XREADGROUP``, ``XACK``, ``XGROUP CREATE``, ``XPENDING``,
+``XAUTOCLAIM``, ``XLEN``, ``XRANGE``, ``PING``):
+
+- :func:`encode_command` renders one command into request bytes;
+- :class:`RespConnection` is a blocking socket client with separate
+  connect/read timeouts, one-reply :meth:`~RespConnection.execute` and
+  pipelined :meth:`~RespConnection.execute_pipeline` (send N commands
+  in one write, then read N replies — the round-trip amortization
+  real stream consumers rely on for acks).
+
+Server ``-ERR`` replies surface as :class:`RespError`; transport
+failures (refused, reset, timed out, protocol garbage) surface as
+:class:`BrokerConnectionError` / :class:`BrokerTimeout` so the
+resilient client layer (:mod:`repro.broker.client`) can distinguish
+"the server said no" from "the connection died" — only the latter is
+retryable.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "BrokerConnectionError",
+    "BrokerError",
+    "BrokerProtocolError",
+    "BrokerTimeout",
+    "RespConnection",
+    "RespError",
+    "encode_command",
+    "parse_url",
+]
+
+
+class BrokerError(Exception):
+    """Base of every broker-layer failure."""
+
+
+class BrokerConnectionError(BrokerError):
+    """The transport failed: refused, reset, or closed mid-reply."""
+
+
+class BrokerTimeout(BrokerConnectionError):
+    """A connect or read exceeded its configured timeout."""
+
+
+class BrokerProtocolError(BrokerConnectionError):
+    """The peer sent bytes that are not valid RESP2."""
+
+
+class RespError(BrokerError):
+    """An error reply (``-ERR ...``) from the server.
+
+    A *semantic* refusal over a healthy connection — never retried by
+    the client layer (retrying ``BUSYGROUP`` or ``NOGROUP`` would loop
+    forever; callers handle the ones they expect).
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+    @property
+    def code(self) -> str:
+        """The error's leading word (``ERR``, ``BUSYGROUP``, ...)."""
+        return self.message.split(" ", 1)[0] if self.message else ""
+
+
+CommandPart = Union[str, bytes, int, float]
+
+
+def _as_bytes(part: CommandPart) -> bytes:
+    if isinstance(part, bytes):
+        return part
+    if isinstance(part, str):
+        return part.encode("utf-8")
+    if isinstance(part, bool):  # bool is an int; reject the ambiguity
+        raise TypeError("command parts must be str/bytes/int/float")
+    if isinstance(part, (int, float)):
+        return repr(part).encode("ascii")
+    raise TypeError(
+        f"command parts must be str/bytes/int/float, got "
+        f"{type(part).__name__}"
+    )
+
+
+def encode_command(*parts: CommandPart) -> bytes:
+    """Render one command as a RESP2 array of bulk strings."""
+    if not parts:
+        raise ValueError("a command needs at least one part")
+    chunks = [b"*%d\r\n" % len(parts)]
+    for part in parts:
+        data = _as_bytes(part)
+        chunks.append(b"$%d\r\n%s\r\n" % (len(data), data))
+    return b"".join(chunks)
+
+
+def parse_url(url: str) -> Tuple[str, int]:
+    """``redis://host[:port]`` → ``(host, port)`` (default port 6379).
+
+    The only accepted scheme is ``redis://`` (no TLS, no auth — the
+    connectors talk to localhost fakes and plain brokers); a trailing
+    ``/<db>`` path is rejected because streams ignore database
+    selection here.
+    """
+    if not isinstance(url, str) or not url:
+        raise ValueError(f"broker url must be a non-empty string, got {url!r}")
+    prefix = "redis://"
+    if not url.startswith(prefix):
+        raise ValueError(
+            f"unsupported broker url {url!r}; expected 'redis://host:port'"
+        )
+    address = url[len(prefix):]
+    if "/" in address:
+        raise ValueError(
+            f"broker url {url!r} carries a path; streams ignore database "
+            "selection — use 'redis://host:port'"
+        )
+    host, sep, port_text = address.partition(":")
+    if not host:
+        raise ValueError(f"broker url {url!r} has no host")
+    if not sep:
+        return host, 6379
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"broker url {url!r} has a non-integer port"
+        ) from None
+    if not 0 < port < 65536:
+        raise ValueError(f"broker url {url!r} port out of range")
+    return host, port
+
+
+class RespConnection:
+    """One blocking RESP2 connection to a broker.
+
+    Connects lazily on first use; ``connect_timeout`` bounds the TCP
+    handshake and ``read_timeout`` every subsequent reply read (a
+    blocking ``XREAD``'s server-side ``BLOCK`` must stay below it, or
+    the read times out first — callers pass a per-call ``timeout``
+    override for those).  Not thread-safe: one connection, one caller.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect_timeout: float = 2.0,
+        read_timeout: float = 5.0,
+    ):
+        if connect_timeout <= 0 or read_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        self.host = host
+        self.port = port
+        self.connect_timeout = float(connect_timeout)
+        self.read_timeout = float(read_timeout)
+        self._sock: Optional[socket.socket] = None
+        # Receive buffer with a consumed-prefix offset: replies are
+        # decoded by advancing ``_pos`` and the prefix is compacted only
+        # when more bytes must be read — ``del buffer[:n]`` per decoded
+        # line would be O(remaining) and dominate large batch replies.
+        self._buffer = bytearray()
+        self._pos = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def connect(self) -> "RespConnection":
+        if self._sock is not None:
+            return self
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+        except socket.timeout as error:
+            raise BrokerTimeout(
+                f"connect to {self.host}:{self.port} timed out after "
+                f"{self.connect_timeout}s"
+            ) from error
+        except OSError as error:
+            raise BrokerConnectionError(
+                f"cannot connect to {self.host}:{self.port}: {error}"
+            ) from error
+        sock.settimeout(self.read_timeout)
+        # Streams traffic is many small commands; Nagle would add
+        # 40ms-class latency to every ack round trip.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._buffer.clear()
+        self._pos = 0
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        self._buffer.clear()
+        self._pos = 0
+
+    def __enter__(self) -> "RespConnection":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request / reply -----------------------------------------------
+
+    def execute(self, *parts: CommandPart, timeout: Optional[float] = None):
+        """Send one command and return its decoded reply.
+
+        ``timeout`` overrides the read timeout for this reply only
+        (blocking stream reads).  Error replies raise
+        :class:`RespError`; transport failures close the connection
+        and raise :class:`BrokerConnectionError`.
+        """
+        reply = self.execute_pipeline([parts], timeout=timeout)[0]
+        if isinstance(reply, RespError):
+            raise reply
+        return reply
+
+    def execute_pipeline(
+        self,
+        commands: Sequence[Sequence[CommandPart]],
+        *,
+        timeout: Optional[float] = None,
+    ) -> List:
+        """Send every command in one write, then read every reply.
+
+        Per-command error replies come back as :class:`RespError`
+        *values* (not raised) so one failed ack in a pipeline cannot
+        hide its siblings' results; transport failures raise and close.
+        """
+        if not commands:
+            return []
+        self.connect()
+        payload = b"".join(encode_command(*parts) for parts in commands)
+        sock = self._sock
+        try:
+            if timeout is not None:
+                sock.settimeout(timeout)
+            sock.sendall(payload)
+            return [self._read_reply() for _ in commands]
+        except socket.timeout as error:
+            self.close()
+            raise BrokerTimeout(
+                f"reply from {self.host}:{self.port} timed out"
+            ) from error
+        except OSError as error:
+            self.close()
+            raise BrokerConnectionError(
+                f"connection to {self.host}:{self.port} failed: {error}"
+            ) from error
+        except BrokerConnectionError:
+            self.close()
+            raise
+        finally:
+            if self._sock is not None and timeout is not None:
+                self._sock.settimeout(self.read_timeout)
+
+    # -- RESP2 decoding ------------------------------------------------
+
+    def _fill(self) -> None:
+        if self._pos:
+            del self._buffer[: self._pos]
+            self._pos = 0
+        data = self._sock.recv(65536)
+        if not data:
+            raise BrokerConnectionError(
+                f"connection to {self.host}:{self.port} closed by peer"
+            )
+        self._buffer.extend(data)
+
+    def _read_line(self) -> bytes:
+        while True:
+            index = self._buffer.find(b"\r\n", self._pos)
+            if index >= 0:
+                line = bytes(self._buffer[self._pos : index])
+                self._pos = index + 2
+                return line
+            self._fill()
+
+    def _read_exact(self, count: int) -> bytes:
+        while len(self._buffer) - self._pos < count + 2:
+            self._fill()
+        end = self._pos + count
+        data = bytes(self._buffer[self._pos : end])
+        if self._buffer[end : end + 2] != b"\r\n":
+            raise BrokerProtocolError("bulk string missing CRLF terminator")
+        self._pos = end + 2
+        return data
+
+    def _read_reply(self):
+        line = self._read_line()
+        if not line:
+            raise BrokerProtocolError("empty reply line")
+        kind, rest = line[:1], line[1:]
+        if kind == b"+":
+            return rest.decode("utf-8")
+        if kind == b"-":
+            return RespError(rest.decode("utf-8", "replace"))
+        if kind == b":":
+            try:
+                return int(rest)
+            except ValueError:
+                raise BrokerProtocolError(
+                    f"invalid integer reply {rest!r}"
+                ) from None
+        if kind == b"$":
+            length = int(rest)
+            if length == -1:
+                return None
+            if length < 0:
+                raise BrokerProtocolError(f"invalid bulk length {length}")
+            return self._read_exact(length)
+        if kind == b"*":
+            length = int(rest)
+            if length == -1:
+                return None
+            if length < 0:
+                raise BrokerProtocolError(f"invalid array length {length}")
+            return [self._read_reply() for _ in range(length)]
+        raise BrokerProtocolError(f"unknown RESP type byte {kind!r}")

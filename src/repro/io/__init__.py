@@ -3,10 +3,11 @@
 PR 4 made the compute phase declarative (``ServiceSpec`` →
 ``StreamService``); this layer does the same for ingestion and egress.
 A *source* produces per-window indicator rows (from memory, streamed
-files, synthetic generators, timestamped replays, or live
-``asyncio.Queue`` feeds) and a *sink* egresses the released stream and
-query answers (to memory, files, a quality-metrics aggregate, or a
-callback) — both named by registered spec strings that ride inside a
+files, synthetic generators, timestamped replays, live
+``asyncio.Queue`` feeds, or a Redis-Streams broker) and a *sink*
+egresses the released stream and query answers (to memory, files, a
+quality-metrics aggregate, a broker stream, or a callback) — both
+named by registered spec strings that ride inside a
 :class:`~repro.service.ServiceSpec` (``source="csv:stream.csv"``,
 ``sink="metrics"``) and JSON-round-trip with it.
 
@@ -48,7 +49,27 @@ from repro.io.sources import (
     read_indicator_csv,
 )
 
+#: Broker connectors re-exported from their own subsystem
+#: (:mod:`repro.broker`) — resolved lazily because this package
+#: initializes *during* that subsystem's import (sources.py triggers
+#: the connector registration), so an eager import here would see a
+#: partially initialized module.
+_LAZY = ("BrokerSink", "BrokerSource")
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from repro.broker import connectors
+
+        value = getattr(connectors, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "BrokerSink",
+    "BrokerSource",
     "CallbackSink",
     "CsvSink",
     "CsvSource",

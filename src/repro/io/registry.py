@@ -17,8 +17,11 @@ and ``ServiceSpec(source="kafka:trips", ...)`` just works.
 
 Built-in sources: ``memory``, ``csv:<path>``, ``jsonl:<path>``,
 ``synthetic:generator=bernoulli,windows=500,seed=3``,
-``replay:<path>:<rate>``, ``queue``.  Built-in sinks: ``memory``,
-``csv:<path>``, ``jsonl:<path>``, ``metrics``, ``callback``.  Legacy
+``replay:<path>:<rate>``, ``queue``,
+``broker:url=redis://host:port,stream=...,group=...,consumer=...``.
+Built-in sinks: ``memory``, ``csv:<path>``, ``jsonl:<path>``,
+``metrics``, ``callback``,
+``broker:url=redis://host:port,stream=...``.  Legacy
 positional tails (``synthetic:bernoulli:500:3``) still resolve to
 identical connectors behind one ``DeprecationWarning`` per callsite;
 raw address tails (``csv:<path>``) are first-class and never warn.

@@ -163,9 +163,17 @@ class StreamSource:
 
     #: Whether a fresh instance can :meth:`skip` to a checkpointed
     #: offset (replayable data: files, memory, generators).  Live
-    #: feeds (``queue:``) cannot — resume binds a fresh feed carrying
-    #: the remainder instead.
+    #: feeds (``queue:``, ``broker:``) cannot — resume binds a fresh
+    #: feed carrying the remainder instead.
     seekable: bool = True
+
+    #: Whether this source can actually deliver rows right now.  Only
+    #: live-feed sources ever report False — a ``queue:`` spec with no
+    #: queue object bound yet, a ``broker:`` spec with no url.  The
+    #: gateway checks this *before* serving, so a fleet resumed
+    #: without re-binding its live feeds fails pointedly instead of
+    #: deep inside the pump's first emit.
+    live_feed_bound: bool = True
 
     def __init__(self):
         self._alphabet: Optional[EventAlphabet] = None
@@ -248,6 +256,17 @@ class StreamSource:
         """
         self._pushback.append(row)
         self._offset -= 1
+
+    def checkpoint_mark(self) -> None:
+        """Hook: a checkpoint is being taken at the current offset.
+
+        Called by :meth:`~repro.service.StreamService.checkpoint`
+        right before it records this source's offset.  Sources with
+        at-least-once delivery semantics commit here — the ``broker:``
+        source acks every entry emitted so far, so acks land exactly
+        at checkpoint boundaries.  A raise aborts the checkpoint.
+        The default is a no-op (replayable sources need no commit).
+        """
 
     # -- iteration -----------------------------------------------------
 
@@ -400,10 +419,17 @@ class _ThrottledSource(StreamSource):
         return self._inner.delay
 
     @property
+    def live_feed_bound(self) -> bool:
+        return self._inner.live_feed_bound
+
+    @property
     def offset(self) -> int:
         # The wrapped source's offset counts *every* consumed window,
         # shed ones included — exactly what a checkpoint must record.
         return self._inner.offset
+
+    def checkpoint_mark(self) -> None:
+        self._inner.checkpoint_mark()
 
     def bind(self, alphabet: EventAlphabet) -> "StreamSource":
         self._inner.bind(alphabet)
@@ -726,6 +752,10 @@ class QueueSource(StreamSource):
             )
         self._queue = queue
 
+    @property
+    def live_feed_bound(self) -> bool:
+        return self._queue is not None
+
     def skip(self, count: int) -> "StreamSource":
         """A live feed cannot seek; resume binds a fresh queue instead."""
         if count:
@@ -760,3 +790,10 @@ class QueueSource(StreamSource):
                 row = self._coerce_row(item)
             self._offset += 1
             yield row
+
+
+# The broker connectors register themselves on import, exactly like
+# the built-ins above; importing here keeps `_ensure_builtins()` the
+# single trigger.  Bottom of module: the connectors subclass
+# StreamSource, so the class must already exist.
+from repro.broker import connectors as _broker_connectors  # noqa: E402,F401

@@ -12,6 +12,15 @@ survive each kill via the checkpoint's ``metrics`` section, so the
 final p50/p99 end-to-end window latency and windows/sec come straight
 from :class:`~repro.obs.metrics.Histogram` bucket math over the whole
 run — not from any side bookkeeping.
+
+With ``broker_url=`` the same harness drives **broker-fed** tenants
+instead: the recorded file is published once per tenant to a
+Redis-Streams stream and each tenant consumes it through a
+``broker:`` source (at-least-once, acks at checkpoint boundaries), so
+the kill/resume cycle also exercises the pending-entry drain.  A
+``fault_hook`` lets the caller arm connection faults against their
+broker between slices — the report then counts redeliveries and
+reconnects from the ``repro_broker_*`` series.
 """
 
 from __future__ import annotations
@@ -20,7 +29,7 @@ import asyncio
 import csv
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.obs.exposition import JsonlSnapshotWriter
 from repro.obs.metrics import MetricsRegistry
@@ -46,26 +55,36 @@ class SoakReport:
     resumes: int
     slices: int
     registry: MetricsRegistry
+    #: Broker-mode extras (zero when the soak replayed from files).
+    broker: bool = False
+    delivered_entries: int = 0
+    redelivered_entries: int = 0
+    reconnects: int = 0
 
     def summary(self) -> str:
         """A compact human-readable report (the soak example prints
         this)."""
         shed_total = sum(self.shed_windows.values())
-        return "\n".join(
-            [
-                f"soak: {self.tenants} tenant(s), "
-                f"{self.duration_seconds:.2f}s wall, "
-                f"{self.slices} slice(s)",
-                f"windows: {self.windows_total} total, "
-                f"{self.windows_per_second:.1f} windows/sec "
-                f"(shed {shed_total})",
-                f"latency: p50 {self.p50_latency_seconds * 1e3:.2f}ms, "
-                f"p99 {self.p99_latency_seconds * 1e3:.2f}ms "
-                "(end-to-end, submit to released answers)",
-                f"lifecycle: {self.checkpoints} checkpoint(s), "
-                f"{self.resumes} resume(s)",
-            ]
-        )
+        lines = [
+            f"soak: {self.tenants} tenant(s), "
+            f"{self.duration_seconds:.2f}s wall, "
+            f"{self.slices} slice(s)",
+            f"windows: {self.windows_total} total, "
+            f"{self.windows_per_second:.1f} windows/sec "
+            f"(shed {shed_total})",
+            f"latency: p50 {self.p50_latency_seconds * 1e3:.2f}ms, "
+            f"p99 {self.p99_latency_seconds * 1e3:.2f}ms "
+            "(end-to-end, submit to released answers)",
+            f"lifecycle: {self.checkpoints} checkpoint(s), "
+            f"{self.resumes} resume(s)",
+        ]
+        if self.broker:
+            lines.append(
+                f"broker: {self.delivered_entries} delivered, "
+                f"{self.redelivered_entries} redelivered, "
+                f"{self.reconnects} reconnect(s)"
+            )
+        return "\n".join(lines)
 
 
 def _replay_alphabet(path: str) -> tuple:
@@ -97,6 +116,8 @@ def run_soak(
     registry: Optional[MetricsRegistry] = None,
     recorder: Optional[SpanRecorder] = None,
     snapshot_path: Optional[str] = None,
+    broker_url: Optional[str] = None,
+    fault_hook: Optional[Callable[[int], None]] = None,
 ) -> SoakReport:
     """Soak a multi-tenant fleet over ``replay:<path>:<rate>`` sources.
 
@@ -133,6 +154,17 @@ def run_soak(
     snapshot_path:
         Optional JSONL file appended with one registry snapshot per
         slice (the periodic-exposition trail).
+    broker_url:
+        When set (``redis://host:port``), the recorded file is
+        published once per tenant to stream ``soak-<i>`` on that
+        broker and tenants consume through ``broker:`` sources
+        (at-least-once, acked at each fleet checkpoint) instead of
+        paced file replay; ``rate`` is then ignored — entries are
+        pre-published and the pump drains as fast as it processes.
+    fault_hook:
+        Optional callable invoked with the slice number after every
+        slice (broker soaks arm connection faults against their
+        server here; any exception propagates).
     """
     if tenants <= 0:
         raise ValueError(f"tenants must be positive, got {tenants}")
@@ -153,6 +185,24 @@ def run_soak(
     options = dict(mechanism_options or {})
     if mechanism == "bd" and not options:
         options = {"epsilon": 1.0, "w": 16}
+    if broker_url is not None:
+        # Publish the recording once per tenant (each gets its own
+        # stream + consumer group, so budgets and acks stay isolated)
+        # and consume it back through the at-least-once broker path.
+        from repro.broker.connectors import publish_indicator_stream
+        from repro.io.sources import read_indicator_csv
+
+        recording = read_indicator_csv(path)
+        sources = {}
+        for i in range(tenants):
+            stream_name = f"soak-{i}"
+            publish_indicator_stream(broker_url, stream_name, recording)
+            sources[i] = (
+                f"broker:url={broker_url},stream={stream_name},"
+                "group=soak,consumer=c0,block_ms=100"
+            )
+    else:
+        sources = {i: f"replay:{path}:{rate}" for i in range(tenants)}
     specs = {
         f"tenant-{i}": ServiceSpec(
             alphabet=alphabet,
@@ -160,7 +210,7 @@ def run_soak(
             queries=[("soak-q", (alphabet[0], alphabet[1]))],
             mechanism=mechanism,
             mechanism_options=options,
-            source=f"replay:{path}:{rate}",
+            source=sources[i],
             sink="metrics",
             seed=seed + i,
         )
@@ -188,6 +238,8 @@ def run_soak(
                 JsonlSnapshotWriter(
                     snapshot_path, gateway.registry
                 ).write()
+            if fault_hook is not None:
+                fault_hook(slices)
             if sum(gateway.windows_served().values()) == before:
                 break  # every replay is exhausted
             if kill_every and slices % kill_every == 0:
@@ -208,6 +260,11 @@ def run_soak(
     windows_total = latency.count if latency is not None else 0
     checkpoints = final.get("repro_gateway_checkpoints_total")
     resumes = final.get("repro_gateway_resumes_total")
+
+    def counter_value(name: str) -> int:
+        metric = final.get(name)
+        return int(metric.value) if metric is not None else 0
+
     return SoakReport(
         tenants=tenants,
         duration_seconds=elapsed,
@@ -226,4 +283,10 @@ def run_soak(
         resumes=int(resumes.value) if resumes else 0,
         slices=slices,
         registry=final,
+        broker=broker_url is not None,
+        delivered_entries=counter_value("repro_broker_delivered_total"),
+        redelivered_entries=counter_value(
+            "repro_broker_redelivered_total"
+        ),
+        reconnects=counter_value("repro_broker_reconnects_total"),
     )

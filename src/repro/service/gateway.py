@@ -187,6 +187,19 @@ class _Tenant:
         return int(self._shed_counter.value)
 
     async def serve(self, max_windows: Optional[int]) -> None:
+        # Live feeds must be connected before the pump starts: a bare
+        # 'queue'/'broker' spec with nothing bound would otherwise
+        # fail on its first emit, deep inside the pump, with no hint
+        # of which tenant or spec is at fault.
+        compiled = self.service._compile_source(self.source, reuse=True)
+        if not compiled.live_feed_bound:
+            raise RuntimeError(
+                f"tenant {self.name!r}: live source "
+                f"{self.service.spec.source!r} has no feed bound; pass "
+                "a connected source object (QueueSource(queue) / "
+                "BrokerSource(url)) when building the tenant, or via "
+                "sources={name: ...} on StreamGateway.resume()"
+            )
         source = self.source
         if self.rate_limit is not None:
             source = self._throttled()
@@ -731,5 +744,18 @@ class StreamGateway:
             tenant.declarative = (
                 name not in sources and name not in sinks
             )
+            # Fail the resume itself — not the first serve — when a
+            # live source came back without a feed: the fix (pass
+            # sources={name: ...}) belongs to this call.
+            resumed_source = service.last_source
+            if resumed_source is not None and not (
+                resumed_source.live_feed_bound
+            ):
+                raise RuntimeError(
+                    f"cannot resume tenant {name!r}: its live source "
+                    f"{spec.source!r} has no feed bound — a live feed "
+                    "does not survive a checkpoint; pass a connected "
+                    "source via sources={" + repr(name) + ": ...}"
+                )
             gateway._tenants[name] = tenant
         return gateway

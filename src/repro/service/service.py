@@ -508,8 +508,9 @@ class StreamService:
 
         pumped = 0
         pump_started = time.perf_counter()
+        rows = source.arows()
         try:
-            async for row in source.arows():
+            async for row in rows:
                 block = row.reshape(1, -1)
                 if wants_truth:
                     truths[session.windows_submitted] = {
@@ -537,6 +538,15 @@ class StreamService:
             for future in pending:
                 await settle(future)
         finally:
+            # Close the generator *here*, not at garbage collection: a
+            # max_windows break leaves it suspended mid-yield, and a
+            # source with an overlapped fetch in flight (broker) must
+            # settle it before checkpoint_mark() or a fresh generator
+            # reuses the connection.
+            try:
+                await rows.aclose()
+            except Exception:
+                pass
             # Windows the session already accepted will be released by
             # the drainer regardless; wait for quiescence so a
             # cancelled pump leaves the session checkpointable and
@@ -597,6 +607,11 @@ class StreamService:
         if self._session_kind == "async":
             checkpoint["session_options"] = dict(self._session_options)
         if self._source is not None:
+            # At-least-once sources commit at exactly this boundary:
+            # the broker source acks everything emitted so far, so an
+            # entry is acked iff a checkpoint captures its window.  A
+            # failed commit raises here and no checkpoint is produced.
+            self._source.checkpoint_mark()
             # The in-flight ingestion position: a resumed service skips
             # a fresh source here and continues with exactly the
             # windows an uninterrupted run would have seen next.

@@ -1,0 +1,304 @@
+"""Tests for the resilient client: retry policy and stream commands.
+
+The :class:`RetryPolicy` tests run entirely under injected ``sleep`` /
+``clock`` callables — no wall-clock sleeps — and pin the policy's
+three promises: the capped exponential schedule is exact, seeded
+jitter is deterministic run to run, and no sleep ever crosses the
+deadline.  The :class:`BrokerClient` tests drive the real wire path
+against the in-process fake, including transparent recovery from an
+injected connection reset and the dead-letter policy.
+"""
+
+import pytest
+
+from repro.broker import BrokerClient, FakeRedisServer, RetryPolicy
+from repro.broker.client import RetryBudgetExceeded
+from repro.broker.resp import BrokerConnectionError, RespError
+
+
+class FakeClock:
+    """A monotonic clock that advances only when something sleeps."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def sleep(self, duration):
+        self.sleeps.append(duration)
+        self.now += duration
+
+    def __call__(self):
+        return self.now
+
+
+def always_failing(log=None):
+    errors = []
+
+    def call():
+        error = BrokerConnectionError(f"boom {len(errors)}")
+        errors.append(error)
+        if log is not None:
+            log.append(error)
+        raise error
+
+    return call, errors
+
+
+class TestRetrySchedule:
+    def test_unjittered_schedule_is_capped_exponential(self):
+        policy = RetryPolicy(
+            attempts=6, base_delay=0.05, multiplier=2.0,
+            max_delay=0.3, jitter=0.0,
+        )
+        assert [policy.delay(i) for i in range(5)] == [
+            0.05, 0.1, 0.2, 0.3, 0.3,
+        ]
+        assert policy.schedule() == [0.05, 0.1, 0.2, 0.3, 0.3]
+
+    def test_run_sleeps_exactly_the_schedule(self):
+        policy = RetryPolicy(
+            attempts=5, base_delay=0.05, multiplier=2.0,
+            max_delay=1.0, jitter=0.25, seed=42,
+        )
+        clock = FakeClock()
+        call, _ = always_failing()
+        with pytest.raises(RetryBudgetExceeded):
+            policy.run(call, sleep=clock.sleep, clock=clock)
+        assert clock.sleeps == policy.schedule()
+
+    def test_jitter_is_deterministic_across_runs(self):
+        policy = RetryPolicy(attempts=4, jitter=0.5, seed=7)
+        clocks = []
+        for _ in range(2):
+            clock = FakeClock()
+            call, _ = always_failing()
+            with pytest.raises(RetryBudgetExceeded):
+                policy.run(call, sleep=clock.sleep, clock=clock)
+            clocks.append(clock.sleeps)
+        assert clocks[0] == clocks[1] == policy.schedule()
+
+    def test_jitter_factor_stays_in_bounds(self):
+        policy = RetryPolicy(
+            attempts=20, base_delay=0.1, multiplier=1.0,
+            max_delay=1.0, jitter=0.25, seed=3,
+        )
+        for slept in policy.schedule():
+            assert 0.1 <= slept < 0.1 * 1.25
+
+    def test_different_seeds_differ(self):
+        a = RetryPolicy(attempts=4, jitter=0.5, seed=1).schedule()
+        b = RetryPolicy(attempts=4, jitter=0.5, seed=2).schedule()
+        assert a != b
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attempts": 0},
+            {"base_delay": -1.0},
+            {"jitter": -0.1},
+            {"multiplier": 0.5},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestRetryRun:
+    def test_returns_result_after_transient_failures(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise BrokerConnectionError("transient")
+            return "ok"
+
+        clock = FakeClock()
+        policy = RetryPolicy(attempts=5, jitter=0.0, base_delay=0.05)
+        assert policy.run(flaky, sleep=clock.sleep, clock=clock) == "ok"
+        assert len(attempts) == 3
+        assert clock.sleeps == [0.05, 0.1]
+
+    def test_gives_up_with_last_error_chained(self):
+        policy = RetryPolicy(attempts=3, jitter=0.0)
+        clock = FakeClock()
+        call, errors = always_failing()
+        with pytest.raises(RetryBudgetExceeded) as excinfo:
+            policy.run(call, sleep=clock.sleep, clock=clock)
+        assert len(errors) == 3
+        assert excinfo.value.__cause__ is errors[-1]
+
+    def test_never_sleeps_past_deadline(self):
+        policy = RetryPolicy(
+            attempts=10, base_delay=0.4, multiplier=2.0,
+            max_delay=5.0, jitter=0.0,
+        )
+        clock = FakeClock()
+        deadline = 1.0
+        call, errors = always_failing()
+        with pytest.raises(RetryBudgetExceeded) as excinfo:
+            policy.run(
+                call, deadline=deadline, sleep=clock.sleep, clock=clock
+            )
+        # Every sleep ended at or before the deadline: the last one is
+        # clamped to exactly the time remaining, never beyond.
+        elapsed = 0.0
+        for slept in clock.sleeps:
+            elapsed += slept
+            assert elapsed <= deadline + 1e-9
+        assert clock.now <= deadline + 1e-9
+        # Once the deadline is reached no further attempt is made.
+        assert len(errors) < policy.attempts
+        assert excinfo.value.__cause__ is errors[-1]
+        assert "deadline" in str(excinfo.value)
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        calls = []
+
+        def refuse():
+            calls.append(1)
+            raise RespError("BUSYGROUP already exists")
+
+        policy = RetryPolicy(attempts=5)
+        with pytest.raises(RespError):
+            policy.run(refuse, sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_on_retry_hook_sees_attempt_duration_error(self):
+        seen = []
+        policy = RetryPolicy(attempts=3, jitter=0.0, base_delay=0.05)
+        clock = FakeClock()
+        call, errors = always_failing()
+        with pytest.raises(RetryBudgetExceeded):
+            policy.run(
+                call,
+                sleep=clock.sleep,
+                clock=clock,
+                on_retry=lambda *args: seen.append(args),
+            )
+        assert [(a, d) for a, d, _ in seen] == [(0, 0.05), (1, 0.1)]
+        assert [e for _, _, e in seen] == errors[:2]
+
+
+@pytest.fixture
+def server():
+    with FakeRedisServer() as fake:
+        yield fake
+
+
+def make_client(server, **kwargs):
+    kwargs.setdefault(
+        "retry", RetryPolicy(attempts=4, base_delay=0.01, jitter=0.0)
+    )
+    return BrokerClient(server.url, **kwargs)
+
+
+class TestBrokerClient:
+    def test_ping_and_deterministic_ids(self, server):
+        client = make_client(server)
+        assert client.ping()
+        assert client.xadd("s", {"row": "01"}) == "1-0"
+        assert client.xadd("s", {"row": "10"}) == "2-0"
+        assert client.xlen("s") == 2
+        assert client.xrange("s") == [
+            ("1-0", {"row": "01"}),
+            ("2-0", {"row": "10"}),
+        ]
+
+    def test_xadd_requires_fields(self, server):
+        with pytest.raises(ValueError, match="at least one field"):
+            make_client(server).xadd("s", {})
+
+    def test_group_create_swallows_busygroup(self, server):
+        client = make_client(server)
+        assert client.xgroup_create("s", "g") is True
+        assert client.xgroup_create("s", "g") is False
+
+    def test_read_ack_pending_cycle(self, server):
+        client = make_client(server)
+        client.xgroup_create("s", "g")
+        for i in range(3):
+            client.xadd("s", {"n": str(i)})
+        entries = client.xreadgroup("s", "g", "c0", count=10)
+        assert [e[0] for e in entries] == ["1-0", "2-0", "3-0"]
+        assert client.xpending("s", "g") == 3
+        # Explicit-id read re-delivers this consumer's own pending.
+        again = client.xreadgroup("s", "g", "c0", last_id="0-0")
+        assert [e[0] for e in again] == ["1-0", "2-0", "3-0"]
+        assert client.xack("s", "g", ["1-0", "2-0"]) == 2
+        assert client.xpending("s", "g") == 1
+        # Drained PEL reads back as an empty list, not None.
+        assert client.xreadgroup("s", "g", "c0", last_id="3-0") == []
+
+    def test_blocking_read_returns_none_without_data(self, server):
+        client = make_client(server)
+        client.xgroup_create("s", "g")
+        assert (
+            client.xreadgroup("s", "g", "c0", block_ms=50) is None
+        )
+
+    def test_xautoclaim_reassigns_pending(self, server):
+        client = make_client(server)
+        client.xgroup_create("s", "g")
+        client.xadd("s", {"n": "0"})
+        client.xreadgroup("s", "g", "dead-consumer")
+        claimed = client.xautoclaim("s", "g", "c1")
+        assert [e[0] for e in claimed] == ["1-0"]
+
+    def test_reset_fault_recovers_transparently(self, server):
+        client = make_client(server)
+        client.ping()
+        server.inject_fault("reset", command="XADD")
+        assert client.xadd("s", {"row": "0"}) == "1-0"
+        assert client.reconnects == 1
+        assert client.retries == 1
+        assert server.faults_fired == [("reset", "XADD")]
+
+    def test_nogroup_error_not_retried(self, server):
+        client = make_client(server)
+        client.xadd("s", {"n": "0"})
+        served = server.commands_served
+        with pytest.raises(RespError) as excinfo:
+            client.xreadgroup("s", "nogroup", "c0")
+        assert excinfo.value.code == "NOGROUP"
+        assert server.commands_served == served + 1
+
+    def test_budget_exceeded_when_server_gone(self, server):
+        client = make_client(
+            server,
+            retry=RetryPolicy(attempts=2, base_delay=0.01, jitter=0.0),
+            connect_timeout=0.3,
+        )
+        client.ping()
+        server.stop()
+        with pytest.raises(RetryBudgetExceeded) as excinfo:
+            client.ping()
+        assert isinstance(excinfo.value.__cause__, BrokerConnectionError)
+
+    def test_dead_letter_moves_and_acks(self, server):
+        client = make_client(server)
+        client.xgroup_create("s", "g")
+        client.xadd("s", {"row": "junk"})
+        (entry_id, fields), = client.xreadgroup("s", "g", "c0")
+        dead_id = client.dead_letter(
+            "s", "g", entry_id, fields, reason="bad row"
+        )
+        assert dead_id == "1-0"
+        assert client.xpending("s", "g") == 0
+        assert client.dead_letters == 1
+        assert client.xrange("s:dead") == [
+            (
+                "1-0",
+                {"row": "junk", "source_id": "1-0", "reason": "bad row"},
+            )
+        ]
+
+    def test_on_retry_callback_forwarded(self, server):
+        seen = []
+        client = make_client(
+            server, on_retry=lambda *args: seen.append(args)
+        )
+        server.inject_fault("reset", command="PING")
+        client.ping()
+        assert len(seen) == 1

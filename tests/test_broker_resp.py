@@ -1,0 +1,182 @@
+"""Tests for the RESP2 codec and the blocking socket connection.
+
+The wire layer is dependency-free, so these tests pin the exact bytes
+of the codec, the url grammar, and the connection's behaviour against
+the in-process fake — including the transport-failure taxonomy
+(refused / reset / timed out / protocol garbage) the retry layer keys
+off.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.broker import FakeRedisServer
+from repro.broker.resp import (
+    BrokerConnectionError,
+    BrokerProtocolError,
+    BrokerTimeout,
+    RespConnection,
+    RespError,
+    encode_command,
+    parse_url,
+)
+
+
+class TestEncodeCommand:
+    def test_exact_bytes(self):
+        assert encode_command("PING") == b"*1\r\n$4\r\nPING\r\n"
+        assert encode_command("XADD", "s", "*", "row", "01") == (
+            b"*5\r\n$4\r\nXADD\r\n$1\r\ns\r\n$1\r\n*\r\n"
+            b"$3\r\nrow\r\n$2\r\n01\r\n"
+        )
+
+    def test_int_and_bytes_parts(self):
+        assert encode_command("XLEN", 42) == b"*2\r\n$4\r\nXLEN\r\n$2\r\n42\r\n"
+        assert encode_command(b"\x00\xff") == b"*1\r\n$2\r\n\x00\xff\r\n"
+
+    def test_empty_command_rejected(self):
+        with pytest.raises(ValueError, match="at least one part"):
+            encode_command()
+
+    def test_bad_part_types_rejected(self):
+        with pytest.raises(TypeError):
+            encode_command("XADD", ["nested"])
+        with pytest.raises(TypeError):
+            encode_command("XADD", True)
+
+
+class TestParseUrl:
+    def test_host_and_port(self):
+        assert parse_url("redis://127.0.0.1:6380") == ("127.0.0.1", 6380)
+
+    def test_default_port(self):
+        assert parse_url("redis://broker.local") == ("broker.local", 6379)
+
+    @pytest.mark.parametrize(
+        "url, message",
+        [
+            ("", "non-empty"),
+            ("http://host:1", "unsupported"),
+            ("redis://host:1/0", "path"),
+            ("redis://:6379", "no host"),
+            ("redis://host:abc", "non-integer port"),
+            ("redis://host:70000", "out of range"),
+        ],
+    )
+    def test_rejections(self, url, message):
+        with pytest.raises(ValueError, match=message):
+            parse_url(url)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ValueError, match="non-empty string"):
+            parse_url(None)
+
+
+class TestRespError:
+    def test_code_is_leading_word(self):
+        assert RespError("BUSYGROUP already exists").code == "BUSYGROUP"
+        assert RespError("").code == ""
+
+
+@pytest.fixture
+def server():
+    with FakeRedisServer() as fake:
+        yield fake
+
+
+def connect(server, **kwargs):
+    host, port = parse_url(server.url)
+    return RespConnection(host, port, **kwargs)
+
+
+class TestRespConnection:
+    def test_ping_round_trip(self, server):
+        with connect(server) as conn:
+            assert conn.execute("PING") == "PONG"
+            assert conn.execute("PING", "hello") == "hello"
+
+    def test_bulk_and_array_replies(self, server):
+        with connect(server) as conn:
+            assert conn.execute("XADD", "s", "*", "k", "v") == b"1-0"
+            assert conn.execute("XLEN", "s") == 1
+            entries = conn.execute("XRANGE", "s", "-", "+")
+            assert entries == [[b"1-0", [b"k", b"v"]]]
+
+    def test_error_reply_raises_resp_error(self, server):
+        with connect(server) as conn:
+            with pytest.raises(RespError) as excinfo:
+                conn.execute("NOSUCHCOMMAND")
+            assert excinfo.value.code == "ERR"
+            # A semantic refusal leaves the connection healthy.
+            assert conn.execute("PING") == "PONG"
+
+    def test_pipeline_returns_errors_as_values(self, server):
+        with connect(server) as conn:
+            replies = conn.execute_pipeline(
+                [
+                    ("XADD", "s", "*", "k", "v"),
+                    ("NOSUCHCOMMAND",),
+                    ("XLEN", "s"),
+                ]
+            )
+            assert replies[0] == b"1-0"
+            assert isinstance(replies[1], RespError)
+            assert replies[2] == 1
+
+    def test_pipeline_empty_is_noop(self, server):
+        assert connect(server).execute_pipeline([]) == []
+
+    def test_connect_refused(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        conn = RespConnection("127.0.0.1", port, connect_timeout=0.5)
+        with pytest.raises(BrokerConnectionError):
+            conn.connect()
+        assert not conn.connected
+
+    def test_reset_fault_surfaces_connection_error(self, server):
+        server.inject_fault("reset", command="PING")
+        conn = connect(server)
+        with pytest.raises(BrokerConnectionError):
+            conn.execute("PING")
+        # The failed connection is closed; a fresh execute reconnects.
+        assert not conn.connected
+        assert conn.execute("PING") == "PONG"
+
+    def test_hang_fault_times_out(self, server):
+        server.inject_fault("hang", command="PING", delay=5.0)
+        conn = connect(server, read_timeout=0.2)
+        with pytest.raises(BrokerTimeout):
+            conn.execute("PING")
+
+    def test_per_call_timeout_is_restored(self, server):
+        conn = connect(server, read_timeout=3.0)
+        conn.execute("PING", timeout=0.5)
+        assert conn._sock.gettimeout() == 3.0
+
+    def test_protocol_garbage(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+
+        def feed_garbage():
+            conn, _ = listener.accept()
+            conn.recv(4096)
+            conn.sendall(b"??not resp\r\n")
+            conn.close()
+
+        thread = threading.Thread(target=feed_garbage, daemon=True)
+        thread.start()
+        connection = RespConnection(*listener.getsockname())
+        with pytest.raises(BrokerProtocolError, match="unknown RESP type"):
+            connection.execute("PING")
+        thread.join(timeout=2.0)
+        listener.close()
+
+    def test_timeouts_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            RespConnection("h", 1, connect_timeout=0)

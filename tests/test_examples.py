@@ -86,6 +86,18 @@ class TestExamplesRun:
         assert "windows/sec" in output
         assert "registry survived every kill: True" in output
 
+    def test_broker_pipeline(self, capsys):
+        exit_code = load_example("broker_pipeline").main(
+            ["--windows", "80", "--slice", "30"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "connection faults fired: 2" in output
+        assert "redelivered" in output
+        assert output.count(
+            "bit-identical to the memory-fed run: True"
+        ) == 2
+
     def test_taxi_fleet_scaled_down(self, capsys, monkeypatch):
         module = load_example("taxi_fleet")
         from repro.datasets import TaxiConfig

@@ -17,6 +17,7 @@ import repro
 
 SUBPACKAGES = [
     "repro.baselines",
+    "repro.broker",
     "repro.cep",
     "repro.core",
     "repro.datasets",

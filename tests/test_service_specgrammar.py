@@ -184,12 +184,22 @@ SOURCE_PAIRS = [
     ("csv:/tmp/in.csv", "csv:path=/tmp/in.csv"),
     ("jsonl:/tmp/in.jsonl", "jsonl:path=/tmp/in.jsonl"),
     ("replay:/tmp/in.csv", "replay:path=/tmp/in.csv"),
+    # broker was born with the key=value grammar (no positional
+    # legacy); the pair pins key-order insensitivity instead.
+    (
+        "broker:url=redis://h:7777,stream=s,group=g,consumer=c0",
+        "broker:consumer=c0,group=g,stream=s,url=redis://h:7777",
+    ),
 ]
 
 SINK_PAIRS = [
     ("metrics:0.7", "metrics:alpha=0.7"),
     ("csv:/tmp/out.csv", "csv:path=/tmp/out.csv"),
     ("jsonl:/tmp/out.jsonl", "jsonl:path=/tmp/out.jsonl"),
+    (
+        "broker:url=redis://h:7777,stream=out,eos=1",
+        "broker:eos=1,stream=out,url=redis://h:7777",
+    ),
 ]
 
 
